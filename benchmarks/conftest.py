@@ -1,0 +1,50 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Every module under benchmarks/ regenerates one table or figure of the
+paper on the full 36-benchmark suite (set ``REPRO_BENCH_SUBSET=quick``
+for a fast 6-benchmark smoke sweep) and prints the same rows/series the
+paper reports. Artefacts (compiled programs, traces, baseline cycles)
+are shared through one session-scoped cache so the whole directory runs
+in a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness.runner import RunCache, default_benchmarks
+from repro.workloads.suites import quick_subset
+
+FIGURES_PATH = Path(__file__).resolve().parent / "figures_output.txt"
+
+
+@pytest.fixture(scope="session")
+def bench_cache() -> RunCache:
+    return RunCache()
+
+
+@pytest.fixture(scope="session")
+def bench_set() -> list[str]:
+    if os.environ.get("REPRO_BENCH_SUBSET") == "quick":
+        return [p.uid for p in quick_subset()]
+    return default_benchmarks()
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _fresh_figures_file():
+    """Start each benchmark session with an empty figures log."""
+    FIGURES_PATH.write_text("")
+    yield
+
+
+def emit(title: str, text: str) -> None:
+    """Print a figure's table (visible with -s) and append it to
+    ``benchmarks/figures_output.txt`` so the regenerated figures survive
+    pytest's output capture."""
+    rendered = f"\n### {title}\n{text}\n"
+    print(rendered, end="")
+    with FIGURES_PATH.open("a") as fh:
+        fh.write(rendered)

@@ -1,0 +1,36 @@
+"""Figure 4: impact of store buffer size on inserted checkpoints.
+
+Paper: eager checkpointing is 4.1% of dynamic instructions with a
+40-entry SB but ~15% with the 4-entry SB of in-order cores.
+"""
+
+from repro.harness.experiments import fig04_checkpoint_ratio
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig04_checkpoint_ratio(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig04_checkpoint_ratio,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 4 — checkpoint ratio vs SB size "
+        "(paper: 4.1% @ SB-40, 14.98% @ SB-4)",
+        format_series_table(
+            [result[40], result[4]],
+            value_format="{:.3f}",
+            aggregate="mean",
+        ),
+    )
+    # Shape: shrinking the SB meaningfully increases checkpoint traffic
+    # (the paper sees 3.65x; our loop-dominated synthetics keep the
+    # per-iteration IV checkpoints in both configs, compressing the
+    # factor — see EXPERIMENTS.md).
+    assert result[4].mean > 1.15 * result[40].mean
+    # Bands: small-SB ratio lands in the paper's regime.
+    assert 0.05 < result[4].mean < 0.30

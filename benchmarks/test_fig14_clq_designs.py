@@ -1,0 +1,30 @@
+"""Figure 14: run-time overhead of the ideal (infinite, address-matching)
+CLQ vs Turnpike's compact 2-entry range-based CLQ, with only the hardware
+fast release enabled (no compiler optimizations).
+
+Paper: the compact design loses only ~3% vs the ideal one.
+"""
+
+from repro.harness.experiments import fig14_fig15_clq_designs
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig14_clq_designs(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig14_fig15_clq_designs,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    ideal = result["overhead"]["ideal"]
+    compact = result["overhead"]["compact"]
+    emit(
+        "Figure 14 — ideal vs compact CLQ overhead "
+        "(paper: compact within ~3% of ideal)",
+        format_series_table([ideal, compact], value_format="{:.3f}"),
+    )
+    assert ideal.geomean <= compact.geomean + 1e-6
+    assert compact.geomean - ideal.geomean < 0.05

@@ -1,0 +1,35 @@
+"""Figure 18: worst-case detection latency vs number of deployed acoustic
+sensors, for 2.0/2.5/3.0 GHz clocks on a 1 mm^2 die.
+
+Paper anchors: 300 sensors @ 2.5 GHz -> ~10 cycles; 30 sensors -> ~30.
+"""
+
+from repro.harness.experiments import fig18_sensor_latency
+from repro.sensors.acoustic import detection_latency_cycles, sensors_for_wcdl
+
+from conftest import emit
+
+
+def test_fig18_sensor_latency(benchmark):
+    series = benchmark.pedantic(fig18_sensor_latency, rounds=1, iterations=1)
+    lines = ["sensors".ljust(10) + "".join(f"{c:.1f}GHz".rjust(12) for c in sorted(series))]
+    counts = [n for n, _ in series[2.5]]
+    for idx, n in enumerate(counts):
+        row = str(n).ljust(10)
+        for clock in sorted(series):
+            row += f"{series[clock][idx][1]:.1f}".rjust(12)
+        lines.append(row)
+    emit(
+        "Figure 18 — detection latency (cycles) vs sensor count "
+        "(paper: 10 cycles @ 300 sensors / 2.5 GHz)",
+        "\n".join(lines),
+    )
+    # Anchors.
+    assert 8 <= detection_latency_cycles(300, 2.5) <= 12
+    assert 24 <= detection_latency_cycles(30, 2.5) <= 34
+    # Monotone trends.
+    for clock, points in series.items():
+        latencies = [lat for _, lat in points]
+        assert all(a > b for a, b in zip(latencies, latencies[1:]))
+    # The inverse mapping is consistent.
+    assert sensors_for_wcdl(10.5, 2.5) <= 320

@@ -1,0 +1,31 @@
+"""Figure 19: Turnpike's normalized execution time for WCDL 10-50.
+
+Paper: 0-14% average overhead across the sweep; ~0% at the default
+10-cycle WCDL.
+"""
+
+from repro.harness.experiments import fig19_turnpike_wcdl
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig19_turnpike_wcdl(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig19_turnpike_wcdl,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 19 — Turnpike normalized exec time, WCDL 10..50 "
+        "(paper: geomean 1.00 @ DL10 .. 1.14 @ DL50)",
+        format_series_table([result[w] for w in sorted(result)]),
+    )
+    geos = [result[w].geomean for w in sorted(result)]
+    # Band: low overhead throughout.
+    assert geos[0] < 1.10
+    assert geos[-1] < 1.25
+    # Overhead grows (weakly) with WCDL.
+    assert geos[-1] >= geos[0] - 1e-6

@@ -1,0 +1,39 @@
+"""Figure 20: Turnstile's normalized execution time for WCDL 10-50.
+
+Paper: 29%-84% average overhead — an order of magnitude above Turnpike,
+with several benchmarks beyond 2x at long WCDLs.
+"""
+
+from repro.harness.experiments import fig19_turnpike_wcdl, fig20_turnstile_wcdl
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig20_turnstile_wcdl(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig20_turnstile_wcdl,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 20 — Turnstile normalized exec time, WCDL 10..50 "
+        "(paper: geomean 1.29 @ DL10 .. 1.84 @ DL50)",
+        format_series_table([result[w] for w in sorted(result)]),
+    )
+    geos = {w: result[w].geomean for w in result}
+    # Bands: substantial overhead that grows with WCDL.
+    assert geos[10] > 1.10
+    assert geos[50] > 1.5
+    ordered = [geos[w] for w in sorted(geos)]
+    assert all(a <= b + 1e-9 for a, b in zip(ordered, ordered[1:]))
+    # Cross-check vs Figure 19: Turnstile loses to Turnpike everywhere.
+    turnpike = fig19_turnpike_wcdl(bench_set, wcdls=(10, 50), cache=bench_cache)
+    for w in (10, 50):
+        for uid in result[w].per_benchmark:
+            assert (
+                turnpike[w].per_benchmark[uid]
+                <= result[w].per_benchmark[uid] + 1e-6
+            )

@@ -1,0 +1,37 @@
+"""Figure 21: the optimization ablation at the default 10-cycle WCDL.
+
+Paper progression of average overheads:
+Turnstile 29% -> WAR-free 25% -> Fast Release 22% -> +Pruning 12% ->
++LICM 10% -> +Inst Sched 7% -> +RA Trick 2% -> full Turnpike 0%.
+"""
+
+from repro.harness.experiments import fig21_ablation
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig21_ablation(benchmark, bench_cache, bench_set):
+    series = benchmark.pedantic(
+        fig21_ablation,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 21 — optimization ablation @ WCDL 10 "
+        "(paper: 1.29 / 1.25 / 1.22 / 1.12 / 1.10 / 1.07 / 1.02 / 1.00)",
+        format_series_table(series),
+    )
+    geos = {s.name: s.geomean for s in series}
+    # Endpoints: Turnstile worst, Turnpike best.
+    assert geos["Turnstile"] == max(geos.values())
+    assert geos["Turnpike"] <= min(geos.values()) + 0.03
+    # Each hardware step helps.
+    assert geos["WAR-free Checking"] <= geos["Turnstile"] + 1e-6
+    assert geos["Fast Release"] <= geos["WAR-free Checking"] + 1e-6
+    # The compiler stack (pruning onward) gives the large drop.
+    assert geos["Fast Release + Pruning"] < geos["Fast Release"]
+    # Full Turnpike lands near zero overhead.
+    assert geos["Turnpike"] < 1.10

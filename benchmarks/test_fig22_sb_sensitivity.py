@@ -1,0 +1,38 @@
+"""Figure 22: store-buffer size sensitivity at 10-cycle WCDL.
+
+Paper: Turnstile improves from 20% (SB-8) to 9% (SB-40) overhead, but
+even a 10x larger buffer cannot catch Turnpike's 0% at SB-4. Turnpike
+stays flat across SB sizes.
+"""
+
+from repro.harness.experiments import fig22_sb_sensitivity
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig22_sb_sensitivity(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig22_sb_sensitivity,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    ts = result["turnstile"]
+    tp = result["turnpike"]
+    emit(
+        "Figure 22 — SB size sensitivity @ WCDL 10 "
+        "(paper: Turnstile 20/18/13/11/9% @ SB 8-40; Turnpike flat 0%)",
+        format_series_table(
+            [ts[s] for s in sorted(ts)] + [tp[s] for s in sorted(tp)]
+        ),
+    )
+    # Turnstile improves monotonically with SB size.
+    geos = [ts[s].geomean for s in sorted(ts)]
+    assert all(a >= b - 0.01 for a, b in zip(geos, geos[1:]))
+    # Headline: Turnpike at SB-4 beats Turnstile at SB-40.
+    assert tp[4].geomean <= ts[40].geomean + 0.02
+    # Turnpike is flat in SB size.
+    tp_geos = [tp[s].geomean for s in sorted(tp)]
+    assert max(tp_geos) - min(tp_geos) < 0.05

@@ -1,0 +1,37 @@
+"""Figure 23: breakdown of all stores by disposition under full Turnpike.
+
+Paper averages: pruned 21%, LICM-eliminated 1.4%, RA-eliminated 1.7%,
+IndVarMerging-eliminated 5%, and ~39% of stores released to cache
+without SB quarantine (colored + WAR-free).
+"""
+
+from repro.harness.experiments import breakdown_means, fig23_store_breakdown
+from repro.harness.reporting import format_breakdown_table
+
+from conftest import emit
+
+
+def test_fig23_store_breakdown(benchmark, bench_cache, bench_set):
+    breakdown = benchmark.pedantic(
+        fig23_store_breakdown,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    means = breakdown_means(breakdown)
+    emit(
+        "Figure 23 — store breakdown "
+        "(paper means: pruned 21%, LICM 1.4%, RA 1.7%, LIVM 5%, "
+        "released ~39%)",
+        format_breakdown_table(breakdown)
+        + "\nmeans: "
+        + "  ".join(f"{k}={100 * v:.1f}%" for k, v in means.items()),
+    )
+    # Pruning removes a substantial share of checkpoints.
+    assert means["pruned"] > 0.05
+    # Fast release (colored + WAR-free) covers a large fraction.
+    assert means["colored"] + means["warfree"] > 0.20
+    # Every category is a valid fraction.
+    for cat, value in means.items():
+        assert 0.0 <= value <= 1.0, cat

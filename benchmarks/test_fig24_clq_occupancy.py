@@ -1,0 +1,36 @@
+"""Figure 24: dynamic CLQ entries populated at run time (demand study).
+
+Paper: the average number of populated entries is ~1, the maximum 3-4
+for some applications — which is why the compact CLQ ships with 2
+entries.
+"""
+
+from repro.harness.experiments import fig24_clq_occupancy
+from repro.harness.reporting import format_mapping_table
+
+from conftest import emit
+
+
+def test_fig24_clq_occupancy(benchmark, bench_cache, bench_set):
+    occupancy = benchmark.pedantic(
+        fig24_clq_occupancy,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 24 — dynamic CLQ entries populated "
+        "(paper: average ~1, maximum 3-4)",
+        format_mapping_table(
+            occupancy, headers=("average", "maximum"), value_format="{:.2f}"
+        ),
+    )
+    avgs = [avg for avg, _ in occupancy.values()]
+    maxes = [peak for _, peak in occupancy.values()]
+    # Demand is a few entries on average; short-region benchmarks keep
+    # more regions in flight than the paper's ~11-instruction regions, so
+    # the bound here is looser than the paper's 3-4 maximum.
+    assert sum(avgs) / len(avgs) < 4.5
+    assert max(maxes) <= 12
+    assert max(maxes) >= 2  # some benchmark keeps multiple regions in flight

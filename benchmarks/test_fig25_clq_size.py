@@ -1,0 +1,30 @@
+"""Figure 25: 2-entry vs 4-entry compact CLQ at 10-cycle WCDL.
+
+Paper: performance is almost identical — the compact 2-entry design is
+both low-cost and sufficient.
+"""
+
+from repro.harness.experiments import fig25_clq_size
+from repro.harness.reporting import format_series_table
+
+from conftest import emit
+
+
+def test_fig25_clq_size(benchmark, bench_cache, bench_set):
+    result = benchmark.pedantic(
+        fig25_clq_size,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 25 — CLQ-2 vs CLQ-4 (paper: nearly identical)",
+        format_series_table([result[2], result[4]], value_format="{:.3f}"),
+    )
+    assert abs(result[2].geomean - result[4].geomean) < 0.03
+    for uid in result[2].per_benchmark:
+        assert (
+            abs(result[2].per_benchmark[uid] - result[4].per_benchmark[uid])
+            < 0.10
+        )

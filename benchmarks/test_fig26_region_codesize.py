@@ -1,0 +1,39 @@
+"""Figure 26: average dynamic region size and binary code growth.
+
+Paper: ~11.2 instructions per region on average; code size grows 0.4%
+on average (up to ~8% for gcc's many small regions).
+"""
+
+from repro.harness.experiments import fig26_region_codesize
+from repro.harness.reporting import format_mapping_table
+
+from conftest import emit
+
+
+def test_fig26_region_codesize(benchmark, bench_cache, bench_set):
+    data = benchmark.pedantic(
+        fig26_region_codesize,
+        args=(bench_set,),
+        kwargs={"cache": bench_cache},
+        rounds=1,
+        iterations=1,
+    )
+    emit(
+        "Figure 26 — region size (instr) and code growth "
+        "(paper: ~11.2 instr/region, +0.4% code average)",
+        format_mapping_table(
+            {k: (v[0], 100 * v[1]) for k, v in data.items()},
+            headers=("region size", "growth %"),
+        ),
+    )
+    sizes = [size for size, _ in data.values()]
+    growths = [growth for _, growth in data.values()]
+    mean_size = sum(sizes) / len(sizes)
+    # Regions are small (a handful to a few dozen instructions); LICM's
+    # relaxed store-free loops stretch a few benchmarks past the paper's
+    # ~11-instruction average.
+    assert 4.0 < mean_size < 64.0
+    # Code growth is modest but real (checkpoints are instructions here;
+    # the paper's smaller growth excludes metadata-encoded boundaries).
+    assert all(0.0 <= g for g in growths)
+    assert sum(growths) / len(growths) < 1.0

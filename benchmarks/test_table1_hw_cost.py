@@ -1,0 +1,31 @@
+"""Table 1: area and dynamic-energy cost of Turnpike's hardware vs the
+store buffer, from the calibrated CAM/RAM array model at 22 nm.
+
+Paper: Turnpike (color maps + 2-entry CLQ) adds 9.8% area and 9.7%
+energy of a 4-entry SB; a 40-entry SB would cost ~5x the 4-entry one.
+"""
+
+import pytest
+
+from repro.harness.experiments import table1_hw_cost
+from repro.harness.reporting import format_table1
+
+from conftest import emit
+
+
+def test_table1_hw_cost(benchmark):
+    table = benchmark.pedantic(table1_hw_cost, rounds=1, iterations=1)
+    emit("Table 1 — hardware cost comparison", format_table1(table))
+
+    rows = {row.name: row for row in table.rows()}
+    sb4 = rows["4-entry SB (CAM)"]
+    assert sb4.area_um2 == pytest.approx(621.28, rel=0.01)
+    assert sb4.dynamic_energy_pj == pytest.approx(0.43099, rel=0.01)
+
+    area_ratio, energy_ratio = table.turnpike_vs_sb4
+    assert area_ratio == pytest.approx(0.098, abs=0.012)
+    assert energy_ratio == pytest.approx(0.097, abs=0.012)
+
+    area_ratio, energy_ratio = table.sb40_vs_sb4
+    assert area_ratio == pytest.approx(5.04, rel=0.03)
+    assert energy_ratio == pytest.approx(4.91, rel=0.05)

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: build a TK program with the ProgramBuilder,
+then watch each Turnpike optimization act on it.
+
+The kernel is a saxpy-with-histogram mix that exercises every mechanism:
+strength-reducible addressing (LIVM fodder), a read-modify-write table
+(WAR conflicts), and a loop-carried accumulator (checkpoint traffic).
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import (
+    CoreConfig,
+    InOrderCore,
+    ResilienceHardwareConfig,
+    compile_baseline,
+    compile_program,
+    execute,
+    figure21_configs,
+)
+from repro.isa import ProgramBuilder
+from repro.runtime import Memory
+
+
+def build_kernel(n: int = 600):
+    b = ProgramBuilder("saxpy_hist")
+    b.begin_block("entry")
+    x_base = b.li(0x1000)
+    y_base = b.li(0x4000)
+    t_base = b.li(0x8000)
+    alpha = b.li(3)
+    bins_mask = b.li(15)
+    acc = b.li(0)
+    i = b.li(0)
+    limit = b.li(n)
+    b.jmp("loop")
+    b.begin_block("loop")
+    off = b.shli(i, 2)  # strength reduction turns this into a derived IV
+    xa = b.add(x_base, off)
+    x = b.load(xa)
+    ya = b.add(y_base, off)
+    y = b.load(ya)
+    ax = b.mul(alpha, x)
+    s = b.add(ax, y)
+    b.store(s, ya)  # y[i] = alpha*x[i] + y[i]
+    b.add(acc, s, dest=acc)  # loop-carried accumulator
+    slot = b.and_(s, bins_mask)  # histogram: load+store same address (WAR)
+    ta = b.add(t_base, b.shli(slot, 2))
+    cnt = b.load(ta)
+    cnt = b.addi(cnt, 1)
+    b.store(cnt, ta)
+    b.addi(i, 1, dest=i)
+    b.blt(i, limit, "loop", "done")
+    b.begin_block("done")
+    b.store(acc, x_base, offset=-4)
+    b.ret()
+    return b.finish()
+
+
+def seed_memory(n: int = 600) -> Memory:
+    mem = Memory()
+    mem.write_words(0x1000, [(7 * k) % 100 - 50 for k in range(n)])
+    mem.write_words(0x4000, [(3 * k) % 41 for k in range(n)])
+    return mem
+
+
+def main() -> None:
+    program = build_kernel()
+    print(f"kernel: {program.num_instructions} static instructions\n")
+
+    golden = execute(program, seed_memory()).memory.data_image()
+    base = compile_baseline(program)
+    base_run = execute(base.program, seed_memory(), collect_trace=True)
+    assert base_run.memory.data_image() == golden
+    core = CoreConfig()
+    base_cycles = InOrderCore(core, ResilienceHardwareConfig.baseline()).run(
+        base_run.trace
+    ).cycles
+
+    print(
+        f"{'configuration':<52}{'ckpts':>7}{'overhead':>10}"
+        f"{'released':>10}{'quar':>6}"
+    )
+    for label, compiler_cfg, flags in figure21_configs():
+        compiled = compile_program(program, compiler_cfg)
+        run = execute(compiled.program, seed_memory(), collect_trace=True)
+        assert run.memory.data_image() == golden, label
+        hw = ResilienceHardwareConfig(
+            enabled=True,
+            wcdl=10,
+            clq_enabled=flags["clq"],
+            coloring_enabled=flags["coloring"],
+        )
+        stats = InOrderCore(core, hw).run(run.trace)
+        released = stats.warfree_released + stats.colored_released
+        print(
+            f"{label:<52}{run.summary().checkpoints:>7}"
+            f"{stats.cycles / base_cycles - 1:>9.1%}"
+            f"{released:>10}{stats.quarantined:>6}"
+        )
+
+    print(
+        "\nReading the table: checkpoint counts fall as the compiler "
+        "passes come in\n(pruning, LICM, LIVM), and the released column "
+        "grows as the hardware\nbypasses (CLQ + coloring) take over the "
+        "remaining stores."
+    )
+
+
+if __name__ == "__main__":
+    main()

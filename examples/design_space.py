@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep WCDL, store-buffer size, and CLQ
+design for one benchmark, and size the sensor deployment each WCDL
+implies.
+
+Run:  python examples/design_space.py [benchmark-uid]
+"""
+
+import sys
+
+from repro import (
+    CoreConfig,
+    InOrderCore,
+    ResilienceHardwareConfig,
+    compile_baseline,
+    compile_program,
+    execute,
+    load_workload,
+    turnpike_config,
+    turnstile_config,
+)
+from repro.sensors import area_overhead_percent, sensors_for_wcdl
+
+
+def _trace(compiled, workload):
+    return execute(
+        compiled.program, workload.fresh_memory(), collect_trace=True
+    ).trace
+
+
+def main() -> None:
+    uid = sys.argv[1] if len(sys.argv) > 1 else "CPU2006.gcc"
+    workload = load_workload(uid)
+    core = CoreConfig()
+
+    base_trace = _trace(compile_baseline(workload.program), workload)
+    base = InOrderCore(core, ResilienceHardwareConfig.baseline()).run(base_trace)
+    print(f"benchmark: {uid}  baseline cycles: {base.cycles:.0f}\n")
+
+    # ---- WCDL sweep with the sensor deployment each point needs -----------
+    ts_trace = _trace(compile_program(workload.program, turnstile_config()), workload)
+    tp_trace = _trace(compile_program(workload.program, turnpike_config()), workload)
+    print(f"{'WCDL':>5}{'sensors@2.5GHz':>16}{'sensor area':>12}"
+          f"{'turnstile':>11}{'turnpike':>10}")
+    for wcdl in (10, 20, 30, 40, 50):
+        sensors = sensors_for_wcdl(float(wcdl), clock_ghz=2.5)
+        area = area_overhead_percent(sensors)
+        ts = InOrderCore(core, ResilienceHardwareConfig.turnstile(wcdl)).run(ts_trace)
+        tp = InOrderCore(core, ResilienceHardwareConfig.turnpike(wcdl)).run(tp_trace)
+        print(
+            f"{wcdl:>5}{sensors:>16}{area:>11.2f}%"
+            f"{ts.cycles / base.cycles:>11.2f}{tp.cycles / base.cycles:>10.2f}"
+        )
+
+    # ---- Store buffer sizes: can Turnstile buy its way out? ---------------
+    print(f"\n{'scheme':<12}{'SB':>4}{'normalized time':>17}")
+    for sb in (4, 8, 10, 20, 40):
+        trace = _trace(
+            compile_program(workload.program, turnstile_config(sb_size=sb)),
+            workload,
+        )
+        stats = InOrderCore(
+            core, ResilienceHardwareConfig.turnstile(10, sb_size=sb)
+        ).run(trace)
+        print(f"{'turnstile':<12}{sb:>4}{stats.cycles / base.cycles:>17.3f}")
+    tp4 = InOrderCore(core, ResilienceHardwareConfig.turnpike(10)).run(tp_trace)
+    print(f"{'turnpike':<12}{4:>4}{tp4.cycles / base.cycles:>17.3f}")
+
+    # ---- CLQ designs ---------------------------------------------------------
+    print(f"\n{'CLQ design':<20}{'normalized time':>17}{'WAR-free released':>19}")
+    for kind, size in (("compact", 2), ("compact", 4), ("ideal", 2)):
+        hw = ResilienceHardwareConfig.turnpike(10, clq_kind=kind, clq_size=size)
+        stats = InOrderCore(core, hw).run(tp_trace)
+        label = f"{kind}-{size}" if kind == "compact" else "ideal (infinite)"
+        print(
+            f"{label:<20}{stats.cycles / base.cycles:>17.3f}"
+            f"{stats.warfree_released:>19}"
+        )
+
+
+if __name__ == "__main__":
+    main()

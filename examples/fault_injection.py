@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Fault injection demo: soft errors, detection, and recovery.
+
+Injects register bit flips into a running benchmark under four protocol
+variants and checks whether the final memory matches the fault-free
+golden run:
+
+* Turnstile (full quarantine)          -> always recovers;
+* WAR-free fast release                -> always recovers;
+* full Turnpike (fast release+coloring)-> always recovers;
+* UNSAFE: checkpoint fast release with NO coloring -> silent data
+  corruption, reproducing the paper's Figure 16 counter-example.
+
+Run:  python examples/fault_injection.py [benchmark-uid] [num-injections]
+"""
+
+import sys
+
+from repro import compile_program, load_workload, turnpike_config
+from repro.faults import run_protocol_campaigns
+
+
+def main() -> None:
+    uid = sys.argv[1] if len(sys.argv) > 1 else "SPLASH3.radix"
+    count = int(sys.argv[2]) if len(sys.argv) > 2 else 30
+
+    workload = load_workload(uid)
+    compiled = compile_program(workload.program, turnpike_config())
+    print(f"benchmark: {uid}  ({count} register bit flips per variant)")
+    print("injecting the SAME faults under each protocol variant...\n")
+
+    campaigns = run_protocol_campaigns(
+        compiled, workload.fresh_memory(), wcdl=10, count=count, seed=2024
+    )
+
+    rows = (
+        ("Turnstile (quarantine everything)", campaigns.turnstile),
+        ("WAR-free fast release", campaigns.warfree),
+        ("Turnpike (fast release + coloring)", campaigns.turnpike),
+        ("UNSAFE: ckpt release w/o coloring", campaigns.unsafe),
+    )
+    header = f"{'variant':<38}{'correct':>9}{'SDC':>6}{'recoveries':>12}{'parity':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, result in rows:
+        parity = sum(1 for o in result.outcomes if o.parity_detected)
+        print(
+            f"{name:<38}{result.correct_runs:>6}/{result.runs:<3}"
+            f"{result.sdc_runs:>5}{result.recovery_runs:>12}{parity:>8}"
+        )
+
+    print(
+        "\nThe unsafe variant overwrites a register's only verified "
+        "checkpoint storage\nbefore verification — when the overwritten "
+        "value was corrupted, recovery\nrestores garbage (Figure 16). "
+        "Hardware coloring gives each in-flight\ncheckpoint a distinct "
+        "location, which is why Turnpike stays correct."
+    )
+
+    assert campaigns.turnpike.correct_runs == campaigns.turnpike.runs
+    assert campaigns.unsafe.sdc_runs > 0, "expected Figure 16 corruption"
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: compile one benchmark for each resilience scheme and
+compare their simulated execution time on the in-order core.
+
+Run:  python examples/quickstart.py [benchmark-uid]
+      (default CPU2017.lbm; list ids with --list)
+"""
+
+import sys
+
+from repro import (
+    CoreConfig,
+    InOrderCore,
+    ResilienceHardwareConfig,
+    all_profiles,
+    compile_baseline,
+    compile_program,
+    execute,
+    load_workload,
+    turnpike_config,
+    turnstile_config,
+)
+
+
+def main() -> None:
+    if "--list" in sys.argv:
+        for prof in all_profiles():
+            print(f"{prof.uid:24s} {prof.notes}")
+        return
+    uid = sys.argv[1] if len(sys.argv) > 1 else "CPU2017.lbm"
+
+    print(f"benchmark: {uid}")
+    workload = load_workload(uid)
+    print(f"source program: {workload.program.num_instructions} static instructions")
+
+    # 1. Compile three ways: no resilience, Turnstile, Turnpike.
+    baseline = compile_baseline(workload.program)
+    turnstile = compile_program(workload.program, turnstile_config())
+    turnpike = compile_program(workload.program, turnpike_config())
+    print(
+        f"static checkpoints: turnstile={turnstile.num_static_checkpoints} "
+        f"turnpike={turnpike.num_static_checkpoints}"
+    )
+
+    # 2. Execute functionally (golden run + dynamic traces).
+    runs = {}
+    golden = None
+    for name, compiled in (
+        ("baseline", baseline),
+        ("turnstile", turnstile),
+        ("turnpike", turnpike),
+    ):
+        result = execute(
+            compiled.program, workload.fresh_memory(), collect_trace=True
+        )
+        runs[name] = result
+        image = result.memory.data_image()
+        if golden is None:
+            golden = image
+        assert image == golden, "compilation must preserve semantics"
+    print(f"dynamic instructions (baseline): {runs['baseline'].steps}")
+
+    # 3. Simulate timing on the Cortex-A53-like core.
+    core = CoreConfig()
+    base_cycles = InOrderCore(core, ResilienceHardwareConfig.baseline()).run(
+        runs["baseline"].trace
+    ).cycles
+    print(f"\n{'scheme':<12}{'WCDL':>6}{'cycles':>12}{'overhead':>10}")
+    for wcdl in (10, 30, 50):
+        ts = InOrderCore(
+            core, ResilienceHardwareConfig.turnstile(wcdl=wcdl)
+        ).run(runs["turnstile"].trace)
+        tp = InOrderCore(
+            core, ResilienceHardwareConfig.turnpike(wcdl=wcdl)
+        ).run(runs["turnpike"].trace)
+        for name, stats in (("turnstile", ts), ("turnpike", tp)):
+            overhead = stats.cycles / base_cycles - 1
+            print(f"{name:<12}{wcdl:>6}{stats.cycles:>12.0f}{overhead:>9.1%}")
+
+    # 4. Where did Turnpike's stores go?
+    tp = InOrderCore(core, ResilienceHardwareConfig.turnpike(10)).run(
+        runs["turnpike"].trace
+    )
+    print(
+        f"\nTurnpike store disposition @ WCDL 10: "
+        f"{tp.warfree_released} WAR-free released, "
+        f"{tp.colored_released} colored checkpoints, "
+        f"{tp.quarantined} quarantined"
+    )
+
+
+if __name__ == "__main__":
+    main()

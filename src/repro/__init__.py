@@ -1,0 +1,104 @@
+"""Turnpike: lightweight soft error resilience for in-order cores.
+
+A full Python reproduction of the MICRO 2021 paper: the TK ISA and
+compiler (region partitioning, eager checkpointing, the Turnpike
+optimization suite), a trace-driven in-order timing model with the gated
+store buffer / CLQ / hardware-coloring microarchitecture, an acoustic
+sensor model, a fault-injection framework that validates the recovery
+protocol, the 36-benchmark synthetic workload suite, and the experiment
+harness regenerating every figure and table of the evaluation.
+
+Quickstart::
+
+    from repro import (
+        load_workload, compile_program, compile_baseline,
+        turnpike_config, turnstile_config, simulate_trace,
+    )
+    from repro.arch import ResilienceHardwareConfig
+    from repro.runtime import execute
+
+    wl = load_workload("CPU2017.lbm")
+    compiled = compile_program(wl.program, turnpike_config())
+    result = execute(compiled.program, wl.fresh_memory(), collect_trace=True)
+    stats = simulate_trace(
+        result.trace, resilience=ResilienceHardwareConfig.turnpike(wcdl=10)
+    )
+    print(stats.cycles, stats.colored_released, stats.warfree_released)
+"""
+
+from repro.compiler import (
+    CompiledProgram,
+    CompilerConfig,
+    compile_baseline,
+    compile_program,
+    figure21_configs,
+    turnpike_config,
+    turnstile_config,
+)
+from repro.arch import (
+    CoreConfig,
+    InOrderCore,
+    ResilienceHardwareConfig,
+    SimStats,
+    simulate_trace,
+    slowdown,
+)
+from repro.runtime import (
+    Injection,
+    InjectionTarget,
+    Memory,
+    ResilienceConfig,
+    ResilientMachine,
+    execute,
+)
+from repro.workloads import (
+    BenchmarkProfile,
+    Workload,
+    all_profiles,
+    build_workload,
+    load_workload,
+)
+from repro.harness import (
+    GLOBAL_CACHE,
+    RunCache,
+    default_benchmarks,
+    geomean,
+    normalized_time,
+    simulate,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "CompilerConfig",
+    "compile_baseline",
+    "compile_program",
+    "figure21_configs",
+    "turnpike_config",
+    "turnstile_config",
+    "CoreConfig",
+    "InOrderCore",
+    "ResilienceHardwareConfig",
+    "SimStats",
+    "simulate_trace",
+    "slowdown",
+    "Injection",
+    "InjectionTarget",
+    "Memory",
+    "ResilienceConfig",
+    "ResilientMachine",
+    "execute",
+    "BenchmarkProfile",
+    "Workload",
+    "all_profiles",
+    "build_workload",
+    "load_workload",
+    "GLOBAL_CACHE",
+    "RunCache",
+    "default_benchmarks",
+    "geomean",
+    "normalized_time",
+    "simulate",
+    "__version__",
+]

@@ -1,0 +1,232 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands:
+  list                       — list the 36 benchmarks
+  run <uid> [--wcdl N] [--sb N] [--scheme turnpike|turnstile|baseline]
+                             — compile + simulate one benchmark
+  inject <uid> [--count N] [--wcdl N]
+                             — fault-injection campaign across variants
+  figure <id>                — regenerate one figure/table on the full
+                               suite (fig4, fig14, fig15, fig18, fig19,
+                               fig20, fig21, fig22, fig23, fig24, fig25,
+                               fig26, table1)
+  sensors [--clock GHZ]      — sensor-count vs WCDL table
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(_args) -> int:
+    from repro.workloads.suites import all_profiles
+
+    for prof in all_profiles():
+        print(f"{prof.uid:24s} {prof.notes}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from repro import (
+        CoreConfig,
+        InOrderCore,
+        ResilienceHardwareConfig,
+        compile_baseline,
+        compile_program,
+        execute,
+        load_workload,
+        turnpike_config,
+        turnstile_config,
+    )
+
+    workload = load_workload(args.uid)
+    if args.scheme == "baseline":
+        compiled = compile_baseline(workload.program)
+        hw = ResilienceHardwareConfig.baseline()
+    elif args.scheme == "turnstile":
+        compiled = compile_program(
+            workload.program, turnstile_config(sb_size=args.sb)
+        )
+        hw = ResilienceHardwareConfig.turnstile(wcdl=args.wcdl, sb_size=args.sb)
+    else:
+        compiled = compile_program(
+            workload.program, turnpike_config(sb_size=args.sb)
+        )
+        hw = ResilienceHardwareConfig.turnpike(wcdl=args.wcdl, sb_size=args.sb)
+
+    result = execute(compiled.program, workload.fresh_memory(), collect_trace=True)
+    stats = InOrderCore(CoreConfig(), hw).run(result.trace)
+
+    base = compile_baseline(workload.program)
+    base_run = execute(base.program, workload.fresh_memory(), collect_trace=True)
+    base_stats = InOrderCore(
+        CoreConfig(), ResilienceHardwareConfig.baseline()
+    ).run(base_run.trace)
+
+    print(f"benchmark:        {args.uid}")
+    print(f"scheme:           {args.scheme} (WCDL={args.wcdl}, SB={args.sb})")
+    print(f"instructions:     {stats.instructions}")
+    print(f"cycles:           {stats.cycles:.0f}")
+    print(f"normalized time:  {stats.cycles / base_stats.cycles:.3f}")
+    print(f"IPC:              {stats.ipc:.2f}")
+    print(f"regions:          {stats.regions} (avg {stats.dynamic_region_size:.1f} instr)")
+    print(
+        f"stores:           {stats.warfree_released} WAR-free released, "
+        f"{stats.colored_released} colored, {stats.quarantined} quarantined"
+    )
+    print(
+        f"stalls:           SB {stats.sb_stall_cycles:.0f}, "
+        f"data {stats.data_stall_cycles:.0f}, "
+        f"branch {stats.branch_stall_cycles:.0f} cycles"
+    )
+    return 0
+
+
+def _cmd_inject(args) -> int:
+    from repro import compile_program, load_workload, turnpike_config
+    from repro.faults import run_protocol_campaigns
+
+    workload = load_workload(args.uid)
+    compiled = compile_program(workload.program, turnpike_config())
+    campaigns = run_protocol_campaigns(
+        compiled,
+        workload.fresh_memory(),
+        wcdl=args.wcdl,
+        count=args.count,
+        seed=args.seed,
+    )
+    print(f"{args.count} register bit flips on {args.uid} (WCDL={args.wcdl}):")
+    for name in ("turnstile", "warfree", "turnpike", "unsafe"):
+        summary = getattr(campaigns, name).summary()
+        print(f"  {name:<10} {summary}")
+    return 0
+
+
+def _cmd_figure(args) -> int:
+    from repro.harness import experiments as exp
+    from repro.harness import reporting as rep
+
+    fid = args.id.lower()
+    if fid in ("fig4", "fig04"):
+        result = exp.fig04_checkpoint_ratio()
+        print(rep.format_series_table(
+            [result[40], result[4]], value_format="{:.3f}", aggregate="mean",
+            title="Figure 4 - checkpoint ratio vs SB size"))
+    elif fid in ("fig14", "fig15"):
+        result = exp.fig14_fig15_clq_designs()
+        key = "overhead" if fid == "fig14" else "warfree_ratio"
+        print(rep.format_series_table(
+            [result[key]["ideal"], result[key]["compact"]],
+            value_format="{:.3f}",
+            title=f"Figure {fid[3:]} - ideal vs compact CLQ"))
+    elif fid == "fig18":
+        for clock, points in exp.fig18_sensor_latency().items():
+            print(f"{clock} GHz: " + "  ".join(f"{n}->{lat:.1f}cy" for n, lat in points))
+    elif fid == "fig19":
+        result = exp.fig19_turnpike_wcdl()
+        print(rep.format_series_table(
+            [result[w] for w in sorted(result)],
+            title="Figure 19 - Turnpike overhead vs WCDL"))
+    elif fid == "fig20":
+        result = exp.fig20_turnstile_wcdl()
+        print(rep.format_series_table(
+            [result[w] for w in sorted(result)],
+            title="Figure 20 - Turnstile overhead vs WCDL"))
+    elif fid == "fig21":
+        print(rep.format_series_table(
+            exp.fig21_ablation(), title="Figure 21 - optimization ablation"))
+    elif fid == "fig22":
+        result = exp.fig22_sb_sensitivity()
+        series = [result["turnstile"][s] for s in sorted(result["turnstile"])]
+        series += [result["turnpike"][s] for s in sorted(result["turnpike"])]
+        print(rep.format_series_table(series, title="Figure 22 - SB sensitivity"))
+    elif fid == "fig23":
+        breakdown = exp.fig23_store_breakdown()
+        print(rep.format_breakdown_table(breakdown))
+        means = exp.breakdown_means(breakdown)
+        print("means:", "  ".join(f"{k}={100 * v:.1f}%" for k, v in means.items()))
+    elif fid == "fig24":
+        print(rep.format_mapping_table(
+            exp.fig24_clq_occupancy(), headers=("average", "maximum"),
+            title="Figure 24 - CLQ occupancy"))
+    elif fid == "fig25":
+        result = exp.fig25_clq_size()
+        print(rep.format_series_table(
+            [result[2], result[4]], value_format="{:.3f}",
+            title="Figure 25 - CLQ-2 vs CLQ-4"))
+    elif fid == "fig26":
+        data = exp.fig26_region_codesize()
+        print(rep.format_mapping_table(
+            {k: (v[0], 100 * v[1]) for k, v in data.items()},
+            headers=("region size", "growth %"),
+            title="Figure 26 - region size / code growth"))
+    elif fid == "table1":
+        print(rep.format_table1(exp.table1_hw_cost()))
+    else:
+        print(f"unknown figure id {args.id!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_sensors(args) -> int:
+    from repro.sensors import (
+        area_overhead_percent,
+        detection_latency_cycles,
+        sensors_for_wcdl,
+    )
+
+    print(f"{'WCDL (cycles)':>14}{'sensors':>9}{'area overhead':>15}")
+    for wcdl in (10, 15, 20, 30, 40, 50):
+        n = sensors_for_wcdl(float(wcdl), clock_ghz=args.clock)
+        print(f"{wcdl:>14}{n:>9}{area_overhead_percent(n):>14.2f}%")
+    print(
+        f"\n(300 sensors -> {detection_latency_cycles(300, args.clock):.1f} "
+        f"cycles at {args.clock} GHz)"
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Turnpike reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmarks")
+
+    run_p = sub.add_parser("run", help="compile + simulate one benchmark")
+    run_p.add_argument("uid")
+    run_p.add_argument("--wcdl", type=int, default=10)
+    run_p.add_argument("--sb", type=int, default=4)
+    run_p.add_argument(
+        "--scheme",
+        choices=("turnpike", "turnstile", "baseline"),
+        default="turnpike",
+    )
+
+    inj_p = sub.add_parser("inject", help="fault-injection campaign")
+    inj_p.add_argument("uid")
+    inj_p.add_argument("--count", type=int, default=30)
+    inj_p.add_argument("--wcdl", type=int, default=10)
+    inj_p.add_argument("--seed", type=int, default=2024)
+
+    fig_p = sub.add_parser("figure", help="regenerate a figure/table")
+    fig_p.add_argument("id")
+
+    sen_p = sub.add_parser("sensors", help="sensor sizing table")
+    sen_p.add_argument("--clock", type=float, default=2.5)
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "list": _cmd_list,
+        "run": _cmd_run,
+        "inject": _cmd_inject,
+        "figure": _cmd_figure,
+        "sensors": _cmd_sensors,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

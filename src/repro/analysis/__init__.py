@@ -1,0 +1,31 @@
+"""Compiler analyses: CFG, dominators, liveness, loops, induction, reachability."""
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dominators import DominatorTree, compute_dominators
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import Loop, LoopForest, find_loops
+from repro.analysis.induction import (
+    BasicIV,
+    MergeCandidate,
+    find_basic_ivs,
+    find_merge_candidates,
+)
+from repro.analysis.reachability import DefReachability, compute_def_reachability
+
+__all__ = [
+    "ControlFlowGraph",
+    "build_cfg",
+    "DominatorTree",
+    "compute_dominators",
+    "LivenessInfo",
+    "compute_liveness",
+    "Loop",
+    "LoopForest",
+    "find_loops",
+    "BasicIV",
+    "MergeCandidate",
+    "find_basic_ivs",
+    "find_merge_candidates",
+    "DefReachability",
+    "compute_def_reachability",
+]

@@ -1,0 +1,101 @@
+"""Control-flow graph construction over TK programs.
+
+All other analyses (dominators, liveness, loops) consume a
+:class:`ControlFlowGraph`, which is a lightweight view over a program's
+blocks; it must be rebuilt after a pass changes control flow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.isa.program import BasicBlock, Program
+
+
+class ControlFlowGraph:
+    """Successor/predecessor maps plus traversal orders for a program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.successors: dict[str, tuple[str, ...]] = {}
+        self.predecessors: dict[str, list[str]] = {b.label: [] for b in program.blocks}
+        for block in program.blocks:
+            succs = block.successors()
+            self.successors[block.label] = succs
+            for succ in succs:
+                self.predecessors[succ].append(block.label)
+        self._rpo: list[str] | None = None
+
+    @property
+    def entry(self) -> str:
+        return self.program.entry.label
+
+    def block(self, label: str) -> BasicBlock:
+        return self.program.block(label)
+
+    def succs(self, label: str) -> tuple[str, ...]:
+        return self.successors[label]
+
+    def preds(self, label: str) -> list[str]:
+        return self.predecessors[label]
+
+    # -- traversals --------------------------------------------------------
+
+    def reverse_postorder(self) -> list[str]:
+        """Blocks in reverse postorder from the entry (cached)."""
+        if self._rpo is None:
+            order: list[str] = []
+            visited: set[str] = set()
+            # Iterative DFS to avoid recursion limits on generated programs.
+            stack: list[tuple[str, Iterator[str]]] = []
+            visited.add(self.entry)
+            stack.append((self.entry, iter(self.successors[self.entry])))
+            while stack:
+                label, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in visited:
+                        visited.add(succ)
+                        stack.append((succ, iter(self.successors[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(label)
+                    stack.pop()
+            order.reverse()
+            self._rpo = order
+        return list(self._rpo)
+
+    def postorder(self) -> list[str]:
+        rpo = self.reverse_postorder()
+        return list(reversed(rpo))
+
+    def reachable_blocks(self) -> set[str]:
+        return set(self.reverse_postorder())
+
+    def unreachable_blocks(self) -> set[str]:
+        return {b.label for b in self.program.blocks} - self.reachable_blocks()
+
+    # -- edge queries ------------------------------------------------------
+
+    def edges(self) -> list[tuple[str, str]]:
+        out: list[tuple[str, str]] = []
+        for src, succs in self.successors.items():
+            for dst in succs:
+                out.append((src, dst))
+        return out
+
+    def is_back_edge(self, src: str, dst: str, dominators: dict[str, set[str]]) -> bool:
+        """True if ``src -> dst`` is a back edge (dst dominates src)."""
+        return dst in dominators.get(src, set())
+
+    def __repr__(self) -> str:
+        return (
+            f"ControlFlowGraph({self.program.name!r}, "
+            f"{len(self.successors)} blocks, {len(self.edges())} edges)"
+        )
+
+
+def build_cfg(program: Program) -> ControlFlowGraph:
+    """Construct a fresh CFG for ``program``."""
+    return ControlFlowGraph(program)

@@ -1,0 +1,86 @@
+"""Dominator analysis (Cooper-Harvey-Kennedy iterative algorithm).
+
+Loop detection and checkpoint sinking both need dominators: a back edge
+``t -> h`` exists iff ``h`` dominates ``t``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ControlFlowGraph
+
+
+class DominatorTree:
+    """Immediate-dominator tree plus dominance queries."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.idom: dict[str, str | None] = {}
+        self._dom_sets: dict[str, set[str]] | None = None
+        self._compute()
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        index = {label: i for i, label in enumerate(rpo)}
+        entry = self.cfg.entry
+        idom: dict[str, str | None] = {label: None for label in rpo}
+        idom[entry] = entry
+
+        def intersect(a: str, b: str) -> str:
+            while a != b:
+                while index[a] > index[b]:
+                    a = idom[a]  # type: ignore[assignment]
+                while index[b] > index[a]:
+                    b = idom[b]  # type: ignore[assignment]
+            return a
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                if label == entry:
+                    continue
+                new_idom: str | None = None
+                for pred in self.cfg.preds(label):
+                    if pred not in index:
+                        continue  # unreachable predecessor
+                    if idom[pred] is None:
+                        continue
+                    if new_idom is None:
+                        new_idom = pred
+                    else:
+                        new_idom = intersect(pred, new_idom)
+                if new_idom is not None and idom[label] != new_idom:
+                    idom[label] = new_idom
+                    changed = True
+        idom[entry] = None  # entry has no immediate dominator
+        self.idom = idom
+
+    def dominates(self, a: str, b: str) -> bool:
+        """True iff block ``a`` dominates block ``b`` (reflexive)."""
+        node: str | None = b
+        while node is not None:
+            if node == a:
+                return True
+            node = self.idom.get(node)
+        return False
+
+    def dominator_sets(self) -> dict[str, set[str]]:
+        """Full dominator sets; computed lazily from the idom tree."""
+        if self._dom_sets is None:
+            sets: dict[str, set[str]] = {}
+            for label in self.cfg.reverse_postorder():
+                doms = {label}
+                node = self.idom.get(label)
+                while node is not None:
+                    doms.add(node)
+                    node = self.idom.get(node)
+                sets[label] = doms
+            self._dom_sets = sets
+        return self._dom_sets
+
+    def children(self, label: str) -> list[str]:
+        return [b for b, d in self.idom.items() if d == label and b != label]
+
+
+def compute_dominators(cfg: ControlFlowGraph) -> DominatorTree:
+    return DominatorTree(cfg)

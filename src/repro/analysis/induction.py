@@ -1,0 +1,157 @@
+"""Induction-variable analysis for loop induction variable merging (LIVM).
+
+The Turnpike paper distinguishes *basic* induction variables (registers
+updated once per iteration by a loop-invariant step, e.g. ``i = i + 1``)
+from *induced* induction variables (linear functions of a basic IV).
+Strength reduction turns induced IVs into extra basic IVs, creating
+loop-carried dependences that force extra checkpoints; LIVM detects when
+one basic IV is a linear function of another so it can be merged back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.loops import Loop
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg
+
+
+@dataclass
+class BasicIV:
+    """A basic induction variable of a loop.
+
+    The register is updated exactly once in the loop body by
+    ``reg = reg + step`` (ADDI or ADD with a loop-invariant register we
+    could not fold; only constant steps qualify for merging), and
+    initialised by a unique reaching definition before the loop.
+
+    Attributes:
+        reg: the induction register.
+        step: per-iteration increment (constant).
+        update: the updating instruction inside the loop.
+        init_value: constant initial value if known, else None.
+        init_instr: the pre-loop initialising instruction if unique.
+    """
+
+    reg: Reg
+    step: int
+    update: Instruction
+    init_value: int | None
+    init_instr: Instruction | None
+
+
+def _defs_in_loop(cfg: ControlFlowGraph, loop: Loop) -> dict[Reg, list[Instruction]]:
+    defs: dict[Reg, list[Instruction]] = {}
+    for label in loop.body:
+        for instr in cfg.block(label).instructions:
+            if instr.dest is not None:
+                defs.setdefault(instr.dest, []).append(instr)
+    return defs
+
+
+def _unique_init_before(
+    cfg: ControlFlowGraph, loop: Loop, reg: Reg
+) -> Instruction | None:
+    """Find a unique pre-loop definition of ``reg`` if there is exactly one.
+
+    A conservative scan: look at all blocks outside the loop; if exactly
+    one instruction defines ``reg``, treat it as the initialiser.
+    """
+    found: Instruction | None = None
+    for block in cfg.program.blocks:
+        if block.label in loop.body:
+            continue
+        for instr in block.instructions:
+            if instr.dest == reg:
+                if found is not None:
+                    return None
+                found = instr
+    return found
+
+
+def find_basic_ivs(cfg: ControlFlowGraph, loop: Loop) -> list[BasicIV]:
+    """Detect basic induction variables with constant steps in ``loop``."""
+    defs = _defs_in_loop(cfg, loop)
+    ivs: list[BasicIV] = []
+    for reg, instrs in defs.items():
+        if len(instrs) != 1:
+            continue
+        update = instrs[0]
+        step: int | None = None
+        if update.op is Opcode.ADDI and update.srcs == (reg,):
+            step = update.imm
+        if step is None or step == 0:
+            continue
+        init_instr = _unique_init_before(cfg, loop, reg)
+        init_value: int | None = None
+        if init_instr is not None and init_instr.op is Opcode.LI:
+            init_value = init_instr.imm
+        ivs.append(
+            BasicIV(
+                reg=reg,
+                step=step,
+                update=update,
+                init_value=init_value,
+                init_instr=init_instr,
+            )
+        )
+    return ivs
+
+
+@dataclass
+class MergeCandidate:
+    """A pair of basic IVs where ``dependent`` = scale * ``anchor`` + offset.
+
+    LIVM can delete ``dependent``'s loop update and rematerialise its uses
+    from ``anchor`` inside the loop, removing the loop-carried dependence
+    (and hence the per-iteration checkpoint) of ``dependent``.
+    """
+
+    anchor: BasicIV
+    dependent: BasicIV
+    scale: int
+    offset: int
+
+
+def find_merge_candidates(ivs: list[BasicIV]) -> list[MergeCandidate]:
+    """Pair up basic IVs whose linear relationship is provable.
+
+    ``dependent = scale * anchor + offset`` holds for every iteration iff
+    it holds initially and ``dependent.step == scale * anchor.step``.
+    Both IVs need known constant initial values for the initial condition
+    to be provable; scale must be a nonzero integer.
+    """
+    candidates: list[MergeCandidate] = []
+    for anchor in ivs:
+        for dependent in ivs:
+            if anchor is dependent:
+                continue
+            if anchor.init_value is None or dependent.init_value is None:
+                continue
+            if anchor.step == 0 or dependent.step % anchor.step != 0:
+                continue
+            scale = dependent.step // anchor.step
+            if scale == 0:
+                continue
+            offset = dependent.init_value - scale * anchor.init_value
+            candidates.append(
+                MergeCandidate(
+                    anchor=anchor, dependent=dependent, scale=scale, offset=offset
+                )
+            )
+    # Prefer same-step pairs (scale 1): their uses rematerialise with a
+    # single ADDI. Then prefer power-of-two scales (SHLI) over general
+    # multiplies, and small anchor steps as the final tiebreak.
+    def cost(c: MergeCandidate) -> tuple:
+        if c.scale == 1:
+            remat = 0
+        elif c.scale > 0 and (c.scale & (c.scale - 1)) == 0:
+            remat = 1
+        else:
+            remat = 2
+        return (remat, abs(c.anchor.step), c.anchor.reg.index, c.dependent.reg.index)
+
+    candidates.sort(key=cost)
+    return candidates

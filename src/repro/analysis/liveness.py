@@ -1,0 +1,83 @@
+"""Backward liveness dataflow over registers.
+
+Eager checkpointing, checkpoint pruning, and the register allocator all
+consume liveness. The analysis exposes both block-level live-in/live-out
+sets and a per-instruction iterator (live set *after* each instruction),
+computed on demand.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Reg
+
+
+class LivenessInfo:
+    """Live-in/live-out register sets per basic block."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.live_in: dict[str, set[Reg]] = {}
+        self.live_out: dict[str, set[Reg]] = {}
+        self._use: dict[str, set[Reg]] = {}
+        self._def: dict[str, set[Reg]] = {}
+        self._compute()
+
+    def _compute(self) -> None:
+        cfg = self.cfg
+        labels = cfg.reverse_postorder()
+        for label in labels:
+            block = cfg.block(label)
+            uses: set[Reg] = set()
+            defs: set[Reg] = set()
+            for instr in block.instructions:
+                for src in instr.srcs:
+                    if src not in defs:
+                        uses.add(src)
+                if instr.dest is not None:
+                    defs.add(instr.dest)
+            self._use[label] = uses
+            self._def[label] = defs
+            self.live_in[label] = set()
+            self.live_out[label] = set()
+
+        # Iterate to fixpoint in postorder (fast for reducible CFGs).
+        order = cfg.postorder()
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                out: set[Reg] = set()
+                for succ in cfg.succs(label):
+                    out |= self.live_in.get(succ, set())
+                new_in = self._use[label] | (out - self._def[label])
+                if out != self.live_out[label]:
+                    self.live_out[label] = out
+                    changed = True
+                if new_in != self.live_in[label]:
+                    self.live_in[label] = new_in
+                    changed = True
+
+    def live_after(self, label: str) -> list[tuple[Instruction, set[Reg]]]:
+        """Per-instruction live sets for one block.
+
+        Returns ``[(instr, live_set_after_instr), ...]`` in program order.
+        """
+        block = self.cfg.block(label)
+        live = set(self.live_out[label])
+        result: list[tuple[Instruction, set[Reg]]] = []
+        for instr in reversed(block.instructions):
+            result.append((instr, set(live)))
+            if instr.dest is not None:
+                live.discard(instr.dest)
+            live.update(instr.srcs)
+        result.reverse()
+        return result
+
+    def live_before_block(self, label: str) -> set[Reg]:
+        return set(self.live_in[label])
+
+
+def compute_liveness(cfg: ControlFlowGraph) -> LivenessInfo:
+    return LivenessInfo(cfg)

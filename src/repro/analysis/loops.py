@@ -1,0 +1,112 @@
+"""Natural-loop detection.
+
+Loop structure drives region partitioning (boundaries at loop headers),
+LICM checkpoint sinking, and loop induction variable merging.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.analysis.dominators import DominatorTree
+
+
+@dataclass
+class Loop:
+    """A natural loop: header block + body block set.
+
+    Attributes:
+        header: the loop header label (target of the back edges).
+        body: all blocks in the loop, including the header.
+        back_edges: the ``(tail, header)`` edges defining the loop.
+        exits: blocks *outside* the loop that are successors of loop blocks.
+        parent: enclosing loop header label, if nested.
+    """
+
+    header: str
+    body: set[str] = field(default_factory=set)
+    back_edges: list[tuple[str, str]] = field(default_factory=list)
+    exits: set[str] = field(default_factory=set)
+    parent: str | None = None
+
+    @property
+    def depth_key(self) -> int:
+        return len(self.body)
+
+    def contains(self, label: str) -> bool:
+        return label in self.body
+
+
+class LoopForest:
+    """All natural loops of a program, with nesting information."""
+
+    def __init__(self, cfg: ControlFlowGraph, dom: DominatorTree):
+        self.cfg = cfg
+        self.dom = dom
+        self.loops: dict[str, Loop] = {}
+        self._discover()
+        self._compute_exits()
+        self._compute_nesting()
+
+    def _discover(self) -> None:
+        reachable = self.cfg.reachable_blocks()
+        for src, dst in self.cfg.edges():
+            if src not in reachable or dst not in reachable:
+                continue
+            if not self.dom.dominates(dst, src):
+                continue
+            loop = self.loops.setdefault(dst, Loop(header=dst, body={dst}))
+            loop.back_edges.append((src, dst))
+            # Walk predecessors backwards from the back-edge tail.
+            stack = [src]
+            while stack:
+                label = stack.pop()
+                if label in loop.body:
+                    continue
+                loop.body.add(label)
+                for pred in self.cfg.preds(label):
+                    if pred in reachable and pred not in loop.body:
+                        stack.append(pred)
+
+    def _compute_exits(self) -> None:
+        for loop in self.loops.values():
+            for label in loop.body:
+                for succ in self.cfg.succs(label):
+                    if succ not in loop.body:
+                        loop.exits.add(succ)
+
+    def _compute_nesting(self) -> None:
+        # A loop's parent is the smallest other loop strictly containing its header.
+        for header, loop in self.loops.items():
+            best: Loop | None = None
+            for other_header, other in self.loops.items():
+                if other_header == header:
+                    continue
+                if header in other.body and loop.body < other.body | {header}:
+                    if best is None or len(other.body) < len(best.body):
+                        best = other
+            loop.parent = best.header if best is not None else None
+
+    # -- queries ----------------------------------------------------------
+
+    @property
+    def headers(self) -> set[str]:
+        return set(self.loops.keys())
+
+    def innermost_loop_of(self, label: str) -> Loop | None:
+        """Smallest loop containing ``label``, or None."""
+        best: Loop | None = None
+        for loop in self.loops.values():
+            if label in loop.body:
+                if best is None or len(loop.body) < len(best.body):
+                    best = loop
+        return best
+
+    def loop_depth(self, label: str) -> int:
+        """Nesting depth of a block (0 = not in any loop)."""
+        return sum(1 for loop in self.loops.values() if label in loop.body)
+
+
+def find_loops(cfg: ControlFlowGraph, dom: DominatorTree) -> LoopForest:
+    return LoopForest(cfg, dom)

@@ -1,0 +1,63 @@
+"""Forward reachability between program points.
+
+Checkpoint pruning needs a conservative answer to: "starting *after*
+instruction X, can control reach a definition of register R?" If not,
+R's value at X persists for the rest of the execution whenever X runs
+last, so a pruned checkpoint may be reconstructed from R.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import ControlFlowGraph
+from repro.isa.registers import Reg
+
+
+class DefReachability:
+    """Answers "is any def of reg reachable from a given point" queries."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        # Blocks (transitively) reachable from each block, *including* self
+        # via cycles. Program sizes here are small (hundreds of blocks), so
+        # a per-block BFS is fine and keeps the code obvious.
+        self._reach: dict[str, set[str]] = {}
+        for label in cfg.reverse_postorder():
+            seen: set[str] = set()
+            stack = list(cfg.succs(label))
+            while stack:
+                cur = stack.pop()
+                if cur in seen:
+                    continue
+                seen.add(cur)
+                stack.extend(cfg.succs(cur))
+            self._reach[label] = seen
+        # Registers defined per block.
+        self._defs_in_block: dict[str, set[Reg]] = {}
+        for block in cfg.program.blocks:
+            defs = {i.dest for i in block.instructions if i.dest is not None}
+            self._defs_in_block[block.label] = defs  # type: ignore[assignment]
+
+    def blocks_reachable_from(self, label: str) -> set[str]:
+        """Blocks reachable from the *end* of ``label`` (may include itself)."""
+        return set(self._reach.get(label, set()))
+
+    def def_reachable_after(self, label: str, position: int, reg: Reg) -> bool:
+        """Is a definition of ``reg`` reachable strictly after the given point?
+
+        ``position`` is the index of an instruction within block ``label``;
+        the query considers the remainder of that block plus everything
+        transitively reachable (including the block itself if it is in a
+        cycle).
+        """
+        block = self.cfg.block(label)
+        for instr in block.instructions[position + 1 :]:
+            if instr.dest == reg:
+                return True
+        for succ_label in self._reach.get(label, set()):
+            if reg in self._defs_in_block.get(succ_label, set()):
+                return True
+        return False
+
+
+def compute_def_reachability(cfg: ControlFlowGraph) -> DefReachability:
+    return DefReachability(cfg)

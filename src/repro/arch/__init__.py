@@ -1,0 +1,47 @@
+"""Microarchitecture: in-order timing core and Turnpike hardware models."""
+
+from repro.arch.config import (
+    CacheConfig,
+    CoreConfig,
+    DEFAULT_CORE,
+    ResilienceHardwareConfig,
+)
+from repro.arch.core import InOrderCore, simulate_trace
+from repro.arch.stats import SimStats, slowdown
+from repro.arch.clq import BaseCLQ, CLQStats, CompactCLQ, IdealCLQ, make_clq
+from repro.arch.coloring import QUARANTINE, ColorMaps, ColoringStats
+from repro.arch.rbb import RegionBoundaryBuffer, RegionInstance
+from repro.arch.store_buffer import (
+    FunctionalStoreBuffer,
+    SBEntry,
+    TimingStoreBuffer,
+)
+from repro.arch.cache import Cache, MemoryHierarchy
+from repro.arch.branch import BimodalPredictor
+
+__all__ = [
+    "CacheConfig",
+    "CoreConfig",
+    "DEFAULT_CORE",
+    "ResilienceHardwareConfig",
+    "InOrderCore",
+    "simulate_trace",
+    "SimStats",
+    "slowdown",
+    "BaseCLQ",
+    "CLQStats",
+    "CompactCLQ",
+    "IdealCLQ",
+    "make_clq",
+    "QUARANTINE",
+    "ColorMaps",
+    "ColoringStats",
+    "RegionBoundaryBuffer",
+    "RegionInstance",
+    "FunctionalStoreBuffer",
+    "SBEntry",
+    "TimingStoreBuffer",
+    "Cache",
+    "MemoryHierarchy",
+    "BimodalPredictor",
+]

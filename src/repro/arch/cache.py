@@ -1,0 +1,87 @@
+"""Set-associative cache hierarchy (data side) with LRU replacement.
+
+The timing core asks one question per memory access: how many cycles does
+this address cost? The hierarchy simulates L1D -> L2 -> memory with true
+LRU inside each set, which is what differentiates streaming workloads
+(lbm, bwaves) from pointer chasers (mcf) in the figures.
+"""
+
+from __future__ import annotations
+
+from repro.arch.config import CacheConfig
+
+
+class Cache:
+    """One level of set-associative cache with LRU replacement."""
+
+    def __init__(self, config: CacheConfig):
+        self.config = config
+        if config.size_bytes % (config.ways * config.line_bytes) != 0:
+            raise ValueError("cache size must divide into ways x line size")
+        self.num_sets = config.size_bytes // (config.ways * config.line_bytes)
+        self._line_shift = config.line_bytes.bit_length() - 1
+        if (1 << self._line_shift) != config.line_bytes:
+            raise ValueError("line size must be a power of two")
+        # Per-set list of tags in LRU order (front = most recent).
+        self._sets: list[list[int]] = [[] for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, addr: int) -> bool:
+        """Access a line; returns True on hit. Misses allocate (fetch)."""
+        line = addr >> self._line_shift
+        index = line % self.num_sets
+        tag = line // self.num_sets
+        tags = self._sets[index]
+        if tag in tags:
+            if tags[0] != tag:
+                tags.remove(tag)
+                tags.insert(0, tag)
+            self.hits += 1
+            return True
+        self.misses += 1
+        tags.insert(0, tag)
+        if len(tags) > self.config.ways:
+            tags.pop()
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
+class MemoryHierarchy:
+    """L1D + unified L2 + main memory, returning access latencies."""
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig, memory_latency: int):
+        self.l1 = Cache(l1)
+        self.l2 = Cache(l2)
+        self.memory_latency = memory_latency
+
+    def load_latency(self, addr: int) -> int:
+        if self.l1.access(addr):
+            return self.l1.config.hit_latency
+        if self.l2.access(addr):
+            return self.l1.config.hit_latency + self.l2.config.hit_latency
+        return (
+            self.l1.config.hit_latency
+            + self.l2.config.hit_latency
+            + self.memory_latency
+        )
+
+    def store_touch(self, addr: int) -> None:
+        """Stores allocate on their way out; latency is absorbed by the SB."""
+        if not self.l1.access(addr):
+            self.l2.access(addr)
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "l1_hits": self.l1.hits,
+            "l1_misses": self.l1.misses,
+            "l2_hits": self.l2.hits,
+            "l2_misses": self.l2.misses,
+        }

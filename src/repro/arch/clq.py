@@ -1,0 +1,212 @@
+"""Committed load queue (CLQ) designs for WAR-free store detection.
+
+Section 4.3.1: a regular store may bypass verification (fast release to
+cache) when no earlier load of the *same region* read the store's address
+— re-executing the region after an error then never observes the
+possibly-corrupt stored value.
+
+Two designs from the paper:
+
+* :class:`IdealCLQ` — address matching with unbounded entries per region;
+  100%-accurate WAR detection, used as the upper bound in Figures 14/15.
+* :class:`CompactCLQ` — one ``[min, max]`` address-range entry per
+  in-flight region, with a small fixed number of entries (default 2).
+  Overflow disables fast release for the overflowing region (Figure 13's
+  selective control) rather than stalling the pipeline.
+
+Both track dynamic *region instances* (an instance id increments at every
+boundary commit), because a static region re-executes each loop
+iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CLQStats:
+    loads_inserted: int = 0
+    war_checks: int = 0
+    war_conflicts: int = 0
+    overflows: int = 0
+    occupancy_samples: int = 0
+    occupancy_sum: int = 0
+    occupancy_max: int = 0
+
+    def sample_occupancy(self, occupancy: int) -> None:
+        self.occupancy_samples += 1
+        self.occupancy_sum += occupancy
+        if occupancy > self.occupancy_max:
+            self.occupancy_max = occupancy
+
+    @property
+    def occupancy_avg(self) -> float:
+        if not self.occupancy_samples:
+            return 0.0
+        return self.occupancy_sum / self.occupancy_samples
+
+
+class BaseCLQ:
+    """Common interface: per-region-instance load tracking + WAR queries."""
+
+    def __init__(self) -> None:
+        self.stats = CLQStats()
+
+    def begin_region(self, instance: int, prior_verified: bool = True) -> None:
+        """Start tracking a region instance.
+
+        ``prior_verified`` tells the CLQ whether every earlier region has
+        already verified (its stores drained): after an overflow wiped the
+        queue, insertions only resume at a region start that satisfies
+        this, preserving in-order release to L1 (Figure 13).
+        """
+        raise NotImplementedError
+
+    def record_load(self, instance: int, addr: int) -> None:
+        raise NotImplementedError
+
+    def store_has_war(self, instance: int, addr: int) -> bool:
+        """True if the store conflicts (or the region's tracking is invalid)."""
+        raise NotImplementedError
+
+    def retire_region(self, instance: int) -> None:
+        """Region instance verified: drop its entry."""
+        raise NotImplementedError
+
+    def discard(self, instances: list[int]) -> None:
+        """Recovery: drop entries of the given (unverified) instances."""
+        for instance in instances:
+            self.retire_region(instance)
+
+
+class IdealCLQ(BaseCLQ):
+    """Unbounded, address-matching CLQ (the paper's ideal design)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._loads: dict[int, set[int]] = {}
+
+    def begin_region(self, instance: int, prior_verified: bool = True) -> None:
+        self._loads[instance] = set()
+
+    def record_load(self, instance: int, addr: int) -> None:
+        entry = self._loads.get(instance)
+        if entry is None:
+            entry = self._loads[instance] = set()
+        entry.add(addr)
+        self.stats.loads_inserted += 1
+        self.stats.sample_occupancy(len(self._loads))
+
+    def store_has_war(self, instance: int, addr: int) -> bool:
+        self.stats.war_checks += 1
+        loads = self._loads.get(instance)
+        # An untracked instance has no WAR information: be conservative.
+        conflict = True if loads is None else addr in loads
+        if conflict:
+            self.stats.war_conflicts += 1
+        return conflict
+
+    def retire_region(self, instance: int) -> None:
+        self._loads.pop(instance, None)
+
+
+@dataclass
+class _RangeEntry:
+    instance: int
+    lo: int = -1
+    hi: int = -1
+    populated: bool = False
+
+    def insert(self, addr: int) -> None:
+        if not self.populated:
+            self.lo = self.hi = addr
+            self.populated = True
+        else:
+            if addr < self.lo:
+                self.lo = addr
+            if addr > self.hi:
+                self.hi = addr
+
+    def contains(self, addr: int) -> bool:
+        return self.populated and self.lo <= addr <= self.hi
+
+
+class CompactCLQ(BaseCLQ):
+    """Range-checking CLQ with a fixed number of per-region entries.
+
+    When a new region instance starts and no entry is free, the instance
+    is marked *invalid*: its loads are not tracked and every one of its
+    stores reports a WAR conflict (conservative quarantine), matching the
+    paper's overflow behaviour of disabling fast release rather than
+    stalling.
+    """
+
+    def __init__(self, size: int = 2, recycle: bool = True) -> None:
+        super().__init__()
+        if size < 1:
+            raise ValueError("CLQ size must be >= 1")
+        self.size = size
+        self.recycle = recycle
+        self._entries: dict[int, _RangeEntry] = {}
+        self._disabled = False
+
+    def begin_region(self, instance: int, prior_verified: bool = True) -> None:
+        if self._disabled:
+            if not prior_verified:
+                return  # stay disabled: no tracking for this instance
+            self._disabled = False
+            self._entries.clear()
+        if len(self._entries) >= self.size:
+            self.stats.overflows += 1
+            if self.recycle:
+                # Only the *open* region's stores ever query its entry —
+                # entries of already-closed regions have no correctness
+                # role left, so the oldest one is recycled for the new
+                # region. (Every resident entry belongs to a closed region
+                # here: exactly one region is open at a time, and it is
+                # the one being created.)
+                oldest = min(self._entries)
+                del self._entries[oldest]
+            else:
+                # Paper-literal Figure 13 policy: wipe the queue, block
+                # insertions, and only resume at a region start once the
+                # prior region has verified (in-order release restored).
+                self._entries.clear()
+                self._disabled = True
+                return
+        self._entries[instance] = _RangeEntry(instance=instance)
+
+    def record_load(self, instance: int, addr: int) -> None:
+        entry = self._entries.get(instance)
+        if entry is None:
+            return  # instance untracked (overflow) — insertions blocked
+        entry.insert(addr)
+        self.stats.loads_inserted += 1
+        self.stats.sample_occupancy(
+            sum(1 for e in self._entries.values() if e.populated)
+        )
+
+    def store_has_war(self, instance: int, addr: int) -> bool:
+        self.stats.war_checks += 1
+        entry = self._entries.get(instance)
+        if entry is None:
+            # Untracked region: no WAR information, quarantine everything.
+            self.stats.war_conflicts += 1
+            return True
+        conflict = entry.contains(addr)
+        if conflict:
+            self.stats.war_conflicts += 1
+        return conflict
+
+    def retire_region(self, instance: int) -> None:
+        self._entries.pop(instance, None)
+
+
+def make_clq(kind: str, size: int = 2, recycle: bool = True) -> BaseCLQ:
+    """Factory: ``kind`` is ``"ideal"`` or ``"compact"``."""
+    if kind == "ideal":
+        return IdealCLQ()
+    if kind == "compact":
+        return CompactCLQ(size=size, recycle=recycle)
+    raise ValueError(f"unknown CLQ kind {kind!r}")

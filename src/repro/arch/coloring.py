@@ -1,0 +1,122 @@
+"""Hardware coloring for fast release of checkpoint stores (Sec 4.3.2).
+
+Releasing a checkpoint store without verification would overwrite the
+only recovery copy of a register (the paper's Figure 16 corner case), so
+Turnpike rotates each register's checkpoint through a small pool of
+alternative storage locations ("colors"). Three per-register maps manage
+the rotation:
+
+* **AC** (available colors) — free locations for the next checkpoint;
+* **UC** (used colors) — the location each in-flight region assigned,
+  kept per region instance as part of its RBB entry;
+* **VC** (verified color) — the location holding the last *verified*
+  checkpoint, which recovery reads.
+
+On region verification, each (register, color) pair in the region's UC
+replaces the register's VC entry; the displaced VC color returns to AC.
+If AC is empty when a checkpoint commits, the hardware falls back to the
+ordinary store-buffer quarantine, represented here by the pseudo-color
+``QUARANTINE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+QUARANTINE = -1  # pseudo-color for checkpoints routed through the SB
+
+
+@dataclass
+class ColoringStats:
+    fast_released: int = 0
+    fallback_quarantined: int = 0
+
+
+class ColorMaps:
+    """AC/UC/VC management for one core."""
+
+    def __init__(self, num_registers: int = 32, num_colors: int = 4) -> None:
+        if num_colors < 1:
+            raise ValueError("need at least one color")
+        self.num_colors = num_colors
+        self.num_registers = num_registers
+        # AC as per-register free lists; registers indexed by number.
+        self._ac: dict[int, list[int]] = {}
+        # UC: region instance -> {reg: color} (color may be QUARANTINE).
+        self._uc: dict[int, dict[int, int]] = {}
+        # VC: reg -> color of the latest verified checkpoint.
+        self._vc: dict[int, int] = {}
+        self.stats = ColoringStats()
+
+    def _free_list(self, reg: int) -> list[int]:
+        colors = self._ac.get(reg)
+        if colors is None:
+            colors = self._ac[reg] = list(range(self.num_colors))
+        return colors
+
+    # -- checkpoint commit --------------------------------------------------
+
+    def assign(self, instance: int, reg: int) -> int:
+        """Assign a color for a checkpoint of ``reg`` in region ``instance``.
+
+        Returns the color, or ``QUARANTINE`` when the pool is exhausted
+        (caller must route the checkpoint through the store buffer).
+        A region that checkpoints the same register twice reuses its
+        color — only the last value matters and it overwrites in place
+        before verification ever exposes it.
+        """
+        uc = self._uc.setdefault(instance, {})
+        existing = uc.get(reg)
+        if existing is not None:
+            return existing
+        free = self._free_list(reg)
+        if free:
+            color = free.pop()
+            uc[reg] = color
+            self.stats.fast_released += 1
+            return color
+        uc[reg] = QUARANTINE
+        self.stats.fallback_quarantined += 1
+        return QUARANTINE
+
+    # -- region lifecycle ------------------------------------------------------
+
+    def verify(self, instance: int) -> dict[int, int]:
+        """Region verified: promote its UC entries into VC.
+
+        Returns the promoted ``{reg: color}`` map (including quarantined
+        entries, whose storage merge is handled by the store buffer).
+        """
+        uc = self._uc.pop(instance, {})
+        for reg, color in uc.items():
+            old = self._vc.get(reg)
+            if old is not None and old != QUARANTINE:
+                self._free_list(reg).append(old)
+            self._vc[reg] = color
+        return uc
+
+    def discard(self, instances: list[int]) -> None:
+        """Recovery: reclaim colors held by unverified region instances."""
+        for instance in instances:
+            uc = self._uc.pop(instance, {})
+            for reg, color in uc.items():
+                if color != QUARANTINE:
+                    self._free_list(reg).append(color)
+
+    # -- queries --------------------------------------------------------------
+
+    def verified_color(self, reg: int) -> int | None:
+        return self._vc.get(reg)
+
+    def available(self, reg: int) -> int:
+        return len(self._free_list(reg))
+
+    def in_flight(self) -> int:
+        return len(self._uc)
+
+    @property
+    def storage_bits(self) -> int:
+        """Bits per register across the three maps (paper: 3*log2(colors))."""
+        import math
+
+        return 3 * max(1, math.ceil(math.log2(self.num_colors)))

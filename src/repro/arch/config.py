@@ -1,0 +1,101 @@
+"""Microarchitecture configuration, modelled on the paper's gem5 setup.
+
+The paper simulates a 2-issue in-order dual-core at 2.5 GHz resembling an
+ARM Cortex-A53: 32 KB / 64 KB 2-way L1 I/D caches (2-cycle hit), a
+unified 128 KB 16-way L2 (20-cycle hit), a 4-entry store buffer, 2-entry
+CLQ and 10-cycle default WCDL. We model one core (the mechanism is
+per-core) and the data side of the hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level."""
+
+    size_bytes: int
+    ways: int
+    line_bytes: int
+    hit_latency: int
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """The in-order core and memory hierarchy."""
+
+    issue_width: int = 2
+    mispredict_penalty: int = 3
+    alu_latency: int = 1
+    mul_latency: int = 3
+    div_latency: int = 12
+    store_commit_latency: int = 1
+    # L1 hit latency models the load-to-use delay (3 cycles on Cortex-A53;
+    # the paper quotes 2 cycles cache access + 1 cycle alignment/forward).
+    l1d: CacheConfig = CacheConfig(
+        size_bytes=64 * 1024, ways=2, line_bytes=64, hit_latency=3
+    )
+    l2: CacheConfig = CacheConfig(
+        size_bytes=128 * 1024, ways=16, line_bytes=64, hit_latency=20
+    )
+    memory_latency: int = 80
+    # Baseline (non-gated) store buffer drain: cycles from commit until an
+    # entry is written to L1 and its slot frees.
+    baseline_drain_latency: int = 2
+
+    def with_(self, **kwargs) -> "CoreConfig":
+        return replace(self, **kwargs)
+
+
+@dataclass(frozen=True)
+class ResilienceHardwareConfig:
+    """Turnstile/Turnpike hardware parameters for the timing core."""
+
+    enabled: bool = True
+    wcdl: int = 10
+    sb_size: int = 4
+    clq_enabled: bool = True
+    clq_kind: str = "compact"  # "compact" | "ideal"
+    clq_size: int = 2
+    # Overflow policy for the compact CLQ: recycle the oldest closed
+    # region's entry (default) or the paper-literal wipe-and-disable
+    # (Figure 13). The ablation bench compares the two.
+    clq_recycling: bool = True
+    coloring_enabled: bool = True
+    num_colors: int = 4
+
+    @staticmethod
+    def baseline() -> "ResilienceHardwareConfig":
+        return ResilienceHardwareConfig(enabled=False)
+
+    @staticmethod
+    def turnstile(wcdl: int = 10, sb_size: int = 4) -> "ResilienceHardwareConfig":
+        return ResilienceHardwareConfig(
+            enabled=True,
+            wcdl=wcdl,
+            sb_size=sb_size,
+            clq_enabled=False,
+            coloring_enabled=False,
+        )
+
+    @staticmethod
+    def turnpike(
+        wcdl: int = 10,
+        sb_size: int = 4,
+        clq_kind: str = "compact",
+        clq_size: int = 2,
+    ) -> "ResilienceHardwareConfig":
+        return ResilienceHardwareConfig(
+            enabled=True,
+            wcdl=wcdl,
+            sb_size=sb_size,
+            clq_enabled=True,
+            clq_kind=clq_kind,
+            clq_size=clq_size,
+            coloring_enabled=True,
+        )
+
+
+DEFAULT_CORE = CoreConfig()

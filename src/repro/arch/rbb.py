@@ -1,0 +1,110 @@
+"""Region boundary buffer (RBB): region-instance lifecycle tracking.
+
+Every boundary commit closes the current *region instance* and opens the
+next one. An instance is "unverified" from its end until WCDL has elapsed
+with no sensor detection; the RBB tracks the queue of unverified
+instances, their verification deadlines, and the recovery PC (the
+boundary that opened the earliest unverified instance — where execution
+restarts on an error).
+
+Both the functional resilient machine (time = committed instructions) and
+the timing core (time = cycles) drive this structure with their own
+clocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+
+@dataclass
+class RegionInstance:
+    """One dynamic execution of a static region."""
+
+    instance: int  # globally unique, monotonically increasing
+    region_id: int  # static region (indexes the recovery map)
+    start_time: float
+    end_time: float | None = None
+
+    def verify_time(self, wcdl: float) -> float:
+        if self.end_time is None:
+            return float("inf")
+        return self.end_time + wcdl
+
+
+@dataclass
+class RBBStats:
+    instances_opened: int = 0
+    instances_verified: int = 0
+    max_unverified: int = 0
+
+
+class RegionBoundaryBuffer:
+    """Tracks the open region instance plus the unverified queue."""
+
+    def __init__(self, wcdl: float) -> None:
+        self.wcdl = wcdl
+        self.current: RegionInstance | None = None
+        self.unverified: deque[RegionInstance] = deque()
+        self.stats = RBBStats()
+        self._next_instance = 0
+
+    def open_region(self, region_id: int, now: float) -> RegionInstance:
+        """Boundary commit: close the current instance, open the next."""
+        if self.current is not None:
+            self.current.end_time = now
+            self.unverified.append(self.current)
+            if len(self.unverified) > self.stats.max_unverified:
+                self.stats.max_unverified = len(self.unverified)
+        inst = RegionInstance(
+            instance=self._next_instance, region_id=region_id, start_time=now
+        )
+        self._next_instance += 1
+        self.current = inst
+        self.stats.instances_opened += 1
+        return inst
+
+    def close_final(self, now: float) -> None:
+        """Program end: close the open instance so it can verify."""
+        if self.current is not None:
+            self.current.end_time = now
+            self.unverified.append(self.current)
+            self.current = None
+
+    def due_verifications(self, now: float, before: float = float("inf")):
+        """Pop instances whose verification deadline has passed.
+
+        Only instances with ``verify_time <= now`` *and* strictly earlier
+        than ``before`` (a pending detection timestamp) are verified — a
+        detection at or before the deadline vetoes verification.
+        """
+        out: list[RegionInstance] = []
+        while self.unverified:
+            head = self.unverified[0]
+            deadline = head.verify_time(self.wcdl)
+            if deadline <= now and deadline < before:
+                out.append(self.unverified.popleft())
+                self.stats.instances_verified += 1
+            else:
+                break
+        return out
+
+    def all_prior_verified(self) -> bool:
+        """True when only the open instance is in flight (fast-release gate)."""
+        return not self.unverified
+
+    def earliest_unverified(self) -> RegionInstance | None:
+        """The restart target on error: earliest unverified, else current."""
+        if self.unverified:
+            return self.unverified[0]
+        return self.current
+
+    def discard_unverified(self) -> list[RegionInstance]:
+        """Recovery: drop every unverified instance (incl. the open one)."""
+        dropped = list(self.unverified)
+        if self.current is not None:
+            dropped.append(self.current)
+        self.unverified.clear()
+        self.current = None
+        return dropped

@@ -1,0 +1,76 @@
+"""Simulation statistics produced by the timing core."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Cycle-level outcome of one timing run."""
+
+    cycles: float = 0.0
+    instructions: int = 0
+    # Stall attribution (cycles lost, approximate but internally consistent).
+    sb_stall_cycles: float = 0.0
+    data_stall_cycles: float = 0.0
+    branch_stall_cycles: float = 0.0
+    # Store disposition counts (dynamic).
+    stores_total: int = 0
+    checkpoints_total: int = 0
+    warfree_released: int = 0
+    colored_released: int = 0
+    quarantined: int = 0
+    spill_stores: int = 0
+    app_stores: int = 0
+    # Region accounting.
+    regions: int = 0
+    forced_region_closures: int = 0
+    # CLQ.
+    clq_occupancy_avg: float = 0.0
+    clq_occupancy_max: int = 0
+    # Memory system.
+    cache: dict[str, int] = field(default_factory=dict)
+    branch_mispredictions: int = 0
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def dynamic_region_size(self) -> float:
+        if not self.regions:
+            return 0.0
+        return self.instructions / self.regions
+
+    @property
+    def all_stores(self) -> int:
+        return self.stores_total + self.checkpoints_total
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "ipc": self.ipc,
+            "sb_stall_cycles": self.sb_stall_cycles,
+            "data_stall_cycles": self.data_stall_cycles,
+            "branch_stall_cycles": self.branch_stall_cycles,
+            "stores_total": self.stores_total,
+            "checkpoints_total": self.checkpoints_total,
+            "warfree_released": self.warfree_released,
+            "colored_released": self.colored_released,
+            "quarantined": self.quarantined,
+            "regions": self.regions,
+            "dynamic_region_size": self.dynamic_region_size,
+            "clq_occupancy_avg": self.clq_occupancy_avg,
+            "clq_occupancy_max": self.clq_occupancy_max,
+        }
+
+
+def slowdown(resilient: SimStats, baseline: SimStats) -> float:
+    """Normalized execution time (the paper's y-axis): resilient/baseline."""
+    if baseline.cycles <= 0:
+        raise ValueError("baseline has no cycles")
+    return resilient.cycles / baseline.cycles

@@ -1,0 +1,142 @@
+"""Gated store buffer (GSB) model.
+
+Turnstile repurposes the store buffer as an error-containment gate:
+committed stores stay quarantined until their region is verified
+(WCDL cycles after the region ends), then drain to the L1 cache.
+
+This module provides two views used across the repository:
+
+* :class:`FunctionalStoreBuffer` — value-accurate queue with
+  store-to-load forwarding, used by the resilient machine for fault
+  injection (capacity is *not* enforced here; the functional protocol is
+  time-abstract and the timing core owns stall modelling).
+* :class:`TimingStoreBuffer` — occupancy/release-time model used by the
+  timing core to compute structural-hazard stalls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class SBEntry:
+    """A quarantined store: regular (addr) or checkpoint (reg, color)."""
+
+    instance: int
+    is_checkpoint: bool
+    addr: int  # regular stores: memory address; checkpoints: -1
+    reg: int  # checkpoints: register index; regular stores: -1
+    color: int  # checkpoints: target color slot (QUARANTINE pseudo-color ok)
+    value: int
+
+
+class FunctionalStoreBuffer:
+    """Value-accurate gated store buffer with forwarding."""
+
+    def __init__(self) -> None:
+        self.entries: list[SBEntry] = []
+
+    def push(self, entry: SBEntry) -> None:
+        self.entries.append(entry)
+
+    def forward(self, addr: int) -> int | None:
+        """Youngest buffered value for ``addr`` (store-to-load forwarding)."""
+        for entry in reversed(self.entries):
+            if not entry.is_checkpoint and entry.addr == addr:
+                return entry.value
+        return None
+
+    def release_instance(self, instance: int) -> list[SBEntry]:
+        """Drain (and return) all entries of a verified region instance."""
+        released = [e for e in self.entries if e.instance == instance]
+        if released:
+            self.entries = [e for e in self.entries if e.instance != instance]
+        return released
+
+    def discard_all(self) -> int:
+        """Recovery: drop every quarantined entry (they may be corrupt)."""
+        count = len(self.entries)
+        self.entries = []
+        return count
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def corrupt_entry(self, index: int, bit: int) -> None:
+        """Fault injection into SB storage (hardened in the paper's model,
+        but exercised by tests to show the quarantine contains it)."""
+        entry = self.entries[index]
+        entry.value ^= 1 << bit
+
+
+class TimingStoreBuffer:
+    """Occupancy model: entries carry release times, capacity is enforced.
+
+    ``allocate`` answers *when* a store can obtain a slot given the
+    release times of resident entries; the caller supplies the commit
+    time and receives the (possibly later) allocation time.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError("store buffer needs at least one entry")
+        self.capacity = capacity
+        # (release_time, instance, addr); release_time may be provisional
+        # +inf for the open region until its end is known.
+        self.entries: list[tuple[float, int, int]] = []
+
+    def drain_until(self, now: float) -> None:
+        if self.entries:
+            self.entries = [e for e in self.entries if e[0] > now]
+
+    def has_pending_address(self, addr: int, now: float) -> bool:
+        """Is an older store to ``addr`` still quarantined at ``now``?
+
+        Fast release must preserve per-address store order to L1; the
+        SB's forwarding CAM provides this lookup for free in hardware.
+        """
+        self.drain_until(now)
+        return any(e[2] == addr for e in self.entries)
+
+    def earliest_release(self) -> float:
+        return min(e[0] for e in self.entries)
+
+    def allocation_time(self, commit_time: float) -> tuple[float, bool]:
+        """Earliest time >= commit_time at which a slot is free.
+
+        Returns ``(time, stalled_on_open_region)``; the second flag is
+        True when every resident entry belongs to a region whose end is
+        unknown (release +inf) — the deadlock case the compiler's store
+        cap exists to prevent (callers apply a safety valve and count it).
+        """
+        self.drain_until(commit_time)
+        if len(self.entries) < self.capacity:
+            return commit_time, False
+        earliest = self.earliest_release()
+        if earliest == float("inf"):
+            return commit_time, True
+        # Wait for the earliest release, then drain and retry.
+        return self.allocation_time(max(commit_time, earliest))
+
+    def push(self, release_time: float, instance: int, addr: int = -1) -> None:
+        self.entries.append((release_time, instance, addr))
+
+    def set_instance_release(self, instance: int, release_base: float, drain_interval: float = 1.0) -> None:
+        """Fix provisional releases once the region's verify time is known.
+
+        Entries drain one per ``drain_interval`` cycles starting at the
+        verification point (single L1 write port).
+        """
+        updated: list[tuple[float, int, int]] = []
+        offset = 0
+        for release, inst, addr in self.entries:
+            if inst == instance and release == float("inf"):
+                updated.append((release_base + offset * drain_interval, inst, addr))
+                offset += 1
+            else:
+                updated.append((release, inst, addr))
+        self.entries = updated
+
+    def occupancy(self) -> int:
+        return len(self.entries)

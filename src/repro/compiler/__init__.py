@@ -1,0 +1,76 @@
+"""The Turnpike compiler: region formation, checkpointing, optimizations."""
+
+from repro.compiler.config import (
+    CompilerConfig,
+    figure21_configs,
+    turnpike_config,
+    turnstile_config,
+)
+from repro.compiler.pipeline import CompiledProgram, compile_baseline, compile_program
+from repro.compiler.regions import (
+    PartitionResult,
+    RegionInfo,
+    check_region_invariants,
+    partition_regions,
+)
+from repro.compiler.checkpoints import (
+    CheckpointStats,
+    count_checkpoints,
+    insert_eager_checkpoints,
+    strip_resilience,
+)
+from repro.compiler.pruning import (
+    PRUNED_ANNOTATION,
+    PruningStats,
+    RecoveryExpr,
+    prune_checkpoints,
+    pruned_definitions,
+)
+from repro.compiler.licm import LicmStats, sink_checkpoints
+from repro.compiler.livm import LivmStats, merge_induction_variables
+from repro.compiler.strength import StrengthReductionStats, reduce_strength
+from repro.compiler.scheduling import SchedulingStats, schedule_program
+from repro.compiler.regalloc import AllocationStats, allocate_registers
+from repro.compiler.recovery import (
+    RecoveryMap,
+    RegionEntry,
+    build_recovery_map,
+    checkpoint_coverage_gaps,
+)
+
+__all__ = [
+    "CompilerConfig",
+    "figure21_configs",
+    "turnpike_config",
+    "turnstile_config",
+    "CompiledProgram",
+    "compile_baseline",
+    "compile_program",
+    "PartitionResult",
+    "RegionInfo",
+    "check_region_invariants",
+    "partition_regions",
+    "CheckpointStats",
+    "count_checkpoints",
+    "insert_eager_checkpoints",
+    "strip_resilience",
+    "PRUNED_ANNOTATION",
+    "PruningStats",
+    "RecoveryExpr",
+    "prune_checkpoints",
+    "pruned_definitions",
+    "LicmStats",
+    "sink_checkpoints",
+    "LivmStats",
+    "merge_induction_variables",
+    "StrengthReductionStats",
+    "reduce_strength",
+    "SchedulingStats",
+    "schedule_program",
+    "AllocationStats",
+    "allocate_registers",
+    "RecoveryMap",
+    "RegionEntry",
+    "build_recovery_map",
+    "checkpoint_coverage_gaps",
+]

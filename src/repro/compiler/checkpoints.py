@@ -1,0 +1,196 @@
+"""Eager checkpointing of live-out registers (Turnstile, Section 2.2).
+
+For every definition whose register is *live across a region boundary*
+(i.e. consumed as the input of some later region), a ``CKPT`` store is
+inserted immediately after the definition. Registers alive at program
+entry are assumed to have been checkpointed by the caller's earlier
+regions (the resilient machine pre-verifies their checkpoint storage), so
+no entry checkpoints are emitted.
+
+The analysis here — "live across boundary" (LAB) — runs backward like
+liveness, but a register only enters the LAB set at a BOUNDARY
+instruction, where every currently-live register is by definition an
+input of the region that starts there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.isa.instructions import Instruction, checkpoint
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+@dataclass
+class CheckpointStats:
+    """Result of an eager-checkpointing run."""
+
+    inserted: int
+    regions_touched: int
+
+
+class LiveAcrossBoundary:
+    """Joint liveness / live-across-boundary backward dataflow.
+
+    ``lab_in[label]`` holds the registers that, at the top of the block,
+    will flow into some later region boundary without being redefined.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self.live_in: dict[str, set[Reg]] = {}
+        self.lab_in: dict[str, set[Reg]] = {}
+        self._compute()
+
+    def _transfer_block(
+        self, label: str, live: set[Reg], lab: set[Reg]
+    ) -> tuple[set[Reg], set[Reg]]:
+        """Propagate (live, lab) backward through one block."""
+        block = self.cfg.block(label)
+        for instr in reversed(block.instructions):
+            if instr.is_boundary:
+                # Everything live at this point crosses into the region
+                # that starts here, so it needs a checkpoint upstream.
+                lab = set(live)
+                continue
+            if instr.dest is not None:
+                live.discard(instr.dest)
+                lab.discard(instr.dest)
+            live.update(instr.srcs)
+        return live, lab
+
+    def _compute(self) -> None:
+        order = self.cfg.postorder()
+        for label in order:
+            self.live_in[label] = set()
+            self.lab_in[label] = set()
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                live: set[Reg] = set()
+                lab: set[Reg] = set()
+                for succ in self.cfg.succs(label):
+                    live |= self.live_in.get(succ, set())
+                    lab |= self.lab_in.get(succ, set())
+                live, lab = self._transfer_block(label, live, lab)
+                if live != self.live_in[label]:
+                    self.live_in[label] = live
+                    changed = True
+                if lab != self.lab_in[label]:
+                    self.lab_in[label] = lab
+                    changed = True
+
+    def per_instruction_lab_after(
+        self, label: str
+    ) -> list[tuple[Instruction, set[Reg]]]:
+        """(instr, LAB-after-instr) pairs in program order for one block."""
+        live: set[Reg] = set()
+        lab: set[Reg] = set()
+        for succ in self.cfg.succs(label):
+            live |= self.live_in.get(succ, set())
+            lab |= self.lab_in.get(succ, set())
+        block = self.cfg.block(label)
+        result: list[tuple[Instruction, set[Reg]]] = []
+        for instr in reversed(block.instructions):
+            result.append((instr, set(lab)))
+            if instr.is_boundary:
+                lab = set(live)
+                continue
+            if instr.dest is not None:
+                live.discard(instr.dest)
+                lab.discard(instr.dest)
+            live.update(instr.srcs)
+        result.reverse()
+        return result
+
+
+def insert_eager_checkpoints(program: Program) -> CheckpointStats:
+    """Insert ``CKPT`` stores after every region-live-out definition.
+
+    The program must already be region-partitioned (BOUNDARY markers and
+    ``region_id`` tags present). Checkpoints inherit the region id of
+    their defining instruction, exactly as eager checkpointing places them
+    in the same region as the update.
+    """
+    cfg = build_cfg(program)
+    lab = LiveAcrossBoundary(cfg)
+    inserted = 0
+    regions: set[int] = set()
+    for block in program.blocks:
+        pairs = lab.per_instruction_lab_after(block.label)
+        # Collect insertion points first; then splice, back to front, so
+        # positions stay valid.
+        points: list[tuple[int, Reg, int | None]] = []
+        for pos, (instr, lab_after) in enumerate(pairs):
+            dest = instr.dest
+            if dest is None or instr.is_boundary:
+                continue
+            if dest in lab_after:
+                points.append((pos, dest, instr.region_id))
+        for pos, reg, region_id in reversed(points):
+            ck = checkpoint(reg)
+            ck.region_id = region_id
+            block.instructions.insert(pos + 1, ck)
+            inserted += 1
+            if region_id is not None:
+                regions.add(region_id)
+    return CheckpointStats(inserted=inserted, regions_touched=len(regions))
+
+
+def predict_checkpoint_defs(program: Program) -> set[int]:
+    """Estimate which definitions will receive checkpoints, pre-partitioning.
+
+    Used by the driver to budget region store capacity before boundaries
+    exist. The over-approximation — a def is counted if its register stays
+    live past the def and is not redefined later in the same block —
+    mirrors the path-insensitive conservatism the paper attributes to the
+    Turnstile partitioner.
+    """
+    from repro.analysis.liveness import compute_liveness
+
+    cfg = build_cfg(program)
+    liveness = compute_liveness(cfg)
+    predicted: set[int] = set()
+    for block in program.blocks:
+        live_out = liveness.live_out[block.label]
+        last_def_pos: dict[Reg, int] = {}
+        for pos, instr in enumerate(block.instructions):
+            if instr.dest is not None:
+                last_def_pos[instr.dest] = pos
+        for pos, instr in enumerate(block.instructions):
+            dest = instr.dest
+            if dest is None:
+                continue
+            # Predict a checkpoint for the last in-block definition of a
+            # register that escapes the block: region boundaries mostly
+            # fall at block granularity, so block live-outs approximate
+            # region live-outs well (intra-block temporaries do not count).
+            if last_def_pos.get(dest) == pos and dest in live_out:
+                predicted.add(instr.uid)
+    return predicted
+
+
+def strip_resilience(program: Program) -> int:
+    """Remove all BOUNDARY and CKPT instructions; clear region tags.
+
+    Returns the number of instructions removed. Used when re-deriving a
+    partition (e.g. comparing SB sizes on the same source program).
+    """
+    removed = 0
+    for block in program.blocks:
+        kept: list[Instruction] = []
+        for instr in block.instructions:
+            if instr.is_boundary or instr.is_checkpoint:
+                removed += 1
+                continue
+            instr.region_id = None
+            kept.append(instr)
+        block.instructions = kept
+    return removed
+
+
+def count_checkpoints(program: Program) -> int:
+    return sum(1 for i in program.instructions() if i.is_checkpoint)

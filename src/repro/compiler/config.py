@@ -1,0 +1,131 @@
+"""Compiler and hardware configuration knobs.
+
+:class:`CompilerConfig` selects which Turnpike passes run, mirroring the
+ablation axes of the paper's Figure 21. :func:`figure21_configs` returns
+the exact eight configurations the paper compares.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CompilerConfig:
+    """Which compiler-side Turnpike features are enabled.
+
+    The defaults correspond to the full Turnpike compiler. The hardware
+    bypass knobs (CLQ / coloring) live in the architecture config, but the
+    compiler still needs ``sb_size`` to drive region partitioning (regions
+    hold at most ``sb_size // 2`` stores, Section 4.3.1).
+    """
+
+    sb_size: int = 4
+    # Baseline passes (always part of Turnstile and Turnpike).
+    strength_reduction: bool = True
+    eager_checkpointing: bool = True
+    # Turnpike compiler optimizations (Section 4.1 / 4.2).
+    checkpoint_pruning: bool = True
+    licm_sinking: bool = True
+    induction_variable_merging: bool = True
+    instruction_scheduling: bool = True
+    store_aware_regalloc: bool = True
+    # Turnpike caps regions at half the SB so one region's verification
+    # overlaps the next region's execution (Sec 4.3.1); Turnstile fills
+    # the whole SB per region (Sec 2.1).
+    overlap_partitioning: bool = True
+    name: str = "turnpike"
+
+    @property
+    def max_stores_per_region(self) -> int:
+        """Path-insensitive store-unit cap per region."""
+        if self.overlap_partitioning:
+            return max(1, self.sb_size // 2)
+        return max(1, self.sb_size)
+
+    def with_name(self, name: str) -> "CompilerConfig":
+        return replace(self, name=name)
+
+
+def turnstile_config(sb_size: int = 4) -> CompilerConfig:
+    """The Turnstile baseline: eager checkpointing, no Turnpike passes."""
+    return CompilerConfig(
+        sb_size=sb_size,
+        checkpoint_pruning=False,
+        licm_sinking=False,
+        induction_variable_merging=False,
+        instruction_scheduling=False,
+        store_aware_regalloc=False,
+        overlap_partitioning=False,
+        name="turnstile",
+    )
+
+
+def turnpike_config(sb_size: int = 4) -> CompilerConfig:
+    """The full Turnpike compiler."""
+    return CompilerConfig(sb_size=sb_size, name="turnpike")
+
+
+def figure21_configs(sb_size: int = 4) -> list[tuple[str, CompilerConfig, dict[str, bool]]]:
+    """The eight ablation configurations of Figure 21.
+
+    Returns ``(label, compiler_config, hardware_flags)`` triples, where
+    ``hardware_flags`` carries ``{"clq": bool, "coloring": bool}`` for the
+    architecture side.
+    """
+    from dataclasses import replace as _replace
+
+    base = turnstile_config(sb_size)
+    # The hardware-bypass rows use the Turnpike overlap partitioning
+    # (half-SB regions, Sec 4.3.1): overlapping one region's verification
+    # with the next region's execution is what makes fast release pay off.
+    hw_base = _replace(base, overlap_partitioning=True)
+    configs: list[tuple[str, CompilerConfig, dict[str, bool]]] = []
+    configs.append(("Turnstile", base, {"clq": False, "coloring": False}))
+    configs.append(
+        (
+            "WAR-free Checking",
+            hw_base.with_name("warfree"),
+            {"clq": True, "coloring": False},
+        )
+    )
+    configs.append(
+        (
+            "Fast Release",
+            hw_base.with_name("fastrelease"),
+            {"clq": True, "coloring": True},
+        )
+    )
+    pruning = CompilerConfig(
+        sb_size=sb_size,
+        checkpoint_pruning=True,
+        licm_sinking=False,
+        induction_variable_merging=False,
+        instruction_scheduling=False,
+        store_aware_regalloc=False,
+        name="fr+pruning",
+    )
+    configs.append(("Fast Release + Pruning", pruning, {"clq": True, "coloring": True}))
+    licm = replace(pruning, licm_sinking=True, name="fr+pruning+licm")
+    configs.append(
+        ("Fast Release + Pruning + LICM", licm, {"clq": True, "coloring": True})
+    )
+    sched = replace(licm, instruction_scheduling=True, name="fr+pruning+licm+sched")
+    configs.append(
+        (
+            "Fast Release + Pruning + LICM + Inst Sched",
+            sched,
+            {"clq": True, "coloring": True},
+        )
+    )
+    ra = replace(sched, store_aware_regalloc=True, name="fr+pruning+licm+sched+ra")
+    configs.append(
+        (
+            "Fast Release + Pruning + LICM + Inst Sched + RA Trick",
+            ra,
+            {"clq": True, "coloring": True},
+        )
+    )
+    full = turnpike_config(sb_size)
+    configs.append(("Turnpike", full, {"clq": True, "coloring": True}))
+    return configs

@@ -1,0 +1,143 @@
+"""Checkpoint sinking out of loops, LICM-style (Section 4.1.4).
+
+Eager checkpointing pins every checkpoint right after its defining
+instruction. The paper observes the placement can be relaxed: a
+checkpoint only has to execute before its region's boundary. For a loop
+that lives entirely inside one region (possible when the loop body has no
+stores, so the partitioner did not force a boundary at its header), a
+register checkpointed inside the body is re-checkpointed every iteration
+even though only the final value can ever be consumed by a later region.
+
+This pass moves such checkpoints to the loop's exit blocks (still inside
+the same region, *before* any boundary that starts there) and deduplicates
+checkpoints of the same register within a block when no boundary
+intervenes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import find_loops
+from repro.isa.instructions import Instruction, checkpoint
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+@dataclass
+class LicmStats:
+    sunk: int  # checkpoints moved out of a loop body
+    deduplicated: int  # redundant same-block checkpoints removed
+
+
+def _loop_region(program: Program, body: set[str]) -> int | None:
+    """Region id if the whole loop is inside one region with no boundary."""
+    region: int | None = None
+    for label in body:
+        for instr in program.block(label).instructions:
+            if instr.is_boundary:
+                return None
+            if instr.region_id is None:
+                return None
+            if region is None:
+                region = instr.region_id
+            elif instr.region_id != region:
+                return None
+    return region
+
+
+def sink_checkpoints(program: Program) -> LicmStats:
+    """Apply loop-exit checkpoint sinking and same-block deduplication."""
+    cfg = build_cfg(program)
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+
+    sunk = 0
+    # Process innermost loops first so nested sinking composes: sort by
+    # body size ascending.
+    ordered = sorted(loops.loops.values(), key=lambda lp: len(lp.body))
+    for loop in ordered:
+        region = _loop_region(program, loop.body)
+        if region is None:
+            continue
+        # Every exit block must be safe: all predecessors inside the loop,
+        # so a checkpoint placed at its top runs exactly once per loop
+        # execution, on every leaving path.
+        exits = sorted(loop.exits)
+        if not exits:
+            continue
+        safe = all(
+            all(pred in loop.body for pred in cfg.preds(exit_label))
+            for exit_label in exits
+        )
+        if not safe:
+            continue
+        # Collect checkpointed registers inside the body.
+        regs: list[Reg] = []
+        seen: set[Reg] = set()
+        for label in loop.body:
+            for instr in program.block(label).instructions:
+                if instr.is_checkpoint and instr.srcs[0] not in seen:
+                    seen.add(instr.srcs[0])
+                    regs.append(instr.srcs[0])
+        if not regs:
+            continue
+        # Remove in-loop checkpoints.
+        for label in loop.body:
+            block = program.block(label)
+            removed = [i for i in block.instructions if i.is_checkpoint]
+            if removed:
+                block.instructions = [
+                    i for i in block.instructions if not i.is_checkpoint
+                ]
+                sunk += len(removed)
+        # Re-insert one checkpoint per register at the top of each exit
+        # block, before any boundary that starts a new region there, and
+        # tagged with the loop's region so verification timing is
+        # unchanged.
+        for exit_label in exits:
+            block = program.block(exit_label)
+            new = []
+            for reg in regs:
+                ck = checkpoint(reg)
+                ck.region_id = region
+                ck.annotations["licm_sunk"] = True
+                new.append(ck)
+            block.instructions[0:0] = new
+
+    dedup = _deduplicate_in_blocks(program)
+    return LicmStats(sunk=sunk, deduplicated=dedup)
+
+
+def _deduplicate_in_blocks(program: Program) -> int:
+    """Drop a checkpoint when a later one in the same block re-checkpoints
+    the same register with no intervening boundary or redefinition gap
+    that matters.
+
+    Rule: walking a block forward, a pending checkpoint of ``r`` is
+    cancelled by a later checkpoint of ``r`` in the same region before any
+    BOUNDARY — only the final binding of a region is ever consulted by
+    recovery, so the earlier store is dead.
+    """
+    removed = 0
+    for block in program.blocks:
+        kill: set[int] = set()
+        pending: dict[Reg, Instruction] = {}
+        for instr in block.instructions:
+            if instr.is_boundary:
+                pending.clear()
+                continue
+            if instr.is_checkpoint:
+                reg = instr.srcs[0]
+                prior = pending.get(reg)
+                if prior is not None and prior.region_id == instr.region_id:
+                    kill.add(prior.uid)
+                    removed += 1
+                pending[reg] = instr
+        if kill:
+            block.instructions = [
+                i for i in block.instructions if i.uid not in kill
+            ]
+    return removed

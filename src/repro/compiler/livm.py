@@ -1,0 +1,247 @@
+"""Loop induction variable merging — LIVM (Section 4.1.2).
+
+Strength reduction (and hand-written pointer-bumping code) leaves loops
+with several *basic* induction variables that advance in lockstep. Each
+one is a loop-carried dependence, so each is live-out at the loop-header
+region boundary and gets checkpointed every iteration. When one IV is a
+provable linear function of another (``dep = scale * anchor + offset``),
+LIVM deletes the dependent IV's loop update and rematerialises its uses
+from the anchor, converting it into an *induced* IV with only local data
+dependences — its per-iteration checkpoint disappears.
+
+LIVM runs before region partitioning / checkpointing (on virtual-register
+code), so the checkpoint elimination happens automatically: the merged
+register is simply no longer live across the loop-header boundary.
+
+Safety conditions enforced here (see ``_pattern_ok``):
+  * both IVs are updated exactly once, in the same latch block, with all
+    in-loop uses of the dependent IV occurring before either update;
+  * both initial values are compile-time constants (so the linear
+    relation provably holds on loop entry);
+  * the dependent IV's post-loop uses are repaired by materialising its
+    final value at each loop exit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.induction import (
+    BasicIV,
+    MergeCandidate,
+    find_basic_ivs,
+    find_merge_candidates,
+)
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import Loop, find_loops
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+@dataclass
+class LivmStats:
+    merged: int  # dependent IVs eliminated
+    rematerialized_uses: int  # in-loop uses rewritten
+
+
+def _instr_positions(cfg: ControlFlowGraph, loop: Loop) -> dict[int, tuple[str, int]]:
+    positions: dict[int, tuple[str, int]] = {}
+    for label in loop.body:
+        for pos, instr in enumerate(cfg.block(label).instructions):
+            positions[instr.uid] = (label, pos)
+    return positions
+
+
+def _pattern_ok(
+    cfg: ControlFlowGraph,
+    loop: Loop,
+    cand: MergeCandidate,
+    liveness,
+) -> bool:
+    """Check the lockstep-update pattern required for a safe merge."""
+    anchor, dep = cand.anchor, cand.dependent
+    # Post-loop uses need a fix-up at every exit where the dependent IV is
+    # live, which is only placeable when all of the exit's predecessors
+    # are loop blocks.
+    for exit_label in loop.exits:
+        if dep.reg in liveness.live_in.get(exit_label, set()):
+            if not all(pred in loop.body for pred in cfg.preds(exit_label)):
+                return False
+    positions = _instr_positions(cfg, loop)
+    a_loc = positions.get(anchor.update.uid)
+    d_loc = positions.get(dep.update.uid)
+    if a_loc is None or d_loc is None:
+        return False
+    if a_loc[0] != d_loc[0]:
+        return False  # updates must share the latch block
+    latch = a_loc[0]
+    first_update_pos = min(a_loc[1], d_loc[1])
+    # All in-loop uses of the dependent IV must read the start-of-iteration
+    # value: they must precede both updates in the latch block, or sit in a
+    # block other than the latch (where no update has run yet this
+    # iteration, since updates only exist in the latch).
+    for label in loop.body:
+        for pos, instr in enumerate(cfg.block(label).instructions):
+            if instr.uid == dep.update.uid:
+                continue
+            if dep.reg in instr.srcs:
+                if label == latch and pos > first_update_pos:
+                    return False
+            # A second write to either IV would break the lockstep relation.
+            if instr.dest in (dep.reg, anchor.reg) and instr.uid not in (
+                dep.update.uid,
+                anchor.update.uid,
+            ):
+                return False
+    return True
+
+
+def _remat_length(scale: int, offset: int) -> int:
+    """Instructions needed to rematerialise one use of the dependent IV."""
+    length = 0
+    if scale != 1:
+        length += 1  # SHLI or MULI
+    if offset != 0:
+        length += 1  # ADDI
+    return length  # identical IVs (scale 1, offset 0) cost nothing
+
+
+def _profitable(cfg: ControlFlowGraph, loop: Loop, cand: MergeCandidate) -> bool:
+    """Accept a merge only when the ALU cost stays near the store savings.
+
+    Deleting the dependent IV removes its loop update and (being
+    loop-carried) its per-iteration checkpoint store — worth ~2 issue
+    slots plus the store-buffer relief the paper is after. Each in-loop
+    use instead pays ``_remat_length`` ALU instructions. One extra slot of
+    slack is allowed, because converting a checkpoint store into ALU work
+    is exactly the trade Turnpike wants on a store-pressured core.
+    """
+    uses = 0
+    for label in loop.body:
+        for instr in cfg.block(label).instructions:
+            if instr.uid == cand.dependent.update.uid:
+                continue
+            uses += sum(1 for src in instr.srcs if src == cand.dependent.reg)
+    cost = uses * _remat_length(cand.scale, cand.offset)
+    benefit = 2  # deleted update + eliminated checkpoint store
+    return cost <= benefit + 1
+
+
+def _materialize(
+    program: Program,
+    anchor_reg: Reg,
+    scale: int,
+    offset: int,
+    dest: Reg | None,
+) -> tuple[list[Instruction], Reg]:
+    """Emit ``dest = anchor*scale + offset`` as TK instructions."""
+    out: list[Instruction] = []
+    if scale == 1:
+        current = anchor_reg
+    else:
+        scaled = program.fresh_vreg()
+        if scale > 0 and (scale & (scale - 1)) == 0:
+            shift = scale.bit_length() - 1
+            out.append(ins.alu_ri(Opcode.SHLI, scaled, anchor_reg, shift))
+        else:
+            out.append(ins.alu_ri(Opcode.MULI, scaled, anchor_reg, scale))
+        current = scaled
+    if offset != 0 or (dest is not None and current is anchor_reg):
+        target = dest if dest is not None else program.fresh_vreg()
+        out.append(ins.alu_ri(Opcode.ADDI, target, current, offset))
+        current = target
+    elif dest is not None:
+        out.append(ins.mov(dest, current))
+        current = dest
+    return out, current
+
+
+def merge_induction_variables(program: Program) -> LivmStats:
+    """Run LIVM over every loop of the program, in place."""
+    cfg = build_cfg(program)
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+    liveness = compute_liveness(cfg)
+
+    merged = 0
+    remat_uses = 0
+    consumed: set[Reg] = set()  # dependent IV registers already merged away
+
+    for loop in sorted(loops.loops.values(), key=lambda lp: len(lp.body)):
+        # Re-derive the IV set after every merge: a merge rewrites uses and
+        # deletes an update, so previously computed candidates go stale.
+        for _ in range(64):  # bounded by the number of IVs in the loop
+            ivs = find_basic_ivs(cfg, loop)
+            applied = False
+            for cand in find_merge_candidates(ivs):
+                anchor, dep = cand.anchor, cand.dependent
+                if dep.reg in consumed or anchor.reg in consumed:
+                    continue
+                if dep.reg == anchor.reg:
+                    continue
+                if not _pattern_ok(cfg, loop, cand, liveness):
+                    continue
+                if not _profitable(cfg, loop, cand):
+                    continue
+                applied = True
+                break
+            if not applied:
+                break
+
+            # 1. Rewrite every in-loop use of the dependent IV.
+            for label in sorted(loop.body):
+                block = cfg.block(label)
+                pos = 0
+                while pos < len(block.instructions):
+                    instr = block.instructions[pos]
+                    if (
+                        instr.uid != dep.update.uid
+                        and dep.reg in instr.srcs
+                    ):
+                        new_instrs, value_reg = _materialize(
+                            program, anchor.reg, cand.scale, cand.offset, None
+                        )
+                        block.instructions[pos:pos] = new_instrs
+                        pos += len(new_instrs)
+                        instr.replace_uses({dep.reg: value_reg})
+                        remat_uses += 1
+                    pos += 1
+
+            # 2. Delete the dependent IV's loop update.
+            for label in loop.body:
+                block = cfg.block(label)
+                block.instructions = [
+                    i for i in block.instructions if i.uid != dep.update.uid
+                ]
+
+            # 3. Materialise the final value at loop exits where the
+            #    dependent IV is still live (post-loop uses).
+            for exit_label in sorted(loop.exits):
+                if dep.reg not in liveness.live_in.get(exit_label, set()):
+                    continue
+                exit_block = cfg.block(exit_label)
+                if not all(
+                    pred in loop.body for pred in cfg.preds(exit_label)
+                ):
+                    # Cannot place the fix-up unambiguously; undoing a
+                    # merge at this point would be complex, so we refuse
+                    # candidates like this up front instead.
+                    raise AssertionError(
+                        "LIVM merged an IV with an unsafe exit; "
+                        "_pattern_ok must pre-filter this"
+                    )
+                fix, _ = _materialize(
+                    program, anchor.reg, cand.scale, cand.offset, dep.reg
+                )
+                exit_block.instructions[0:0] = fix
+
+            consumed.add(dep.reg)  # the anchor may serve further merges
+            merged += 1
+
+    if merged:
+        program.validate()
+    return LivmStats(merged=merged, rematerialized_uses=remat_uses)

@@ -1,0 +1,129 @@
+"""The Turnpike compilation pipeline.
+
+Runs the passes in the paper's order on a virtual-register program:
+
+1. strength reduction (standard -O3 behaviour, both schemes);
+2. loop induction variable merging (LIVM, Turnpike only);
+3. register allocation (store-aware under Turnpike);
+4. SB-aware region partitioning (with checkpoint budget prediction);
+5. eager checkpointing of region-live-out registers;
+6. optimal checkpoint pruning (Turnpike only);
+7. LICM checkpoint sinking (Turnpike only);
+8. checkpoint-aware instruction scheduling (Turnpike only).
+
+:func:`compile_program` returns a :class:`CompiledProgram` carrying the
+transformed code, the recovery map, and per-pass statistics that the
+experiment harness aggregates into the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.compiler.checkpoints import (
+    CheckpointStats,
+    count_checkpoints,
+    insert_eager_checkpoints,
+    predict_checkpoint_defs,
+)
+from repro.compiler.config import CompilerConfig
+from repro.compiler.licm import LicmStats, sink_checkpoints
+from repro.compiler.livm import LivmStats, merge_induction_variables
+from repro.compiler.pruning import PruningStats, prune_checkpoints
+from repro.compiler.recovery import RecoveryMap, build_recovery_map
+from repro.compiler.regalloc import AllocationStats, allocate_registers
+from repro.compiler.regions import PartitionResult, partition_regions
+from repro.compiler.scheduling import SchedulingStats, schedule_program
+from repro.compiler.strength import StrengthReductionStats, reduce_strength
+from repro.isa.program import Program
+
+
+@dataclass
+class CompiledProgram:
+    """A program compiled for a resilience scheme, plus metadata."""
+
+    program: Program
+    config: CompilerConfig
+    partition: PartitionResult | None
+    recovery: RecoveryMap | None
+    stats: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def num_static_checkpoints(self) -> int:
+        return count_checkpoints(self.program)
+
+    @property
+    def code_size_bytes(self) -> int:
+        return self.program.static_size_bytes
+
+
+def compile_baseline(source: Program) -> CompiledProgram:
+    """Compile without any resilience support (the paper's baseline).
+
+    Standard -O3-style pipeline: strength reduction + conventional
+    register allocation. No regions, no checkpoints.
+    """
+    program = source.copy()
+    sr = reduce_strength(program)
+    ra = allocate_registers(program, store_aware=False)
+    program.validate()
+    cfg = CompilerConfig(
+        eager_checkpointing=False,
+        checkpoint_pruning=False,
+        licm_sinking=False,
+        induction_variable_merging=False,
+        instruction_scheduling=False,
+        store_aware_regalloc=False,
+        name="baseline",
+    )
+    return CompiledProgram(
+        program=program,
+        config=cfg,
+        partition=None,
+        recovery=None,
+        stats={"strength_reduction": sr, "regalloc": ra},
+    )
+
+
+def compile_program(source: Program, config: CompilerConfig) -> CompiledProgram:
+    """Compile ``source`` under ``config``; the source is not mutated."""
+    program = source.copy()
+    stats: dict[str, object] = {}
+
+    if config.strength_reduction:
+        stats["strength_reduction"] = reduce_strength(program)
+    if config.induction_variable_merging:
+        stats["livm"] = merge_induction_variables(program)
+
+    stats["regalloc"] = allocate_registers(
+        program, store_aware=config.store_aware_regalloc
+    )
+    program.validate()
+
+    partition: PartitionResult | None = None
+    recovery: RecoveryMap | None = None
+    if config.eager_checkpointing:
+        predicted = predict_checkpoint_defs(program)
+        partition = partition_regions(
+            program,
+            config.max_stores_per_region,
+            predicted_ckpt_defs=predicted,
+            licm_sinking=config.licm_sinking,
+        )
+        stats["checkpointing"] = insert_eager_checkpoints(program)
+        if config.checkpoint_pruning:
+            stats["pruning"] = prune_checkpoints(program)
+        if config.licm_sinking:
+            stats["licm"] = sink_checkpoints(program)
+        if config.instruction_scheduling:
+            stats["scheduling"] = schedule_program(program)
+        program.validate()
+        recovery = build_recovery_map(program)
+
+    return CompiledProgram(
+        program=program,
+        config=config,
+        partition=partition,
+        recovery=recovery,
+        stats=stats,
+    )

@@ -1,0 +1,296 @@
+"""Optimal checkpoint pruning (Section 4.1.3, after Penny / Kim et al.).
+
+A checkpoint of register ``r`` placed after definition ``d`` may be
+removed when ``r``'s value at ``d`` can be reconstructed *at recovery
+time* from constants and the checkpoint storage of other registers. The
+recovery block then recomputes ``r`` instead of loading it.
+
+Our reconstruction condition for an operand ``a`` of ``d``:
+
+1. **stability** — no definition of ``a`` is reachable after ``d`` *while
+   the checkpointed register ``r`` is still live with the value from
+   ``d``*. Recovery only consults ``r``'s binding while that binding is
+   current (once ``r`` is redefined, the new definition's own binding
+   takes over), and regions preceding the restarted one are verified in
+   order, so within that window ``a``'s latest verified checkpoint holds
+   exactly the value ``a`` had when ``d`` executed;
+2. **boundedness** — every *reaching* definition of ``a`` at ``d`` is
+   itself checkpointed (immediately followed by a ``CKPT a``) or carries
+   a pruned-checkpoint binding. Registers untouched since program entry
+   are bound too: the runtime pre-verifies initial register bindings.
+   Flow-sensitivity matters here because physical registers are reused —
+   an unbound definition of the same register in unrelated code must not
+   veto reconstruction, and conversely a bound definition elsewhere must
+   not excuse an unbound reaching one.
+
+Both conditions are static and conservative; together they guarantee the
+recovery-time read of ``a``'s verified checkpoint yields the value needed
+to recompute ``r``. Branch-dependent reconstruction (the paper's Figure 9)
+falls out naturally: each definition on each path gets its own binding,
+and the run-time binding of ``r`` reflects the path actually executed.
+
+The pruned definition is annotated with a :class:`RecoveryExpr`; the
+resilient machine treats the annotation as a zero-cost virtual checkpoint
+whose value is recomputed during recovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.isa.instructions import (
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    Instruction,
+    Opcode,
+)
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class RecoveryExpr:
+    """How to recompute a pruned checkpoint's value during recovery.
+
+    ``kind`` is one of:
+      * ``"const"`` — the literal ``imm``;
+      * ``"ckpt"`` — read register ``regs[0]``'s latest verified checkpoint;
+      * ``"op"`` — apply ``opcode`` to the recovered operand values
+        (``regs`` resolve through their checkpoints; ``imm`` supplies the
+        immediate for register-immediate opcodes).
+    """
+
+    kind: str
+    opcode: Opcode | None = None
+    regs: tuple[Reg, ...] = ()
+    imm: int = 0
+
+    def referenced_registers(self) -> tuple[Reg, ...]:
+        return self.regs
+
+
+PRUNED_ANNOTATION = "pruned_ckpt_expr"
+
+
+@dataclass
+class PruningStats:
+    pruned: int
+    examined: int
+
+
+def _def_is_bound(instrs: list[Instruction], pos: int) -> bool:
+    """Is the definition at ``pos`` covered by a checkpoint or binding?"""
+    instr = instrs[pos]
+    if PRUNED_ANNOTATION in instr.annotations:
+        return True
+    nxt = instrs[pos + 1] if pos + 1 < len(instrs) else None
+    return (
+        nxt is not None
+        and nxt.is_checkpoint
+        and nxt.srcs == (instr.dest,)
+    )
+
+
+class _Boundness:
+    """Forward dataflow: is a register's reaching definition bound at a
+    program point? Entry state is all-bound (the runtime pre-verifies the
+    initial value of every register). Meet is logical AND."""
+
+    def __init__(self, cfg: ControlFlowGraph):
+        self.cfg = cfg
+        self._in: dict[str, dict[Reg, bool]] = {}
+        self._compute()
+
+    def _transfer(self, label: str, state: dict[Reg, bool]) -> dict[Reg, bool]:
+        instrs = self.cfg.block(label).instructions
+        out = dict(state)
+        for pos, instr in enumerate(instrs):
+            if instr.dest is not None:
+                out[instr.dest] = _def_is_bound(instrs, pos)
+        return out
+
+    def _compute(self) -> None:
+        rpo = self.cfg.reverse_postorder()
+        for label in rpo:
+            self._in[label] = {}
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                preds = [p for p in self.cfg.preds(label) if p in self._in]
+                if label == self.cfg.entry or not preds:
+                    new_in: dict[Reg, bool] = {}  # missing => bound (initial)
+                else:
+                    outs = [self._transfer(p, self._in[p]) for p in preds]
+                    regs = set().union(*[set(o) for o in outs])
+                    new_in = {
+                        reg: all(o.get(reg, True) for o in outs)
+                        for reg in regs
+                    }
+                if new_in != self._in[label]:
+                    self._in[label] = new_in
+                    changed = True
+
+    def bound_before(self, label: str, position: int, reg: Reg) -> bool:
+        """Is ``reg``'s reaching definition bound just before ``position``?"""
+        state = dict(self._in[label])
+        instrs = self.cfg.block(label).instructions
+        for pos in range(position):
+            instr = instrs[pos]
+            if instr.dest is not None:
+                state[instr.dest] = _def_is_bound(instrs, pos)
+        return state.get(reg, True)
+
+
+class _StabilityChecker:
+    """Answers: is operand ``a`` redefined anywhere ``r`` is still live
+    (carrying the value from definition ``d``)?
+
+    Walks forward from ``d`` through the CFG; a path is abandoned as soon
+    as ``r`` dies or is redefined (the binding from ``d`` stops being
+    consulted there); encountering a definition of ``a`` first rejects.
+    """
+
+    def __init__(self, cfg: ControlFlowGraph, liveness: LivenessInfo):
+        self.cfg = cfg
+        self.liveness = liveness
+        # Cached per-block (instruction, live_after) pair lists.
+        self._pairs: dict[str, list] = {}
+
+    def _block_pairs(self, label: str):
+        pairs = self._pairs.get(label)
+        if pairs is None:
+            pairs = self._pairs[label] = self.liveness.live_after(label)
+        return pairs
+
+    def _scan(self, label: str, start: int, r: Reg, a: Reg) -> tuple[bool, bool]:
+        """Scan block ``label`` from ``start``. Returns (ok, continue_out):
+        ``ok`` False means a def of ``a`` was hit while ``r`` live;
+        ``continue_out`` True means ``r`` is still live (unredefined) at
+        the block end and successors must be scanned."""
+        pairs = self._block_pairs(label)
+        for instr, live_after in pairs[start:]:
+            if instr.dest == a:
+                return False, False
+            if instr.dest == r:
+                return True, False  # rebound: old binding retired
+            if r not in live_after:
+                return True, False  # r dead: binding never consulted past here
+        return True, True
+
+    def operand_stable(self, block_label: str, position: int, r: Reg, a: Reg) -> bool:
+        ok, cont = self._scan(block_label, position + 1, r, a)
+        if not ok:
+            return False
+        if not cont:
+            return True
+        # Note: the defining block is NOT pre-visited — a back edge may
+        # re-enter it from the top (self-loops re-examine their own defs).
+        visited: set[str] = set()
+        work = [s for s in self.cfg.succs(block_label)]
+        while work:
+            label = work.pop()
+            if label in visited:
+                continue
+            visited.add(label)
+            if r not in self.liveness.live_in.get(label, set()):
+                continue
+            ok, cont = self._scan(label, 0, r, a)
+            if not ok:
+                return False
+            if cont:
+                work.extend(self.cfg.succs(label))
+        return True
+
+
+def _reconstruction_expr(
+    d: Instruction,
+    block_label: str,
+    position: int,
+    bound: _Boundness,
+    stability: _StabilityChecker,
+) -> RecoveryExpr | None:
+    """Build the recovery expression for definition ``d``, if prunable."""
+    op = d.op
+    if op is Opcode.LI:
+        return RecoveryExpr(kind="const", imm=d.imm)
+    if op is Opcode.LD:
+        return None  # memory contents may change before recovery
+    r = d.dest
+
+    def operand_ok(reg: Reg) -> bool:
+        if reg == r:
+            # Self-reference (i = i + 1): at recovery the operand lookup
+            # would read the binding created by this very definition, not
+            # the pre-definition value — never reconstructible.
+            return False
+        if not bound.bound_before(block_label, position, reg):
+            return False
+        return stability.operand_stable(block_label, position, r, reg)
+
+    if op is Opcode.MOV:
+        src = d.srcs[0]
+        if operand_ok(src):
+            return RecoveryExpr(kind="ckpt", regs=(src,))
+        return None
+    if op in ALU_RI_OPS or op in ALU_RR_OPS:
+        if all(operand_ok(reg) for reg in d.srcs):
+            return RecoveryExpr(kind="op", opcode=op, regs=d.srcs, imm=d.imm)
+    return None
+
+
+def prune_checkpoints(program: Program) -> PruningStats:
+    """Remove reconstructable checkpoints in place.
+
+    Must run while checkpoints are still in eager position (immediately
+    after their definitions), i.e. before LICM sinking and instruction
+    scheduling.
+    """
+    cfg = build_cfg(program)
+    stability = _StabilityChecker(cfg, compute_liveness(cfg))
+    bound = _Boundness(cfg)
+
+    pruned = 0
+    examined = 0
+    for block in program.blocks:
+        instrs = block.instructions
+        keep: list[Instruction] = []
+        pos = 0
+        while pos < len(instrs):
+            instr = instrs[pos]
+            nxt = instrs[pos + 1] if pos + 1 < len(instrs) else None
+            is_eager_pair = (
+                instr.dest is not None
+                and nxt is not None
+                and nxt.is_checkpoint
+                and nxt.srcs == (instr.dest,)
+            )
+            if not is_eager_pair:
+                keep.append(instr)
+                pos += 1
+                continue
+            examined += 1
+            expr = _reconstruction_expr(
+                instr, block.label, pos, bound, stability
+            )
+            if expr is None:
+                keep.append(instr)
+                pos += 1
+                continue
+            instr.annotations[PRUNED_ANNOTATION] = expr
+            keep.append(instr)  # keep the def, drop the checkpoint
+            pruned += 1
+            pos += 2  # skip the checkpoint
+        block.instructions = keep
+    return PruningStats(pruned=pruned, examined=examined)
+
+
+def pruned_definitions(program: Program) -> list[Instruction]:
+    """All definitions carrying a pruned-checkpoint binding."""
+    return [
+        instr
+        for instr in program.instructions()
+        if PRUNED_ANNOTATION in instr.annotations
+    ]

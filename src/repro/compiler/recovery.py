@@ -1,0 +1,111 @@
+"""Recovery metadata: what each region needs to restart after an error.
+
+Turnstile/Turnpike recovery re-executes the most recent unverified region
+after restoring its *live-in* registers from verified checkpoint storage
+(or by recomputing pruned checkpoints). The compiler computes, for every
+region, its entry location and live-in register set; the resilient
+machine consumes this map when an error is detected, and the tests use it
+to check the central protocol invariant — every live-in of every region
+is covered by an earlier checkpoint or a pruned-checkpoint binding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.liveness import compute_liveness
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+
+@dataclass(frozen=True)
+class RegionEntry:
+    """Restart information for one region.
+
+    ``block``/``index`` locate the BOUNDARY instruction that opens the
+    region; re-execution resumes at ``index + 1``. ``live_in`` lists the
+    registers whose values must be restored before restarting.
+    """
+
+    region_id: int
+    block: str
+    index: int
+    live_in: frozenset[Reg]
+
+
+class RecoveryMap:
+    """Per-region restart metadata for a compiled program."""
+
+    def __init__(self, entries: dict[int, RegionEntry]):
+        self.entries = entries
+
+    def entry(self, region_id: int) -> RegionEntry:
+        return self.entries[region_id]
+
+    def __contains__(self, region_id: int) -> bool:
+        return region_id in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+def build_recovery_map(program: Program) -> RecoveryMap:
+    """Locate every region boundary and compute its live-in registers."""
+    cfg = build_cfg(program)
+    liveness = compute_liveness(cfg)
+    entries: dict[int, RegionEntry] = {}
+    for block in program.blocks:
+        # Per-instruction liveness: live set *before* each instruction is
+        # the live-after of the previous one; recompute via live_after.
+        pairs = liveness.live_after(block.label)
+        for pos, (instr, live_after) in enumerate(pairs):
+            if not instr.is_boundary:
+                continue
+            rid = instr.region_id
+            if rid is None:
+                raise ValueError(f"boundary without region id: {instr!r}")
+            if rid in entries:
+                raise ValueError(f"region {rid} has two boundaries")
+            # A BOUNDARY neither reads nor writes registers, so the live
+            # set before it equals the live set after it.
+            entries[rid] = RegionEntry(
+                region_id=rid,
+                block=block.label,
+                index=pos,
+                live_in=frozenset(live_after),
+            )
+    return RecoveryMap(entries)
+
+
+def checkpoint_coverage_gaps(program: Program) -> list[tuple[int, Reg]]:
+    """Protocol invariant check used by tests.
+
+    For every region R and live-in register r of R, some earlier-executed
+    instruction must bind r: a ``CKPT r``, a pruned-checkpoint annotation
+    on a definition of r, or r being a program live-in (pre-verified by
+    the runtime). This static check is necessarily approximate about
+    execution order, so it verifies the weaker program-level property:
+    every region live-in is either a program live-in or a register that is
+    bound (checkpointed/annotated) at *every* definition... relaxed to *at
+    least one* binding existing, with the exact ordering property checked
+    dynamically by the resilient machine's paranoid mode.
+
+    Returns ``(region_id, reg)`` pairs with no binding at all.
+    """
+    from repro.compiler.pruning import PRUNED_ANNOTATION
+
+    bound: set[Reg] = set(program.live_in)
+    for instr in program.instructions():
+        if instr.is_checkpoint:
+            bound.add(instr.srcs[0])
+        elif instr.dest is not None and PRUNED_ANNOTATION in instr.annotations:
+            bound.add(instr.dest)
+
+    gaps: list[tuple[int, Reg]] = []
+    recovery = build_recovery_map(program)
+    for rid, entry in recovery.entries.items():
+        for reg in entry.live_in:
+            if reg not in bound:
+                gaps.append((rid, reg))
+    return gaps

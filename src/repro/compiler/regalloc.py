@@ -1,0 +1,248 @@
+"""Linear-scan register allocation with store-aware spill weights.
+
+Maps virtual registers onto the physical register file. The Turnpike
+twist (Section 4.1.1) is in the spill-candidate decision: a conventional
+allocator weighs reads and writes equally, but every write to a spilled
+variable becomes a *store* — deadly when stores must be verified through
+a 4-entry store buffer. With ``store_aware=True`` the weight of write
+operations is amplified, keeping write-heavy variables in registers while
+(by construction) spilling the same *number* of variables.
+
+Intervals are conservative hulls over a global block-order numbering —
+simple, predictable, and sound (two overlapping hulls never share a
+register). Spill code uses two reserved scratch registers, so allocation
+never fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instruction, StoreKind
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+
+# How much more a write costs than a read under the store-aware policy.
+STORE_AWARE_WRITE_FACTOR = 4.0
+# Spill slot pitch in bytes (one 32-bit word, padded to 8 for clarity).
+SPILL_SLOT_BYTES = 8
+
+
+@dataclass
+class AllocationStats:
+    mapped: int  # virtual registers given a physical register
+    spilled: int  # virtual registers spilled to stack slots
+    spill_loads: int  # reload instructions inserted
+    spill_stores: int  # spill-store instructions inserted
+    spilled_regs: list[Reg] = field(default_factory=list)
+
+
+def scratch_registers(register_file) -> tuple[Reg, Reg]:
+    """The two reserved spill scratch registers (highest allocatable)."""
+    allocatable = register_file.allocatable
+    return allocatable[-2], allocatable[-1]
+
+
+@dataclass
+class _Interval:
+    reg: Reg
+    start: int
+    end: int
+    weight: float
+    pinned: bool  # program live-ins are never spilled
+
+
+def _build_intervals(
+    program: Program, store_aware: bool
+) -> tuple[list[_Interval], dict[Reg, float]]:
+    cfg = build_cfg(program)
+    liveness = compute_liveness(cfg)
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+
+    write_factor = STORE_AWARE_WRITE_FACTOR if store_aware else 1.0
+
+    number = 0
+    start: dict[Reg, int] = {}
+    end: dict[Reg, int] = {}
+    weight: dict[Reg, float] = {}
+
+    def touch(reg: Reg, point: int) -> None:
+        if not reg.is_virtual:
+            return
+        if reg not in start:
+            start[reg] = point
+            end[reg] = point
+        else:
+            if point < start[reg]:
+                start[reg] = point
+            if point > end[reg]:
+                end[reg] = point
+
+    for reg in program.live_in:
+        touch(reg, 0)
+
+    for block in program.blocks:
+        depth = min(loops.loop_depth(block.label), 3)
+        freq = 10.0**depth
+        block_start = number
+        for reg in liveness.live_in[block.label]:
+            touch(reg, block_start)
+        for instr in block.instructions:
+            for src in instr.srcs:
+                touch(src, number)
+                if src.is_virtual:
+                    weight[src] = weight.get(src, 0.0) + freq
+            if instr.dest is not None:
+                touch(instr.dest, number)
+                if instr.dest.is_virtual:
+                    weight[instr.dest] = (
+                        weight.get(instr.dest, 0.0) + freq * write_factor
+                    )
+            number += 1
+        block_end = number - 1
+        for reg in liveness.live_out[block.label]:
+            touch(reg, block_end)
+
+    intervals = [
+        _Interval(
+            reg=reg,
+            start=start[reg],
+            end=end[reg],
+            weight=weight.get(reg, 0.0),
+            pinned=reg in program.live_in,
+        )
+        for reg in start
+    ]
+    intervals.sort(key=lambda iv: (iv.start, iv.reg.index))
+    return intervals, weight
+
+
+def allocate_registers(program: Program, store_aware: bool = False) -> AllocationStats:
+    """Allocate physical registers in place; returns statistics.
+
+    After this pass no virtual registers remain in the program; spilled
+    virtuals are rewritten through reserved scratch registers with
+    stack-relative loads/stores (``StoreKind.SPILL``).
+    """
+    rf = program.register_file
+    allocatable = rf.allocatable
+    if len(allocatable) < 4:
+        raise ValueError("need at least 4 allocatable registers")
+    # Reserve the two highest allocatable registers as spill scratch.
+    scratch = list(scratch_registers(rf))
+    pool = allocatable[:-2]
+
+    intervals, _ = _build_intervals(program, store_aware)
+
+    free = list(reversed(pool))  # pop() yields lowest-numbered first
+    active: list[_Interval] = []
+    assignment: dict[Reg, Reg] = {}
+    spilled: dict[Reg, int] = {}
+    next_slot = 0
+
+    def expire(point: int) -> None:
+        nonlocal active
+        keep = []
+        for iv in active:
+            if iv.end < point:
+                free.append(assignment[iv.reg])
+            else:
+                keep.append(iv)
+        active = keep
+
+    def spill(iv: _Interval) -> None:
+        nonlocal next_slot
+        spilled[iv.reg] = next_slot
+        next_slot += SPILL_SLOT_BYTES
+
+    for iv in intervals:
+        expire(iv.start)
+        if free:
+            phys = free.pop()
+            assignment[iv.reg] = phys
+            active.append(iv)
+            continue
+        # No free register: evict the cheapest unpinned candidate.
+        candidates = [a for a in active if not a.pinned]
+        if not iv.pinned:
+            candidates.append(iv)
+        if not candidates:
+            raise RuntimeError("all candidates pinned; register file too small")
+        # Spill weight density (weight per covered instruction), as in
+        # LLVM's greedy allocator: long-lived sparse values spill before
+        # short hot temporaries of equal absolute weight.
+        victim = min(
+            candidates,
+            key=lambda a: (a.weight / (a.end - a.start + 1), -a.end),
+        )
+        if victim is iv:
+            spill(iv)
+        else:
+            phys = assignment.pop(victim.reg)
+            spill(victim)
+            active.remove(victim)
+            assignment[iv.reg] = phys
+            active.append(iv)
+
+    stats = _rewrite(program, assignment, spilled, scratch)
+    stats.mapped = len(assignment)
+    stats.spilled = len(spilled)
+    stats.spilled_regs = sorted(spilled.keys())
+
+    # Physical live-in set replaces the virtual one.
+    program.live_in = {assignment.get(r, r) for r in program.live_in}
+    return stats
+
+
+def _rewrite(
+    program: Program,
+    assignment: dict[Reg, Reg],
+    spilled: dict[Reg, int],
+    scratch: list[Reg],
+) -> AllocationStats:
+    sp = program.register_file.stack_pointer
+    stats = AllocationStats(mapped=0, spilled=0, spill_loads=0, spill_stores=0)
+    for block in program.blocks:
+        new_instrs: list[Instruction] = []
+        for instr in block.instructions:
+            pre: list[Instruction] = []
+            post: list[Instruction] = []
+            mapping: dict[Reg, Reg] = {}
+            scratch_iter = iter(scratch)
+            for src in dict.fromkeys(instr.srcs):  # unique, ordered
+                if src in spilled:
+                    tmp = next(scratch_iter)
+                    pre.append(ins.load(tmp, sp, spilled[src]))
+                    stats.spill_loads += 1
+                    mapping[src] = tmp
+                elif src in assignment:
+                    mapping[src] = assignment[src]
+            instr.replace_uses(mapping)
+            dest = instr.dest
+            if dest is not None:
+                if dest in spilled:
+                    tmp = scratch[0]
+                    instr.replace_defs({dest: tmp})
+                    post.append(
+                        ins.store(tmp, sp, spilled[dest], kind=StoreKind.SPILL)
+                    )
+                    stats.spill_stores += 1
+                elif dest in assignment:
+                    instr.replace_defs({dest: assignment[dest]})
+            new_instrs.extend(pre)
+            new_instrs.append(instr)
+            new_instrs.extend(post)
+        block.instructions = new_instrs
+
+    for instr in program.instructions():
+        if any(r.is_virtual for r in instr.srcs) or (
+            instr.dest is not None and instr.dest.is_virtual
+        ):
+            raise RuntimeError(f"virtual register survived allocation: {instr!r}")
+    return stats

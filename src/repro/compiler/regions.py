@@ -1,0 +1,323 @@
+"""Store-buffer-aware region partitioning (Turnstile, Section 2.1).
+
+The compiler divides the program into verifiable/recoverable regions so
+that no path through a region commits more stores than half the store
+buffer capacity (so a region's verification can overlap its successor's
+execution, Section 4.3.1). Region boundaries are also forced at loop
+headers (footnote 2 in the paper) so each loop iteration is independently
+recoverable — except that store-free inner loops may legally stay inside
+one region, which is what gives LICM checkpoint sinking its win.
+
+A region boundary is represented by a BOUNDARY pseudo-instruction; every
+instruction is tagged with the ``region_id`` of the static region it
+belongs to. Dynamic regions are delimited at run time each time a
+BOUNDARY commits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.loops import find_loops
+from repro.isa.instructions import Instruction, Opcode, boundary
+from repro.isa.program import Program
+
+
+@dataclass
+class RegionInfo:
+    """Static description of one region produced by the partitioner."""
+
+    region_id: int
+    start_block: str
+    max_stores_on_path: int = 0
+    instruction_count: int = 0
+    blocks: set[str] = field(default_factory=set)
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of region partitioning for one program."""
+
+    regions: dict[int, RegionInfo]
+    boundaries_inserted: int
+
+    @property
+    def num_regions(self) -> int:
+        return len(self.regions)
+
+
+def _loop_has_regular_store(program: Program, body: set[str]) -> bool:
+    for label in body:
+        for instr in program.block(label).instructions:
+            if instr.is_store:
+                return True
+    return False
+
+
+def _loop_has_predicted_unit(body: set[str], program: Program, predicted: set[int]) -> bool:
+    for label in body:
+        for instr in program.block(label).instructions:
+            if instr.uid in predicted:
+                return True
+    return False
+
+
+def _scratch_live_positions(block, scratch_regs: set) -> list[bool]:
+    """``out[pos]`` is True when a spill scratch register is live entering
+    position ``pos`` — i.e. a boundary inserted there would split a spill
+    reload/store group."""
+    n = len(block.instructions)
+    out = [False] * (n + 1)
+    live: set = set()
+    for pos in range(n - 1, -1, -1):
+        instr = block.instructions[pos]
+        if instr.dest is not None and instr.dest in scratch_regs:
+            live.discard(instr.dest)
+        for src in instr.srcs:
+            if src in scratch_regs:
+                live.add(src)
+        out[pos] = bool(live)
+    return out
+
+
+def _loop_is_sinkable(cfg, loop) -> bool:
+    """Can LICM move all of this loop's checkpoints to its exits?
+
+    Mirrors the safety test in :mod:`repro.compiler.licm`: every exit
+    block must be reached only from inside the loop.
+    """
+    if not loop.exits:
+        return False
+    return all(
+        all(pred in loop.body for pred in cfg.preds(exit_label))
+        for exit_label in loop.exits
+    )
+
+
+def partition_regions(
+    program: Program,
+    max_stores: int,
+    predicted_ckpt_defs: set[int] | None = None,
+    licm_sinking: bool = False,
+) -> PartitionResult:
+    """Insert region boundaries and assign ``region_id`` tags in place.
+
+    ``predicted_ckpt_defs`` holds uids of definitions expected to receive
+    an eager checkpoint; each counts as one store unit toward the region
+    cap, so that checkpoints inserted later still fit in the store buffer
+    (the paper's Figure 1 caps regions counting checkpoint stores too).
+
+    The algorithm walks blocks in reverse postorder carrying the
+    worst-case (path-insensitive) store count into each block:
+
+      * the entry block begins region 0 with a BOUNDARY;
+      * a block that is a header of a loop containing at least one store
+        starts a new region (boundary at the top);
+      * a block whose predecessors disagree on the current region, or
+        whose incoming worst-case store count would allow the cap to be
+        exceeded mid-block, gets boundaries inserted exactly where the
+        running count would exceed ``max_stores``.
+
+    Returns static region metadata used by the experiments (Figure 26's
+    region-size study reads ``instruction_count`` per region).
+    """
+    if max_stores < 1:
+        raise ValueError("max_stores must be >= 1")
+    predicted = predicted_ckpt_defs or set()
+    # Blocks of loops whose checkpoints LICM will sink to the exits;
+    # their predicted units do not occupy store-buffer entries in place.
+    relaxed_blocks: set[str] = set()
+
+    def store_units(instr: Instruction, label: str) -> int:
+        units = 1 if instr.is_store else 0
+        if instr.uid in predicted and label not in relaxed_blocks:
+            units += 1
+        return units
+
+    cfg = build_cfg(program)
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+
+    # Loop headers that must start a region: loops whose body allocates
+    # store-buffer entries every iteration (regular stores, or predicted
+    # checkpoints of live-out definitions). Without a per-iteration
+    # boundary such a loop would pile an unbounded number of quarantined
+    # entries into one region. Exception: when LICM checkpoint sinking is
+    # enabled, a loop with no regular stores keeps its checkpoints only
+    # until the sinking pass moves them to the loop exits, so the region
+    # may safely span the whole loop (this is what creates the Figure 10
+    # opportunity).
+    forced_headers: set[str] = set()
+    for header, loop in loops.loops.items():
+        has_store = _loop_has_regular_store(program, loop.body)
+        has_unit = has_store or _loop_has_predicted_unit(
+            loop.body, program, predicted
+        )
+        if not has_unit:
+            continue
+        if (
+            licm_sinking
+            and not has_store
+            and _loop_is_sinkable(cfg, loop)
+        ):
+            relaxed_blocks.update(loop.body)
+            continue
+        forced_headers.add(header)
+
+    from repro.compiler.regalloc import scratch_registers
+
+    scratch_regs = set(scratch_registers(program.register_file))
+
+    rpo = cfg.reverse_postorder()
+    next_region = 0
+    regions: dict[int, RegionInfo] = {}
+    boundaries = 0
+
+    def new_region(start_block: str) -> int:
+        nonlocal next_region, boundaries
+        rid = next_region
+        next_region += 1
+        regions[rid] = RegionInfo(region_id=rid, start_block=start_block)
+        boundaries += 1
+        return rid
+
+    # State propagated along edges: (region_id, worst-case stores so far).
+    incoming: dict[str, list[tuple[int, int]]] = {label: [] for label in rpo}
+
+    for label in rpo:
+        block = cfg.block(label)
+        states = incoming[label]
+        starts_new = False
+        if label == cfg.entry:
+            starts_new = True
+        elif label in forced_headers:
+            starts_new = True
+        elif not states:
+            # Unreachable-from-entry in RPO terms (shouldn't happen) or a
+            # join reached only by back edges; be safe.
+            starts_new = True
+        else:
+            rids = {rid for rid, _ in states}
+            if len(rids) > 1:
+                # Predecessors in different regions: join point must start
+                # a fresh region so the region id is path-independent.
+                starts_new = True
+
+        if starts_new:
+            rid = new_region(label)
+            count = 0
+            marker = boundary()
+            marker.region_id = rid
+            block.instructions.insert(0, marker)
+        else:
+            rid = states[0][0]
+            count = max(c for _, c in states)
+
+        # Positions where a boundary may NOT be inserted: while one of the
+        # spill scratch registers holds a live value, splitting would make
+        # the scratch register a region live-in, which recovery cannot
+        # restore (scratch values are never checkpointed). Spill rewrite
+        # groups (reload / op / spill-store) are short and contiguous, so
+        # pushing the split back to the nearest scratch-dead position is
+        # always possible and moves at most a few instructions.
+        scratch_live = _scratch_live_positions(block, scratch_regs)
+
+        # Walk the block, splitting when the store cap would be exceeded.
+        idx = 0
+        while idx < len(block.instructions):
+            instr = block.instructions[idx]
+            if instr.is_boundary:
+                instr.region_id = rid
+                regions[rid].blocks.add(label)
+                idx += 1
+                continue
+            units = store_units(instr, label)
+            if units and count + units > max_stores:
+                split_at = idx
+                while split_at > 0 and scratch_live[split_at]:
+                    split_at -= 1
+                rid = new_region(label)
+                marker = boundary()
+                marker.region_id = rid
+                block.instructions.insert(split_at, marker)
+                scratch_live.insert(split_at, False)
+                idx += 1
+                # Re-tag instructions dragged into the new region and
+                # recount their store units.
+                count = 0
+                for pos in range(split_at + 1, idx):
+                    moved = block.instructions[pos]
+                    old_rid = moved.region_id
+                    if old_rid is not None and old_rid in regions:
+                        regions[old_rid].instruction_count -= 1
+                    moved.region_id = rid
+                    regions[rid].blocks.add(label)
+                    regions[rid].instruction_count += 1
+                    count += store_units(moved, label)
+                instr = block.instructions[idx]
+            instr.region_id = rid
+            regions[rid].blocks.add(label)
+            regions[rid].instruction_count += 1
+            if units:
+                count += units
+                regions[rid].max_stores_on_path = max(
+                    regions[rid].max_stores_on_path, count
+                )
+            idx += 1
+
+        for succ in cfg.succs(label):
+            incoming.setdefault(succ, []).append((rid, count))
+
+    program.validate()
+    return PartitionResult(regions=regions, boundaries_inserted=boundaries)
+
+
+def region_of_first_instruction(program: Program) -> int:
+    for instr in program.instructions():
+        if instr.region_id is not None:
+            return instr.region_id
+    raise ValueError("program has no region-tagged instructions")
+
+
+def check_region_invariants(program: Program, max_stores: int) -> list[str]:
+    """Verify partitioning invariants; returns a list of violations.
+
+    Checks (used by tests):
+      * every instruction has a region id;
+      * within a basic block, the region id only changes at BOUNDARY
+        markers;
+      * no straight-line run within one region of one block exceeds the
+        store cap (a per-path global check is performed dynamically by the
+        resilient machine, which is the authoritative check).
+    """
+    problems: list[str] = []
+    for block in program.blocks:
+        current: int | None = None
+        stores = 0
+        for instr in block.instructions:
+            if instr.region_id is None:
+                problems.append(f"{block.label}: {instr!r} has no region id")
+                continue
+            if instr.is_boundary:
+                current = instr.region_id
+                stores = 0
+                continue
+            if current is None:
+                current = instr.region_id
+            elif instr.region_id != current:
+                problems.append(
+                    f"{block.label}: region changed {current}->{instr.region_id} "
+                    f"without a boundary at {instr!r}"
+                )
+                current = instr.region_id
+                stores = 0
+            if instr.is_store:
+                stores += 1
+                if stores > max_stores:
+                    problems.append(
+                        f"{block.label}: region {current} has {stores} stores "
+                        f"in-block (cap {max_stores})"
+                    )
+    return problems

@@ -1,0 +1,112 @@
+"""Loop strength reduction (standard -O3 behaviour, Section 4.1.2 setup).
+
+Turns per-iteration multiplications of a basic induction variable
+(``t = i * c`` or ``t = i << k``, typically address arithmetic for
+``A[i]``) into a new basic induction variable ``p`` initialised in the
+preheader and bumped by ``c * step`` next to ``i``'s update.
+
+This is the optimization that *creates* the extra loop-carried IVs whose
+checkpoints LIVM later eliminates; both Turnstile and Turnpike builds run
+it because it is standard production-compiler behaviour (the paper
+compiles everything with -O3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.induction import find_basic_ivs
+from repro.analysis.loops import Loop, find_loops
+from repro.isa import instructions as ins
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+
+
+@dataclass
+class StrengthReductionStats:
+    reduced: int  # multiplications converted into new induction variables
+
+
+def _preheader(cfg: ControlFlowGraph, loop: Loop) -> str | None:
+    """Unique out-of-loop predecessor of the loop header, if any."""
+    outside = [p for p in cfg.preds(loop.header) if p not in loop.body]
+    if len(outside) == 1:
+        return outside[0]
+    return None
+
+
+def reduce_strength(program: Program) -> StrengthReductionStats:
+    """Apply loop strength reduction to every loop, in place."""
+    cfg = build_cfg(program)
+    dom = compute_dominators(cfg)
+    loops = find_loops(cfg, dom)
+
+    reduced = 0
+    for loop in sorted(loops.loops.values(), key=lambda lp: len(lp.body)):
+        preheader = _preheader(cfg, loop)
+        if preheader is None:
+            continue
+        ivs = {iv.reg: iv for iv in find_basic_ivs(cfg, loop)}
+        if not ivs:
+            continue
+        for label in sorted(loop.body):
+            block = cfg.block(label)
+            for pos, instr in enumerate(list(block.instructions)):
+                factor: int | None = None
+                if instr.op is Opcode.MULI:
+                    factor = instr.imm
+                elif instr.op is Opcode.SHLI:
+                    factor = 1 << instr.imm
+                if factor is None or factor == 0:
+                    continue
+                iv = ivs.get(instr.srcs[0])
+                if iv is None:
+                    continue
+                if instr.uid == iv.update.uid:
+                    continue
+                # The multiplication must read the start-of-iteration value
+                # of the IV for the derived IV to stay in lockstep: require
+                # it to appear before the IV update when both share a block,
+                # and otherwise in a non-latch block (updates only exist in
+                # the latch).
+                update_block = None
+                update_pos = -1
+                for lbl in loop.body:
+                    for p2, other in enumerate(cfg.block(lbl).instructions):
+                        if other.uid == iv.update.uid:
+                            update_block, update_pos = lbl, p2
+                if update_block == label and pos > update_pos:
+                    continue
+
+                derived = program.fresh_vreg()
+                pre_block = cfg.block(preheader)
+                if iv.init_value is not None:
+                    init = ins.li(derived, iv.init_value * factor)
+                    pre_block.insert_before_terminator([init])
+                else:
+                    init = ins.alu_ri(
+                        Opcode.MULI, derived, iv.reg, factor
+                    )
+                    pre_block.insert_before_terminator([init])
+                # Bump the derived IV right after the anchor IV's update.
+                latch_block = cfg.block(update_block)  # type: ignore[arg-type]
+                for p2, other in enumerate(latch_block.instructions):
+                    if other.uid == iv.update.uid:
+                        bump = ins.alu_ri(
+                            Opcode.ADDI, derived, derived, iv.step * factor
+                        )
+                        latch_block.instructions.insert(p2 + 1, bump)
+                        break
+                # Replace the multiplication with a move from the derived IV.
+                replacement = ins.mov(instr.dest, derived)
+                idx = block.instructions.index(instr)
+                block.instructions[idx] = replacement
+                reduced += 1
+        # Re-scan IVs per loop only once per loop; nested rewrites of the
+        # same loop in one pass are rare and the next compilation stage
+        # tolerates leftovers.
+    if reduced:
+        program.validate()
+    return StrengthReductionStats(reduced=reduced)

@@ -1,0 +1,43 @@
+"""Fault injection: single-event upsets, detection, recovery validation."""
+
+from repro.faults.injector import (
+    CampaignResult,
+    InjectionOutcome,
+    golden_memory,
+    random_register_injections,
+    run_campaign,
+    run_with_injection,
+)
+from repro.faults.analysis import (
+    RecoveryCost,
+    RecoveryCostReport,
+    measure_recovery_cost,
+    recovery_cost_vs_wcdl,
+)
+from repro.faults.campaign import (
+    ProtocolCampaigns,
+    run_protocol_campaigns,
+    turnpike_machine_config,
+    turnstile_machine_config,
+    unsafe_machine_config,
+    warfree_machine_config,
+)
+
+__all__ = [
+    "RecoveryCost",
+    "RecoveryCostReport",
+    "measure_recovery_cost",
+    "recovery_cost_vs_wcdl",
+    "CampaignResult",
+    "InjectionOutcome",
+    "golden_memory",
+    "random_register_injections",
+    "run_campaign",
+    "run_with_injection",
+    "ProtocolCampaigns",
+    "run_protocol_campaigns",
+    "turnpike_machine_config",
+    "turnstile_machine_config",
+    "unsafe_machine_config",
+    "warfree_machine_config",
+]

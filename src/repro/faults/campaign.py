@@ -1,0 +1,94 @@
+"""Pre-packaged fault-injection campaigns over the protocol variants.
+
+These drive :mod:`repro.faults.injector` across the three configurations
+whose safety the paper argues for, plus the Figure 16 negative control.
+Tests and the fault-injection example both consume this module.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.pipeline import CompiledProgram
+from repro.faults.injector import (
+    CampaignResult,
+    random_register_injections,
+    run_campaign,
+)
+from repro.runtime.interpreter import execute
+from repro.runtime.machine import ResilienceConfig
+from repro.runtime.memory import Memory
+
+
+def _horizon(compiled: CompiledProgram, memory: Memory) -> int:
+    """Commit-tick span of a fault-free run (injection times sample this)."""
+    result = execute(compiled.program, memory.copy(), collect_trace=True)
+    assert result.trace is not None
+    boundaries = sum(1 for e in result.trace if e[0] == 7)
+    return max(2, len(result.trace) - boundaries - 1)
+
+
+@dataclass
+class ProtocolCampaigns:
+    """Campaign results across the protocol variants for one program."""
+
+    turnstile: CampaignResult
+    warfree: CampaignResult
+    turnpike: CampaignResult
+    unsafe: CampaignResult
+
+
+def turnstile_machine_config(wcdl: int = 10) -> ResilienceConfig:
+    return ResilienceConfig(
+        wcdl=wcdl, clq_enabled=False, coloring_enabled=False
+    )
+
+
+def warfree_machine_config(wcdl: int = 10, clq_kind: str = "compact") -> ResilienceConfig:
+    return ResilienceConfig(
+        wcdl=wcdl, clq_enabled=True, clq_kind=clq_kind, coloring_enabled=False
+    )
+
+
+def turnpike_machine_config(wcdl: int = 10, clq_kind: str = "compact") -> ResilienceConfig:
+    return ResilienceConfig(
+        wcdl=wcdl, clq_enabled=True, clq_kind=clq_kind, coloring_enabled=True
+    )
+
+
+def unsafe_machine_config(wcdl: int = 10) -> ResilienceConfig:
+    """Figure 16: fast-release checkpoints with NO coloring. Must fail."""
+    return ResilienceConfig(
+        wcdl=wcdl,
+        clq_enabled=True,
+        coloring_enabled=False,
+        unsafe_checkpoint_release=True,
+    )
+
+
+def run_protocol_campaigns(
+    compiled: CompiledProgram,
+    memory: Memory,
+    wcdl: int = 10,
+    count: int = 40,
+    seed: int = 1234,
+) -> ProtocolCampaigns:
+    """Inject the same faults under every protocol variant."""
+    horizon = _horizon(compiled, memory)
+    injections = random_register_injections(
+        compiled, wcdl=wcdl, count=count, seed=seed, horizon=horizon
+    )
+    return ProtocolCampaigns(
+        turnstile=run_campaign(
+            compiled, turnstile_machine_config(wcdl), memory, injections
+        ),
+        warfree=run_campaign(
+            compiled, warfree_machine_config(wcdl), memory, injections
+        ),
+        turnpike=run_campaign(
+            compiled, turnpike_machine_config(wcdl), memory, injections
+        ),
+        unsafe=run_campaign(
+            compiled, unsafe_machine_config(wcdl), memory, injections
+        ),
+    )

@@ -1,0 +1,418 @@
+"""Per-figure experiment drivers.
+
+One function per table/figure of the paper's evaluation (Section 6).
+Every driver takes an optional benchmark list (defaulting to all 36) and
+returns plain data structures that the benches print and the tests
+assert against; nothing here touches matplotlib — the "figures" are the
+numeric series the plots would show.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.config import CoreConfig, ResilienceHardwareConfig
+from repro.compiler.config import (
+    CompilerConfig,
+    figure21_configs,
+    turnpike_config,
+    turnstile_config,
+)
+from repro.harness.runner import (
+    GLOBAL_CACHE,
+    RunCache,
+    default_benchmarks,
+    geomean,
+    normalized_time,
+    simulate,
+)
+from repro.hwcost.cacti import Table1, build_table1
+from repro.sensors.acoustic import figure18_series
+
+
+@dataclass
+class Series:
+    """One named series over the benchmark set."""
+
+    name: str
+    per_benchmark: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def geomean(self) -> float:
+        return geomean(list(self.per_benchmark.values()))
+
+    @property
+    def mean(self) -> float:
+        values = list(self.per_benchmark.values())
+        return sum(values) / len(values)
+
+
+def _hw(flags: dict[str, bool], wcdl: int, sb_size: int, clq_kind: str = "compact",
+        clq_size: int = 2) -> ResilienceHardwareConfig:
+    return ResilienceHardwareConfig(
+        enabled=True,
+        wcdl=wcdl,
+        sb_size=sb_size,
+        clq_enabled=flags.get("clq", True),
+        clq_kind=clq_kind,
+        clq_size=clq_size,
+        coloring_enabled=flags.get("coloring", True),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 — checkpoint ratio vs store buffer size
+# ---------------------------------------------------------------------------
+
+
+def fig04_checkpoint_ratio(
+    benchmarks: list[str] | None = None,
+    sb_sizes: tuple[int, int] = (40, 4),
+    cache: RunCache | None = None,
+) -> dict[int, Series]:
+    """Dynamic checkpoint instructions as a fraction of committed
+    instructions, for a large (OoO-like) and small (in-order) SB."""
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    out: dict[int, Series] = {}
+    for sb in sb_sizes:
+        series = Series(name=f"{sb}-entry SB")
+        for uid in benchmarks:
+            run = cache.prepared(uid, turnstile_config(sb_size=sb))
+            summary = run.summary
+            series.per_benchmark[uid] = summary.checkpoints / summary.committed
+        out[sb] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figures 14 / 15 — ideal vs compact CLQ (hardware-only Turnpike)
+# ---------------------------------------------------------------------------
+
+
+def fig14_fig15_clq_designs(
+    benchmarks: list[str] | None = None,
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[str, dict[str, Series]]:
+    """Fast release + coloring only (no compiler opts), ideal vs compact.
+
+    Returns ``{"overhead": {...}, "warfree_ratio": {...}}`` keyed by CLQ
+    design, matching Figures 14 and 15.
+    """
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    compiler = turnstile_config().with_name("fastrelease")
+    out = {"overhead": {}, "warfree_ratio": {}}
+    for kind, label in (("ideal", "Ideal CLQ"), ("compact", "Compact CLQ")):
+        overhead = Series(name=label)
+        ratio = Series(name=label)
+        hw = _hw({"clq": True, "coloring": True}, wcdl, 4, clq_kind=kind)
+        for uid in benchmarks:
+            stats = simulate(uid, compiler, hw, cache=cache)
+            overhead.per_benchmark[uid] = (
+                stats.cycles / cache.baseline_cycles(uid)
+            )
+            ratio.per_benchmark[uid] = (
+                stats.warfree_released / max(1, stats.all_stores)
+            )
+        out["overhead"][kind] = overhead
+        out["warfree_ratio"][kind] = ratio
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 18 — sensor count vs detection latency
+# ---------------------------------------------------------------------------
+
+
+def fig18_sensor_latency() -> dict[float, list[tuple[int, float]]]:
+    return figure18_series()
+
+
+# ---------------------------------------------------------------------------
+# Figures 19 / 20 — WCDL sweeps
+# ---------------------------------------------------------------------------
+
+
+def _wcdl_sweep(
+    compiler: CompilerConfig,
+    flags: dict[str, bool],
+    benchmarks: list[str],
+    wcdls: tuple[int, ...],
+    cache: RunCache,
+) -> dict[int, Series]:
+    out: dict[int, Series] = {}
+    for wcdl in wcdls:
+        series = Series(name=f"DL{wcdl}")
+        hw = _hw(flags, wcdl, compiler.sb_size)
+        for uid in benchmarks:
+            series.per_benchmark[uid] = normalized_time(
+                uid, compiler, hw, cache=cache
+            )
+        out[wcdl] = series
+    return out
+
+
+def fig19_turnpike_wcdl(
+    benchmarks: list[str] | None = None,
+    wcdls: tuple[int, ...] = (10, 20, 30, 40, 50),
+    cache: RunCache | None = None,
+) -> dict[int, Series]:
+    """Turnpike normalized execution time across WCDLs (paper: 0-14%)."""
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    return _wcdl_sweep(
+        turnpike_config(), {"clq": True, "coloring": True}, benchmarks, wcdls, cache
+    )
+
+
+def fig20_turnstile_wcdl(
+    benchmarks: list[str] | None = None,
+    wcdls: tuple[int, ...] = (10, 20, 30, 40, 50),
+    cache: RunCache | None = None,
+) -> dict[int, Series]:
+    """Turnstile normalized execution time across WCDLs (paper: 29-84%)."""
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    return _wcdl_sweep(
+        turnstile_config(), {"clq": False, "coloring": False}, benchmarks, wcdls, cache
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 21 — optimization ablation
+# ---------------------------------------------------------------------------
+
+
+def fig21_ablation(
+    benchmarks: list[str] | None = None,
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> list[Series]:
+    """The eight configurations of Figure 21, in presentation order."""
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    out: list[Series] = []
+    for label, compiler, flags in figure21_configs():
+        series = Series(name=label)
+        hw = _hw(flags, wcdl, compiler.sb_size)
+        for uid in benchmarks:
+            series.per_benchmark[uid] = normalized_time(
+                uid, compiler, hw, cache=cache
+            )
+        out.append(series)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 22 — store buffer size sensitivity
+# ---------------------------------------------------------------------------
+
+
+def fig22_sb_sensitivity(
+    benchmarks: list[str] | None = None,
+    turnstile_sizes: tuple[int, ...] = (4, 8, 10, 20, 30, 40),
+    turnpike_sizes: tuple[int, ...] = (4, 8, 10),
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[str, dict[int, Series]]:
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    out: dict[str, dict[int, Series]] = {"turnstile": {}, "turnpike": {}}
+    for sb in turnstile_sizes:
+        series = Series(name=f"Turnstile (SB-{sb})")
+        compiler = turnstile_config(sb_size=sb)
+        hw = _hw({"clq": False, "coloring": False}, wcdl, sb)
+        for uid in benchmarks:
+            series.per_benchmark[uid] = normalized_time(uid, compiler, hw, cache=cache)
+        out["turnstile"][sb] = series
+    for sb in turnpike_sizes:
+        series = Series(name=f"Turnpike (SB-{sb})")
+        compiler = turnpike_config(sb_size=sb)
+        hw = _hw({"clq": True, "coloring": True}, wcdl, sb)
+        for uid in benchmarks:
+            series.per_benchmark[uid] = normalized_time(uid, compiler, hw, cache=cache)
+        out["turnpike"][sb] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 23 — store breakdown
+# ---------------------------------------------------------------------------
+
+BREAKDOWN_CATEGORIES = (
+    "pruned",
+    "licm_eliminated",
+    "colored",
+    "warfree",
+    "ra_eliminated",
+    "indvar_eliminated",
+    "others",
+)
+
+
+def fig23_store_breakdown(
+    benchmarks: list[str] | None = None,
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[str, dict[str, float]]:
+    """Fraction of Turnstile's total stores in each disposition category.
+
+    Eliminated categories are measured by differencing dynamic store
+    counts between compiler stages (how the paper's compiler statistics
+    are defined); released/quarantined categories come from the full
+    Turnpike timing run.
+    """
+    from dataclasses import replace
+
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+
+    # All differencing stages share the overlap partitioning so each
+    # delta isolates exactly one optimization (the same convention as the
+    # Figure 21 ablation's hardware rows).
+    base_cfg = replace(
+        turnstile_config(), overlap_partitioning=True, name="bd-base"
+    )
+    pruning_cfg = CompilerConfig(
+        checkpoint_pruning=True,
+        licm_sinking=False,
+        induction_variable_merging=False,
+        instruction_scheduling=False,
+        store_aware_regalloc=False,
+        name="bd+pruning",
+    )
+    licm_cfg = replace(pruning_cfg, licm_sinking=True, name="bd+licm")
+    ra_cfg = replace(
+        licm_cfg,
+        instruction_scheduling=True,
+        store_aware_regalloc=True,
+        name="bd+ra",
+    )
+    full_cfg = turnpike_config()
+
+    out: dict[str, dict[str, float]] = {}
+    hw = _hw({"clq": True, "coloring": True}, wcdl, 4)
+    for uid in benchmarks:
+        s0 = cache.prepared(uid, base_cfg).summary
+        s1 = cache.prepared(uid, pruning_cfg).summary
+        s2 = cache.prepared(uid, licm_cfg).summary
+        s3 = cache.prepared(uid, ra_cfg).summary
+        s4 = cache.prepared(uid, full_cfg).summary
+        total = max(1, s0.all_stores)
+        pruned = max(0, s0.checkpoints - s1.checkpoints)
+        licm = max(0, s1.checkpoints - s2.checkpoints)
+        ra = max(0, s2.spill_stores - s3.spill_stores)
+        indvar = max(0, s3.all_stores - s4.all_stores - 0)  # LIVM effect
+        stats = simulate(uid, full_cfg, hw, cache=cache)
+        colored = stats.colored_released
+        warfree = stats.warfree_released
+        others = max(0, total - pruned - licm - ra - indvar - colored - warfree)
+        out[uid] = {
+            "pruned": pruned / total,
+            "licm_eliminated": licm / total,
+            "colored": colored / total,
+            "warfree": warfree / total,
+            "ra_eliminated": ra / total,
+            "indvar_eliminated": indvar / total,
+            "others": others / total,
+        }
+    return out
+
+
+def breakdown_means(breakdown: dict[str, dict[str, float]]) -> dict[str, float]:
+    """Arithmetic means across benchmarks (the paper reports means here)."""
+    n = len(breakdown)
+    means = {cat: 0.0 for cat in BREAKDOWN_CATEGORIES}
+    for per_bench in breakdown.values():
+        for cat in BREAKDOWN_CATEGORIES:
+            means[cat] += per_bench[cat]
+    return {cat: value / n for cat, value in means.items()}
+
+
+# ---------------------------------------------------------------------------
+# Figure 24 — dynamic CLQ occupancy
+# ---------------------------------------------------------------------------
+
+
+def fig24_clq_occupancy(
+    benchmarks: list[str] | None = None,
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[str, tuple[float, int]]:
+    """(average, maximum) populated CLQ entries per benchmark.
+
+    Measured with an unbounded ideal CLQ so the numbers reflect *demand*
+    (how many in-flight regions hold load ranges), as in the paper's
+    sizing study.
+    """
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    compiler = turnpike_config()
+    hw = ResilienceHardwareConfig.turnpike(wcdl=wcdl, clq_kind="ideal")
+    out: dict[str, tuple[float, int]] = {}
+    for uid in benchmarks:
+        stats = simulate(uid, compiler, hw, cache=cache)
+        out[uid] = (stats.clq_occupancy_avg, stats.clq_occupancy_max)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 25 — CLQ size sensitivity
+# ---------------------------------------------------------------------------
+
+
+def fig25_clq_size(
+    benchmarks: list[str] | None = None,
+    sizes: tuple[int, ...] = (2, 4),
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[int, Series]:
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    compiler = turnpike_config()
+    out: dict[int, Series] = {}
+    for size in sizes:
+        series = Series(name=f"CLQ-{size}")
+        hw = ResilienceHardwareConfig.turnpike(wcdl=wcdl, clq_size=size)
+        for uid in benchmarks:
+            series.per_benchmark[uid] = normalized_time(uid, compiler, hw, cache=cache)
+        out[size] = series
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 26 — region size and code size
+# ---------------------------------------------------------------------------
+
+
+def fig26_region_codesize(
+    benchmarks: list[str] | None = None,
+    wcdl: int = 10,
+    cache: RunCache | None = None,
+) -> dict[str, tuple[float, float]]:
+    """(average dynamic region size, code-size increase fraction)."""
+    cache = cache or GLOBAL_CACHE
+    benchmarks = benchmarks or default_benchmarks()
+    compiler = turnpike_config()
+    hw = ResilienceHardwareConfig.turnpike(wcdl=wcdl)
+    out: dict[str, tuple[float, float]] = {}
+    for uid in benchmarks:
+        stats = simulate(uid, compiler, hw, cache=cache)
+        run = cache.prepared(uid, compiler)
+        base = cache.baseline(uid)
+        growth = (
+            run.compiled.code_size_bytes - base.compiled.code_size_bytes
+        ) / base.compiled.code_size_bytes
+        out[uid] = (stats.dynamic_region_size, growth)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — hardware cost
+# ---------------------------------------------------------------------------
+
+
+def table1_hw_cost() -> Table1:
+    return build_table1()

@@ -1,0 +1,87 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The reporting module renders for humans; this one feeds plotting
+scripts and spreadsheets. Both operate on the same ``Series`` /
+mapping structures the experiment drivers return.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Iterable
+
+from repro.harness.experiments import Series
+
+
+def series_to_csv(series_list: list[Series], value_format: str = "{:.6f}") -> str:
+    """Columns: benchmark, then one column per series, plus a geomean row."""
+    if not series_list:
+        return ""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark"] + [s.name for s in series_list])
+    for uid in series_list[0].per_benchmark:
+        writer.writerow(
+            [uid]
+            + [value_format.format(s.per_benchmark[uid]) for s in series_list]
+        )
+    writer.writerow(
+        ["geomean"] + [value_format.format(s.geomean) for s in series_list]
+    )
+    return buffer.getvalue()
+
+
+def series_to_json(series_list: list[Series]) -> str:
+    """JSON object: series name -> {benchmark: value, "_geomean": value}."""
+    payload = {
+        s.name: {**s.per_benchmark, "_geomean": s.geomean}
+        for s in series_list
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def mapping_to_csv(
+    data: dict[str, tuple], headers: Iterable[str], value_format: str = "{:.6f}"
+) -> str:
+    """CSV for ``{benchmark: (v1, v2, ...)}`` results (Figures 24/26)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", *headers])
+    for uid, values in data.items():
+        writer.writerow([uid] + [value_format.format(v) for v in values])
+    return buffer.getvalue()
+
+
+def breakdown_to_csv(breakdown: dict[str, dict[str, float]]) -> str:
+    """CSV for the Figure 23 store breakdown."""
+    from repro.harness.experiments import BREAKDOWN_CATEGORIES
+
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["benchmark", *BREAKDOWN_CATEGORIES])
+    for uid, cats in breakdown.items():
+        writer.writerow(
+            [uid] + [f"{cats[cat]:.6f}" for cat in BREAKDOWN_CATEGORIES]
+        )
+    return buffer.getvalue()
+
+
+def table1_to_json(table1) -> str:
+    """Table 1 rows plus the two ratio lines, as JSON."""
+    area_ratio, energy_ratio = table1.turnpike_vs_sb4
+    big_area, big_energy = table1.sb40_vs_sb4
+    payload = {
+        "rows": [
+            {
+                "name": row.name,
+                "area_um2": row.area_um2,
+                "dynamic_energy_pj": row.dynamic_energy_pj,
+            }
+            for row in table1.rows()
+        ],
+        "turnpike_vs_sb4": {"area": area_ratio, "energy": energy_ratio},
+        "sb40_vs_sb4": {"area": big_area, "energy": big_energy},
+    }
+    return json.dumps(payload, indent=2)

@@ -1,0 +1,159 @@
+"""Compile / execute / simulate pipeline with memoisation.
+
+Every experiment needs the same expensive artefacts — compiled programs,
+dynamic traces, baseline cycle counts — for many (benchmark, compiler
+config, hardware config) combinations. This module produces them through
+a process-wide cache so a full figure sweep touches each artefact once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import CoreConfig, ResilienceHardwareConfig
+from repro.arch.core import InOrderCore
+from repro.arch.stats import SimStats
+from repro.compiler.config import CompilerConfig, turnpike_config, turnstile_config
+from repro.compiler.pipeline import CompiledProgram, compile_baseline, compile_program
+from repro.runtime.interpreter import execute
+from repro.runtime.trace import TraceSummary
+from repro.workloads.generator import Workload, build_workload
+from repro.workloads.suites import all_profiles, profile as lookup_profile
+
+
+@dataclass
+class PreparedRun:
+    """Everything needed to simulate one (benchmark, compile-config) pair."""
+
+    workload: Workload
+    compiled: CompiledProgram
+    trace: list[tuple]
+    summary: TraceSummary
+
+
+class RunCache:
+    """Process-wide memoisation of workloads, compiles, traces, baselines."""
+
+    def __init__(self) -> None:
+        self._workloads: dict[str, Workload] = {}
+        # Keyed by the full (frozen) compiler config: two configs that
+        # merely share a display name must not collide.
+        self._prepared: dict[tuple[str, CompilerConfig], PreparedRun] = {}
+        self._baseline_cycles: dict[str, float] = {}
+
+    def workload(self, uid: str) -> Workload:
+        wl = self._workloads.get(uid)
+        if wl is None:
+            wl = build_workload(lookup_profile(uid))
+            self._workloads[uid] = wl
+        return wl
+
+    def prepared(self, uid: str, config: CompilerConfig) -> PreparedRun:
+        key = (uid, config)
+        run = self._prepared.get(key)
+        if run is None:
+            workload = self.workload(uid)
+            if config.name == "baseline":
+                compiled = compile_baseline(workload.program)
+            else:
+                compiled = compile_program(workload.program, config)
+            result = execute(
+                compiled.program, workload.fresh_memory(), collect_trace=True
+            )
+            assert result.trace is not None
+            run = PreparedRun(
+                workload=workload,
+                compiled=compiled,
+                trace=result.trace,
+                summary=TraceSummary(result.trace),
+            )
+            self._prepared[key] = run
+        return run
+
+    def baseline(self, uid: str, core: CoreConfig | None = None) -> PreparedRun:
+        cfg = CompilerConfig(
+            eager_checkpointing=False,
+            checkpoint_pruning=False,
+            licm_sinking=False,
+            induction_variable_merging=False,
+            instruction_scheduling=False,
+            store_aware_regalloc=False,
+            name="baseline",
+        )
+        return self.prepared(uid, cfg)
+
+    def baseline_cycles(self, uid: str, core: CoreConfig | None = None) -> float:
+        cycles = self._baseline_cycles.get(uid)
+        if cycles is None:
+            run = self.baseline(uid)
+            stats = InOrderCore(
+                core or CoreConfig(), ResilienceHardwareConfig.baseline()
+            ).run(run.trace)
+            cycles = stats.cycles
+            self._baseline_cycles[uid] = cycles
+        return cycles
+
+    def clear(self) -> None:
+        self._workloads.clear()
+        self._prepared.clear()
+        self._baseline_cycles.clear()
+
+
+GLOBAL_CACHE = RunCache()
+
+
+def simulate(
+    uid: str,
+    compiler: CompilerConfig,
+    hardware: ResilienceHardwareConfig,
+    core: CoreConfig | None = None,
+    cache: RunCache | None = None,
+) -> SimStats:
+    """Timing-simulate one benchmark under a scheme."""
+    cache = cache or GLOBAL_CACHE
+    run = cache.prepared(uid, compiler)
+    return InOrderCore(core or CoreConfig(), hardware).run(run.trace)
+
+
+def normalized_time(
+    uid: str,
+    compiler: CompilerConfig,
+    hardware: ResilienceHardwareConfig,
+    core: CoreConfig | None = None,
+    cache: RunCache | None = None,
+) -> float:
+    """The paper's y-axis: resilient cycles / baseline cycles (>= ~1)."""
+    cache = cache or GLOBAL_CACHE
+    stats = simulate(uid, compiler, hardware, core, cache)
+    return stats.cycles / cache.baseline_cycles(uid, core)
+
+
+def geomean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("geomean of empty list")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def turnstile_scheme(wcdl: int = 10, sb_size: int = 4):
+    """(compiler, hardware) pair for the Turnstile baseline scheme."""
+    return (
+        turnstile_config(sb_size),
+        ResilienceHardwareConfig.turnstile(wcdl=wcdl, sb_size=sb_size),
+    )
+
+
+def turnpike_scheme(
+    wcdl: int = 10, sb_size: int = 4, clq_kind: str = "compact", clq_size: int = 2
+):
+    """(compiler, hardware) pair for the full Turnpike scheme."""
+    return (
+        turnpike_config(sb_size),
+        ResilienceHardwareConfig.turnpike(
+            wcdl=wcdl, sb_size=sb_size, clq_kind=clq_kind, clq_size=clq_size
+        ),
+    )
+
+
+def default_benchmarks() -> list[str]:
+    return [p.uid for p in all_profiles()]

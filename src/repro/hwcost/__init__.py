@@ -1,0 +1,23 @@
+"""Analytical hardware area/energy cost models (Table 1)."""
+
+from repro.hwcost.cacti import (
+    ArrayCost,
+    Table1,
+    build_table1,
+    cam_array,
+    clq_cost,
+    color_maps_cost,
+    ram_array,
+    store_buffer_cost,
+)
+
+__all__ = [
+    "ArrayCost",
+    "Table1",
+    "build_table1",
+    "cam_array",
+    "clq_cost",
+    "color_maps_cost",
+    "ram_array",
+    "store_buffer_cost",
+]

@@ -1,0 +1,159 @@
+"""Analytical CAM/RAM array cost model (Table 1).
+
+A simplified CACTI-style model at 22 nm: array area is cells + peripheral
+overhead, dynamic access energy scales with the bits switched per access.
+CAM cells (store-buffer address matching) are substantially larger and
+hungrier than 6T SRAM cells because of the match-line comparators.
+
+Constants are calibrated so the paper's Table 1 anchor points reproduce:
+
+* 4-entry SB (CAM, ~49-bit address + 64-bit data per entry): 621.28 um^2,
+  0.43099 pJ/access;
+* 40-entry SB: ~5.04x the 4-entry area (504%), ~4.97x energy;
+* Turnpike's color maps (24 B RAM): 36.651 um^2, 0.02518 pJ;
+* 2-entry CLQ (16 B RAM): 24.434 um^2, 0.01679 pJ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+# 22 nm cell footprints (um^2 per bit) and per-bit switching energy (pJ).
+# The peripheral constants are solved from the paper's Table 1 anchors
+# (4/40-entry SB, 32x6-bit color maps, 2x64-bit CLQ), so the model
+# reproduces those rows exactly and interpolates/extrapolates elsewhere.
+SRAM_CELL_AREA_UM2 = 0.110
+CAM_CELL_AREA_UM2 = 0.160
+SRAM_BIT_ENERGY_PJ = 0.00005  # per stored bit read out
+CAM_BIT_ENERGY_PJ = 0.00010  # per bit, entire array searched
+
+RAM_FIXED_AREA_UM2 = 10.0088
+RAM_PER_ENTRY_AREA_UM2 = 0.17257
+CAM_FIXED_AREA_UM2 = 342.26
+CAM_PER_ENTRY_AREA_UM2 = 50.556
+
+RAM_FIXED_ENERGY_PJ = 0.012837
+RAM_PER_ENTRY_ENERGY_PJ = 0.000376
+CAM_FIXED_ENERGY_PJ = 0.24385
+CAM_PER_ENTRY_ENERGY_PJ = 0.034785
+
+# Store buffer entry geometry (AArch64-like): 49-bit physical address +
+# 64-bit data + status.
+SB_ENTRY_BITS = 120
+
+
+@dataclass(frozen=True)
+class ArrayCost:
+    """Area and per-access dynamic energy of one hardware array."""
+
+    name: str
+    area_um2: float
+    dynamic_energy_pj: float
+
+    def relative_to(self, other: "ArrayCost") -> tuple[float, float]:
+        return (
+            self.area_um2 / other.area_um2,
+            self.dynamic_energy_pj / other.dynamic_energy_pj,
+        )
+
+
+def ram_array(name: str, entries: int, bits_per_entry: int) -> ArrayCost:
+    """Cost of a RAM (direct-indexed) array: one entry read per access."""
+    bits = entries * bits_per_entry
+    area = (
+        RAM_FIXED_AREA_UM2
+        + entries * RAM_PER_ENTRY_AREA_UM2
+        + bits * SRAM_CELL_AREA_UM2
+    )
+    energy = (
+        RAM_FIXED_ENERGY_PJ
+        + entries * RAM_PER_ENTRY_ENERGY_PJ
+        + bits_per_entry * SRAM_BIT_ENERGY_PJ
+    )
+    return ArrayCost(name=name, area_um2=area, dynamic_energy_pj=energy)
+
+
+def cam_array(name: str, entries: int, bits_per_entry: int) -> ArrayCost:
+    """Cost of a CAM (content-searched) array.
+
+    Every access searches all entries, so dynamic energy scales with the
+    full array, not one entry — this is why large store buffers are
+    unrealistic for low-power in-order cores (Section 5).
+    """
+    bits = entries * bits_per_entry
+    area = CAM_FIXED_AREA_UM2 + entries * CAM_PER_ENTRY_AREA_UM2 + bits * CAM_CELL_AREA_UM2
+    energy = (
+        CAM_FIXED_ENERGY_PJ
+        + entries * CAM_PER_ENTRY_ENERGY_PJ
+        + bits * CAM_BIT_ENERGY_PJ
+    )
+    return ArrayCost(name=name, area_um2=area, dynamic_energy_pj=energy)
+
+
+def store_buffer_cost(entries: int) -> ArrayCost:
+    """Store buffer with store-to-load-forwarding CAM search."""
+    return cam_array(f"{entries}-entry SB (CAM)", entries, SB_ENTRY_BITS)
+
+
+def color_maps_cost(num_registers: int = 32, num_colors: int = 4) -> ArrayCost:
+    """AC/UC/VC maps: 3 * log2(colors) bits per register (Section 6.5)."""
+    import math
+
+    bits_per_reg = 3 * max(1, math.ceil(math.log2(num_colors)))
+    return ram_array(
+        "Color maps in Turnpike (RAM)", num_registers, bits_per_reg
+    )
+
+
+def clq_cost(entries: int = 2) -> ArrayCost:
+    """Compact CLQ: two 32-bit range bounds per entry (16 B at 2 entries)."""
+    return ram_array(f"{entries}-entry CLQ in Turnpike (RAM)", entries, 64)
+
+
+@dataclass(frozen=True)
+class Table1:
+    """All rows of the paper's Table 1."""
+
+    sb4: ArrayCost
+    color_maps: ArrayCost
+    clq2: ArrayCost
+    sb40: ArrayCost
+
+    @property
+    def turnpike_total(self) -> ArrayCost:
+        return ArrayCost(
+            name="Turnpike in total (color maps + 2-entry CLQ)",
+            area_um2=self.color_maps.area_um2 + self.clq2.area_um2,
+            dynamic_energy_pj=self.color_maps.dynamic_energy_pj
+            + self.clq2.dynamic_energy_pj,
+        )
+
+    @property
+    def turnpike_vs_sb4(self) -> tuple[float, float]:
+        """Turnpike's relative overhead vs the 4-entry SB (paper: ~9.8%/9.7%)."""
+        return self.turnpike_total.relative_to(self.sb4)
+
+    @property
+    def sb40_vs_sb4(self) -> tuple[float, float]:
+        """Large-SB scaling (paper: ~504%/497%)."""
+        return self.sb40.relative_to(self.sb4)
+
+    def rows(self) -> list[ArrayCost]:
+        return [
+            self.sb4,
+            self.color_maps,
+            self.clq2,
+            self.turnpike_total,
+            self.sb40,
+        ]
+
+
+def build_table1(
+    num_registers: int = 32, num_colors: int = 4, clq_entries: int = 2
+) -> Table1:
+    return Table1(
+        sb4=store_buffer_cost(4),
+        color_maps=color_maps_cost(num_registers, num_colors),
+        clq2=clq_cost(clq_entries),
+        sb40=store_buffer_cost(40),
+    )

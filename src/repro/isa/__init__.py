@@ -1,0 +1,37 @@
+"""TK ISA: instruction set, programs, and builders."""
+
+from repro.isa.instructions import (
+    Instruction,
+    Opcode,
+    StoreKind,
+    ALU_RI_OPS,
+    ALU_RR_OPS,
+    BRANCH_OPS,
+    MEMORY_OPS,
+    TERMINATOR_OPS,
+)
+from repro.isa.program import BasicBlock, Program, ProgramError
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg, RegisterFile, DEFAULT_REGISTER_FILE
+from repro.isa.pretty import format_instruction, format_program, summarize_program
+
+__all__ = [
+    "Instruction",
+    "Opcode",
+    "StoreKind",
+    "ALU_RI_OPS",
+    "ALU_RR_OPS",
+    "BRANCH_OPS",
+    "MEMORY_OPS",
+    "TERMINATOR_OPS",
+    "BasicBlock",
+    "Program",
+    "ProgramError",
+    "ProgramBuilder",
+    "Reg",
+    "RegisterFile",
+    "DEFAULT_REGISTER_FILE",
+    "format_instruction",
+    "format_program",
+    "summarize_program",
+]

@@ -1,0 +1,195 @@
+"""Fluent construction API for TK programs.
+
+Workload kernels and tests build programs through :class:`ProgramBuilder`,
+which hands out fresh virtual registers and keeps track of the block being
+appended to::
+
+    b = ProgramBuilder("dot")
+    b.begin_block("entry")
+    acc = b.li(0)
+    i = b.li(0)
+    ...
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.isa import instructions as ins
+from repro.isa.instructions import Instruction, Opcode, StoreKind
+from repro.isa.program import BasicBlock, Program
+from repro.isa.registers import Reg, RegisterFile, DEFAULT_REGISTER_FILE
+
+
+class ProgramBuilder:
+    """Incrementally constructs a :class:`Program` in virtual registers."""
+
+    def __init__(self, name: str, register_file: RegisterFile = DEFAULT_REGISTER_FILE):
+        self.program = Program(name, register_file)
+        self._current: Optional[BasicBlock] = None
+        self._label_counter = 0
+
+    # -- blocks ---------------------------------------------------------------
+
+    def begin_block(self, label: Optional[str] = None) -> str:
+        """Start (and switch to) a new block; returns its label."""
+        if label is None:
+            label = self.fresh_label()
+        self._current = self.program.add_block(label)
+        return label
+
+    def switch_to(self, label: str) -> None:
+        """Resume appending to an existing block."""
+        self._current = self.program.block(label)
+
+    def fresh_label(self, hint: str = "bb") -> str:
+        while True:
+            label = f"{hint}{self._label_counter}"
+            self._label_counter += 1
+            if not self.program.has_block(label):
+                return label
+
+    @property
+    def current_label(self) -> str:
+        return self._require_block().label
+
+    def _require_block(self) -> BasicBlock:
+        if self._current is None:
+            raise RuntimeError("no current block; call begin_block() first")
+        return self._current
+
+    def emit(self, instr: Instruction) -> Instruction:
+        self._require_block().instructions.append(instr)
+        return instr
+
+    # -- registers -------------------------------------------------------------
+
+    def vreg(self) -> Reg:
+        return self.program.fresh_vreg()
+
+    def live_in(self) -> Reg:
+        """Allocate a vreg that carries a meaningful value at entry."""
+        reg = self.vreg()
+        self.program.live_in.add(reg)
+        return reg
+
+    # -- ALU ---------------------------------------------------------------------
+
+    def _rr(self, op: Opcode, lhs: Reg, rhs: Reg, dest: Optional[Reg]) -> Reg:
+        dest = dest or self.vreg()
+        self.emit(ins.alu_rr(op, dest, lhs, rhs))
+        return dest
+
+    def add(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.ADD, lhs, rhs, dest)
+
+    def sub(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.SUB, lhs, rhs, dest)
+
+    def mul(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.MUL, lhs, rhs, dest)
+
+    def div(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.DIV, lhs, rhs, dest)
+
+    def rem(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.REM, lhs, rhs, dest)
+
+    def and_(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.AND, lhs, rhs, dest)
+
+    def or_(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.OR, lhs, rhs, dest)
+
+    def xor(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.XOR, lhs, rhs, dest)
+
+    def shl(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.SHL, lhs, rhs, dest)
+
+    def shr(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.SHR, lhs, rhs, dest)
+
+    def slt(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.SLT, lhs, rhs, dest)
+
+    def seq(self, lhs: Reg, rhs: Reg, dest: Optional[Reg] = None) -> Reg:
+        return self._rr(Opcode.SEQ, lhs, rhs, dest)
+
+    def _ri(self, op: Opcode, src: Reg, imm: int, dest: Optional[Reg]) -> Reg:
+        dest = dest or self.vreg()
+        self.emit(ins.alu_ri(op, dest, src, imm))
+        return dest
+
+    def addi(self, src: Reg, imm: int, dest: Optional[Reg] = None) -> Reg:
+        return self._ri(Opcode.ADDI, src, imm, dest)
+
+    def muli(self, src: Reg, imm: int, dest: Optional[Reg] = None) -> Reg:
+        return self._ri(Opcode.MULI, src, imm, dest)
+
+    def andi(self, src: Reg, imm: int, dest: Optional[Reg] = None) -> Reg:
+        return self._ri(Opcode.ANDI, src, imm, dest)
+
+    def shli(self, src: Reg, imm: int, dest: Optional[Reg] = None) -> Reg:
+        return self._ri(Opcode.SHLI, src, imm, dest)
+
+    def shri(self, src: Reg, imm: int, dest: Optional[Reg] = None) -> Reg:
+        return self._ri(Opcode.SHRI, src, imm, dest)
+
+    def li(self, imm: int, dest: Optional[Reg] = None) -> Reg:
+        dest = dest or self.vreg()
+        self.emit(ins.li(dest, imm))
+        return dest
+
+    def mov(self, src: Reg, dest: Optional[Reg] = None) -> Reg:
+        dest = dest or self.vreg()
+        self.emit(ins.mov(dest, src))
+        return dest
+
+    # -- memory --------------------------------------------------------------
+
+    def load(self, base: Reg, offset: int = 0, dest: Optional[Reg] = None) -> Reg:
+        dest = dest or self.vreg()
+        self.emit(ins.load(dest, base, offset))
+        return dest
+
+    def store(
+        self,
+        value: Reg,
+        base: Reg,
+        offset: int = 0,
+        kind: StoreKind = StoreKind.APPLICATION,
+    ) -> Instruction:
+        return self.emit(ins.store(value, base, offset, kind))
+
+    # -- control flow -----------------------------------------------------------
+
+    def branch(
+        self, op: Opcode, lhs: Reg, rhs: Reg, taken: str, fallthrough: str
+    ) -> Instruction:
+        return self.emit(ins.branch(op, lhs, rhs, taken, fallthrough))
+
+    def beq(self, lhs: Reg, rhs: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.branch(Opcode.BEQ, lhs, rhs, taken, fallthrough)
+
+    def bne(self, lhs: Reg, rhs: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.branch(Opcode.BNE, lhs, rhs, taken, fallthrough)
+
+    def blt(self, lhs: Reg, rhs: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.branch(Opcode.BLT, lhs, rhs, taken, fallthrough)
+
+    def bge(self, lhs: Reg, rhs: Reg, taken: str, fallthrough: str) -> Instruction:
+        return self.branch(Opcode.BGE, lhs, rhs, taken, fallthrough)
+
+    def jmp(self, target: str) -> Instruction:
+        return self.emit(ins.jump(target))
+
+    def ret(self) -> Instruction:
+        return self.emit(ins.ret())
+
+    # -- finishing ---------------------------------------------------------------
+
+    def finish(self) -> Program:
+        """Validate and return the constructed program."""
+        self.program.validate()
+        return self.program

@@ -1,0 +1,69 @@
+"""Human-readable dumps of TK programs.
+
+Used by examples and by developers debugging compiler passes; the format
+annotates region ids and store kinds so the effect of each Turnpike pass
+is visible at a glance.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+
+
+def format_instruction(instr: Instruction) -> str:
+    """One-line rendering of an instruction with resilience annotations."""
+    text = repr(instr)
+    notes = []
+    if instr.region_id is not None:
+        notes.append(f"R{instr.region_id}")
+    if instr.store_kind is not None and instr.op is Opcode.ST:
+        notes.append(instr.store_kind.value)
+    if instr.annotations.get("scheduled"):
+        notes.append("sched")
+    if notes:
+        return f"{text:<40} ; {' '.join(notes)}"
+    return text
+
+
+def format_program(program: Program, include_regions: bool = True) -> str:
+    """Full program listing, one block per paragraph."""
+    lines: list[str] = [f"; program {program.name}"]
+    if program.live_in:
+        regs = ", ".join(r.name for r in sorted(program.live_in))
+        lines.append(f"; live-in: {regs}")
+    for block in program.blocks:
+        lines.append(f"{block.label}:")
+        for instr in block.instructions:
+            if instr.is_boundary and include_regions:
+                lines.append(f"  ; ---- region boundary (R{instr.region_id}) ----")
+                continue
+            lines.append("  " + format_instruction(instr))
+    return "\n".join(lines)
+
+
+def summarize_program(program: Program) -> dict[str, int]:
+    """Static instruction-mix summary used in tests and examples."""
+    counts = {
+        "blocks": len(program.blocks),
+        "instructions": 0,
+        "loads": 0,
+        "stores": 0,
+        "checkpoints": 0,
+        "boundaries": 0,
+        "branches": 0,
+        "bytes": program.static_size_bytes,
+    }
+    for instr in program.instructions():
+        counts["instructions"] += 1
+        if instr.is_load:
+            counts["loads"] += 1
+        elif instr.op is Opcode.ST:
+            counts["stores"] += 1
+        elif instr.is_checkpoint:
+            counts["checkpoints"] += 1
+        elif instr.is_boundary:
+            counts["boundaries"] += 1
+        elif instr.is_branch:
+            counts["branches"] += 1
+    return counts

@@ -1,0 +1,116 @@
+"""Register model for the TK (Turnpike kernel) ISA.
+
+The compiler works on an unbounded set of *virtual* registers; register
+allocation rewrites a program to use the *physical* register file of the
+target in-order core (32 general-purpose registers, mirroring ARM
+Cortex-A53's AArch64 integer file that the paper models).
+
+Registers are interned: ``Reg.virt(7)`` always returns the same object, so
+identity comparison and hashing are cheap in the hot analysis loops.
+"""
+
+from __future__ import annotations
+
+
+class Reg:
+    """A virtual or physical register operand.
+
+    Attributes:
+        index: register number within its class.
+        is_virtual: True for compiler temporaries (``v<N>``), False for
+            architectural registers (``r<N>``).
+    """
+
+    __slots__ = ("index", "is_virtual")
+
+    _virt_pool: dict[int, "Reg"] = {}
+    _phys_pool: dict[int, "Reg"] = {}
+
+    def __init__(self, index: int, is_virtual: bool):
+        self.index = index
+        self.is_virtual = is_virtual
+
+    @classmethod
+    def virt(cls, index: int) -> "Reg":
+        """Return the interned virtual register ``v<index>``."""
+        reg = cls._virt_pool.get(index)
+        if reg is None:
+            reg = cls(index, True)
+            cls._virt_pool[index] = reg
+        return reg
+
+    @classmethod
+    def phys(cls, index: int) -> "Reg":
+        """Return the interned physical register ``r<index>``."""
+        reg = cls._phys_pool.get(index)
+        if reg is None:
+            reg = cls(index, False)
+            cls._phys_pool[index] = reg
+        return reg
+
+    @property
+    def name(self) -> str:
+        prefix = "v" if self.is_virtual else "r"
+        return f"{prefix}{self.index}"
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def __hash__(self) -> int:
+        return (self.index << 1) | (1 if self.is_virtual else 0)
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Reg):
+            return NotImplemented
+        return self.index == other.index and self.is_virtual == other.is_virtual
+
+    def __lt__(self, other: "Reg") -> bool:
+        return (self.is_virtual, self.index) < (other.is_virtual, other.index)
+
+
+class RegisterFile:
+    """Description of a physical register file.
+
+    The default mirrors the paper's Cortex-A53 target: 32 integer
+    registers, of which a few are reserved for the stack pointer and the
+    zero register, leaving the rest allocatable.
+    """
+
+    def __init__(self, num_registers: int = 32, reserved: tuple[int, ...] = (0, 29)):
+        if num_registers < 4:
+            raise ValueError("register file needs at least 4 registers")
+        for idx in reserved:
+            if not 0 <= idx < num_registers:
+                raise ValueError(f"reserved register r{idx} out of range")
+        self.num_registers = num_registers
+        self.reserved = tuple(sorted(set(reserved)))
+
+    @property
+    def zero(self) -> Reg:
+        """The hardwired-zero register (r0 by convention)."""
+        return Reg.phys(0)
+
+    @property
+    def stack_pointer(self) -> Reg:
+        """The stack pointer used for spill slots (r29 by convention)."""
+        return Reg.phys(self.reserved[-1])
+
+    @property
+    def allocatable(self) -> list[Reg]:
+        """Physical registers available to the register allocator."""
+        return [
+            Reg.phys(i)
+            for i in range(self.num_registers)
+            if i not in self.reserved
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"RegisterFile(num_registers={self.num_registers}, "
+            f"reserved={self.reserved})"
+        )
+
+
+DEFAULT_REGISTER_FILE = RegisterFile()

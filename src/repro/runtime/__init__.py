@@ -1,0 +1,65 @@
+"""Functional execution: golden interpreter, traces, resilient machine."""
+
+from repro.runtime.memory import (
+    DATA_BASE,
+    DATA_LIMIT,
+    Memory,
+    STACK_BASE,
+    WORD,
+    wrap32,
+)
+from repro.runtime.interpreter import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    execute,
+)
+from repro.runtime.trace import (
+    K_ALU,
+    K_BOUNDARY,
+    K_BR,
+    K_CKPT,
+    K_DIV,
+    K_LD,
+    K_MUL,
+    K_RET,
+    K_ST,
+    TraceSummary,
+)
+from repro.runtime.machine import (
+    Injection,
+    InjectionTarget,
+    MachineStats,
+    ProtocolError,
+    RecoveryFailure,
+    ResilienceConfig,
+    ResilientMachine,
+)
+
+__all__ = [
+    "DATA_BASE",
+    "DATA_LIMIT",
+    "Memory",
+    "STACK_BASE",
+    "WORD",
+    "wrap32",
+    "ExecutionLimitExceeded",
+    "ExecutionResult",
+    "execute",
+    "K_ALU",
+    "K_BOUNDARY",
+    "K_BR",
+    "K_CKPT",
+    "K_DIV",
+    "K_LD",
+    "K_MUL",
+    "K_RET",
+    "K_ST",
+    "TraceSummary",
+    "Injection",
+    "InjectionTarget",
+    "MachineStats",
+    "ProtocolError",
+    "RecoveryFailure",
+    "ResilienceConfig",
+    "ResilientMachine",
+]

@@ -1,0 +1,277 @@
+"""Functional interpreter for TK programs (the golden model).
+
+Executes a program over a :class:`Memory`, optionally emitting the
+dynamic trace consumed by the timing core. Checkpoints and boundaries are
+functional no-ops here (checkpoint values are recorded for observability
+only); the full resilience protocol lives in
+:mod:`repro.runtime.machine`.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.runtime.memory import Memory, STACK_BASE, wrap32
+from repro.runtime import trace as tr
+
+
+class ExecutionLimitExceeded(RuntimeError):
+    """The interpreter hit its dynamic instruction budget."""
+
+
+class ExecutionResult:
+    """Outcome of a functional run."""
+
+    def __init__(
+        self,
+        memory: Memory,
+        registers: dict[Reg, int],
+        steps: int,
+        trace: list[tuple] | None,
+    ):
+        self.memory = memory
+        self.registers = registers
+        self.steps = steps
+        self.trace = trace
+
+    def summary(self) -> tr.TraceSummary:
+        if self.trace is None:
+            raise ValueError("run was executed without trace collection")
+        return tr.TraceSummary(self.trace)
+
+
+def _reg_index(reg: Reg | None) -> int:
+    if reg is None:
+        return -1
+    # Virtual registers are offset so they never collide with physical
+    # indices in traces (timing runs always use physical programs).
+    return reg.index if not reg.is_virtual else reg.index + 1024
+
+
+def execute(
+    program: Program,
+    memory: Memory | None = None,
+    initial_registers: dict[Reg, int] | None = None,
+    max_steps: int = 2_000_000,
+    collect_trace: bool = False,
+) -> ExecutionResult:
+    """Run ``program`` to its RET; returns final state (and trace).
+
+    The stack pointer is initialised to ``STACK_BASE``; every other
+    register starts at 0 unless overridden by ``initial_registers``.
+    """
+    mem = memory if memory is not None else Memory()
+    regs: dict[Reg, int] = {program.register_file.stack_pointer: STACK_BASE}
+    if initial_registers:
+        regs.update(initial_registers)
+
+    blocks = {b.label: b.instructions for b in program.blocks}
+    block_order = {b.label: i for i, b in enumerate(program.blocks)}
+    label = program.entry.label
+    instrs = blocks[label]
+    pc = 0
+    steps = 0
+    trace: list[tuple] | None = [] if collect_trace else None
+
+    get = regs.get
+    while True:
+        if pc >= len(instrs):
+            raise RuntimeError(f"fell off the end of block {label!r}")
+        instr = instrs[pc]
+        steps += 1
+        if steps > max_steps:
+            raise ExecutionLimitExceeded(
+                f"{program.name}: exceeded {max_steps} dynamic instructions"
+            )
+        op = instr.op
+        srcs = instr.srcs
+
+        if op is Opcode.BOUNDARY:
+            if trace is not None:
+                trace.append(
+                    (tr.K_BOUNDARY, -1, -1, -1, -1, instr.region_id or 0, 0)
+                )
+            pc += 1
+            continue
+
+        if op is Opcode.LD:
+            addr = get(srcs[0], 0) + instr.imm
+            value = mem.load(addr)
+            regs[instr.dest] = value
+            if trace is not None:
+                trace.append(
+                    (
+                        tr.K_LD,
+                        _reg_index(instr.dest),
+                        _reg_index(srcs[0]),
+                        -1,
+                        addr,
+                        -1 if instr.region_id is None else instr.region_id,
+                        0,
+                    )
+                )
+            pc += 1
+            continue
+
+        if op is Opcode.ST:
+            addr = get(srcs[1], 0) + instr.imm
+            mem.store(addr, get(srcs[0], 0))
+            if trace is not None:
+                kind_ord = tr.STORE_KIND_ORDINAL.get(instr.store_kind, 0)
+                trace.append(
+                    (
+                        tr.K_ST,
+                        -1,
+                        _reg_index(srcs[0]),
+                        _reg_index(srcs[1]),
+                        addr,
+                        -1 if instr.region_id is None else instr.region_id,
+                        kind_ord,
+                    )
+                )
+            pc += 1
+            continue
+
+        if op is Opcode.CKPT:
+            if trace is not None:
+                trace.append(
+                    (
+                        tr.K_CKPT,
+                        -1,
+                        _reg_index(srcs[0]),
+                        -1,
+                        -1,
+                        -1 if instr.region_id is None else instr.region_id,
+                        0,
+                    )
+                )
+            pc += 1
+            continue
+
+        if op in _BRANCH_EVAL:
+            lhs = get(srcs[0], 0)
+            rhs = get(srcs[1], 0)
+            taken = _BRANCH_EVAL[op](lhs, rhs)
+            target = instr.targets[0] if taken else instr.targets[1]
+            if trace is not None:
+                backward = block_order[instr.targets[0]] <= block_order[label]
+                aux = (1 if taken else 0) | (2 if backward else 0)
+                trace.append(
+                    (
+                        tr.K_BR,
+                        -1,
+                        _reg_index(srcs[0]),
+                        _reg_index(srcs[1]),
+                        instr.uid,  # static branch id for the predictor
+                        -1 if instr.region_id is None else instr.region_id,
+                        aux,
+                    )
+                )
+            label = target
+            instrs = blocks[label]
+            pc = 0
+            continue
+
+        if op is Opcode.JMP:
+            if trace is not None:
+                backward = block_order[instr.targets[0]] <= block_order[label]
+                trace.append(
+                    (
+                        tr.K_BR,
+                        -1,
+                        -1,
+                        -1,
+                        instr.uid,
+                        -1 if instr.region_id is None else instr.region_id,
+                        1 | (2 if backward else 0) | 4,  # bit2: unconditional
+                    )
+                )
+            label = instr.targets[0]
+            instrs = blocks[label]
+            pc = 0
+            continue
+
+        if op is Opcode.RET:
+            if trace is not None:
+                trace.append((tr.K_RET, -1, -1, -1, -1, -1, 0))
+            return ExecutionResult(mem, regs, steps, trace)
+
+        # ALU family.
+        value = _eval_alu(op, instr, get)
+        if instr.dest is not None:
+            regs[instr.dest] = value
+        if trace is not None:
+            src1 = _reg_index(srcs[0]) if len(srcs) > 0 else -1
+            src2 = _reg_index(srcs[1]) if len(srcs) > 1 else -1
+            trace.append(
+                (
+                    tr.kind_of_opcode(op),
+                    _reg_index(instr.dest),
+                    src1,
+                    src2,
+                    -1,
+                    -1 if instr.region_id is None else instr.region_id,
+                    0,
+                )
+            )
+        pc += 1
+
+
+_BRANCH_EVAL = {
+    Opcode.BEQ: lambda a, b: a == b,
+    Opcode.BNE: lambda a, b: a != b,
+    Opcode.BLT: lambda a, b: a < b,
+    Opcode.BGE: lambda a, b: a >= b,
+}
+
+
+def _eval_alu(op: Opcode, instr, get) -> int:
+    srcs = instr.srcs
+    if op is Opcode.LI:
+        return wrap32(instr.imm)
+    if op is Opcode.MOV:
+        return get(srcs[0], 0)
+    if op is Opcode.ADDI:
+        return wrap32(get(srcs[0], 0) + instr.imm)
+    if op is Opcode.MULI:
+        return wrap32(get(srcs[0], 0) * instr.imm)
+    if op is Opcode.ANDI:
+        return get(srcs[0], 0) & instr.imm
+    if op is Opcode.SHLI:
+        return wrap32(get(srcs[0], 0) << (instr.imm & 31))
+    if op is Opcode.SHRI:
+        return (get(srcs[0], 0) & 0xFFFF_FFFF) >> (instr.imm & 31)
+    a = get(srcs[0], 0)
+    b = get(srcs[1], 0)
+    if op is Opcode.ADD:
+        return wrap32(a + b)
+    if op is Opcode.SUB:
+        return wrap32(a - b)
+    if op is Opcode.MUL:
+        return wrap32(a * b)
+    if op is Opcode.DIV:
+        if b == 0:
+            return 0
+        return wrap32(int(a / b))  # C-style truncation
+    if op is Opcode.REM:
+        if b == 0:
+            return 0
+        return wrap32(a - int(a / b) * b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return wrap32(a << (b & 31))
+    if op is Opcode.SHR:
+        return (a & 0xFFFF_FFFF) >> (b & 31)
+    if op is Opcode.SLT:
+        return 1 if a < b else 0
+    if op is Opcode.SEQ:
+        return 1 if a == b else 0
+    if op is Opcode.NOP:
+        return 0
+    raise ValueError(f"unhandled opcode {op}")

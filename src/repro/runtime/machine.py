@@ -1,0 +1,559 @@
+"""The resilient machine: a value-accurate model of the Turnpike protocol.
+
+This is the normative implementation of the paper's error-containment and
+recovery semantics, used for fault-injection campaigns. Time is measured
+in committed instructions (WCDL in those ticks approximates cycles at
+IPC~1, which is all the *semantics* need — the timing core owns cycles).
+
+It models, end to end:
+
+* the gated store buffer with store-to-load forwarding and quarantine;
+* region instances and WCDL-delayed verification (RBB);
+* checkpoint bindings — verified-checkpoint state per register, updated
+  in region order, including pruned-checkpoint recovery expressions;
+* the CLQ fast release of WAR-free regular stores (with the in-order
+  release gate: prior regions must be verified);
+* hardware coloring fast release of checkpoint stores — plus a
+  deliberately *unsafe* mode that releases checkpoints without coloring,
+  reproducing the paper's Figure 16 failure;
+* single-event-upset injection into registers or SB entries, acoustic
+  detection within WCDL, per-register parity on fast-released store
+  addresses, and region-level recovery (restore live-ins, restart at the
+  recovery PC).
+
+A fault-free resilient run must produce memory identical to the plain
+interpreter; an injected run must too, unless the unsafe mode is enabled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.arch.clq import BaseCLQ, make_clq
+from repro.arch.coloring import QUARANTINE, ColorMaps
+from repro.arch.rbb import RegionBoundaryBuffer, RegionInstance
+from repro.arch.store_buffer import FunctionalStoreBuffer, SBEntry
+from repro.compiler.pipeline import CompiledProgram
+from repro.compiler.pruning import PRUNED_ANNOTATION, RecoveryExpr
+from repro.isa.instructions import Opcode
+from repro.isa.registers import Reg
+from repro.runtime.interpreter import _BRANCH_EVAL, _eval_alu
+from repro.runtime.memory import Memory, STACK_BASE, wrap32
+
+
+class ProtocolError(Exception):
+    """The resilience protocol reached an impossible/uncovered state."""
+
+
+class RecoveryFailure(Exception):
+    """Recovery could not restore a required register binding."""
+
+
+class InjectionTarget(enum.Enum):
+    REGISTER = "register"
+    STORE_BUFFER = "store_buffer"
+
+
+@dataclass(frozen=True)
+class Injection:
+    """A single-event upset to apply during a run."""
+
+    time: int  # commit tick after which the flip happens
+    target: InjectionTarget
+    reg: Reg | None = None  # for REGISTER flips
+    bit: int = 0
+    detection_delay: int = 0  # sensor latency, must be <= WCDL
+
+
+@dataclass
+class ResilienceConfig:
+    """Hardware-side knobs of the protocol."""
+
+    wcdl: int = 10
+    clq_enabled: bool = True
+    clq_kind: str = "compact"
+    clq_size: int = 2
+    coloring_enabled: bool = True
+    num_colors: int = 4
+    # Figure 16 negative-control: release checkpoints to their single
+    # storage slot without verification or coloring. UNSAFE by design.
+    unsafe_checkpoint_release: bool = False
+
+
+@dataclass
+class MachineStats:
+    committed: int = 0
+    regions: int = 0
+    recoveries: int = 0
+    parity_detections: int = 0
+    warfree_released: int = 0
+    quarantined_stores: int = 0
+    colored_checkpoints: int = 0
+    quarantined_checkpoints: int = 0
+    pruned_bindings: int = 0
+    sb_discards: int = 0
+
+
+# A checkpoint binding: how to obtain a register's recovery value.
+#   ("value", v)      — direct storage (colored slot or merged quarantine)
+#   ("expr", expr)    — pruned checkpoint, recompute at recovery
+Binding = tuple
+
+
+class ResilientMachine:
+    """Executes a compiled resilient program under the Turnpike protocol."""
+
+    def __init__(
+        self,
+        compiled: CompiledProgram,
+        config: ResilienceConfig,
+        memory: Memory | None = None,
+        max_steps: int = 4_000_000,
+    ):
+        if compiled.recovery is None:
+            raise ValueError("program was compiled without resilience support")
+        self.compiled = compiled
+        self.program = compiled.program
+        self.recovery_map = compiled.recovery
+        self.config = config
+        self.max_steps = max_steps
+
+        self.mem = memory if memory is not None else Memory()
+        self.regs: dict[Reg, int] = {}
+        self.sb = FunctionalStoreBuffer()
+        self.rbb = RegionBoundaryBuffer(wcdl=float(config.wcdl))
+        self.clq: BaseCLQ | None = (
+            make_clq(config.clq_kind, config.clq_size)
+            if config.clq_enabled
+            else None
+        )
+        self.coloring = ColorMaps(
+            num_registers=self.program.register_file.num_registers,
+            num_colors=config.num_colors,
+        )
+        # Checkpoint storage: (reg index, color) -> value. The quarantine
+        # pseudo-slot uses color == QUARANTINE.
+        self.ckpt_storage: dict[tuple[int, int], int] = {}
+        # Verified bindings per register index.
+        self.vc_bindings: dict[int, Binding] = {}
+        # Pending (unverified) bindings per region instance.
+        self.pending_bindings: dict[int, dict[int, Binding]] = {}
+
+        self.stats = MachineStats()
+
+        # Fault state.
+        self.injection: Injection | None = None
+        self._detection_due: int | None = None
+        self._tainted_regs: set[Reg] = set()
+        self._tainted_cells: set[int] = set()
+
+        self._init_registers()
+
+    # -- setup -------------------------------------------------------------
+
+    def _init_registers(self) -> None:
+        sp = self.program.register_file.stack_pointer
+        self.regs = {sp: STACK_BASE}
+        # Pre-verified initial bindings: the "caller" checkpointed every
+        # register before entry, so region 0 itself is recoverable.
+        for idx in range(self.program.register_file.num_registers):
+            value = STACK_BASE if idx == sp.index else 0
+            self.vc_bindings[idx] = ("value", value)
+        for reg in self.program.live_in:
+            self.vc_bindings[reg.index] = ("value", self.regs.get(reg, 0))
+
+    def set_initial_register(self, reg: Reg, value: int) -> None:
+        self.regs[reg] = value
+        self.vc_bindings[reg.index] = ("value", value)
+
+    def arm_injection(self, injection: Injection) -> None:
+        if injection.detection_delay > self.config.wcdl:
+            raise ValueError("sensor detection delay cannot exceed WCDL")
+        self.injection = injection
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(self) -> MachineStats:
+        program = self.program
+        blocks = {b.label: b.instructions for b in program.blocks}
+        label = program.entry.label
+        instrs = blocks[label]
+        pc = 0
+        t = 0
+        steps = 0
+        get = self.regs.get
+
+        while True:
+            steps += 1
+            if steps > self.max_steps:
+                raise ProtocolError(
+                    f"{program.name}: exceeded {self.max_steps} steps "
+                    "(possible recovery livelock)"
+                )
+            self._process_events(t)
+            if self._recovery_requested:
+                label, pc = self._do_recovery()
+                instrs = blocks[label]
+                t = max(t, int(self._now))
+                continue
+
+            if pc >= len(instrs):
+                raise ProtocolError(f"fell off block {label!r}")
+            instr = instrs[pc]
+            op = instr.op
+
+            if op is Opcode.BOUNDARY:
+                self._on_boundary(instr.region_id, t)
+                pc += 1
+                continue
+
+            t += 1
+            self.stats.committed += 1
+
+            if op is Opcode.LD:
+                base = instr.srcs[0]
+                addr = get(base, 0) + instr.imm
+                forwarded = self.sb.forward(addr)
+                value = forwarded if forwarded is not None else self.mem.load(addr)
+                self.regs[instr.dest] = value
+                self._taint_dest(instr.dest, addr_tainted=base in self._tainted_regs, loaded_addr=addr)
+                if self.clq is not None and self.rbb.current is not None:
+                    self.clq.record_load(self.rbb.current.instance, addr)
+                pc += 1
+            elif op is Opcode.ST:
+                value_reg, base = instr.srcs
+                addr = get(base, 0) + instr.imm
+                self._commit_store(addr, get(value_reg, 0), base, value_reg, t)
+                pc += 1
+            elif op is Opcode.CKPT:
+                reg = instr.srcs[0]
+                self._commit_checkpoint(reg, get(reg, 0), t)
+                pc += 1
+            elif op in _BRANCH_EVAL:
+                lhs, rhs = get(instr.srcs[0], 0), get(instr.srcs[1], 0)
+                taken = _BRANCH_EVAL[op](lhs, rhs)
+                label = instr.targets[0] if taken else instr.targets[1]
+                instrs = blocks[label]
+                pc = 0
+            elif op is Opcode.JMP:
+                label = instr.targets[0]
+                instrs = blocks[label]
+                pc = 0
+            elif op is Opcode.RET:
+                finished = self._drain(t)
+                if finished:
+                    return self.stats
+                # A detection fired during the drain: recover and resume.
+                label, pc = self._do_recovery()
+                instrs = blocks[label]
+                t = max(t, int(self._now))
+                continue
+            else:
+                value = _eval_alu(op, instr, get)
+                if instr.dest is not None:
+                    self.regs[instr.dest] = value
+                    self._taint_alu(instr)
+                    expr = instr.annotations.get(PRUNED_ANNOTATION)
+                    if expr is not None:
+                        self._bind_pending(
+                            instr.dest.index, ("expr", expr)
+                        )
+                        self.stats.pruned_bindings += 1
+                pc += 1
+
+            self._maybe_inject(t)
+
+    # -- events, verification, detection ----------------------------------------
+
+    @property
+    def _recovery_requested(self) -> bool:
+        return self._detection_due is not None and self._detection_due <= self._now
+
+    _now: int = 0
+
+    def _process_events(self, t: int) -> None:
+        self._now = t
+        before = (
+            float(self._detection_due)
+            if self._detection_due is not None
+            else float("inf")
+        )
+        for inst in self.rbb.due_verifications(float(t), before=before):
+            self._verify_instance(inst)
+
+    def _verify_instance(self, inst: RegionInstance) -> None:
+        # Merge quarantined stores to cache/memory.
+        for entry in self.sb.release_instance(inst.instance):
+            if entry.is_checkpoint:
+                self.ckpt_storage[(entry.reg, entry.color)] = entry.value
+            else:
+                self.mem.store(entry.addr, entry.value)
+        # Promote color assignments and value/expr bindings.
+        self.coloring.verify(inst.instance)
+        for reg_idx, binding in self.pending_bindings.pop(inst.instance, {}).items():
+            self.vc_bindings[reg_idx] = binding
+        if self.clq is not None:
+            self.clq.retire_region(inst.instance)
+
+    def _maybe_inject(self, t: int) -> None:
+        inj = self.injection
+        if inj is None or t != inj.time:
+            return
+        self.injection = None
+        if inj.target is InjectionTarget.REGISTER:
+            reg = inj.reg
+            if reg is None:
+                raise ValueError("register injection needs a target register")
+            self.regs[reg] = wrap32(self.regs.get(reg, 0) ^ (1 << inj.bit))
+            self._tainted_regs.add(reg)
+        else:
+            if self.sb.entries:
+                index = inj.bit % len(self.sb.entries)
+                self.sb.corrupt_entry(index, inj.bit % 32)
+            # An empty SB means the particle hit hardened/idle storage;
+            # the sensor still fires.
+        self._detection_due = t + inj.detection_delay
+
+    # -- taint tracking (parity model) ---------------------------------------
+
+    def _taint_alu(self, instr) -> None:
+        if not self._tainted_regs:
+            return
+        if any(src in self._tainted_regs for src in instr.srcs):
+            self._tainted_regs.add(instr.dest)
+        else:
+            self._tainted_regs.discard(instr.dest)
+
+    def _taint_dest(self, dest: Reg, addr_tainted: bool, loaded_addr: int) -> None:
+        if addr_tainted or loaded_addr in self._tainted_cells:
+            self._tainted_regs.add(dest)
+        else:
+            self._tainted_regs.discard(dest)
+
+    def _record_store_taint(self, addr: int, value_reg: Reg) -> None:
+        if value_reg in self._tainted_regs:
+            self._tainted_cells.add(addr)
+        else:
+            self._tainted_cells.discard(addr)
+
+    def _parity_trip(self, t: int) -> None:
+        """A corrupted register reached a fast-release store address: the
+        per-register parity bit (Section 5) detects it immediately."""
+        self.stats.parity_detections += 1
+        self._detection_due = t
+
+    # -- stores ------------------------------------------------------------------
+
+    def _commit_store(self, addr: int, value: int, base: Reg, value_reg: Reg, t: int) -> None:
+        inst = self.rbb.current
+        if inst is None:
+            raise ProtocolError("store committed outside any region")
+        fast = False
+        if (
+            self.clq is not None
+            and not self.clq.store_has_war(inst.instance, addr)
+            and self.sb.forward(addr) is None  # per-address order to L1
+        ):
+            fast = True
+        if fast and base in self._tainted_regs:
+            # Parity catches the corrupt address before damage is done.
+            self._parity_trip(t)
+            return
+        if fast:
+            self.mem.store(addr, value)
+            self._record_store_taint(addr, value_reg)
+            self.stats.warfree_released += 1
+        else:
+            self.sb.push(
+                SBEntry(
+                    instance=inst.instance,
+                    is_checkpoint=False,
+                    addr=addr,
+                    reg=-1,
+                    color=QUARANTINE,
+                    value=value,
+                )
+            )
+            self._record_store_taint(addr, value_reg)
+            self.stats.quarantined_stores += 1
+
+    def _commit_checkpoint(self, reg: Reg, value: int, t: int) -> None:
+        inst = self.rbb.current
+        if inst is None:
+            raise ProtocolError("checkpoint committed outside any region")
+        if self.config.unsafe_checkpoint_release:
+            # Figure 16's broken design: overwrite the register's single
+            # verified storage location immediately, no coloring.
+            self.vc_bindings[reg.index] = ("value", value)
+            self.stats.colored_checkpoints += 1
+            return
+        color = QUARANTINE
+        if self.config.coloring_enabled:
+            color = self.coloring.assign(inst.instance, reg.index)
+        if color != QUARANTINE:
+            self.ckpt_storage[(reg.index, color)] = value
+            self._bind_pending(reg.index, ("value", value))
+            self.stats.colored_checkpoints += 1
+        else:
+            self.sb.push(
+                SBEntry(
+                    instance=inst.instance,
+                    is_checkpoint=True,
+                    addr=-1,
+                    reg=reg.index,
+                    color=QUARANTINE,
+                    value=value,
+                )
+            )
+            self._bind_pending(reg.index, ("value", value))
+            self.stats.quarantined_checkpoints += 1
+
+    def _bind_pending(self, reg_idx: int, binding: Binding) -> None:
+        inst = self.rbb.current
+        if inst is None:
+            raise ProtocolError("binding outside any region")
+        self.pending_bindings.setdefault(inst.instance, {})[reg_idx] = binding
+
+    # -- region lifecycle ----------------------------------------------------------
+
+    def _on_boundary(self, region_id: int | None, t: int) -> None:
+        if region_id is None:
+            raise ProtocolError("boundary without region id")
+        inst = self.rbb.open_region(region_id, float(t))
+        self.stats.regions += 1
+        if self.clq is not None:
+            self.clq.begin_region(
+                inst.instance, prior_verified=self.rbb.all_prior_verified()
+            )
+
+    def _drain(self, t: int) -> bool:
+        """Program RET: wait WCDL for remaining verifications.
+
+        Returns True when everything verified cleanly; False when a
+        pending detection fired (caller must run recovery and resume).
+        """
+        self.rbb.close_final(float(t))
+        horizon = t + self.config.wcdl + 1
+        for tick in range(t, horizon + 1):
+            self._process_events(tick)
+            if self._recovery_requested:
+                return False
+        if self.rbb.unverified:
+            raise ProtocolError("instances left unverified after drain")
+        return True
+
+    # -- recovery ----------------------------------------------------------------
+
+    def _do_recovery(self) -> tuple[str, int]:
+        self._detection_due = None
+        self.stats.recoveries += 1
+
+        target = self.rbb.earliest_unverified()
+        if target is None:
+            raise ProtocolError("detection with no region in flight")
+
+        # 1. Discard all quarantined (possibly corrupt) stores.
+        self.stats.sb_discards += self.sb.discard_all()
+
+        # 2. Drop unverified bindings, colors, CLQ entries.
+        dropped = self.rbb.discard_unverified()
+        dropped_ids = [d.instance for d in dropped]
+        self.coloring.discard(dropped_ids)
+        for inst_id in dropped_ids:
+            self.pending_bindings.pop(inst_id, None)
+        if self.clq is not None:
+            self.clq.discard(dropped_ids)
+
+        # 3. The transient upset is gone; re-execution is clean.
+        self._tainted_regs.clear()
+
+        # 4. Restore the restart region's live-in registers from verified
+        #    checkpoint state (the recovery block of Section 2.2 / 4.1.3).
+        entry = self.recovery_map.entry(target.region_id)
+        sp = self.program.register_file.stack_pointer
+        # Mutate in place: the run loop holds a bound ``regs.get``.
+        self.regs.clear()
+        self.regs[sp] = STACK_BASE
+        for reg in entry.live_in:
+            self.regs[reg] = self._resolve_binding(reg.index, resolving=set())
+
+        # 5. Reopen the region and resume at the recovery PC.
+        self._on_boundary(target.region_id, int(self._now))
+        return entry.block, entry.index + 1
+
+    def _resolve_binding(self, reg_idx: int, resolving: set[int]) -> int:
+        # Binding chains through pruned-checkpoint expressions can be long
+        # (rematerialisation chains), but never cyclic: the pruning pass's
+        # stability condition guarantees every referenced operand's
+        # binding predates the referencing one. Detect violations exactly.
+        if reg_idx in resolving:
+            raise RecoveryFailure(
+                f"cyclic reconstruction chain through r{reg_idx}"
+            )
+        binding = self.vc_bindings.get(reg_idx)
+        if binding is None:
+            raise RecoveryFailure(f"no verified binding for r{reg_idx}")
+        kind, payload = binding
+        if kind == "value":
+            return payload
+        if kind == "expr":
+            resolving.add(reg_idx)
+            try:
+                return self._eval_expr(payload, resolving)
+            finally:
+                resolving.discard(reg_idx)
+        raise RecoveryFailure(f"unknown binding kind {kind!r}")
+
+    def _eval_expr(self, expr: RecoveryExpr, resolving: set[int]) -> int:
+        if expr.kind == "const":
+            return wrap32(expr.imm)
+        if expr.kind == "ckpt":
+            return self._resolve_binding(expr.regs[0].index, resolving)
+        if expr.kind == "op":
+            values = [
+                self._resolve_binding(reg.index, resolving)
+                for reg in expr.regs
+            ]
+            return _apply_opcode(expr.opcode, values, expr.imm)
+        raise RecoveryFailure(f"unknown recovery expr kind {expr.kind!r}")
+
+
+def _apply_opcode(op: Opcode, values: list[int], imm: int) -> int:
+    a = values[0]
+    b = values[1] if len(values) > 1 else 0
+    if op is Opcode.ADDI:
+        return wrap32(a + imm)
+    if op is Opcode.MULI:
+        return wrap32(a * imm)
+    if op is Opcode.ANDI:
+        return a & imm
+    if op is Opcode.SHLI:
+        return wrap32(a << (imm & 31))
+    if op is Opcode.SHRI:
+        return (a & 0xFFFF_FFFF) >> (imm & 31)
+    if op is Opcode.ADD:
+        return wrap32(a + b)
+    if op is Opcode.SUB:
+        return wrap32(a - b)
+    if op is Opcode.MUL:
+        return wrap32(a * b)
+    if op is Opcode.DIV:
+        return 0 if b == 0 else wrap32(int(a / b))
+    if op is Opcode.REM:
+        return 0 if b == 0 else wrap32(a - int(a / b) * b)
+    if op is Opcode.AND:
+        return a & b
+    if op is Opcode.OR:
+        return a | b
+    if op is Opcode.XOR:
+        return a ^ b
+    if op is Opcode.SHL:
+        return wrap32(a << (b & 31))
+    if op is Opcode.SHR:
+        return (a & 0xFFFF_FFFF) >> (b & 31)
+    if op is Opcode.SLT:
+        return 1 if a < b else 0
+    if op is Opcode.SEQ:
+        return 1 if a == b else 0
+    raise RecoveryFailure(f"unsupported recovery opcode {op}")

@@ -1,0 +1,82 @@
+"""Flat word memory for the TK runtime.
+
+Byte-addressed with 32-bit word granularity: every load/store transfers
+the whole word stored at its address key (the workloads keep addresses
+4-byte aligned by convention). Values wrap to signed 32-bit on ALU
+writes, so Python integers stay small in the hot loops.
+
+Layout conventions shared by the compiler, workloads, and machines:
+
+* ``DATA_BASE`` — workload arrays (compared against golden runs);
+* ``STACK_BASE`` — stack/spill slots (the stack pointer register is
+  initialised here by every machine);
+* checkpoint storage is *not* part of this address space — it models the
+  dedicated, ECC-protected checkpoint locations and lives in the machines
+  as a separate map.
+"""
+
+from __future__ import annotations
+
+DATA_BASE = 0x0000_0000
+DATA_LIMIT = 0x0010_0000
+STACK_BASE = 0x0020_0000
+STACK_LIMIT = 0x0030_0000
+
+WORD = 4
+_MASK = (1 << 32) - 1
+
+
+def wrap32(value: int) -> int:
+    """Wrap an integer to signed 32-bit two's complement."""
+    value &= _MASK
+    if value >= 1 << 31:
+        value -= 1 << 32
+    return value
+
+
+class Memory:
+    """Sparse word memory with helpers for array-shaped workload data."""
+
+    __slots__ = ("cells",)
+
+    def __init__(self) -> None:
+        self.cells: dict[int, int] = {}
+
+    def load(self, addr: int) -> int:
+        return self.cells.get(addr, 0)
+
+    def store(self, addr: int, value: int) -> None:
+        self.cells[addr] = wrap32(value)
+
+    # -- bulk helpers -----------------------------------------------------
+
+    def write_words(self, base: int, values: list[int]) -> None:
+        for i, value in enumerate(values):
+            self.store(base + i * WORD, value)
+
+    def read_words(self, base: int, count: int) -> list[int]:
+        return [self.load(base + i * WORD) for i in range(count)]
+
+    def copy(self) -> "Memory":
+        clone = Memory()
+        clone.cells = dict(self.cells)
+        return clone
+
+    def data_image(self) -> dict[int, int]:
+        """Non-zero cells in the data segment (golden-run comparisons)."""
+        return {
+            addr: value
+            for addr, value in self.cells.items()
+            if DATA_BASE <= addr < DATA_LIMIT and value != 0
+        }
+
+    def full_image(self) -> dict[int, int]:
+        return {addr: value for addr, value in self.cells.items() if value != 0}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Memory):
+            return NotImplemented
+        return self.full_image() == other.full_image()
+
+    def __repr__(self) -> str:
+        return f"Memory({len(self.cells)} cells)"

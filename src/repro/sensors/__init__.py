@@ -1,0 +1,21 @@
+"""Acoustic sensor deployment and detection-latency models."""
+
+from repro.sensors.acoustic import (
+    DETECTION_OVERHEAD_S,
+    SOUND_SPEED_SILICON,
+    SensorGrid,
+    area_overhead_percent,
+    detection_latency_cycles,
+    figure18_series,
+    sensors_for_wcdl,
+)
+
+__all__ = [
+    "DETECTION_OVERHEAD_S",
+    "SOUND_SPEED_SILICON",
+    "SensorGrid",
+    "area_overhead_percent",
+    "detection_latency_cycles",
+    "figure18_series",
+    "sensors_for_wcdl",
+]

@@ -1,0 +1,35 @@
+"""Synthetic workloads standing in for SPEC CPU2006/2017 and SPLASH-3."""
+
+from repro.workloads.generator import (
+    BenchmarkProfile,
+    KernelSpec,
+    Workload,
+    build_workload,
+)
+from repro.workloads.kernels import Arena, ArraySpec, EMITTERS, KernelContext
+from repro.workloads.extras import extra_profiles, load_extra_workload
+from repro.workloads.suites import (
+    all_profiles,
+    load_workload,
+    profile,
+    quick_subset,
+    suites,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "KernelSpec",
+    "Workload",
+    "build_workload",
+    "Arena",
+    "ArraySpec",
+    "EMITTERS",
+    "KernelContext",
+    "extra_profiles",
+    "load_extra_workload",
+    "all_profiles",
+    "load_workload",
+    "profile",
+    "quick_subset",
+    "suites",
+]

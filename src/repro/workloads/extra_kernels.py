@@ -1,0 +1,151 @@
+"""Additional kernels beyond the 36-benchmark suite's needs.
+
+These extend the workload library for users building their own
+profiles: bit-twiddling (CRC-style), a merge pass over sorted runs, a
+CSR sparse-matrix-vector product, and a FIR filter. Each follows the
+same emitter contract as :mod:`repro.workloads.kernels` and is
+registered into ``EMITTERS`` on import (importing this module is enough
+to use the kinds in a :class:`KernelSpec`).
+"""
+
+from __future__ import annotations
+
+from repro.runtime.memory import WORD
+from repro.workloads.kernels import (
+    EMITTERS,
+    KernelContext,
+    _close_loop,
+    _counted_loop_header,
+    _indexed_address,
+)
+
+
+def emit_crc(ctx: KernelContext, trip: int, array_words: int, rounds: int = 4):
+    """CRC-style bit-mixing over a data stream: long ALU chains, one
+    running digest (live-out), one table lookup per round."""
+    b = ctx.builder
+    data = ctx.arena.alloc(array_words, "random")
+    table = ctx.arena.alloc(256, "random")
+    out = ctx.arena.alloc(8, "zeros")
+    rd = b.li(data.base)
+    rt = b.li(table.base)
+    mask = b.li(array_words - 1)
+    bmask = b.li(255)
+    digest = b.li(-1)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "crc")
+    idx = b.and_(i, mask)
+    v = b.load(_indexed_address(ctx, rd, idx))
+    b.xor(digest, v, dest=digest)
+    for r in range(rounds):
+        low = b.and_(digest, bmask)
+        entry = b.load(_indexed_address(ctx, rt, low))
+        shifted = b.shri(digest, 8)
+        mixed = b.xor(shifted, entry)
+        b.mov(mixed, dest=digest)
+    _close_loop(ctx, i, limit, header, exit_label)
+    b.store(digest, b.li(out.base))
+
+
+def emit_merge_pass(ctx: KernelContext, trip: int, run_words: int):
+    """One merge step of mergesort: two sorted runs into an output run.
+
+    Data-dependent branch per element (comparison outcome) and a
+    pointer-bump output stream — branchy and store-regular at once.
+    """
+    b = ctx.builder
+    if trip > 2 * run_words:
+        raise ValueError("merge trip count must not exceed the output length")
+    left = ctx.arena.alloc(run_words, "indices")
+    right = ctx.arena.alloc(run_words, "indices")
+    out = ctx.arena.alloc(2 * run_words, "zeros")
+    pl = b.li(left.base)
+    pr = b.li(right.base)
+    po = b.li(out.base)
+    lmask = b.li(run_words - 1)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "merge")
+    li_idx = b.and_(i, lmask)
+    vl = b.load(_indexed_address(ctx, pl, li_idx))
+    vr = b.load(_indexed_address(ctx, pr, li_idx))
+    take_l = b.fresh_label("mg_l")
+    take_r = b.fresh_label("mg_r")
+    join = b.fresh_label("mg_j")
+    b.blt(vl, vr, take_l, take_r)
+    b.begin_block(take_l)
+    b.store(vl, po)
+    b.jmp(join)
+    b.begin_block(take_r)
+    b.store(vr, po)
+    b.jmp(join)
+    b.begin_block(join)
+    b.addi(po, WORD, dest=po)
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+def emit_spmv(
+    ctx: KernelContext,
+    rows: int,
+    nnz_per_row: int,
+    vector_words: int,
+):
+    """CSR sparse matrix-vector product: indirect loads (gather) per
+    nonzero, one result store per row — the irregular-memory pattern of
+    scientific codes the suite otherwise lacks."""
+    b = ctx.builder
+    if vector_words & (vector_words - 1):
+        raise ValueError("spmv vector length must be a power of two")
+    nnz = rows * nnz_per_row
+    values = ctx.arena.alloc(nnz, "random")
+    cols = ctx.arena.alloc(nnz, "random")
+    vec = ctx.arena.alloc(vector_words, "random")
+    out = ctx.arena.alloc(rows, "zeros")
+    rv = b.li(values.base)
+    rc = b.li(cols.base)
+    rx = b.li(vec.base)
+    ry = b.li(out.base)
+    vmask = b.li(vector_words - 1)
+    row, rlimit, rheader, rexit = _counted_loop_header(ctx, rows, "spmv_r")
+    acc = b.li(0)
+    k, klimit, kheader, kexit = _counted_loop_header(ctx, nnz_per_row, "spmv_k")
+    rowbase = b.muli(row, nnz_per_row)
+    nz = b.add(rowbase, k)
+    a = b.load(_indexed_address(ctx, rv, nz))
+    col = b.load(_indexed_address(ctx, rc, nz))
+    col_idx = b.and_(col, vmask)
+    x = b.load(_indexed_address(ctx, rx, col_idx))  # the gather
+    prod = b.mul(a, x)
+    b.add(acc, prod, dest=acc)
+    _close_loop(ctx, k, klimit, kheader, kexit)
+    b.store(acc, _indexed_address(ctx, ry, row))
+    _close_loop(ctx, row, rlimit, rheader, rexit)
+
+
+def emit_fir(ctx: KernelContext, trip: int, array_words: int, taps: int = 5):
+    """FIR filter: a sliding window of loads, tap constants kept live in
+    registers (steady register pressure), one store per sample."""
+    b = ctx.builder
+    signal = ctx.arena.alloc(array_words, "random")
+    out = ctx.arena.alloc(array_words, "zeros")
+    rs = b.li(signal.base)
+    ro = b.li(out.base)
+    span = b.li(array_words - taps - 1)
+    coeffs = [b.li(3 + 2 * t) for t in range(taps)]
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "fir")
+    idx = b.rem(i, span)
+    addr = _indexed_address(ctx, rs, idx)
+    acc = None
+    for t, c in enumerate(coeffs):
+        sample = b.load(addr, offset=t * WORD)
+        term = b.mul(sample, c)
+        acc = term if acc is None else b.add(acc, term)
+    b.store(acc, _indexed_address(ctx, ro, idx))
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+EMITTERS.update(
+    {
+        "crc": emit_crc,
+        "merge_pass": emit_merge_pass,
+        "spmv": emit_spmv,
+        "fir": emit_fir,
+    }
+)

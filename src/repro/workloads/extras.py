@@ -1,0 +1,71 @@
+"""An optional "EXTRAS" suite built on the extended kernel library.
+
+Not part of the paper's 36 benchmarks (and deliberately excluded from
+``all_profiles()`` so the calibrated figures stay stable); useful for
+stress-testing the compiler/protocol on code shapes SPEC-style profiles
+under-represent, and as worked examples of custom profiles.
+"""
+
+from __future__ import annotations
+
+import repro.workloads.extra_kernels  # noqa: F401 - registers the kernels
+from repro.workloads.generator import (
+    BenchmarkProfile,
+    KernelSpec,
+    Workload,
+    build_workload,
+)
+
+
+def _k(kind: str, **params) -> KernelSpec:
+    return KernelSpec(kind=kind, params=params)
+
+
+def extra_profiles() -> list[BenchmarkProfile]:
+    """Four extra benchmarks exercising the extended kernels."""
+    return [
+        BenchmarkProfile(
+            name="crc32",
+            suite="EXTRAS",
+            seed=901,
+            kernels=(
+                _k("crc", trip=1200, array_words=4096, rounds=4),
+            ),
+            notes="checksum: ALU-chain-bound with table lookups",
+        ),
+        BenchmarkProfile(
+            name="mergesort",
+            suite="EXTRAS",
+            seed=902,
+            kernels=(
+                _k("merge_pass", trip=1500, run_words=2048),
+                _k("crc", trip=300, array_words=1024, rounds=2),
+            ),
+            notes="merge pass: data-dependent branches + output stream",
+        ),
+        BenchmarkProfile(
+            name="spmv",
+            suite="EXTRAS",
+            seed=903,
+            kernels=(
+                _k("spmv", rows=120, nnz_per_row=12, vector_words=4096),
+            ),
+            notes="CSR SpMV: gather-indirect loads, one store per row",
+        ),
+        BenchmarkProfile(
+            name="fir",
+            suite="EXTRAS",
+            seed=904,
+            kernels=(
+                _k("fir", trip=1100, array_words=4096, taps=5),
+            ),
+            notes="FIR filter: sliding-window loads, tap-held registers",
+        ),
+    ]
+
+
+def load_extra_workload(name: str) -> Workload:
+    for prof in extra_profiles():
+        if prof.name == name or prof.uid == name:
+            return build_workload(prof)
+    raise KeyError(f"no extra benchmark {name!r}")

@@ -1,0 +1,481 @@
+"""Kernel library for synthetic benchmarks.
+
+Each emitter appends one loop nest to a program under construction and
+leaves the builder positioned in a fresh fall-through block. The kernels
+are chosen to span the code patterns the paper's figures hinge on:
+
+* ``streaming``        — unit-stride load/compute/store (lbm, bwaves);
+* ``stencil``          — neighbourhood reads, one write (leslie3d, roms);
+* ``pointer_chase``    — serial dependent loads (mcf, omnetpp);
+* ``histogram``        — read-modify-write with WAR conflicts (gobmk);
+* ``matmul``           — register-blocked triple loop (cactubssn);
+* ``radix_pass``       — counting-sort pass with lockstep IVs (radix);
+* ``branchy``          — data-dependent control flow (gcc, deepsjeng);
+* ``reduction_divs``   — division-heavy scalar reduction (nab, water-sp);
+* ``iv_lockstep``      — several pointer-bump IVs, the LIVM target
+  (exchange2, leela, lu-cg);
+* ``compute_inner``    — store-free inner loop under a storing outer
+  loop, the LICM checkpoint-sinking target (fotonik3d, x264);
+* ``spill_pressure``   — more live values than registers with write-hot
+  accumulators, the store-aware-RA target (gemsfdtd, lbm).
+
+All loops are counted (no data-dependent trip counts), so every workload
+terminates regardless of memory contents.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.runtime.memory import DATA_BASE, DATA_LIMIT, WORD
+
+
+@dataclass
+class ArraySpec:
+    """A reserved data-segment array plus how to initialise it."""
+
+    base: int
+    length: int  # in words
+    init: str  # "random" | "zeros" | "perm" | "indices"
+    seed: int = 0
+
+    def initial_words(self) -> list[int]:
+        if self.init == "zeros":
+            return [0] * self.length
+        if self.init == "indices":
+            return list(range(self.length))
+        rng = random.Random(self.seed)
+        if self.init == "random":
+            return [rng.randrange(-(1 << 20), 1 << 20) for _ in range(self.length)]
+        if self.init == "perm":
+            # A single-cycle permutation stored as word *addresses*: each
+            # cell holds the address of the next node (pointer chasing).
+            order = list(range(self.length))
+            rng.shuffle(order)
+            words = [0] * self.length
+            for pos in range(self.length):
+                src = order[pos]
+                dst = order[(pos + 1) % self.length]
+                words[src] = self.base + dst * WORD
+            return words
+        raise ValueError(f"unknown init {self.init!r}")
+
+
+class Arena:
+    """Bump allocator over the data segment."""
+
+    def __init__(self, seed: int = 0):
+        self._next = DATA_BASE + WORD  # keep address 0 unused
+        self._seed = seed
+        self.arrays: list[ArraySpec] = []
+
+    def alloc(self, words: int, init: str = "random") -> ArraySpec:
+        base = self._next
+        self._next += words * WORD
+        if self._next >= DATA_LIMIT:
+            raise MemoryError("data segment exhausted; shrink the workload")
+        self._seed += 1
+        spec = ArraySpec(base=base, length=words, init=init, seed=self._seed)
+        self.arrays.append(spec)
+        return spec
+
+
+@dataclass
+class KernelContext:
+    """Shared state while emitting one benchmark program."""
+
+    builder: ProgramBuilder
+    arena: Arena
+    rng: random.Random
+    zero: Reg | None = None
+
+    def zero_reg(self) -> Reg:
+        if self.zero is None:
+            self.zero = self.builder.li(0)
+        return self.zero
+
+
+def _counted_loop_header(ctx: KernelContext, trip: int, hint: str):
+    """Emit preheader init + loop header; returns (i, limit, header, exit)."""
+    b = ctx.builder
+    i = b.li(0)
+    limit = b.li(trip)
+    header = b.fresh_label(f"{hint}_h")
+    exit_label = b.fresh_label(f"{hint}_x")
+    b.jmp(header)
+    b.begin_block(header)
+    return i, limit, header, exit_label
+
+
+def _close_loop(ctx: KernelContext, i: Reg, limit: Reg, header: str, exit_label: str):
+    b = ctx.builder
+    b.addi(i, 1, dest=i)
+    b.blt(i, limit, header, exit_label)
+    b.begin_block(exit_label)
+
+
+def _indexed_address(ctx: KernelContext, base_reg: Reg, index: Reg) -> Reg:
+    """addr = base + index*4 in array-index style (strength-reduction fodder)."""
+    b = ctx.builder
+    off = b.shli(index, 2)
+    return b.add(base_reg, off)
+
+
+def emit_streaming(
+    ctx: KernelContext,
+    trip: int,
+    array_words: int,
+    ops: int = 2,
+    unroll: int = 1,
+):
+    """c[i] = f(a[i], b[i]) with ``ops`` ALU ops of work per element.
+
+    ``unroll`` replicates the body (as -O3 does for hot streaming loops),
+    redefining the same accumulator register each time. Only the last
+    definition per region is live-out — the Figure 3 effect that makes
+    checkpoint counts sensitive to region (store buffer) size.
+    """
+    b = ctx.builder
+    a = ctx.arena.alloc(array_words, "random")
+    bb = ctx.arena.alloc(array_words, "random")
+    c = ctx.arena.alloc(array_words, "zeros")
+    if array_words & (array_words - 1):
+        raise ValueError("streaming arrays must be a power-of-two length")
+    ra = b.li(a.base)
+    rb = b.li(bb.base)
+    rc = b.li(c.base)
+    mask = b.li(array_words - 1)
+    carry = b.li(0)  # live-out accumulator redefined by every unroll copy
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "stream")
+    base_idx = b.muli(i, unroll) if unroll > 1 else i
+    for u in range(unroll):
+        idx = b.and_(b.addi(base_idx, u) if u else base_idx, mask)
+        va = b.load(_indexed_address(ctx, ra, idx))
+        vb = b.load(_indexed_address(ctx, rb, idx))
+        acc = b.add(va, vb)
+        for _ in range(max(0, ops - 1)):
+            acc = b.add(acc, va)
+        b.add(acc, carry, dest=carry)
+        b.store(acc, _indexed_address(ctx, rc, idx))
+    _close_loop(ctx, i, limit, header, exit_label)
+    out = ctx.arena.alloc(8, "zeros")
+    b.store(carry, b.li(out.base))
+
+
+def emit_stencil(
+    ctx: KernelContext, trip: int, array_words: int, unroll: int = 1
+):
+    """out[i] = in[i-1] + in[i] + in[i+1] over a circular window.
+
+    ``unroll`` replicates the body with a shared running value (the
+    Figure 3 redefinition pattern), as -O3 would for this loop shape.
+    """
+    b = ctx.builder
+    src = ctx.arena.alloc(array_words, "random")
+    dst = ctx.arena.alloc(array_words, "zeros")
+    rs = b.li(src.base)
+    rd = b.li(dst.base)
+    span = b.li(array_words - 2)
+    carry = b.li(0)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "stencil")
+    base_idx = b.muli(i, unroll) if unroll > 1 else i
+    for u in range(unroll):
+        idx = b.rem(b.addi(base_idx, u) if u else base_idx, span)
+        idx = b.addi(idx, 1)
+        addr = _indexed_address(ctx, rs, idx)
+        left = b.load(addr, offset=-WORD)
+        mid = b.load(addr)
+        right = b.load(addr, offset=WORD)
+        s = b.add(left, mid)
+        s = b.add(s, right)
+        b.add(s, carry, dest=carry)
+        b.store(s, _indexed_address(ctx, rd, idx))
+    _close_loop(ctx, i, limit, header, exit_label)
+    out = ctx.arena.alloc(8, "zeros")
+    b.store(carry, b.li(out.base))
+
+
+def emit_pointer_chase(
+    ctx: KernelContext,
+    trip: int,
+    nodes: int,
+    work: int = 1,
+    store_stride: int = 0,
+):
+    """ptr = load(ptr) chains: serial, cache-hostile when nodes is large.
+
+    With ``store_stride > 0`` every iteration also writes a scratch field
+    (as mcf's network simplex updates node state), which keeps regions
+    short and exercises the delinquent-load -> checkpoint data hazard the
+    paper's Figure 6 describes.
+    """
+    b = ctx.builder
+    chain = ctx.arena.alloc(nodes, "perm")
+    sums = ctx.arena.alloc(max(64, store_stride), "zeros")
+    ptr = b.li(chain.base)
+    acc = b.li(0)
+    rsum = b.li(sums.base)
+    smask = b.li(max(63, store_stride - 1))
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "chase")
+    b.load(ptr, dest=ptr)  # the delinquent load updating a live-out reg
+    acc = b.add(acc, ptr, dest=acc)
+    for _ in range(work):
+        acc = b.xor(acc, ptr, dest=acc)
+    if store_stride > 0:
+        slot = b.and_(i, smask)
+        b.store(acc, _indexed_address(ctx, rsum, slot))
+    _close_loop(ctx, i, limit, header, exit_label)
+    b.store(acc, rsum)
+
+
+def emit_histogram(
+    ctx: KernelContext, trip: int, keys_words: int, bins: int, work: int = 3
+):
+    """bins[key]++: loads and stores the same address (WAR in-region).
+
+    ``work`` extra ALU ops per iteration model the key hashing real table
+    codes do between memory operations.
+    """
+    b = ctx.builder
+    keys = ctx.arena.alloc(keys_words, "random")
+    table = ctx.arena.alloc(bins, "zeros")
+    rk = b.li(keys.base)
+    rt = b.li(table.base)
+    kmask = b.li(keys_words - 1)
+    bmask = b.li(bins - 1)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "hist")
+    ki = b.and_(i, kmask)
+    key = b.load(_indexed_address(ctx, rk, ki))
+    for step in range(work):
+        key = b.xor(key, b.shri(key, 3 + step))
+    slot = b.and_(key, bmask)
+    addr = _indexed_address(ctx, rt, slot)
+    count = b.load(addr)
+    count = b.addi(count, 1)
+    b.store(count, addr)
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+def emit_matmul(ctx: KernelContext, n: int, reps: int = 1):
+    """Register-blocked n x n matrix multiply (n kept small, looped)."""
+    b = ctx.builder
+    a = ctx.arena.alloc(n * n, "random")
+    bm = ctx.arena.alloc(n * n, "random")
+    c = ctx.arena.alloc(n * n, "zeros")
+    ra = b.li(a.base)
+    rb = b.li(bm.base)
+    rc = b.li(c.base)
+    rn = b.li(n)
+    r, rlimit, rheader, rexit = _counted_loop_header(ctx, reps, "mm_rep")
+    i, ilimit, iheader, iexit = _counted_loop_header(ctx, n, "mm_i")
+    j, jlimit, jheader, jexit = _counted_loop_header(ctx, n, "mm_j")
+    acc = b.li(0)
+    k, klimit, kheader, kexit = _counted_loop_header(ctx, n, "mm_k")
+    row = b.mul(i, rn)
+    aidx = b.add(row, k)
+    va = b.load(_indexed_address(ctx, ra, aidx))
+    col = b.mul(k, rn)
+    bidx = b.add(col, j)
+    vb = b.load(_indexed_address(ctx, rb, bidx))
+    prod = b.mul(va, vb)
+    b.add(acc, prod, dest=acc)
+    _close_loop(ctx, k, klimit, kheader, kexit)
+    crow = b.mul(i, rn)
+    cidx = b.add(crow, j)
+    b.store(acc, _indexed_address(ctx, rc, cidx))
+    _close_loop(ctx, j, jlimit, jheader, jexit)
+    _close_loop(ctx, i, ilimit, iheader, iexit)
+    _close_loop(ctx, r, rlimit, rheader, rexit)
+
+
+def emit_radix_pass(ctx: KernelContext, trip: int, array_words: int):
+    """Counting-sort style pass with two lockstep pointer IVs (LIVM bait)."""
+    b = ctx.builder
+    src = ctx.arena.alloc(array_words, "random")
+    dst = ctx.arena.alloc(array_words, "zeros")
+    counts = ctx.arena.alloc(16, "zeros")
+    rcnt = b.li(counts.base)
+    # Hand-written pointer-bumping: two extra basic IVs in lockstep with i.
+    psrc = b.li(src.base)
+    pdst = b.li(dst.base)
+    if trip > array_words:
+        raise ValueError("radix trip count must not exceed the array length")
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "radix")
+    v = b.load(psrc)
+    digit = b.andi(v, 15)
+    caddr = _indexed_address(ctx, rcnt, digit)
+    cnt = b.load(caddr)
+    cnt = b.addi(cnt, 1)
+    b.store(cnt, caddr)
+    b.store(v, pdst)
+    b.addi(psrc, WORD, dest=psrc)
+    b.addi(pdst, WORD, dest=pdst)
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+def emit_branchy(ctx: KernelContext, trip: int, array_words: int, depth: int = 2):
+    """Data-dependent branching over random data (predictor-hostile)."""
+    b = ctx.builder
+    data = ctx.arena.alloc(array_words, "random")
+    out = ctx.arena.alloc(array_words, "zeros")
+    rd = b.li(data.base)
+    ro = b.li(out.base)
+    mask = b.li(array_words - 1)
+    zero = ctx.zero_reg()
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "branchy")
+    idx = b.and_(i, mask)
+    v = b.load(_indexed_address(ctx, rd, idx))
+    acc = b.mov(v)
+    for level in range(depth):
+        bit = b.andi(v, 1 << level)
+        then_l = b.fresh_label(f"br{level}_t")
+        else_l = b.fresh_label(f"br{level}_e")
+        join_l = b.fresh_label(f"br{level}_j")
+        b.bne(bit, zero, then_l, else_l)
+        b.begin_block(then_l)
+        b.addi(acc, 3 + level, dest=acc)
+        b.jmp(join_l)
+        b.begin_block(else_l)
+        b.xor(acc, v, dest=acc)
+        b.jmp(join_l)
+        b.begin_block(join_l)
+    b.store(acc, _indexed_address(ctx, ro, idx))
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+def emit_reduction_divs(ctx: KernelContext, trip: int, array_words: int):
+    """Long-latency scalar reduction: division chains with one result
+    store per iteration (force/energy write-back, as MD codes do)."""
+    b = ctx.builder
+    data = ctx.arena.alloc(array_words, "random")
+    out = ctx.arena.alloc(64, "zeros")
+    rd = b.li(data.base)
+    ro = b.li(out.base)
+    mask = b.li(array_words - 1)
+    omask = b.li(63)
+    acc = b.li(1)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "redux")
+    idx = b.and_(i, mask)
+    v = b.load(_indexed_address(ctx, rd, idx))
+    v = b.or_(v, limit)  # keep divisor nonzero
+    q = b.div(acc, v)
+    acc = b.add(q, v, dest=acc)
+    slot = b.and_(i, omask)
+    b.store(acc, _indexed_address(ctx, ro, slot))
+    _close_loop(ctx, i, limit, header, exit_label)
+    b.store(acc, ro)
+
+
+def emit_iv_lockstep(ctx: KernelContext, trip: int, array_words: int, ivs: int = 3):
+    """Several arrays walked by independent pointer IVs (LIVM merges them)."""
+    b = ctx.builder
+    if trip > array_words:
+        raise ValueError("iv_lockstep trip count must not exceed the array length")
+    arrays = [ctx.arena.alloc(array_words, "random") for _ in range(ivs)]
+    out = ctx.arena.alloc(array_words, "zeros")
+    pointers = [b.li(arr.base) for arr in arrays]
+    pout = b.li(out.base)
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "ivs")
+    acc = None
+    for ptr in pointers:
+        v = b.load(ptr)
+        acc = v if acc is None else b.add(acc, v)
+    assert acc is not None
+    b.store(acc, pout)
+    for ptr in pointers:
+        b.addi(ptr, WORD, dest=ptr)
+    b.addi(pout, WORD, dest=pout)
+    # The loop trip count is held <= array_words by the caller.
+    _close_loop(ctx, i, limit, header, exit_label)
+
+
+def emit_compute_inner(
+    ctx: KernelContext, outer_trip: int, inner_trip: int, array_words: int
+):
+    """Store-free inner loop under a storing outer loop (LICM sinking bait).
+
+    The inner loop updates accumulators every iteration; eager
+    checkpointing would checkpoint them per inner iteration, LICM sinks
+    those checkpoints to the inner-loop exit.
+    """
+    b = ctx.builder
+    data = ctx.arena.alloc(array_words, "random")
+    out = ctx.arena.alloc(max(outer_trip, 8), "zeros")
+    rd = b.li(data.base)
+    ro = b.li(out.base)
+    mask = b.li(array_words - 1)
+    # The accumulator lives across outer iterations (a running prefix),
+    # so it is live at the outer-loop region boundary: eager checkpointing
+    # must checkpoint its inner-loop update every inner iteration — until
+    # LICM sinks that checkpoint to the inner-loop exit (Figure 10).
+    acc = b.li(0)
+    o, olimit, oheader, oexit = _counted_loop_header(ctx, outer_trip, "ci_o")
+    j, jlimit, jheader, jexit = _counted_loop_header(ctx, inner_trip, "ci_i")
+    mix = b.add(o, j)
+    idx = b.and_(mix, mask)
+    v = b.load(_indexed_address(ctx, rd, idx))
+    b.add(acc, v, dest=acc)
+    _close_loop(ctx, j, jlimit, jheader, jexit)
+    b.store(acc, _indexed_address(ctx, ro, o))
+    _close_loop(ctx, o, olimit, oheader, oexit)
+
+
+def emit_spill_pressure(
+    ctx: KernelContext,
+    trip: int,
+    array_words: int,
+    accumulators: int = 16,
+    coefficients: int = 16,
+):
+    """More live values than registers; accumulators are write-hot.
+
+    Weight structure per iteration: each accumulator is read once and
+    written once, each coefficient is read twice — equal weight (2) under
+    a read/write-blind cost model, so the conventional allocator's
+    density/furthest-end tiebreak spills the *accumulators* (their
+    intervals stretch to the final result stores) at one spill store per
+    accumulator per iteration. The store-aware allocator (write factor 4)
+    weighs accumulators at 5 and keeps them resident, spilling read-only
+    coefficients instead. Either choice costs two memory ops per spilled
+    value per iteration (reload+store vs two reloads), so the
+    non-resilient baseline is barely affected — the "maintain allocation
+    quality" constraint of Section 4.1.1 — while the resilient build
+    sheds its spill stores.
+    """
+    b = ctx.builder
+    data = ctx.arena.alloc(array_words, "random")
+    out = ctx.arena.alloc(accumulators, "zeros")
+    rd = b.li(data.base)
+    mask = b.li(array_words - 1)
+    coeffs = [b.li(3 + 2 * k) for k in range(coefficients)]
+    accs = [b.li(0) for _ in range(accumulators)]
+    i, limit, header, exit_label = _counted_loop_header(ctx, trip, "spill")
+    idx = b.and_(i, mask)
+    v = b.load(_indexed_address(ctx, rd, idx))
+    for k, acc in enumerate(accs):
+        c = coeffs[k % len(coeffs)]
+        t = b.add(v, c)  # coefficient read 1
+        t = b.xor(t, c)  # coefficient read 2
+        b.add(acc, t, dest=acc)  # accumulator read + write
+    _close_loop(ctx, i, limit, header, exit_label)
+    ro = b.li(out.base)
+    for k, acc in enumerate(accs):
+        b.store(acc, ro, offset=k * WORD)
+
+
+EMITTERS = {
+    "streaming": emit_streaming,
+    "stencil": emit_stencil,
+    "pointer_chase": emit_pointer_chase,
+    "histogram": emit_histogram,
+    "matmul": emit_matmul,
+    "radix_pass": emit_radix_pass,
+    "branchy": emit_branchy,
+    "reduction_divs": emit_reduction_divs,
+    "iv_lockstep": emit_iv_lockstep,
+    "compute_inner": emit_compute_inner,
+    "spill_pressure": emit_spill_pressure,
+}

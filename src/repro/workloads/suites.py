@@ -1,0 +1,228 @@
+"""The 36 named benchmarks of the paper's evaluation.
+
+Each SPEC CPU2006/CPU2017/SPLASH-3 benchmark is modelled as a seeded
+synthetic profile whose kernel mix reflects its documented character
+(pointer chasing mcf, streaming lbm/bwaves, branchy gcc/deepsjeng, the
+LIVM-sensitive exchange2/leela/lu-cg/radix, the LICM-sensitive
+deepsjeng/fotonik3d/nab/x264, and the spill-heavy gemsfdtd/lbm that the
+store-aware register allocator rescues). Absolute dynamic lengths are
+kept in the tens of thousands of instructions so full-suite sweeps run in
+seconds, not hours; the figures normalise everything, so only relative
+behaviour matters.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.generator import BenchmarkProfile, KernelSpec, Workload, build_workload
+
+
+def _k(kind: str, **params) -> KernelSpec:
+    return KernelSpec(kind=kind, params=params)
+
+
+def _profiles() -> list[BenchmarkProfile]:
+    profiles: list[BenchmarkProfile] = []
+
+    def add(name: str, suite: str, seed: int, kernels: list[KernelSpec], notes: str = ""):
+        profiles.append(
+            BenchmarkProfile(
+                name=name,
+                suite=suite,
+                seed=seed,
+                kernels=tuple(kernels),
+                notes=notes,
+            )
+        )
+
+    # ---- SPEC CPU2006 ----------------------------------------------------
+    add("astar", "CPU2006", 101, [
+        _k("pointer_chase", trip=1200, nodes=16384, store_stride=64),
+        _k("branchy", trip=800, array_words=1024, depth=2),
+    ], "path-finding: pointer chasing + data-dependent branches")
+    add("bwaves", "CPU2006", 102, [
+        _k("streaming", trip=400, array_words=8192, ops=4, unroll=4),
+        _k("stencil", trip=600, array_words=4096),
+    ], "dense fluid solver: long store-sparse compute regions")
+    add("bzip2", "CPU2006", 103, [
+        _k("histogram", trip=900, keys_words=2048, bins=256),
+        _k("branchy", trip=700, array_words=2048, depth=2),
+    ], "compression: table updates with WAR conflicts")
+    add("gcc", "CPU2006", 104, [
+        _k("branchy", trip=1400, array_words=4096, depth=3),
+        _k("histogram", trip=500, keys_words=1024, bins=128),
+    ], "compiler: branchy, store-dense, small regions")
+    add("gemsfdtd", "CPU2006", 105, [
+        _k("spill_pressure", trip=500, array_words=4096, accumulators=20, coefficients=14),
+        _k("stencil", trip=700, array_words=8192),
+    ], "FDTD solver: extreme register pressure (RA-trick target)")
+    add("gobmk", "CPU2006", 106, [
+        _k("branchy", trip=900, array_words=2048, depth=2),
+        _k("histogram", trip=700, keys_words=512, bins=64),
+    ], "go engine: branchy board updates")
+    add("hmmer", "CPU2006", 107, [
+        _k("streaming", trip=260, array_words=4096, ops=3, unroll=4),
+        _k("compute_inner", outer_trip=140, inner_trip=10, array_words=4096),
+    ], "profile HMM: regular dynamic-programming sweeps")
+    add("leslie3d", "CPU2006", 108, [
+        _k("stencil", trip=320, array_words=8192, unroll=4),
+        _k("streaming", trip=160, array_words=8192, ops=2, unroll=4),
+    ], "CFD stencils")
+    add("libquan", "CPU2006", 109, [
+        _k("compute_inner", outer_trip=220, inner_trip=10, array_words=2048),
+        _k("reduction_divs", trip=600, array_words=1024),
+    ], "quantum simulation: gate loops over amplitudes")
+    add("mcf", "CPU2006", 110, [
+        _k("pointer_chase", trip=2500, nodes=24576, work=1, store_stride=64),
+    ], "network simplex: cache-hostile pointer chasing")
+    add("milc", "CPU2006", 111, [
+        _k("streaming", trip=250, array_words=16384, ops=4, unroll=4),
+        _k("matmul", n=8, reps=4),
+    ], "lattice QCD: su3 matrix kernels")
+    add("omnetpp", "CPU2006", 112, [
+        _k("pointer_chase", trip=1000, nodes=8192, store_stride=64),
+        _k("branchy", trip=600, array_words=1024, depth=2),
+    ], "discrete event simulation: heap walks")
+    add("perlbench", "CPU2006", 113, [
+        _k("branchy", trip=1000, array_words=2048, depth=3),
+        _k("pointer_chase", trip=500, nodes=4096, store_stride=64),
+    ], "interpreter: dispatch-heavy")
+    add("soplex", "CPU2006", 114, [
+        _k("matmul", n=10, reps=3),
+        _k("reduction_divs", trip=500, array_words=2048),
+    ], "LP solver: dense algebra + divisions")
+    add("xalan", "CPU2006", 115, [
+        _k("pointer_chase", trip=900, nodes=8192, store_stride=64),
+        _k("histogram", trip=600, keys_words=1024, bins=128),
+    ], "XSLT: DOM walks + tables")
+    add("zeusmp", "CPU2006", 116, [
+        _k("stencil", trip=240, array_words=8192, unroll=4),
+        _k("spill_pressure", trip=300, array_words=2048, accumulators=18, coefficients=12),
+    ], "magnetohydrodynamics: wide stencils, high pressure")
+
+    # ---- SPEC CPU2017 ----------------------------------------------------
+    add("bwaves", "CPU2017", 201, [
+        _k("streaming", trip=450, array_words=8192, ops=4, unroll=4),
+    ], "fluid dynamics: pure streaming")
+    add("cactubssn", "CPU2017", 202, [
+        _k("matmul", n=8, reps=6),
+        _k("compute_inner", outer_trip=130, inner_trip=9, array_words=4096),
+    ], "numerical relativity: LICM-sensitive inner loops")
+    add("deepsjeng", "CPU2017", 203, [
+        _k("branchy", trip=1200, array_words=2048, depth=3),
+        _k("compute_inner", outer_trip=110, inner_trip=9, array_words=1024),
+    ], "chess: branchy search with store-free evaluation loops (LICM)")
+    add("exchange2", "CPU2017", 204, [
+        _k("iv_lockstep", trip=1800, array_words=2048, ivs=4),
+        _k("branchy", trip=400, array_words=512, depth=1),
+    ], "sudoku solver: many lockstep counters (LIVM target)")
+    add("fotonik3d", "CPU2017", 205, [
+        _k("compute_inner", outer_trip=240, inner_trip=10, array_words=8192),
+        _k("stencil", trip=500, array_words=4096),
+    ], "photonics FDTD: store-free field loops (LICM target)")
+    add("lbm", "CPU2017", 206, [
+        _k("streaming", trip=350, array_words=16384, ops=3, unroll=4),
+        _k("spill_pressure", trip=400, array_words=4096, accumulators=22, coefficients=16),
+    ], "lattice Boltzmann: streaming + spill-heavy collision (RA trick)")
+    add("leela", "CPU2017", 207, [
+        _k("iv_lockstep", trip=1500, array_words=2048, ivs=3),
+        _k("branchy", trip=500, array_words=1024, depth=2),
+    ], "go engine: lockstep feature counters (LIVM)")
+    add("mcf", "CPU2017", 208, [
+        _k("pointer_chase", trip=2800, nodes=24576, work=1, store_stride=64),
+    ], "network simplex, bigger graphs")
+    add("nab", "CPU2017", 209, [
+        _k("compute_inner", outer_trip=180, inner_trip=10, array_words=2048),
+        _k("reduction_divs", trip=500, array_words=2048),
+    ], "molecular dynamics: store-free force loops (LICM)")
+    add("roms", "CPU2017", 210, [
+        _k("stencil", trip=290, array_words=8192, unroll=4),
+        _k("streaming", trip=500, array_words=4096, ops=2),
+    ], "ocean model stencils")
+    add("x264", "CPU2017", 211, [
+        _k("compute_inner", outer_trip=190, inner_trip=10, array_words=4096),
+        _k("histogram", trip=400, keys_words=1024, bins=64),
+    ], "video encoder: SAD loops without stores (LICM)")
+    add("xalan", "CPU2017", 212, [
+        _k("pointer_chase", trip=900, nodes=8192, store_stride=64),
+        _k("branchy", trip=500, array_words=1024, depth=2),
+    ], "XSLT")
+    add("xz", "CPU2017", 213, [
+        _k("histogram", trip=800, keys_words=4096, bins=256),
+        _k("branchy", trip=600, array_words=2048, depth=2),
+    ], "compression: match tables")
+
+    # ---- SPLASH-3 -----------------------------------------------------------
+    add("cholesky", "SPLASH3", 301, [
+        _k("matmul", n=10, reps=4),
+        _k("iv_lockstep", trip=600, array_words=1024, ivs=2),
+    ], "sparse factorisation: supernode updates")
+    add("fft", "SPLASH3", 302, [
+        _k("streaming", trip=200, array_words=4096, ops=3, unroll=4),
+        _k("compute_inner", outer_trip=130, inner_trip=9, array_words=4096),
+    ], "radix-sqrt(n) FFT: butterfly sweeps")
+    add("lu-cg", "SPLASH3", 303, [
+        _k("matmul", n=12, reps=3),
+        _k("iv_lockstep", trip=800, array_words=1024, ivs=3),
+    ], "contiguous LU: blocked updates with lockstep pointers (LIVM)")
+    add("ocean-ng", "SPLASH3", 304, [
+        _k("stencil", trip=340, array_words=16384, unroll=4),
+        _k("streaming", trip=400, array_words=8192, ops=2),
+    ], "ocean simulation: grid relaxation")
+    add("radiosity", "SPLASH3", 305, [
+        _k("pointer_chase", trip=800, nodes=8192, store_stride=64),
+        _k("reduction_divs", trip=400, array_words=1024),
+    ], "hierarchical radiosity: patch interactions")
+    add("radix", "SPLASH3", 306, [
+        _k("radix_pass", trip=1200, array_words=4096),
+        _k("streaming", trip=600, array_words=4096, ops=3),
+        _k("iv_lockstep", trip=500, array_words=1024, ivs=2),
+    ], "radix sort: counting passes with lockstep IVs (LIVM, LICM)")
+    add("water-sp", "SPLASH3", 307, [
+        _k("reduction_divs", trip=900, array_words=2048),
+        _k("compute_inner", outer_trip=110, inner_trip=9, array_words=2048),
+    ], "molecular dynamics: pairwise forces with divisions")
+
+    return profiles
+
+
+_PROFILES: list[BenchmarkProfile] | None = None
+
+
+def all_profiles() -> list[BenchmarkProfile]:
+    """All 36 benchmark profiles, in the paper's presentation order."""
+    global _PROFILES
+    if _PROFILES is None:
+        _PROFILES = _profiles()
+    return list(_PROFILES)
+
+
+def profile(uid: str) -> BenchmarkProfile:
+    """Look up by ``SUITE.name`` (e.g. ``"CPU2017.lbm"``)."""
+    for prof in all_profiles():
+        if prof.uid == uid:
+            return prof
+    raise KeyError(f"no benchmark {uid!r}")
+
+
+def suites() -> dict[str, list[BenchmarkProfile]]:
+    out: dict[str, list[BenchmarkProfile]] = {}
+    for prof in all_profiles():
+        out.setdefault(prof.suite, []).append(prof)
+    return out
+
+
+def load_workload(uid: str) -> Workload:
+    return build_workload(profile(uid))
+
+
+def quick_subset(count: int = 6) -> list[BenchmarkProfile]:
+    """A small diverse subset for fast tests: one per behaviour class."""
+    picks = [
+        "CPU2006.mcf",
+        "CPU2006.gcc",
+        "CPU2017.bwaves",
+        "CPU2017.exchange2",
+        "CPU2017.lbm",
+        "SPLASH3.radix",
+    ]
+    return [profile(uid) for uid in picks[:count]]

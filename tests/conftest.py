@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.compiler.config import turnpike_config, turnstile_config
+from repro.compiler.pipeline import compile_baseline, compile_program
+from repro.runtime.memory import Memory
+from repro.workloads.generator import build_workload
+from repro.workloads.suites import profile
+
+from helpers import build_diamond, build_sum_loop
+
+
+@pytest.fixture
+def sum_loop():
+    return build_sum_loop()
+
+
+@pytest.fixture
+def diamond():
+    return build_diamond()
+
+
+@pytest.fixture(scope="session")
+def quick_workloads():
+    """A small, behaviour-diverse set of full workloads (session-cached)."""
+    uids = ["CPU2006.gcc", "CPU2017.exchange2", "SPLASH3.radix"]
+    return [build_workload(profile(uid)) for uid in uids]
+
+
+@pytest.fixture(scope="session")
+def gcc_workload():
+    return build_workload(profile("CPU2006.gcc"))
+
+
+@pytest.fixture(scope="session")
+def gcc_turnpike(gcc_workload):
+    return compile_program(gcc_workload.program, turnpike_config())
+
+
+@pytest.fixture(scope="session")
+def gcc_turnstile(gcc_workload):
+    return compile_program(gcc_workload.program, turnstile_config())
+
+
+@pytest.fixture(scope="session")
+def gcc_baseline(gcc_workload):
+    return compile_baseline(gcc_workload.program)
+
+
+@pytest.fixture
+def empty_memory():
+    return Memory()

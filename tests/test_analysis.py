@@ -1,0 +1,360 @@
+"""Tests for the analysis package: CFG, dominators, liveness, loops,
+induction variables, reachability."""
+
+import pytest
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.induction import find_basic_ivs, find_merge_candidates
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.analysis.reachability import compute_def_reachability
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+
+from helpers import build_diamond, build_sum_loop
+
+
+def _loop_program():
+    return build_sum_loop(trip=8)
+
+
+class TestCFG:
+    def test_successors_of_loop(self):
+        cfg = build_cfg(_loop_program())
+        assert set(cfg.succs("loop")) == {"loop", "done"}
+
+    def test_predecessors_of_header(self):
+        cfg = build_cfg(_loop_program())
+        assert set(cfg.preds("loop")) == {"entry", "loop"}
+
+    def test_entry(self):
+        cfg = build_cfg(_loop_program())
+        assert cfg.entry == "entry"
+
+    def test_reverse_postorder_starts_at_entry(self):
+        cfg = build_cfg(_loop_program())
+        assert cfg.reverse_postorder()[0] == "entry"
+
+    def test_rpo_covers_reachable(self):
+        cfg = build_cfg(build_diamond())
+        assert set(cfg.reverse_postorder()) == {"entry", "neg", "pos", "join"}
+
+    def test_rpo_order_respects_dominance(self):
+        cfg = build_cfg(build_diamond())
+        rpo = cfg.reverse_postorder()
+        assert rpo.index("entry") < rpo.index("neg")
+        assert rpo.index("neg") < rpo.index("join")
+        assert rpo.index("pos") < rpo.index("join")
+
+    def test_edges(self):
+        cfg = build_cfg(build_diamond())
+        assert ("entry", "neg") in cfg.edges()
+        assert ("pos", "join") in cfg.edges()
+
+    def test_unreachable_blocks_detected(self):
+        b = ProgramBuilder("u")
+        b.begin_block("entry")
+        b.ret()
+        b.begin_block("island")
+        b.ret()
+        cfg = build_cfg(b.finish())
+        assert cfg.unreachable_blocks() == {"island"}
+
+    def test_postorder_is_reverse_of_rpo(self):
+        cfg = build_cfg(_loop_program())
+        assert cfg.postorder() == list(reversed(cfg.reverse_postorder()))
+
+
+class TestDominators:
+    def test_entry_dominates_all(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        for label in ("neg", "pos", "join"):
+            assert dom.dominates("entry", label)
+
+    def test_branch_arms_do_not_dominate_join(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        assert not dom.dominates("neg", "join")
+        assert not dom.dominates("pos", "join")
+
+    def test_dominance_is_reflexive(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        assert dom.dominates("join", "join")
+
+    def test_loop_header_dominates_latch(self):
+        cfg = build_cfg(_loop_program())
+        dom = compute_dominators(cfg)
+        assert dom.dominates("loop", "loop")
+        assert dom.dominates("entry", "loop")
+
+    def test_idom_of_join_is_entry(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        assert dom.idom["join"] == "entry"
+
+    def test_entry_has_no_idom(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        assert dom.idom["entry"] is None
+
+    def test_dominator_sets(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        sets = dom.dominator_sets()
+        assert sets["join"] == {"entry", "join"}
+        assert sets["neg"] == {"entry", "neg"}
+
+    def test_children(self):
+        cfg = build_cfg(build_diamond())
+        dom = compute_dominators(cfg)
+        assert set(dom.children("entry")) == {"neg", "pos", "join"}
+
+
+class TestLiveness:
+    def test_loop_carried_values_live_at_header(self):
+        prog = _loop_program()
+        cfg = build_cfg(prog)
+        live = compute_liveness(cfg)
+        # The accumulator, IV, limit, and base must be live into the loop.
+        assert len(live.live_in["loop"]) >= 4
+
+    def test_dead_after_last_use(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        x = b.li(1)
+        y = b.addi(x, 1)
+        b.store(y, b.li(0x100))
+        b.ret()
+        prog = b.finish()
+        cfg = build_cfg(prog)
+        live = compute_liveness(cfg)
+        assert live.live_out["entry"] == set()
+
+    def test_live_in_includes_upward_exposed_uses(self):
+        prog = build_diamond()
+        cfg = build_cfg(prog)
+        live = compute_liveness(cfg)
+        live_in_entry = live.live_in["entry"]
+        (x,) = prog.live_in
+        assert x in live_in_entry
+
+    def test_live_after_per_instruction(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        x = b.li(5)
+        y = b.addi(x, 1)
+        b.store(y, b.li(0x100))
+        b.ret()
+        prog = b.finish()
+        cfg = build_cfg(prog)
+        live = compute_liveness(cfg)
+        pairs = live.live_after("entry")
+        # After the LI defining x, x is live (used by the ADDI).
+        assert x in pairs[0][1]
+        # After the store, nothing is live.
+        assert pairs[-2][1] == set()
+
+    def test_branch_operands_live(self):
+        prog = _loop_program()
+        cfg = build_cfg(prog)
+        live = compute_liveness(cfg)
+        pairs = live.live_after("loop")
+        branch_instr, after = pairs[-1]
+        assert branch_instr.is_branch
+
+
+class TestLoops:
+    def test_self_loop_detected(self):
+        forest = find_loops(*_cfg_dom(_loop_program()))
+        assert "loop" in forest.headers
+
+    def test_loop_body(self):
+        forest = find_loops(*_cfg_dom(_loop_program()))
+        assert forest.loops["loop"].body == {"loop"}
+
+    def test_loop_exits(self):
+        forest = find_loops(*_cfg_dom(_loop_program()))
+        assert forest.loops["loop"].exits == {"done"}
+
+    def test_no_loops_in_diamond(self):
+        forest = find_loops(*_cfg_dom(build_diamond()))
+        assert forest.headers == set()
+
+    def test_nested_loops(self):
+        b = ProgramBuilder("nest")
+        b.begin_block("entry")
+        i = b.li(0)
+        n = b.li(4)
+        b.jmp("outer")
+        b.begin_block("outer")
+        j = b.li(0)
+        b.jmp("inner")
+        b.begin_block("inner")
+        b.addi(j, 1, dest=j)
+        b.blt(j, n, "inner", "outer_latch")
+        b.begin_block("outer_latch")
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "outer", "exit")
+        b.begin_block("exit")
+        b.ret()
+        forest = find_loops(*_cfg_dom(b.finish()))
+        assert {"outer", "inner"} <= forest.headers
+        assert forest.loops["inner"].parent == "outer"
+        assert forest.loops["outer"].parent is None
+        assert forest.loop_depth("inner") == 2
+        assert forest.loop_depth("exit") == 0
+
+    def test_innermost_loop_of(self):
+        forest = find_loops(*_cfg_dom(_loop_program()))
+        assert forest.innermost_loop_of("loop").header == "loop"
+        assert forest.innermost_loop_of("entry") is None
+
+
+def _cfg_dom(prog):
+    cfg = build_cfg(prog)
+    return cfg, compute_dominators(cfg)
+
+
+def _two_iv_loop():
+    """Loop with two constant-step IVs: i += 1, p += 4."""
+    b = ProgramBuilder("ivs")
+    b.begin_block("entry")
+    i = b.li(0)
+    p = b.li(0x1000)
+    n = b.li(16)
+    b.jmp("loop")
+    b.begin_block("loop")
+    v = b.load(p)
+    b.store(v, p, offset=0x800)
+    b.addi(i, 1, dest=i)
+    b.addi(p, 4, dest=p)
+    b.blt(i, n, "loop", "exit")
+    b.begin_block("exit")
+    b.ret()
+    return b.finish(), i, p
+
+
+class TestInduction:
+    def test_basic_ivs_found(self):
+        prog, i, p = _two_iv_loop()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        ivs = {iv.reg: iv for iv in find_basic_ivs(cfg, loop)}
+        assert set(ivs) == {i, p}
+        assert ivs[i].step == 1
+        assert ivs[p].step == 4
+
+    def test_init_values_resolved(self):
+        prog, i, p = _two_iv_loop()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        ivs = {iv.reg: iv for iv in find_basic_ivs(cfg, loop)}
+        assert ivs[i].init_value == 0
+        assert ivs[p].init_value == 0x1000
+
+    def test_multiply_updated_reg_not_iv(self):
+        b = ProgramBuilder("m")
+        b.begin_block("entry")
+        i = b.li(0)
+        n = b.li(4)
+        b.jmp("loop")
+        b.begin_block("loop")
+        b.addi(i, 1, dest=i)
+        b.addi(i, 1, dest=i)  # second update disqualifies
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        prog = b.finish()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        assert find_basic_ivs(cfg, loop) == []
+
+    def test_merge_candidate_linear_relation(self):
+        prog, i, p = _two_iv_loop()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        ivs = find_basic_ivs(cfg, loop)
+        cands = find_merge_candidates(ivs)
+        # p = 4*i + 0x1000 must be among the candidates.
+        match = [
+            c
+            for c in cands
+            if c.anchor.reg == i and c.dependent.reg == p
+        ]
+        assert match and match[0].scale == 4 and match[0].offset == 0x1000
+
+    def test_non_integral_scale_rejected(self):
+        # anchor step 4, dependent step 1 -> scale 1/4, not allowed.
+        prog, i, p = _two_iv_loop()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        ivs = find_basic_ivs(cfg, loop)
+        bad = [
+            c
+            for c in find_merge_candidates(ivs)
+            if c.anchor.reg == p and c.dependent.reg == i
+        ]
+        assert bad == []
+
+    def test_scale_one_sorted_first(self):
+        b = ProgramBuilder("s1")
+        b.begin_block("entry")
+        a = b.li(0)
+        c = b.li(100)
+        i = b.li(0)
+        n = b.li(8)
+        b.jmp("loop")
+        b.begin_block("loop")
+        b.addi(a, 4, dest=a)
+        b.addi(c, 4, dest=c)
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        prog = b.finish()
+        cfg, dom = _cfg_dom(prog)
+        loop = find_loops(cfg, dom).loops["loop"]
+        cands = find_merge_candidates(find_basic_ivs(cfg, loop))
+        assert cands[0].scale == 1
+
+
+class TestReachability:
+    def test_def_after_point_in_same_block(self):
+        b = ProgramBuilder("r")
+        b.begin_block("entry")
+        x = b.li(1)
+        b.li(2, dest=x)
+        b.ret()
+        prog = b.finish()
+        reach = compute_def_reachability(build_cfg(prog))
+        assert reach.def_reachable_after("entry", 0, x)
+        assert not reach.def_reachable_after("entry", 1, x)
+
+    def test_def_in_loop_reachable_from_itself(self):
+        prog = _loop_program()
+        reach = compute_def_reachability(build_cfg(prog))
+        # The IV update inside the loop reaches itself via the back edge.
+        loop_block = prog.block("loop")
+        iv_updates = [
+            pos
+            for pos, instr in enumerate(loop_block.instructions)
+            if instr.dest is not None and instr.dest in instr.srcs
+        ]
+        assert iv_updates
+        pos = iv_updates[0]
+        reg = loop_block.instructions[pos].dest
+        assert reach.def_reachable_after("loop", pos, reg)
+
+    def test_defs_in_dead_branch_not_reachable(self):
+        prog = build_diamond()
+        reach = compute_def_reachability(build_cfg(prog))
+        # From 'join', neither branch arm is reachable.
+        assert "neg" not in reach.blocks_reachable_from("join")
+
+    def test_blocks_reachable_from_entry(self):
+        prog = build_diamond()
+        reach = compute_def_reachability(build_cfg(prog))
+        assert reach.blocks_reachable_from("entry") == {"neg", "pos", "join"}

@@ -1,0 +1,441 @@
+"""Unit tests for the hardware building blocks: CLQ, coloring, RBB,
+store buffers, caches, branch predictor."""
+
+import pytest
+
+from repro.arch.branch import BimodalPredictor
+from repro.arch.cache import Cache, MemoryHierarchy
+from repro.arch.clq import CompactCLQ, IdealCLQ, make_clq
+from repro.arch.coloring import QUARANTINE, ColorMaps
+from repro.arch.config import CacheConfig
+from repro.arch.rbb import RegionBoundaryBuffer
+from repro.arch.store_buffer import (
+    FunctionalStoreBuffer,
+    SBEntry,
+    TimingStoreBuffer,
+)
+
+
+class TestIdealCLQ:
+    def test_no_war_without_loads(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        assert not clq.store_has_war(0, 0x100)
+
+    def test_war_on_loaded_address(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        assert clq.store_has_war(0, 0x100)
+        assert not clq.store_has_war(0, 0x104)
+
+    def test_regions_isolated(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.begin_region(1)
+        assert not clq.store_has_war(1, 0x100)
+
+    def test_retire_clears(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.retire_region(0)
+        # Untracked instance: conservative conflict.
+        assert clq.store_has_war(0, 0x200)
+
+    def test_stats_counted(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.store_has_war(0, 0x100)
+        clq.store_has_war(0, 0x104)
+        assert clq.stats.loads_inserted == 1
+        assert clq.stats.war_checks == 2
+        assert clq.stats.war_conflicts == 1
+
+
+class TestCompactCLQ:
+    def test_range_check_exact_hit(self):
+        clq = CompactCLQ(size=2)
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        assert clq.store_has_war(0, 0x100)
+
+    def test_range_false_positive(self):
+        """The range [min,max] conservatively flags untouched addresses
+        inside the hull — the imprecision Figure 15 quantifies."""
+        clq = CompactCLQ(size=2)
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.record_load(0, 0x200)
+        assert clq.store_has_war(0, 0x180)  # never loaded, inside range
+
+    def test_outside_range_is_free(self):
+        clq = CompactCLQ(size=2)
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.record_load(0, 0x200)
+        assert not clq.store_has_war(0, 0x300)
+
+    def test_overflow_recycles_oldest_closed_entry(self):
+        clq = CompactCLQ(size=2)
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.begin_region(1)
+        clq.record_load(1, 0x200)
+        clq.begin_region(2)  # overflow: instance 0's entry is recycled
+        assert clq.stats.overflows == 1
+        clq.record_load(2, 0x300)
+        assert clq.store_has_war(2, 0x300)
+        assert not clq.store_has_war(2, 0x400)
+        # Instance 0 lost its tracking: conservative quarantine.
+        assert clq.store_has_war(0, 0x999)
+
+    def test_compact_conservative_vs_ideal(self):
+        """Compact never fast-releases a store the ideal CLQ would
+        quarantine (false negatives are impossible by construction)."""
+        ideal, compact = IdealCLQ(), CompactCLQ(size=4)
+        import random
+
+        rng = random.Random(3)
+        for inst in range(4):
+            ideal.begin_region(inst)
+            compact.begin_region(inst)
+            loads = [rng.randrange(0, 64) * 4 for _ in range(6)]
+            for addr in loads:
+                ideal.record_load(inst, addr)
+                compact.record_load(inst, addr)
+            for addr in range(0, 256, 4):
+                if ideal.store_has_war(inst, addr):
+                    assert compact.store_has_war(inst, addr)
+
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            CompactCLQ(size=0)
+
+    def test_factory(self):
+        assert isinstance(make_clq("ideal"), IdealCLQ)
+        assert isinstance(make_clq("compact", 3), CompactCLQ)
+        with pytest.raises(ValueError):
+            make_clq("bogus")
+
+    def test_occupancy_stats(self):
+        clq = CompactCLQ(size=4)
+        for inst in range(3):
+            clq.begin_region(inst)
+            clq.record_load(inst, 0x100 + inst)
+        assert clq.stats.occupancy_max == 3
+        assert clq.stats.occupancy_avg > 0
+
+
+class TestColorMaps:
+    def test_assignment_rotates_colors(self):
+        cm = ColorMaps(num_colors=4)
+        colors = {cm.assign(inst, reg=5) for inst in range(4)}
+        assert QUARANTINE not in colors
+        assert len(colors) == 4
+
+    def test_exhaustion_falls_back_to_quarantine(self):
+        cm = ColorMaps(num_colors=2)
+        assert cm.assign(0, 5) != QUARANTINE
+        assert cm.assign(1, 5) != QUARANTINE
+        assert cm.assign(2, 5) == QUARANTINE
+        assert cm.stats.fallback_quarantined == 1
+
+    def test_same_region_reuses_color(self):
+        cm = ColorMaps(num_colors=4)
+        first = cm.assign(0, 5)
+        second = cm.assign(0, 5)
+        assert first == second
+        assert cm.available(5) == 3
+
+    def test_verify_promotes_and_reclaims(self):
+        cm = ColorMaps(num_colors=4)
+        c0 = cm.assign(0, 5)
+        cm.verify(0)
+        assert cm.verified_color(5) == c0
+        c1 = cm.assign(1, 5)
+        cm.verify(1)
+        # c0 displaced from VC and returned to the pool.
+        assert cm.verified_color(5) == c1
+        assert cm.available(5) == 3
+
+    def test_discard_returns_colors(self):
+        cm = ColorMaps(num_colors=4)
+        cm.assign(0, 5)
+        cm.assign(1, 5)
+        cm.discard([0, 1])
+        assert cm.available(5) == 4
+        assert cm.verified_color(5) is None
+
+    def test_quarantine_color_not_reclaimed(self):
+        cm = ColorMaps(num_colors=1)
+        assert cm.assign(0, 5) != QUARANTINE
+        assert cm.assign(1, 5) == QUARANTINE
+        cm.verify(0)
+        cm.verify(1)
+        # VC now points at the quarantine slot; the real color returned.
+        assert cm.verified_color(5) == QUARANTINE
+        assert cm.available(5) == 1
+
+    def test_storage_bits_matches_paper(self):
+        # 3 maps x log2(4 colors) = 6 bits per register (Section 6.5).
+        assert ColorMaps(num_colors=4).storage_bits == 6
+
+    def test_independent_registers(self):
+        cm = ColorMaps(num_colors=2)
+        cm.assign(0, 1)
+        cm.assign(0, 2)
+        assert cm.available(1) == 1
+        assert cm.available(2) == 1
+
+
+class TestRBB:
+    def test_open_close_cycle(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        first = rbb.open_region(0, now=0.0)
+        assert rbb.current is first
+        second = rbb.open_region(1, now=5.0)
+        assert rbb.current is second
+        assert first.end_time == 5.0
+        assert list(rbb.unverified) == [first]
+
+    def test_verification_after_wcdl(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        rbb.open_region(0, 0.0)
+        rbb.open_region(1, 5.0)
+        assert rbb.due_verifications(14.0) == []
+        done = rbb.due_verifications(15.0)
+        assert len(done) == 1 and done[0].region_id == 0
+
+    def test_detection_vetoes_verification(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        rbb.open_region(0, 0.0)
+        rbb.open_region(1, 5.0)
+        # Detection at exactly the deadline: verification must not happen.
+        assert rbb.due_verifications(20.0, before=15.0) == []
+
+    def test_earliest_unverified_prefers_closed(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        a = rbb.open_region(0, 0.0)
+        rbb.open_region(1, 5.0)
+        assert rbb.earliest_unverified() is a
+
+    def test_earliest_unverified_falls_back_to_current(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        a = rbb.open_region(0, 0.0)
+        assert rbb.earliest_unverified() is a
+
+    def test_discard_unverified(self):
+        rbb = RegionBoundaryBuffer(wcdl=10)
+        rbb.open_region(0, 0.0)
+        rbb.open_region(1, 5.0)
+        dropped = rbb.discard_unverified()
+        assert len(dropped) == 2
+        assert rbb.current is None
+        assert not rbb.unverified
+
+    def test_all_prior_verified(self):
+        rbb = RegionBoundaryBuffer(wcdl=5)
+        rbb.open_region(0, 0.0)
+        assert rbb.all_prior_verified()
+        rbb.open_region(1, 2.0)
+        assert not rbb.all_prior_verified()
+        rbb.due_verifications(10.0)
+        assert rbb.all_prior_verified()
+
+    def test_instance_ids_monotonic(self):
+        rbb = RegionBoundaryBuffer(wcdl=5)
+        ids = [rbb.open_region(0, float(t)).instance for t in range(5)]
+        assert ids == sorted(ids) and len(set(ids)) == 5
+
+    def test_stats(self):
+        rbb = RegionBoundaryBuffer(wcdl=1)
+        for t in range(4):
+            rbb.open_region(t, float(t))
+        rbb.due_verifications(100.0)
+        assert rbb.stats.instances_opened == 4
+        assert rbb.stats.instances_verified == 3  # last one still open
+        assert rbb.stats.max_unverified >= 1
+
+
+class TestFunctionalStoreBuffer:
+    def _entry(self, instance, addr, value):
+        return SBEntry(
+            instance=instance,
+            is_checkpoint=False,
+            addr=addr,
+            reg=-1,
+            color=QUARANTINE,
+            value=value,
+        )
+
+    def test_forwarding_youngest(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(self._entry(0, 0x100, 1))
+        sb.push(self._entry(0, 0x100, 2))
+        assert sb.forward(0x100) == 2
+
+    def test_forwarding_miss(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(self._entry(0, 0x100, 1))
+        assert sb.forward(0x104) is None
+
+    def test_checkpoints_not_forwarded(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(
+            SBEntry(
+                instance=0, is_checkpoint=True, addr=-1, reg=3,
+                color=0, value=11,
+            )
+        )
+        assert sb.forward(-1) is None
+
+    def test_release_instance_order(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(self._entry(0, 0x100, 1))
+        sb.push(self._entry(1, 0x104, 2))
+        sb.push(self._entry(0, 0x108, 3))
+        released = sb.release_instance(0)
+        assert [e.value for e in released] == [1, 3]
+        assert sb.occupancy() == 1
+
+    def test_discard_all(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(self._entry(0, 0x100, 1))
+        assert sb.discard_all() == 1
+        assert sb.occupancy() == 0
+
+    def test_corrupt_entry(self):
+        sb = FunctionalStoreBuffer()
+        sb.push(self._entry(0, 0x100, 0))
+        sb.corrupt_entry(0, bit=3)
+        assert sb.forward(0x100) == 8
+
+
+class TestTimingStoreBuffer:
+    def test_allocation_when_free(self):
+        sb = TimingStoreBuffer(2)
+        t, stalled = sb.allocation_time(5.0)
+        assert t == 5.0 and not stalled
+
+    def test_allocation_waits_for_release(self):
+        sb = TimingStoreBuffer(1)
+        sb.push(10.0, 0, 0x100)
+        t, stalled = sb.allocation_time(5.0)
+        assert t == 10.0 and not stalled
+
+    def test_open_region_deadlock_flag(self):
+        sb = TimingStoreBuffer(1)
+        sb.push(float("inf"), 0, 0x100)
+        _, stalled = sb.allocation_time(5.0)
+        assert stalled
+
+    def test_set_instance_release_drains_serially(self):
+        sb = TimingStoreBuffer(4)
+        for k in range(3):
+            sb.push(float("inf"), 7, 0x100 + 4 * k)
+        sb.set_instance_release(7, release_base=100.0)
+        releases = sorted(e[0] for e in sb.entries)
+        assert releases == [100.0, 101.0, 102.0]
+
+    def test_has_pending_address(self):
+        sb = TimingStoreBuffer(4)
+        sb.push(50.0, 0, 0x100)
+        assert sb.has_pending_address(0x100, now=10.0)
+        assert not sb.has_pending_address(0x104, now=10.0)
+        assert not sb.has_pending_address(0x100, now=60.0)  # drained
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            TimingStoreBuffer(0)
+
+
+class TestCache:
+    def _config(self, size=1024, ways=2, line=64, lat=2):
+        return CacheConfig(size_bytes=size, ways=ways, line_bytes=line, hit_latency=lat)
+
+    def test_miss_then_hit(self):
+        cache = Cache(self._config())
+        assert not cache.access(0x100)
+        assert cache.access(0x100)
+
+    def test_same_line_hits(self):
+        cache = Cache(self._config())
+        cache.access(0x100)
+        assert cache.access(0x13C)  # same 64B line
+
+    def test_lru_eviction(self):
+        # 1KB, 2-way, 64B lines -> 8 sets; three lines mapping to set 0.
+        cache = Cache(self._config())
+        a, b, c = 0x0, 0x200, 0x400  # stride 512 = 8 sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert not cache.access(a)
+
+    def test_lru_refresh(self):
+        cache = Cache(self._config())
+        a, b, c = 0x0, 0x200, 0x400
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a
+        cache.access(c)  # evicts b now
+        assert cache.access(a)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            Cache(self._config(size=1000))
+        with pytest.raises(ValueError):
+            Cache(self._config(line=48))
+
+    def test_hierarchy_latencies(self):
+        h = MemoryHierarchy(
+            self._config(size=1024, lat=2),
+            self._config(size=4096, ways=4, lat=20),
+            memory_latency=80,
+        )
+        first = h.load_latency(0x100)
+        second = h.load_latency(0x100)
+        assert first == 2 + 20 + 80  # cold miss everywhere
+        assert second == 2  # L1 hit
+
+    def test_hierarchy_l2_hit(self):
+        h = MemoryHierarchy(
+            self._config(size=128, ways=1, lat=2),
+            self._config(size=4096, ways=4, lat=20),
+            memory_latency=80,
+        )
+        h.load_latency(0x0)
+        h.load_latency(0x80)
+        h.load_latency(0x100)  # L1 (2 sets) thrashes; L2 retains
+        latency = h.load_latency(0x0)
+        assert latency == 22
+
+
+class TestBimodalPredictor:
+    def test_learns_taken_loop(self):
+        p = BimodalPredictor()
+        for _ in range(50):
+            p.predict_and_update(7, taken=True)
+        assert p.misprediction_rate < 0.1
+
+    def test_alternating_pattern_hurts(self):
+        p = BimodalPredictor()
+        for k in range(200):
+            p.predict_and_update(9, taken=bool(k % 2))
+        assert p.misprediction_rate > 0.3
+
+    def test_entries_power_of_two(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(entries=100)
+
+    def test_distinct_branches_independent(self):
+        p = BimodalPredictor(entries=512)
+        for _ in range(20):
+            p.predict_and_update(1, taken=True)
+            p.predict_and_update(2, taken=False)
+        correct_t = p.predict_and_update(1, taken=True)
+        correct_f = p.predict_and_update(2, taken=False)
+        assert correct_t and correct_f

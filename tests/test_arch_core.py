@@ -1,0 +1,307 @@
+"""Timing-core tests: hazards, stalls, and the resilience mechanisms'
+first-order performance behaviour."""
+
+import pytest
+
+from repro.arch.config import CoreConfig, ResilienceHardwareConfig
+from repro.arch.core import InOrderCore, simulate_trace
+from repro.runtime import trace as tr
+
+
+def _alu(dest, src1=-1, src2=-1):
+    return (tr.K_ALU, dest, src1, src2, -1, -1, 0)
+
+
+def _ld(dest, base, addr):
+    return (tr.K_LD, dest, base, -1, addr, -1, 0)
+
+
+def _st(value, base, addr, region=-1, kind=0):
+    return (tr.K_ST, -1, value, base, addr, region, kind)
+
+
+def _ckpt(reg, region=-1):
+    return (tr.K_CKPT, -1, reg, -1, -1, region, 0)
+
+
+def _boundary(region):
+    return (tr.K_BOUNDARY, -1, -1, -1, -1, region, 0)
+
+
+def _ret():
+    return (tr.K_RET, -1, -1, -1, -1, -1, 0)
+
+
+def _baseline():
+    return ResilienceHardwareConfig.baseline()
+
+
+class TestBasicPipeline:
+    def test_dual_issue_two_independent_per_cycle(self):
+        trace = [_alu(1), _alu(2), _alu(3), _alu(4), _ret()]
+        stats = simulate_trace(trace, resilience=_baseline())
+        # 5 instructions over 2-wide: ~3 cycles (+1 completion).
+        assert stats.cycles <= 4
+
+    def test_dependent_chain_serialises(self):
+        chain = [_alu(1)] + [_alu(1, 1) for _ in range(9)] + [_ret()]
+        stats = simulate_trace(chain, resilience=_baseline())
+        assert stats.cycles >= 10  # one per dependence level
+
+    def test_data_stall_attributed(self):
+        trace = [_ld(1, -1, 0x100), _alu(2, 1), _ret()]
+        stats = simulate_trace(trace, resilience=_baseline())
+        assert stats.data_stall_cycles > 0
+
+    def test_load_use_latency_visible(self):
+        independent = [_ld(1, -1, 0x100), _alu(2), _alu(3), _ret()]
+        dependent = [_ld(1, -1, 0x100), _alu(2, 1), _alu(3), _ret()]
+        fast = simulate_trace(independent, resilience=_baseline())
+        slow = simulate_trace(dependent, resilience=_baseline())
+        assert slow.cycles > fast.cycles
+
+    def test_memory_port_serialises_loads(self):
+        # Same line: all hits, but one D-port access per cycle.
+        loads = [_ld(k + 1, -1, 0x100) for k in range(8)] + [_ret()]
+        stats = simulate_trace(loads, resilience=_baseline())
+        assert stats.cycles >= 8
+
+    def test_instruction_count_excludes_boundaries(self):
+        trace = [_boundary(0), _alu(1), _boundary(1), _alu(2), _ret()]
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(10)
+        )
+        assert stats.instructions == 3
+
+    def test_cache_misses_slow_execution(self):
+        near = [_ld(1, -1, 0x100), _ret()]
+        # Touch many distinct lines to go past L1/L2.
+        far = [_ld(1, -1, 0x100 + 0x40 * k) for k in range(4)] + [_ret()]
+        a = simulate_trace(near, resilience=_baseline())
+        b = simulate_trace(far, resilience=_baseline())
+        assert b.cycles > a.cycles
+
+
+class TestTurnstileTiming:
+    def _region_trace(self, regions=40, stores_per_region=3, fillers=2):
+        trace = []
+        addr = 0
+        for r in range(regions):
+            trace.append(_boundary(r))
+            for s in range(stores_per_region):
+                trace.append(_st(1, 2, 0x1000 + addr))
+                addr += 4
+            for _ in range(fillers):
+                trace.append(_alu(3))
+        trace.append(_ret())
+        return trace
+
+    def test_quarantine_counts(self):
+        trace = self._region_trace()
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(10)
+        )
+        assert stats.quarantined == stats.stores_total
+        assert stats.warfree_released == 0
+
+    def test_overhead_grows_with_wcdl(self):
+        trace = self._region_trace()
+        cycles = [
+            simulate_trace(
+                trace, resilience=ResilienceHardwareConfig.turnstile(w)
+            ).cycles
+            for w in (10, 30, 50)
+        ]
+        assert cycles[0] < cycles[1] < cycles[2]
+
+    def test_bigger_sb_reduces_stalls(self):
+        trace = self._region_trace()
+        small = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(30, sb_size=4)
+        )
+        large = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(30, sb_size=40)
+        )
+        assert large.sb_stall_cycles < small.sb_stall_cycles
+        assert large.cycles < small.cycles
+
+    def test_store_cap_overflow_safety_valve(self):
+        # A single region with more stores than the SB: the valve must
+        # fire instead of deadlocking.
+        trace = [_boundary(0)] + [
+            _st(1, 2, 0x1000 + 4 * k) for k in range(8)
+        ] + [_ret()]
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(10, sb_size=4)
+        )
+        assert stats.forced_region_closures > 0
+        assert stats.cycles < 10_000  # terminated promptly
+
+
+class TestTurnpikeTiming:
+    def _warfree_trace(self, regions=30):
+        trace = []
+        for r in range(regions):
+            trace.append(_boundary(r))
+            trace.append(_ld(1, -1, 0x100 + 4 * r))
+            trace.append(_st(1, 2, 0x4000 + 4 * r))  # never-loaded address
+            trace.append(_alu(3))
+        trace.append(_ret())
+        return trace
+
+    def test_warfree_stores_released(self):
+        stats = simulate_trace(
+            self._warfree_trace(), resilience=ResilienceHardwareConfig.turnpike(10)
+        )
+        assert stats.warfree_released > 0
+        assert stats.warfree_released + stats.quarantined == stats.stores_total
+
+    def test_war_conflict_quarantines(self):
+        trace = [
+            _boundary(0),
+            _ld(1, -1, 0x100),
+            _st(1, 2, 0x100),  # same address: WAR
+            _ret(),
+        ]
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnpike(10)
+        )
+        assert stats.quarantined == 1
+        assert stats.warfree_released == 0
+
+    def test_checkpoints_colored(self):
+        trace = []
+        for r in range(10):
+            trace.append(_boundary(r))
+            trace.append(_alu(5))
+            trace.append(_ckpt(5, r))
+        trace.append(_ret())
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnpike(10)
+        )
+        assert stats.colored_released > 0
+
+    def test_color_exhaustion_quarantines(self):
+        # Huge WCDL keeps many regions unverified: the 4-color pool for
+        # one register runs out and checkpoints fall back to the SB.
+        trace = []
+        for r in range(12):
+            trace.append(_boundary(r))
+            trace.append(_alu(5))
+            trace.append(_ckpt(5, r))
+        trace.append(_ret())
+        stats = simulate_trace(
+            trace,
+            resilience=ResilienceHardwareConfig.turnpike(2000),
+        )
+        assert stats.quarantined > 0
+
+    def test_turnpike_beats_turnstile(self):
+        trace = self._warfree_trace(60)
+        ts = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnstile(50)
+        )
+        tp = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnpike(50)
+        )
+        assert tp.cycles < ts.cycles
+
+    def test_pending_same_address_blocks_fast_release(self):
+        trace = [
+            _boundary(0),
+            _ld(1, -1, 0x200),
+            _st(1, 2, 0x200),  # WAR -> quarantined
+            _boundary(1),
+            _st(1, 2, 0x200),  # older pending store to same address
+            _ret(),
+        ]
+        stats = simulate_trace(
+            trace, resilience=ResilienceHardwareConfig.turnpike(100)
+        )
+        assert stats.quarantined == 2
+        assert stats.warfree_released == 0
+
+
+class TestBranches:
+    def test_predictable_loop_cheap(self):
+        trace = []
+        for k in range(100):
+            trace.append(_alu(1))
+            taken = 1 if k < 99 else 0
+            trace.append((tr.K_BR, -1, 1, -1, 77, -1, taken | 2))
+        trace.append(_ret())
+        stats = simulate_trace(trace, resilience=_baseline())
+        assert stats.branch_mispredictions <= 4
+
+    def test_random_branches_mispredict(self):
+        import random
+
+        rng = random.Random(1)
+        trace = []
+        for _ in range(200):
+            trace.append(_alu(1))
+            trace.append((tr.K_BR, -1, 1, -1, 78, -1, rng.randrange(2)))
+        trace.append(_ret())
+        stats = simulate_trace(trace, resilience=_baseline())
+        assert stats.branch_mispredictions > 40
+        assert stats.branch_stall_cycles > 0
+
+    def test_unconditional_jumps_free(self):
+        trace = []
+        for _ in range(50):
+            trace.append(_alu(1))
+            trace.append((tr.K_BR, -1, -1, -1, 79, -1, 1 | 4))
+        trace.append(_ret())
+        stats = simulate_trace(trace, resilience=_baseline())
+        assert stats.branch_mispredictions == 0
+
+
+class TestEndToEndMonotonicity:
+    """Qualitative properties on a real workload (cheap subset)."""
+
+    @pytest.fixture(scope="class")
+    def traces(self, gcc_workload, gcc_baseline, gcc_turnstile, gcc_turnpike):
+        from repro.runtime.interpreter import execute
+
+        out = {}
+        for name, compiled in (
+            ("base", gcc_baseline),
+            ("ts", gcc_turnstile),
+            ("tp", gcc_turnpike),
+        ):
+            result = execute(
+                compiled.program, gcc_workload.fresh_memory(), collect_trace=True
+            )
+            out[name] = result.trace
+        return out
+
+    def test_resilience_costs_cycles(self, traces):
+        base = simulate_trace(traces["base"], resilience=_baseline())
+        ts = simulate_trace(
+            traces["ts"], resilience=ResilienceHardwareConfig.turnstile(10)
+        )
+        assert ts.cycles > base.cycles
+
+    def test_turnpike_cheaper_than_turnstile(self, traces):
+        ts = simulate_trace(
+            traces["ts"], resilience=ResilienceHardwareConfig.turnstile(10)
+        )
+        tp = simulate_trace(
+            traces["tp"], resilience=ResilienceHardwareConfig.turnpike(10)
+        )
+        assert tp.cycles < ts.cycles
+
+    def test_turnstile_wcdl_monotone(self, traces):
+        cycles = [
+            simulate_trace(
+                traces["ts"], resilience=ResilienceHardwareConfig.turnstile(w)
+            ).cycles
+            for w in (10, 20, 30, 40, 50)
+        ]
+        assert all(a <= b for a, b in zip(cycles, cycles[1:]))
+
+    def test_fresh_core_deterministic(self, traces):
+        hw = ResilienceHardwareConfig.turnpike(10)
+        a = InOrderCore(CoreConfig(), hw).run(traces["tp"])
+        b = InOrderCore(CoreConfig(), hw).run(traces["tp"])
+        assert a.cycles == b.cycles

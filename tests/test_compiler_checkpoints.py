@@ -1,0 +1,144 @@
+"""Eager checkpointing tests (Section 2.2 / Figure 3 semantics)."""
+
+from repro.compiler.checkpoints import (
+    count_checkpoints,
+    insert_eager_checkpoints,
+    predict_checkpoint_defs,
+    strip_resilience,
+)
+from repro.compiler.regions import partition_regions
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+
+from helpers import build_sum_loop
+
+
+def _partitioned_sum_loop(cap: int = 4):
+    prog = build_sum_loop(trip=6)
+    partition_regions(prog, max_stores=cap)
+    return prog
+
+
+class TestEagerCheckpointing:
+    def test_loop_carried_registers_checkpointed(self):
+        prog = _partitioned_sum_loop()
+        insert_eager_checkpoints(prog)
+        loop = prog.block("loop")
+        ck_regs = {i.srcs[0] for i in loop.instructions if i.is_checkpoint}
+        # The IV and the accumulator are live across the header boundary.
+        assert len(ck_regs) >= 2
+
+    def test_checkpoint_placed_right_after_def(self):
+        prog = _partitioned_sum_loop()
+        insert_eager_checkpoints(prog)
+        for block in prog.blocks:
+            for pos, instr in enumerate(block.instructions):
+                if instr.is_checkpoint:
+                    prev = block.instructions[pos - 1]
+                    # Eager placement: defining instruction immediately
+                    # precedes the checkpoint (or another checkpoint of a
+                    # simultaneously-defined register group).
+                    assert prev.dest == instr.srcs[0] or prev.is_checkpoint
+
+    def test_intra_region_temporaries_not_checkpointed(self):
+        b = ProgramBuilder("temps")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        x = b.li(3)
+        y = b.addi(x, 1)  # temp, consumed by the store below
+        b.store(y, base)
+        b.ret()
+        prog = b.finish()
+        partition_regions(prog, max_stores=4)
+        insert_eager_checkpoints(prog)
+        assert count_checkpoints(prog) == 0
+
+    def test_figure3_only_last_def_checkpointed(self):
+        """Two defs of the same register with no boundary between: only
+        the second is live across a boundary (Figure 3b)."""
+        b = ProgramBuilder("fig3")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        r2 = b.li(1)
+        b.addi(r2, 4, dest=r2)  # first def, overwritten below
+        b.load(base, dest=r2)  # second def, live-out
+        b.jmp("next")
+        b.begin_block("next")
+        b.store(r2, base, offset=8)
+        b.store(r2, base, offset=12)
+        b.ret()
+        prog = b.finish()
+        # cap 1 puts the stores in later regions, so r2 crosses a boundary
+        partition_regions(prog, max_stores=1)
+        insert_eager_checkpoints(prog)
+        entry = prog.block("entry")
+        ck_positions = [
+            pos for pos, i in enumerate(entry.instructions) if i.is_checkpoint
+        ]
+        ck_of_r2 = [
+            pos
+            for pos in ck_positions
+            if entry.instructions[pos].srcs[0] == r2
+        ]
+        assert len(ck_of_r2) == 1
+        # ...and it follows the load (the last definition).
+        prev = entry.instructions[ck_of_r2[0] - 1]
+        assert prev.op is Opcode.LD
+
+    def test_checkpoints_inherit_region(self):
+        prog = _partitioned_sum_loop()
+        insert_eager_checkpoints(prog)
+        for block in prog.blocks:
+            for pos, instr in enumerate(block.instructions):
+                if instr.is_checkpoint:
+                    assert instr.region_id is not None
+
+    def test_stats_inserted_count(self):
+        prog = _partitioned_sum_loop()
+        stats = insert_eager_checkpoints(prog)
+        assert stats.inserted == count_checkpoints(prog)
+        assert stats.inserted > 0
+
+
+class TestPrediction:
+    def test_prediction_covers_loop_carried(self, sum_loop):
+        predicted = predict_checkpoint_defs(sum_loop)
+        loop = sum_loop.block("loop")
+        iv_updates = [
+            i
+            for i in loop.instructions
+            if i.dest is not None and i.dest in i.srcs
+        ]
+        assert any(i.uid in predicted for i in iv_updates)
+
+    def test_prediction_skips_block_local_temps(self):
+        b = ProgramBuilder("t")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        t = b.li(5)
+        t2 = b.addi(t, 1)
+        b.store(t2, base)
+        b.ret()
+        prog = b.finish()
+        predicted = predict_checkpoint_defs(prog)
+        temps = [i.uid for i in prog.entry.instructions if i.dest in (t, t2)]
+        assert not (set(temps) & predicted)
+
+
+class TestStripResilience:
+    def test_roundtrip(self):
+        prog = _partitioned_sum_loop()
+        insert_eager_checkpoints(prog)
+        before = prog.num_instructions
+        removed = strip_resilience(prog)
+        assert removed > 0
+        assert prog.num_instructions == before - removed
+        assert count_checkpoints(prog) == 0
+        assert all(i.region_id is None for i in prog.instructions())
+        prog.validate()
+
+    def test_strip_is_idempotent(self):
+        prog = _partitioned_sum_loop()
+        insert_eager_checkpoints(prog)
+        strip_resilience(prog)
+        assert strip_resilience(prog) == 0

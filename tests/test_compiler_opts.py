@@ -1,0 +1,363 @@
+"""Tests for LICM sinking, LIVM, strength reduction, and scheduling."""
+
+from repro.compiler.checkpoints import count_checkpoints, insert_eager_checkpoints
+from repro.compiler.licm import sink_checkpoints
+from repro.compiler.livm import merge_induction_variables
+from repro.compiler.regions import partition_regions
+from repro.compiler.scheduling import schedule_program
+from repro.compiler.strength import reduce_strength
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Opcode
+from repro.runtime.interpreter import execute
+from repro.runtime.memory import Memory
+
+
+def _storefree_inner_loop():
+    """Outer loop with stores, inner store-free loop updating an
+    accumulator that lives across outer iterations (a running prefix) —
+    the Figure 10 shape: the accumulator is live at the outer region
+    boundary, so eager checkpointing pins a checkpoint inside the inner
+    loop until LICM sinks it to the inner-loop exit."""
+    b = ProgramBuilder("licm")
+    b.begin_block("entry")
+    o = b.li(0)
+    on = b.li(3)
+    base = b.li(0x200)
+    acc = b.li(0)
+    b.jmp("outer")
+    b.begin_block("outer")
+    j = b.li(0)
+    jn = b.li(5)
+    b.jmp("inner")
+    b.begin_block("inner")
+    b.add(acc, j, dest=acc)
+    b.addi(j, 1, dest=j)
+    b.blt(j, jn, "inner", "after")
+    b.begin_block("after")
+    off = b.shli(o, 2)
+    addr = b.add(base, off)
+    b.store(acc, addr)
+    b.addi(o, 1, dest=o)
+    b.blt(o, on, "outer", "exit")
+    b.begin_block("exit")
+    b.ret()
+    return b.finish()
+
+
+def _run_image(prog):
+    return execute(prog, Memory()).memory.data_image()
+
+
+class TestLicmSinking:
+    def _compiled(self):
+        prog = _storefree_inner_loop()
+        from repro.compiler.checkpoints import predict_checkpoint_defs
+
+        predicted = predict_checkpoint_defs(prog)
+        partition_regions(
+            prog, max_stores=2, predicted_ckpt_defs=predicted, licm_sinking=True
+        )
+        insert_eager_checkpoints(prog)
+        return prog
+
+    def test_sinks_out_of_storefree_loop(self):
+        prog = self._compiled()
+        golden = _run_image(_storefree_inner_loop())
+        in_loop_before = sum(
+            1 for i in prog.block("inner").instructions if i.is_checkpoint
+        )
+        assert in_loop_before > 0
+        stats = sink_checkpoints(prog)
+        assert stats.sunk >= in_loop_before
+        assert not any(
+            i.is_checkpoint for i in prog.block("inner").instructions
+        )
+        # Sunk checkpoints land at the loop exit, before its boundary,
+        # tagged with the loop's region.
+        after = prog.block("after")
+        sunk = [
+            i
+            for i in after.instructions
+            if i.is_checkpoint and i.annotations.get("licm_sunk")
+        ]
+        assert len(sunk) >= in_loop_before
+        # Semantics unchanged.
+        assert _run_image(prog) == golden
+
+    def test_sunk_checkpoint_region_matches_loop(self):
+        prog = self._compiled()
+        loop_region = prog.block("inner").instructions[0].region_id
+        sink_checkpoints(prog)
+        after = prog.block("after")
+        for instr in after.instructions:
+            if instr.is_checkpoint and instr.annotations.get("licm_sunk"):
+                assert instr.region_id == loop_region
+
+    def test_loop_with_boundary_not_sunk(self, sum_loop):
+        prog = sum_loop
+        partition_regions(prog, max_stores=2)
+        insert_eager_checkpoints(prog)
+        before = [
+            i.uid for i in prog.block("loop").instructions if i.is_checkpoint
+        ]
+        stats = sink_checkpoints(prog)
+        after = [
+            i.uid for i in prog.block("loop").instructions if i.is_checkpoint
+        ]
+        assert before == after  # boundary inside the loop blocks sinking
+        assert stats.sunk == 0
+
+    def test_same_block_dedup(self):
+        b = ProgramBuilder("dd")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        x = b.li(1)
+        b.addi(x, 1, dest=x)
+        b.jmp("next")
+        b.begin_block("next")
+        b.store(x, base)
+        b.ret()
+        prog = b.finish()
+        partition_regions(prog, max_stores=4)
+        insert_eager_checkpoints(prog)
+        # Manually duplicate a checkpoint to exercise dedup.
+        entry = prog.block("entry")
+        ck = [i for i in entry.instructions if i.is_checkpoint]
+        if ck:
+            clone = ck[-1].copy()
+            pos = entry.instructions.index(ck[-1])
+            entry.instructions.insert(pos, clone)
+            stats = sink_checkpoints(prog)
+            assert stats.deduplicated >= 1
+
+
+class TestStrengthReduction:
+    def _mul_loop(self):
+        b = ProgramBuilder("sr")
+        b.begin_block("entry")
+        i = b.li(0)
+        n = b.li(10)
+        base = b.li(0x300)
+        b.jmp("loop")
+        b.begin_block("loop")
+        off = b.muli(i, 4)
+        addr = b.add(base, off)
+        b.store(i, addr)
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        return b.finish()
+
+    def test_multiplication_replaced(self):
+        prog = self._mul_loop()
+        golden = _run_image(self._mul_loop())
+        stats = reduce_strength(prog)
+        assert stats.reduced == 1
+        loop_ops = [i.op for i in prog.block("loop").instructions]
+        assert Opcode.MULI not in loop_ops
+        assert Opcode.MOV in loop_ops
+        assert _run_image(prog) == golden
+
+    def test_derived_iv_initialised_in_preheader(self):
+        prog = self._mul_loop()
+        reduce_strength(prog)
+        entry_ops = [i.op for i in prog.entry.instructions]
+        assert Opcode.LI in entry_ops  # derived IV init folded to constant
+
+    def test_shli_also_reduced(self):
+        b = ProgramBuilder("sr2")
+        b.begin_block("entry")
+        i = b.li(0)
+        n = b.li(6)
+        base = b.li(0x300)
+        b.jmp("loop")
+        b.begin_block("loop")
+        off = b.shli(i, 2)
+        addr = b.add(base, off)
+        b.store(i, addr)
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        prog = b.finish()
+        golden = _run_image(b.program.copy())
+        stats = reduce_strength(prog)
+        assert stats.reduced == 1
+        assert _run_image(prog) == golden
+
+    def test_no_reduction_without_iv(self, diamond):
+        stats = reduce_strength(diamond)
+        assert stats.reduced == 0
+
+
+class TestLivm:
+    def _lockstep(self):
+        b = ProgramBuilder("livm")
+        b.begin_block("entry")
+        i = b.li(0)
+        p = b.li(0x400)
+        n = b.li(8)
+        b.jmp("loop")
+        b.begin_block("loop")
+        b.store(i, p)
+        b.addi(i, 1, dest=i)
+        b.addi(p, 4, dest=p)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        return b.finish(), p
+
+    def test_dependent_iv_removed(self):
+        prog, p = self._lockstep()
+        golden = _run_image(self._lockstep()[0])
+        stats = merge_induction_variables(prog)
+        assert stats.merged == 1
+        # p's loop update is gone.
+        updates = [
+            i
+            for i in prog.block("loop").instructions
+            if i.dest == p and p in i.srcs
+        ]
+        assert updates == []
+        assert _run_image(prog) == golden
+
+    def test_uses_rematerialized(self):
+        prog, p = self._lockstep()
+        stats = merge_induction_variables(prog)
+        assert stats.rematerialized_uses >= 1
+
+    def test_semantics_with_post_loop_use(self):
+        b = ProgramBuilder("livm2")
+        b.begin_block("entry")
+        i = b.li(0)
+        p = b.li(0x400)
+        n = b.li(5)
+        b.jmp("loop")
+        b.begin_block("loop")
+        b.store(i, p)
+        b.addi(i, 1, dest=i)
+        b.addi(p, 4, dest=p)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.store(i, p)  # post-loop use of p's final value
+        b.ret()
+        prog = b.finish()
+        golden = _run_image(b.program.copy())
+        merge_induction_variables(prog)
+        assert _run_image(prog) == golden
+
+    def test_unprofitable_merge_rejected(self):
+        """An IV with many uses and a non-trivial scale must not merge."""
+        b = ProgramBuilder("livm3")
+        b.begin_block("entry")
+        i = b.li(0)
+        p = b.li(0)
+        n = b.li(4)
+        base = b.li(0x500)
+        b.jmp("loop")
+        b.begin_block("loop")
+        # Five uses of p -> remat cost 5*(shli) > benefit.
+        a1 = b.add(p, base)
+        a2 = b.add(p, a1)
+        a3 = b.add(p, a2)
+        a4 = b.add(p, a3)
+        b.store(a4, base)
+        u = b.add(p, base)
+        b.store(u, base, offset=4)
+        b.addi(i, 1, dest=i)
+        b.addi(p, 8, dest=p)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        prog = b.finish()
+        stats = merge_induction_variables(prog)
+        assert stats.merged == 0
+
+    def test_use_after_update_blocks_merge(self):
+        b = ProgramBuilder("livm4")
+        b.begin_block("entry")
+        i = b.li(0)
+        p = b.li(0x400)
+        n = b.li(4)
+        b.jmp("loop")
+        b.begin_block("loop")
+        b.addi(p, 4, dest=p)
+        b.store(i, p)  # reads p AFTER its update: lockstep broken
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        prog = b.finish()
+        stats = merge_induction_variables(prog)
+        assert stats.merged == 0
+
+
+class TestScheduling:
+    def _ckpt_after_load(self):
+        b = ProgramBuilder("sched")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        v = b.load(base)
+        from repro.isa import instructions as ins
+
+        b.emit(ins.checkpoint(v))
+        a = b.li(5)
+        c = b.addi(a, 1)
+        b.store(c, base, offset=8)
+        b.ret()
+        return b.finish(), v
+
+    def test_checkpoint_separated_from_def(self):
+        prog, v = self._ckpt_after_load()
+        schedule_program(prog)
+        instrs = prog.entry.instructions
+        load_pos = next(
+            i for i, x in enumerate(instrs) if x.op is Opcode.LD
+        )
+        ck_pos = next(i for i, x in enumerate(instrs) if x.is_checkpoint)
+        assert ck_pos - load_pos > 1  # independent work hoisted between
+
+    def test_semantics_preserved(self, sum_loop):
+        golden = _run_image(sum_loop.copy())
+        schedule_program(sum_loop)
+        sum_loop.validate()
+        assert _run_image(sum_loop) == golden
+
+    def test_terminator_stays_last(self, sum_loop):
+        schedule_program(sum_loop)
+        for block in sum_loop.blocks:
+            assert block.instructions[-1].is_terminator
+            for instr in block.instructions[:-1]:
+                assert not instr.is_terminator
+
+    def test_memory_order_preserved(self):
+        b = ProgramBuilder("mem")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        x = b.li(1)
+        b.store(x, base)
+        y = b.load(base)  # must still see the store
+        b.store(y, base, offset=4)
+        b.ret()
+        prog = b.finish()
+        golden = _run_image(b.program.copy())
+        schedule_program(prog)
+        assert _run_image(prog) == golden
+
+    def test_boundaries_not_crossed(self):
+        from repro.compiler.checkpoints import insert_eager_checkpoints
+        from helpers import build_sum_loop
+
+        prog = build_sum_loop(trip=4)
+        partition_regions(prog, max_stores=2)
+        insert_eager_checkpoints(prog)
+        regions_before = [
+            (i.uid, i.region_id) for i in prog.instructions() if not i.is_boundary
+        ]
+        schedule_program(prog)
+        regions_after = {
+            i.uid: i.region_id for i in prog.instructions() if not i.is_boundary
+        }
+        for uid, region in regions_before:
+            assert regions_after[uid] == region

@@ -1,0 +1,143 @@
+"""End-to-end compiler pipeline and recovery-map tests."""
+
+import pytest
+
+from repro.compiler.config import (
+    CompilerConfig,
+    figure21_configs,
+    turnpike_config,
+    turnstile_config,
+)
+from repro.compiler.pipeline import compile_baseline, compile_program
+from repro.compiler.recovery import build_recovery_map, checkpoint_coverage_gaps
+from repro.runtime.interpreter import execute
+
+from helpers import build_sum_loop
+
+
+class TestConfigs:
+    def test_turnstile_has_no_turnpike_passes(self):
+        cfg = turnstile_config()
+        assert not cfg.checkpoint_pruning
+        assert not cfg.licm_sinking
+        assert not cfg.induction_variable_merging
+        assert not cfg.instruction_scheduling
+        assert not cfg.store_aware_regalloc
+
+    def test_turnpike_enables_everything(self):
+        cfg = turnpike_config()
+        assert cfg.checkpoint_pruning and cfg.licm_sinking
+        assert cfg.induction_variable_merging and cfg.instruction_scheduling
+        assert cfg.store_aware_regalloc
+
+    def test_region_caps(self):
+        assert turnstile_config(sb_size=4).max_stores_per_region == 4
+        assert turnpike_config(sb_size=4).max_stores_per_region == 2
+        assert turnpike_config(sb_size=10).max_stores_per_region == 5
+
+    def test_figure21_has_eight_configs(self):
+        configs = figure21_configs()
+        assert len(configs) == 8
+        labels = [c[0] for c in configs]
+        assert labels[0] == "Turnstile"
+        assert labels[-1] == "Turnpike"
+
+    def test_figure21_flags_monotone(self):
+        configs = figure21_configs()
+        # Turnstile: no hardware bypass; everything after: CLQ on.
+        assert configs[0][2] == {"clq": False, "coloring": False}
+        assert configs[1][2] == {"clq": True, "coloring": False}
+        for _, _, flags in configs[2:]:
+            assert flags == {"clq": True, "coloring": True}
+
+    def test_config_names_unique(self):
+        names = [c[1].name for c in figure21_configs()]
+        assert len(set(names)) == len(names)
+
+
+class TestPipeline:
+    def test_baseline_has_no_resilience(self, gcc_baseline):
+        prog = gcc_baseline.program
+        assert not any(i.is_boundary or i.is_checkpoint for i in prog.instructions())
+        assert gcc_baseline.recovery is None
+        assert gcc_baseline.partition is None
+
+    def test_turnstile_has_regions_and_checkpoints(self, gcc_turnstile):
+        assert gcc_turnstile.partition is not None
+        assert gcc_turnstile.recovery is not None
+        assert gcc_turnstile.num_static_checkpoints > 0
+
+    def test_turnpike_fewer_checkpoints_than_turnstile(
+        self, gcc_turnstile, gcc_turnpike
+    ):
+        # With the same region density, pruning/LIVM/LICM can only remove.
+        assert (
+            gcc_turnpike.num_static_checkpoints
+            <= gcc_turnstile.num_static_checkpoints + 4
+        )
+
+    def test_source_not_mutated(self, gcc_workload):
+        before = gcc_workload.program.num_instructions
+        compile_program(gcc_workload.program, turnpike_config())
+        assert gcc_workload.program.num_instructions == before
+
+    def test_all_figure21_configs_compile_and_run(self, gcc_workload):
+        golden = execute(
+            gcc_workload.program, gcc_workload.fresh_memory()
+        ).memory.data_image()
+        for label, cfg, _flags in figure21_configs():
+            compiled = compile_program(gcc_workload.program, cfg)
+            result = execute(compiled.program, gcc_workload.fresh_memory())
+            assert result.memory.data_image() == golden, label
+
+    def test_code_size_grows_with_resilience(self, gcc_baseline, gcc_turnpike):
+        assert gcc_turnpike.code_size_bytes > gcc_baseline.code_size_bytes
+
+    def test_stats_recorded_per_pass(self, gcc_turnpike):
+        for key in ("strength_reduction", "livm", "regalloc", "checkpointing",
+                    "pruning", "licm", "scheduling"):
+            assert key in gcc_turnpike.stats
+
+
+class TestRecoveryMap:
+    def test_every_region_has_entry(self, gcc_turnpike):
+        partition = gcc_turnpike.partition
+        recovery = gcc_turnpike.recovery
+        assert set(recovery.entries) == set(partition.regions)
+
+    def test_entries_point_at_boundaries(self, gcc_turnpike):
+        prog = gcc_turnpike.program
+        for entry in gcc_turnpike.recovery.entries.values():
+            instr = prog.block(entry.block).instructions[entry.index]
+            assert instr.is_boundary
+            assert instr.region_id == entry.region_id
+
+    def test_duplicate_region_boundary_rejected(self):
+        prog = build_sum_loop(trip=4)
+        from repro.compiler.regions import partition_regions
+
+        partition_regions(prog, max_stores=4)
+        # Corrupt: duplicate a boundary with the same region id.
+        from repro.isa.instructions import boundary
+
+        dup = boundary()
+        dup.region_id = 0
+        prog.blocks[-1].instructions.insert(0, dup)
+        with pytest.raises(ValueError, match="two boundaries"):
+            build_recovery_map(prog)
+
+    def test_coverage_no_gaps_on_turnstile(self, gcc_turnstile):
+        assert checkpoint_coverage_gaps(gcc_turnstile.program) == []
+
+    def test_coverage_no_gaps_on_turnpike(self, gcc_turnpike):
+        assert checkpoint_coverage_gaps(gcc_turnpike.program) == []
+
+    def test_coverage_gaps_on_all_workloads(self, quick_workloads):
+        for wl in quick_workloads:
+            for cfg in (turnstile_config(), turnpike_config()):
+                compiled = compile_program(wl.program, cfg)
+                assert checkpoint_coverage_gaps(compiled.program) == [], wl.name
+
+    def test_live_in_registers_physical(self, gcc_turnpike):
+        for entry in gcc_turnpike.recovery.entries.values():
+            assert all(not r.is_virtual for r in entry.live_in)

@@ -1,0 +1,50 @@
+"""Smoke tests: every example script runs end-to-end and prints its
+expected headline output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _run(script: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart_default():
+    out = _run("quickstart.py", "CPU2006.xalan")
+    assert "turnstile" in out and "turnpike" in out
+    assert "store disposition" in out
+
+
+def test_quickstart_list():
+    out = _run("quickstart.py", "--list")
+    assert "CPU2017.lbm" in out
+
+
+def test_fault_injection():
+    out = _run("fault_injection.py", "CPU2006.bzip2", "12")
+    assert "UNSAFE" in out
+    assert "Figure 16" in out
+
+
+def test_design_space():
+    out = _run("design_space.py", "CPU2017.xz")
+    assert "WCDL" in out
+    assert "ideal (infinite)" in out
+
+
+def test_custom_kernel():
+    out = _run("custom_kernel.py")
+    assert "Turnstile" in out and "Turnpike" in out
+    assert "checkpoint counts fall" in out

@@ -1,0 +1,185 @@
+"""Experiment-driver tests on a small benchmark subset.
+
+These assert the *qualitative shape* of every figure driver — who wins,
+directionality, category consistency — quickly; the full-suite numbers
+live in benchmarks/ (see EXPERIMENTS.md for paper-vs-measured).
+"""
+
+import pytest
+
+from repro.harness.experiments import (
+    BREAKDOWN_CATEGORIES,
+    breakdown_means,
+    fig04_checkpoint_ratio,
+    fig14_fig15_clq_designs,
+    fig18_sensor_latency,
+    fig19_turnpike_wcdl,
+    fig20_turnstile_wcdl,
+    fig21_ablation,
+    fig22_sb_sensitivity,
+    fig23_store_breakdown,
+    fig24_clq_occupancy,
+    fig25_clq_size,
+    fig26_region_codesize,
+    table1_hw_cost,
+)
+from repro.harness.runner import RunCache
+
+SUBSET = ["CPU2006.gcc", "CPU2017.exchange2", "SPLASH3.radix", "CPU2006.mcf"]
+
+
+@pytest.fixture(scope="module")
+def cache():
+    return RunCache()
+
+
+class TestFig04:
+    def test_small_sb_more_checkpoints(self, cache):
+        result = fig04_checkpoint_ratio(SUBSET, cache=cache)
+        assert result[4].mean > result[40].mean
+
+    def test_ratios_are_fractions(self, cache):
+        result = fig04_checkpoint_ratio(SUBSET, cache=cache)
+        for series in result.values():
+            for value in series.per_benchmark.values():
+                assert 0.0 <= value <= 1.0
+
+
+class TestFig14Fig15:
+    def test_ideal_at_least_as_fast(self, cache):
+        result = fig14_fig15_clq_designs(SUBSET, cache=cache)
+        ideal = result["overhead"]["ideal"]
+        compact = result["overhead"]["compact"]
+        assert ideal.geomean <= compact.geomean + 0.02
+
+    def test_ideal_detects_more_warfree(self, cache):
+        result = fig14_fig15_clq_designs(SUBSET, cache=cache)
+        ideal = result["warfree_ratio"]["ideal"]
+        compact = result["warfree_ratio"]["compact"]
+        for uid in SUBSET:
+            assert (
+                ideal.per_benchmark[uid] >= compact.per_benchmark[uid] - 1e-9
+            )
+
+
+class TestFig18:
+    def test_series_shape(self):
+        series = fig18_sensor_latency()
+        for clock, points in series.items():
+            latencies = [lat for _, lat in points]
+            assert all(a > b for a, b in zip(latencies, latencies[1:]))
+
+    def test_higher_clock_higher_latency(self):
+        series = fig18_sensor_latency()
+        for (n20, l20), (n30, l30) in zip(series[2.0], series[3.0]):
+            assert n20 == n30 and l30 > l20
+
+
+class TestFig19Fig20:
+    def test_turnpike_beats_turnstile_everywhere(self, cache):
+        tp = fig19_turnpike_wcdl(SUBSET, wcdls=(10, 50), cache=cache)
+        ts = fig20_turnstile_wcdl(SUBSET, wcdls=(10, 50), cache=cache)
+        for wcdl in (10, 50):
+            for uid in SUBSET:
+                assert (
+                    tp[wcdl].per_benchmark[uid]
+                    <= ts[wcdl].per_benchmark[uid] + 1e-6
+                )
+
+    def test_turnstile_monotone_in_wcdl(self, cache):
+        ts = fig20_turnstile_wcdl(SUBSET, wcdls=(10, 30, 50), cache=cache)
+        assert ts[10].geomean <= ts[30].geomean <= ts[50].geomean
+
+    def test_turnpike_low_overhead(self, cache):
+        tp = fig19_turnpike_wcdl(SUBSET, wcdls=(10,), cache=cache)
+        assert tp[10].geomean < 1.15
+
+
+class TestFig21:
+    def test_eight_series_in_order(self, cache):
+        series = fig21_ablation(SUBSET, cache=cache)
+        assert len(series) == 8
+        assert series[0].name == "Turnstile"
+        assert series[-1].name == "Turnpike"
+
+    def test_turnstile_worst_turnpike_best(self, cache):
+        series = fig21_ablation(SUBSET, cache=cache)
+        geos = [s.geomean for s in series]
+        assert geos[0] == max(geos)
+        assert geos[-1] <= min(geos) + 0.03
+
+    def test_fast_release_improves_on_turnstile(self, cache):
+        series = fig21_ablation(SUBSET, cache=cache)
+        by_name = {s.name: s.geomean for s in series}
+        assert by_name["Fast Release"] < by_name["Turnstile"]
+
+
+class TestFig22:
+    def test_turnstile_improves_with_sb(self, cache):
+        result = fig22_sb_sensitivity(
+            SUBSET,
+            turnstile_sizes=(4, 10, 40),
+            turnpike_sizes=(4,),
+            cache=cache,
+        )
+        ts = result["turnstile"]
+        assert ts[4].geomean >= ts[10].geomean >= ts[40].geomean
+
+    def test_turnpike_sb4_beats_turnstile_sb40(self, cache):
+        """The paper's headline: Turnpike with 4 entries outperforms
+        Turnstile with a 10x larger buffer."""
+        result = fig22_sb_sensitivity(
+            SUBSET,
+            turnstile_sizes=(40,),
+            turnpike_sizes=(4,),
+            cache=cache,
+        )
+        assert (
+            result["turnpike"][4].geomean
+            <= result["turnstile"][40].geomean + 0.02
+        )
+
+
+class TestFig23:
+    def test_categories_partition_stores(self, cache):
+        breakdown = fig23_store_breakdown(SUBSET, cache=cache)
+        for uid, cats in breakdown.items():
+            assert set(cats) == set(BREAKDOWN_CATEGORIES)
+            assert sum(cats.values()) <= 1.3  # near 1 (measured fractions)
+            for value in cats.values():
+                assert value >= 0
+
+    def test_means(self, cache):
+        breakdown = fig23_store_breakdown(SUBSET, cache=cache)
+        means = breakdown_means(breakdown)
+        assert means["pruned"] > 0
+        released = means["colored"] + means["warfree"]
+        assert released > 0.1
+
+
+class TestFig24Fig25:
+    def test_occupancy_bounds(self, cache):
+        occ = fig24_clq_occupancy(SUBSET, cache=cache)
+        for uid, (avg, peak) in occ.items():
+            assert 0 <= avg <= peak
+            assert peak <= 8  # in-flight regions are few
+
+    def test_clq2_close_to_clq4(self, cache):
+        result = fig25_clq_size(SUBSET, cache=cache)
+        assert abs(result[2].geomean - result[4].geomean) < 0.05
+
+
+class TestFig26:
+    def test_region_size_reasonable(self, cache):
+        data = fig26_region_codesize(SUBSET, cache=cache)
+        for uid, (size, growth) in data.items():
+            assert 2.0 < size < 80.0
+            assert 0.0 <= growth < 1.2
+
+
+class TestTable1:
+    def test_driver_returns_table(self):
+        table = table1_hw_cost()
+        area_ratio, energy_ratio = table.turnpike_vs_sb4
+        assert 0.05 < area_ratio < 0.15
+        assert 0.05 < energy_ratio < 0.15

@@ -1,0 +1,61 @@
+"""Tests for the CSV/JSON export layer."""
+
+import csv
+import io
+import json
+
+from repro.harness.experiments import Series
+from repro.harness.export import (
+    breakdown_to_csv,
+    mapping_to_csv,
+    series_to_csv,
+    series_to_json,
+    table1_to_json,
+)
+
+
+def _series():
+    return [
+        Series(name="A", per_benchmark={"x": 1.0, "y": 4.0}),
+        Series(name="B", per_benchmark={"x": 2.0, "y": 8.0}),
+    ]
+
+
+class TestSeriesExport:
+    def test_csv_roundtrip(self):
+        text = series_to_csv(_series())
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["benchmark", "A", "B"]
+        assert rows[1][0] == "x" and float(rows[1][1]) == 1.0
+        assert rows[-1][0] == "geomean"
+        assert float(rows[-1][1]) == 2.0  # geomean of 1 and 4
+
+    def test_csv_empty(self):
+        assert series_to_csv([]) == ""
+
+    def test_json_structure(self):
+        payload = json.loads(series_to_json(_series()))
+        assert payload["A"]["x"] == 1.0
+        assert payload["B"]["_geomean"] == 4.0
+
+    def test_mapping_csv(self):
+        text = mapping_to_csv({"bench": (1.5, 2.5)}, headers=("p", "q"))
+        rows = list(csv.reader(io.StringIO(text)))
+        assert rows[0] == ["benchmark", "p", "q"]
+        assert float(rows[1][2]) == 2.5
+
+    def test_breakdown_csv(self):
+        from repro.harness.experiments import BREAKDOWN_CATEGORIES
+
+        data = {"b": {cat: 0.1 for cat in BREAKDOWN_CATEGORIES}}
+        text = breakdown_to_csv(data)
+        rows = list(csv.reader(io.StringIO(text)))
+        assert len(rows[0]) == 1 + len(BREAKDOWN_CATEGORIES)
+
+    def test_table1_json(self):
+        from repro.hwcost.cacti import build_table1
+
+        payload = json.loads(table1_to_json(build_table1()))
+        assert len(payload["rows"]) == 5
+        assert 0.08 < payload["turnpike_vs_sb4"]["area"] < 0.12
+        assert 4.5 < payload["sb40_vs_sb4"]["area"] < 5.5

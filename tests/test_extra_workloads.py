@@ -1,0 +1,112 @@
+"""Tests for the extended kernel library and the EXTRAS suite.
+
+Each extra benchmark must survive the complete gauntlet: functional
+equivalence under every compiler configuration, a fault-free resilient
+run, and recovery from injected errors.
+"""
+
+import pytest
+
+from repro.compiler.config import figure21_configs, turnpike_config
+from repro.compiler.pipeline import compile_baseline, compile_program
+from repro.faults.campaign import (
+    run_protocol_campaigns,
+    turnpike_machine_config,
+)
+from repro.runtime.interpreter import execute
+from repro.runtime.machine import ResilientMachine
+from repro.workloads.extras import extra_profiles, load_extra_workload
+
+NAMES = [p.name for p in extra_profiles()]
+
+
+class TestExtraSuite:
+    def test_four_profiles(self):
+        assert len(extra_profiles()) == 4
+
+    def test_not_in_main_suite(self):
+        from repro.workloads.suites import all_profiles
+
+        main_uids = {p.uid for p in all_profiles()}
+        for prof in extra_profiles():
+            assert prof.uid not in main_uids
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_extra_workload("quantum")
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestExtraBenchmarks:
+    def test_runs(self, name):
+        wl = load_extra_workload(name)
+        result = execute(wl.program, wl.fresh_memory())
+        assert result.steps > 500
+
+    def test_all_configs_equivalent(self, name):
+        wl = load_extra_workload(name)
+        golden = execute(wl.program, wl.fresh_memory()).memory.data_image()
+        base = compile_baseline(wl.program)
+        assert (
+            execute(base.program, wl.fresh_memory()).memory.data_image()
+            == golden
+        )
+        for label, cfg, _ in figure21_configs():
+            compiled = compile_program(wl.program, cfg)
+            got = execute(
+                compiled.program, wl.fresh_memory()
+            ).memory.data_image()
+            assert got == golden, f"{name}/{label}"
+
+    def test_faultfree_resilient_run(self, name):
+        wl = load_extra_workload(name)
+        compiled = compile_program(wl.program, turnpike_config())
+        golden = execute(
+            compiled.program, wl.fresh_memory()
+        ).memory.data_image()
+        machine = ResilientMachine(
+            compiled, turnpike_machine_config(10), wl.fresh_memory()
+        )
+        machine.run()
+        assert machine.mem.data_image() == golden
+
+    def test_recovery_under_injection(self, name):
+        wl = load_extra_workload(name)
+        compiled = compile_program(wl.program, turnpike_config())
+        campaigns = run_protocol_campaigns(
+            compiled, wl.fresh_memory(), wcdl=10, count=8, seed=55
+        )
+        assert campaigns.turnpike.correct_runs == campaigns.turnpike.runs
+        assert campaigns.turnstile.correct_runs == campaigns.turnstile.runs
+
+
+class TestKernelValidation:
+    def test_merge_trip_capped(self):
+        from repro.workloads.generator import BenchmarkProfile, KernelSpec, build_workload
+        import repro.workloads.extra_kernels  # noqa: F401
+
+        prof = BenchmarkProfile(
+            name="bad",
+            suite="EXTRAS",
+            kernels=(
+                KernelSpec("merge_pass", {"trip": 10_000, "run_words": 64}),
+            ),
+        )
+        with pytest.raises(ValueError, match="exceed"):
+            build_workload(prof)
+
+    def test_spmv_vector_pow2(self):
+        from repro.workloads.generator import BenchmarkProfile, KernelSpec, build_workload
+        import repro.workloads.extra_kernels  # noqa: F401
+
+        prof = BenchmarkProfile(
+            name="bad2",
+            suite="EXTRAS",
+            kernels=(
+                KernelSpec(
+                    "spmv", {"rows": 4, "nnz_per_row": 2, "vector_words": 100}
+                ),
+            ),
+        )
+        with pytest.raises(ValueError, match="power of two"):
+            build_workload(prof)

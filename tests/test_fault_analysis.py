@@ -1,0 +1,71 @@
+"""Tests for the recovery-cost analysis extension."""
+
+import pytest
+
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.analysis import (
+    measure_recovery_cost,
+    recovery_cost_vs_wcdl,
+)
+from repro.workloads.suites import load_workload
+
+
+@pytest.fixture(scope="module")
+def setup():
+    wl = load_workload("CPU2006.bzip2")
+    compiled = compile_program(wl.program, turnpike_config())
+    return wl, compiled
+
+
+class TestRecoveryCost:
+    def test_all_runs_correct(self, setup):
+        wl, compiled = setup
+        report = measure_recovery_cost(
+            compiled, wl.fresh_memory(), wcdl=10, count=12, seed=3
+        )
+        assert report.all_correct
+        assert len(report.runs) == 12
+
+    def test_recoveries_redo_work(self, setup):
+        wl, compiled = setup
+        report = measure_recovery_cost(
+            compiled, wl.fresh_memory(), wcdl=10, count=12, seed=3
+        )
+        recs = report.recovery_runs
+        assert recs
+        # A recovery re-executes at least part of a region.
+        assert report.max_reexecution > 0
+
+    def test_reexecution_is_bounded(self, setup):
+        """Rollback depth is bounded by the unverified window: regions
+        in flight cover at most ~(WCDL + 2 * max region length) commits."""
+        wl, compiled = setup
+        wcdl = 10
+        report = measure_recovery_cost(
+            compiled, wl.fresh_memory(), wcdl=wcdl, count=12, seed=3
+        )
+        # Generous structural bound: nothing remotely close to a full
+        # re-run of the program.
+        assert report.max_reexecution < 2_000
+
+    def test_cost_grows_with_wcdl(self, setup):
+        """Longer detection latency keeps more regions unverified, so
+        recoveries roll back further on average."""
+        wl, compiled = setup
+        sweep = recovery_cost_vs_wcdl(
+            compiled, wl.fresh_memory(), wcdls=(10, 200), count=12, seed=9
+        )
+        assert sweep[10].all_correct and sweep[200].all_correct
+        if sweep[10].recovery_runs and sweep[200].recovery_runs:
+            assert (
+                sweep[200].mean_reexecution >= sweep[10].mean_reexecution
+            )
+
+    def test_report_properties_empty(self):
+        from repro.faults.analysis import RecoveryCostReport
+
+        report = RecoveryCostReport(wcdl=10)
+        assert report.mean_reexecution == 0.0
+        assert report.max_reexecution == 0
+        assert report.all_correct

@@ -1,0 +1,301 @@
+"""Tests for the ISA layer: registers, instructions, programs, builder."""
+
+import pytest
+
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.isa.instructions import Instruction, Opcode, StoreKind
+from repro.isa.program import Program, ProgramError
+from repro.isa.registers import DEFAULT_REGISTER_FILE, Reg, RegisterFile
+
+
+class TestReg:
+    def test_interning_virtual(self):
+        assert Reg.virt(3) is Reg.virt(3)
+
+    def test_interning_physical(self):
+        assert Reg.phys(7) is Reg.phys(7)
+
+    def test_virtual_physical_distinct(self):
+        assert Reg.virt(5) != Reg.phys(5)
+
+    def test_names(self):
+        assert Reg.virt(2).name == "v2"
+        assert Reg.phys(2).name == "r2"
+
+    def test_hash_equality_consistency(self):
+        assert hash(Reg.virt(9)) == hash(Reg.virt(9))
+        assert hash(Reg.virt(9)) != hash(Reg.phys(9))
+
+    def test_ordering(self):
+        assert Reg.phys(1) < Reg.phys(2)
+        assert Reg.phys(31) < Reg.virt(0)  # physical sorts before virtual
+
+
+class TestRegisterFile:
+    def test_default_has_32_registers(self):
+        assert DEFAULT_REGISTER_FILE.num_registers == 32
+
+    def test_reserved_not_allocatable(self):
+        allocatable = DEFAULT_REGISTER_FILE.allocatable
+        for idx in DEFAULT_REGISTER_FILE.reserved:
+            assert Reg.phys(idx) not in allocatable
+
+    def test_allocatable_count(self):
+        rf = RegisterFile(num_registers=32, reserved=(0, 29))
+        assert len(rf.allocatable) == 30
+
+    def test_stack_pointer(self):
+        assert DEFAULT_REGISTER_FILE.stack_pointer == Reg.phys(29)
+
+    def test_zero_register(self):
+        assert DEFAULT_REGISTER_FILE.zero == Reg.phys(0)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(num_registers=2)
+
+    def test_reserved_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterFile(num_registers=8, reserved=(9,))
+
+
+class TestInstructionConstructors:
+    def test_alu_rr(self):
+        instr = ins.alu_rr(Opcode.ADD, Reg.virt(0), Reg.virt(1), Reg.virt(2))
+        assert instr.dest == Reg.virt(0)
+        assert instr.srcs == (Reg.virt(1), Reg.virt(2))
+
+    def test_alu_rr_rejects_non_alu(self):
+        with pytest.raises(ValueError):
+            ins.alu_rr(Opcode.LD, Reg.virt(0), Reg.virt(1), Reg.virt(2))
+
+    def test_alu_ri(self):
+        instr = ins.alu_ri(Opcode.ADDI, Reg.virt(0), Reg.virt(1), 42)
+        assert instr.imm == 42
+
+    def test_alu_ri_rejects_rr_op(self):
+        with pytest.raises(ValueError):
+            ins.alu_ri(Opcode.ADD, Reg.virt(0), Reg.virt(1), 1)
+
+    def test_store_operand_order(self):
+        st = ins.store(Reg.virt(1), Reg.virt(2), offset=8)
+        assert st.srcs == (Reg.virt(1), Reg.virt(2))  # value, base
+        assert st.imm == 8
+        assert st.store_kind is StoreKind.APPLICATION
+
+    def test_load(self):
+        ld = ins.load(Reg.virt(0), Reg.virt(1), 4)
+        assert ld.is_load
+        assert ld.dest == Reg.virt(0)
+
+    def test_checkpoint_classification(self):
+        ck = ins.checkpoint(Reg.phys(3))
+        assert ck.is_checkpoint and ck.is_store and not ck.is_regular_store
+        assert ck.store_kind is StoreKind.CHECKPOINT
+
+    def test_branch_targets(self):
+        br = ins.branch(Opcode.BEQ, Reg.virt(0), Reg.virt(1), "a", "b")
+        assert br.targets == ("a", "b")
+        assert br.is_branch and br.is_terminator
+
+    def test_branch_rejects_non_branch_op(self):
+        with pytest.raises(ValueError):
+            ins.branch(Opcode.ADD, Reg.virt(0), Reg.virt(1), "a", "b")
+
+    def test_jump_and_ret_are_terminators(self):
+        assert ins.jump("x").is_terminator
+        assert ins.ret().is_terminator
+
+    def test_boundary_properties(self):
+        bd = ins.boundary()
+        assert bd.is_boundary
+        assert bd.encoded_size == 0  # boundaries are metadata, not bytes
+
+    def test_regular_instruction_size(self):
+        assert ins.li(Reg.virt(0), 1).encoded_size == 4
+
+    def test_uids_unique(self):
+        a, b = ins.nop(), ins.nop()
+        assert a.uid != b.uid
+
+    def test_copy_fresh_uid_same_fields(self):
+        original = ins.alu_ri(Opcode.ADDI, Reg.virt(0), Reg.virt(1), 7)
+        original.region_id = 3
+        original.annotations["k"] = "v"
+        clone = original.copy()
+        assert clone.uid != original.uid
+        assert clone.imm == 7 and clone.region_id == 3
+        assert clone.annotations == {"k": "v"}
+        clone.annotations["k2"] = 1
+        assert "k2" not in original.annotations
+
+    def test_replace_uses(self):
+        instr = ins.alu_rr(Opcode.ADD, Reg.virt(0), Reg.virt(1), Reg.virt(2))
+        instr.replace_uses({Reg.virt(1): Reg.phys(5)})
+        assert instr.srcs == (Reg.phys(5), Reg.virt(2))
+
+    def test_replace_defs(self):
+        instr = ins.li(Reg.virt(0), 1)
+        instr.replace_defs({Reg.virt(0): Reg.phys(9)})
+        assert instr.dest == Reg.phys(9)
+
+
+class TestProgram:
+    def test_duplicate_label_rejected(self):
+        prog = Program("p")
+        prog.add_block("a")
+        with pytest.raises(ProgramError):
+            prog.add_block("a")
+
+    def test_validate_requires_terminator(self):
+        prog = Program("p")
+        blk = prog.add_block("entry")
+        blk.instructions.append(ins.li(Reg.virt(0), 1))
+        with pytest.raises(ProgramError, match="terminator"):
+            prog.validate()
+
+    def test_validate_rejects_unknown_target(self):
+        prog = Program("p")
+        blk = prog.add_block("entry")
+        blk.instructions.append(ins.jump("nowhere"))
+        with pytest.raises(ProgramError, match="unknown block"):
+            prog.validate()
+
+    def test_validate_requires_ret(self):
+        prog = Program("p")
+        blk = prog.add_block("entry")
+        blk.instructions.append(ins.jump("entry"))
+        with pytest.raises(ProgramError, match="RET"):
+            prog.validate()
+
+    def test_validate_rejects_midblock_terminator(self):
+        prog = Program("p")
+        blk = prog.add_block("entry")
+        blk.instructions.append(ins.ret())
+        blk.instructions.append(ins.nop())
+        with pytest.raises(ProgramError):
+            prog.validate()
+
+    def test_validate_rejects_shared_instruction(self):
+        prog = Program("p")
+        a = prog.add_block("a")
+        shared = ins.nop()
+        a.instructions.extend([shared, ins.jump("b")])
+        b = prog.add_block("b")
+        b.instructions.extend([shared, ins.ret()])
+        with pytest.raises(ProgramError, match="twice"):
+            prog.validate()
+
+    def test_fresh_vreg_monotonic(self):
+        prog = Program("p")
+        a = prog.fresh_vreg()
+        b = prog.fresh_vreg()
+        assert b.index == a.index + 1
+
+    def test_copy_is_deep(self, sum_loop):
+        clone = sum_loop.copy()
+        assert clone.num_instructions == sum_loop.num_instructions
+        clone.blocks[0].instructions[0].imm = 12345
+        assert sum_loop.blocks[0].instructions[0].imm != 12345
+
+    def test_copy_preserves_live_in(self, diamond):
+        assert diamond.copy().live_in == diamond.live_in
+
+    def test_static_size(self, sum_loop):
+        assert sum_loop.static_size_bytes == 4 * sum_loop.num_instructions
+
+    def test_insert_block_after(self):
+        prog = Program("p")
+        prog.add_block("a")
+        prog.add_block("c")
+        prog.insert_block_after("a", "b")
+        assert [b.label for b in prog.blocks] == ["a", "b", "c"]
+
+    def test_all_registers(self, sum_loop):
+        regs = sum_loop.all_registers()
+        assert all(r.is_virtual for r in regs)
+        assert len(regs) >= 5
+
+
+class TestBasicBlock:
+    def test_insert_before_terminator(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        b.li(1)
+        b.ret()
+        block = b.program.block("entry")
+        block.insert_before_terminator([ins.nop()])
+        assert block.instructions[-1].op is Opcode.RET
+        assert block.instructions[-2].op is Opcode.NOP
+
+    def test_insert_before_terminator_no_terminator(self):
+        from repro.isa.program import BasicBlock
+
+        block = BasicBlock("x", [ins.nop()])
+        block.insert_before_terminator([ins.li(Reg.virt(0), 1)])
+        assert block.instructions[-1].op is Opcode.LI
+
+    def test_successors(self):
+        from repro.isa.program import BasicBlock
+
+        block = BasicBlock("x", [ins.branch(Opcode.BNE, Reg.virt(0), Reg.virt(1), "t", "f")])
+        assert block.successors() == ("t", "f")
+
+    def test_body_excludes_terminator(self):
+        from repro.isa.program import BasicBlock
+
+        block = BasicBlock("x", [ins.nop(), ins.ret()])
+        assert len(block.body) == 1
+
+
+class TestProgramBuilder:
+    def test_builder_produces_valid_program(self, sum_loop):
+        sum_loop.validate()  # should not raise
+
+    def test_fresh_labels_unique(self):
+        b = ProgramBuilder("p")
+        labels = {b.fresh_label() for _ in range(100)}
+        assert len(labels) == 100
+
+    def test_emit_requires_block(self):
+        b = ProgramBuilder("p")
+        with pytest.raises(RuntimeError):
+            b.li(1)
+
+    def test_live_in_recorded(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        reg = b.live_in()
+        b.ret()
+        assert reg in b.program.live_in
+
+    def test_alu_helpers_create_fresh_dest(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        x = b.li(1)
+        y = b.add(x, x)
+        assert y != x
+
+    def test_dest_override(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        x = b.li(1)
+        out = b.addi(x, 1, dest=x)
+        assert out is x
+
+    def test_finish_validates(self):
+        b = ProgramBuilder("p")
+        b.begin_block("entry")
+        b.li(1)
+        with pytest.raises(ProgramError):
+            b.finish()
+
+    def test_switch_to(self):
+        b = ProgramBuilder("p")
+        b.begin_block("a")
+        b.jmp("b")
+        b.begin_block("b")
+        b.ret()
+        b.switch_to("a")
+        assert b.current_label == "a"

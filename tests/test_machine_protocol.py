@@ -1,0 +1,146 @@
+"""Resilient machine protocol tests: fault-free behaviour.
+
+A fault-free resilient run must be functionally identical to the plain
+interpreter under every hardware configuration, and the protocol state
+(regions, bindings, quarantine/release counters) must be consistent.
+"""
+
+import pytest
+
+from repro.compiler.config import turnpike_config, turnstile_config
+from repro.compiler.pipeline import compile_program
+from repro.runtime.interpreter import execute
+from repro.runtime.machine import (
+    ProtocolError,
+    ResilienceConfig,
+    ResilientMachine,
+)
+
+
+def _configs():
+    return {
+        "turnstile": ResilienceConfig(
+            wcdl=10, clq_enabled=False, coloring_enabled=False
+        ),
+        "warfree": ResilienceConfig(
+            wcdl=10, clq_enabled=True, coloring_enabled=False
+        ),
+        "turnpike": ResilienceConfig(
+            wcdl=10, clq_enabled=True, coloring_enabled=True
+        ),
+        "turnpike_ideal": ResilienceConfig(
+            wcdl=10, clq_enabled=True, clq_kind="ideal", coloring_enabled=True
+        ),
+    }
+
+
+class TestFaultFreeEquivalence:
+    @pytest.mark.parametrize("mode", list(_configs()))
+    def test_gcc_memory_identical(self, gcc_turnpike, gcc_workload, mode):
+        golden = execute(
+            gcc_turnpike.program, gcc_workload.fresh_memory()
+        ).memory.data_image()
+        machine = ResilientMachine(
+            gcc_turnpike, _configs()[mode], gcc_workload.fresh_memory()
+        )
+        machine.run()
+        assert machine.mem.data_image() == golden
+
+    @pytest.mark.parametrize("wcdl", [1, 10, 50, 200])
+    def test_wcdl_does_not_change_semantics(self, gcc_turnpike, gcc_workload, wcdl):
+        golden = execute(
+            gcc_turnpike.program, gcc_workload.fresh_memory()
+        ).memory.data_image()
+        cfg = ResilienceConfig(wcdl=wcdl)
+        machine = ResilientMachine(gcc_turnpike, cfg, gcc_workload.fresh_memory())
+        machine.run()
+        assert machine.mem.data_image() == golden
+
+    def test_turnstile_compile_on_machine(self, gcc_turnstile, gcc_workload):
+        golden = execute(
+            gcc_turnstile.program, gcc_workload.fresh_memory()
+        ).memory.data_image()
+        machine = ResilientMachine(
+            gcc_turnstile, _configs()["turnstile"], gcc_workload.fresh_memory()
+        )
+        machine.run()
+        assert machine.mem.data_image() == golden
+
+    def test_all_quick_workloads(self, quick_workloads):
+        for wl in quick_workloads:
+            compiled = compile_program(wl.program, turnpike_config())
+            golden = execute(
+                compiled.program, wl.fresh_memory()
+            ).memory.data_image()
+            machine = ResilientMachine(
+                compiled, _configs()["turnpike"], wl.fresh_memory()
+            )
+            machine.run()
+            assert machine.mem.data_image() == golden, wl.name
+
+
+class TestProtocolState:
+    def _run(self, compiled, workload, mode="turnpike"):
+        machine = ResilientMachine(
+            compiled, _configs()[mode], workload.fresh_memory()
+        )
+        stats = machine.run()
+        return machine, stats
+
+    def test_no_recoveries_without_faults(self, gcc_turnpike, gcc_workload):
+        _, stats = self._run(gcc_turnpike, gcc_workload)
+        assert stats.recoveries == 0
+        assert stats.parity_detections == 0
+
+    def test_all_regions_verified_at_end(self, gcc_turnpike, gcc_workload):
+        machine, _ = self._run(gcc_turnpike, gcc_workload)
+        assert not machine.rbb.unverified
+        assert machine.sb.occupancy() == 0
+
+    def test_store_disposition_partition(self, gcc_turnpike, gcc_workload):
+        """Every store/checkpoint is counted in exactly one disposition."""
+        machine, stats = self._run(gcc_turnpike, gcc_workload)
+        result = execute(
+            gcc_turnpike.program, gcc_workload.fresh_memory(), collect_trace=True
+        )
+        summary = result.summary()
+        assert (
+            stats.warfree_released + stats.quarantined_stores
+            == summary.regular_stores
+        )
+        assert (
+            stats.colored_checkpoints + stats.quarantined_checkpoints
+            == summary.checkpoints
+        )
+
+    def test_turnstile_mode_quarantines_everything(
+        self, gcc_turnstile, gcc_workload
+    ):
+        _, stats = self._run(gcc_turnstile, gcc_workload, mode="turnstile")
+        assert stats.warfree_released == 0
+        assert stats.colored_checkpoints == 0
+        assert stats.quarantined_stores > 0
+        assert stats.quarantined_checkpoints > 0
+
+    def test_region_count_matches_boundaries(self, gcc_turnpike, gcc_workload):
+        machine, stats = self._run(gcc_turnpike, gcc_workload)
+        result = execute(
+            gcc_turnpike.program, gcc_workload.fresh_memory(), collect_trace=True
+        )
+        assert stats.regions == result.summary().boundaries
+
+    def test_ideal_clq_releases_at_least_compact(self, gcc_turnpike, gcc_workload):
+        _, compact = self._run(gcc_turnpike, gcc_workload, "turnpike")
+        _, ideal = self._run(gcc_turnpike, gcc_workload, "turnpike_ideal")
+        assert ideal.warfree_released >= compact.warfree_released
+
+    def test_baseline_program_rejected(self, gcc_baseline):
+        with pytest.raises(ValueError, match="without resilience"):
+            ResilientMachine(gcc_baseline, ResilienceConfig())
+
+    def test_pruned_bindings_recorded(self, gcc_turnpike, gcc_workload):
+        _, stats = self._run(gcc_turnpike, gcc_workload)
+        from repro.compiler.pruning import pruned_definitions
+
+        if pruned_definitions(gcc_turnpike.program):
+            assert stats.pruned_bindings > 0

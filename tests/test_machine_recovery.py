@@ -1,0 +1,240 @@
+"""Fault injection and recovery tests — the paper's safety arguments as
+executable checks.
+
+* Turnstile / WAR-free / full Turnpike modes must recover from arbitrary
+  register bit flips (final data memory equals the golden run);
+* the deliberately unsafe mode (checkpoint fast release WITHOUT coloring)
+  must corrupt recovery for some injections — reproducing Figure 16;
+* per-register parity must catch corrupted store addresses before a fast
+  release damages an unrelated memory location (Section 5).
+"""
+
+import pytest
+
+from repro.compiler.config import turnpike_config, turnstile_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.campaign import (
+    run_protocol_campaigns,
+    turnpike_machine_config,
+    turnstile_machine_config,
+    unsafe_machine_config,
+    warfree_machine_config,
+)
+from repro.faults.injector import (
+    golden_memory,
+    random_register_injections,
+    run_campaign,
+    run_with_injection,
+)
+from repro.isa.registers import Reg
+from repro.runtime.machine import Injection, InjectionTarget
+
+
+@pytest.fixture(scope="module")
+def radix_setup():
+    from repro.workloads.suites import load_workload
+
+    wl = load_workload("SPLASH3.radix")
+    compiled = compile_program(wl.program, turnpike_config())
+    return wl, compiled
+
+
+@pytest.fixture(scope="module")
+def radix_turnstile_setup():
+    from repro.workloads.suites import load_workload
+
+    wl = load_workload("SPLASH3.radix")
+    compiled = compile_program(wl.program, turnstile_config())
+    return wl, compiled
+
+
+class TestRecoveryCorrectness:
+    def test_turnpike_recovers_from_register_flips(self, radix_setup):
+        wl, compiled = radix_setup
+        injections = random_register_injections(
+            compiled, wcdl=10, count=25, seed=11, horizon=20_000
+        )
+        result = run_campaign(
+            compiled, turnpike_machine_config(10), wl.fresh_memory(), injections
+        )
+        assert result.correct_runs == result.runs
+        assert result.recovery_runs == result.runs
+
+    def test_turnstile_recovers(self, radix_turnstile_setup):
+        wl, compiled = radix_turnstile_setup
+        injections = random_register_injections(
+            compiled, wcdl=10, count=15, seed=5, horizon=20_000
+        )
+        result = run_campaign(
+            compiled, turnstile_machine_config(10), wl.fresh_memory(), injections
+        )
+        assert result.correct_runs == result.runs
+
+    def test_warfree_mode_recovers(self, radix_setup):
+        wl, compiled = radix_setup
+        injections = random_register_injections(
+            compiled, wcdl=10, count=15, seed=6, horizon=20_000
+        )
+        result = run_campaign(
+            compiled, warfree_machine_config(10), wl.fresh_memory(), injections
+        )
+        assert result.correct_runs == result.runs
+
+    def test_long_wcdl_still_recovers(self, radix_setup):
+        wl, compiled = radix_setup
+        injections = random_register_injections(
+            compiled, wcdl=50, count=10, seed=7, horizon=20_000
+        )
+        result = run_campaign(
+            compiled, turnpike_machine_config(50), wl.fresh_memory(), injections
+        )
+        assert result.correct_runs == result.runs
+
+    def test_zero_delay_detection(self, radix_setup):
+        """Immediate detection (sensor adjacent to the strike)."""
+        wl, compiled = radix_setup
+        injection = Injection(
+            time=500,
+            target=InjectionTarget.REGISTER,
+            reg=Reg.phys(3),
+            bit=7,
+            detection_delay=0,
+        )
+        outcome = run_with_injection(
+            compiled, turnpike_machine_config(10), wl.fresh_memory(), injection
+        )
+        assert outcome.correct
+
+    def test_store_buffer_injection_contained(self, radix_turnstile_setup):
+        """A flip inside the quarantined SB is discarded by recovery."""
+        wl, compiled = radix_turnstile_setup
+        injection = Injection(
+            time=800,
+            target=InjectionTarget.STORE_BUFFER,
+            bit=13,
+            detection_delay=4,
+        )
+        outcome = run_with_injection(
+            compiled, turnstile_machine_config(10), wl.fresh_memory(), injection
+        )
+        assert outcome.correct
+
+
+class TestFigure16NegativeControl:
+    def test_unsafe_checkpoint_release_corrupts(self, radix_setup):
+        """Fast-releasing checkpoints without coloring must fail for some
+        injections: the corrupted value overwrites the only recovery copy
+        (the paper's Figure 16 corner case)."""
+        wl, compiled = radix_setup
+        campaigns = run_protocol_campaigns(
+            compiled, wl.fresh_memory(), wcdl=10, count=30, seed=1234
+        )
+        # Safe modes: everything recovers.
+        assert campaigns.turnstile.correct_runs == campaigns.turnstile.runs
+        assert campaigns.warfree.correct_runs == campaigns.warfree.runs
+        assert campaigns.turnpike.correct_runs == campaigns.turnpike.runs
+        # The unsafe mode must produce silent data corruptions.
+        assert campaigns.unsafe.sdc_runs > 0
+
+    def test_unsafe_mode_flag(self):
+        cfg = unsafe_machine_config()
+        assert cfg.unsafe_checkpoint_release
+        assert not cfg.coloring_enabled
+
+
+class TestParityProtection:
+    def test_detection_delay_validation(self, radix_setup):
+        from repro.runtime.machine import ResilientMachine
+
+        wl, compiled = radix_setup
+        machine = ResilientMachine(
+            compiled, turnpike_machine_config(10), wl.fresh_memory()
+        )
+        with pytest.raises(ValueError, match="exceed WCDL"):
+            machine.arm_injection(
+                Injection(
+                    time=10,
+                    target=InjectionTarget.REGISTER,
+                    reg=Reg.phys(1),
+                    bit=0,
+                    detection_delay=99,
+                )
+            )
+
+    def test_parity_fires_for_corrupt_fast_release_address(self):
+        """Targeted injection: flip a store's base register right before
+        a WAR-free store commits. Parity must detect the flip (before the
+        acoustic sensor would) and the run must still end correct —
+        without parity the store would hit a random address that the
+        re-execution never rewrites (Section 5)."""
+        from repro.isa.builder import ProgramBuilder
+        from repro.runtime.interpreter import execute
+        from repro.runtime import trace as tr
+        from repro.runtime.memory import Memory
+
+        b = ProgramBuilder("parity")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        v = b.li(7)
+        i = b.li(0)
+        n = b.li(60)
+        b.jmp("loop")
+        b.begin_block("loop")
+        off = b.shli(i, 2)
+        addr = b.add(base, off)
+        b.store(v, addr)  # distinct addresses: WAR-free, fast released
+        b.addi(i, 1, dest=i)
+        b.blt(i, n, "loop", "exit")
+        b.begin_block("exit")
+        b.ret()
+        compiled = compile_program(b.finish(), turnpike_config())
+
+        # Locate a mid-run fast-release store in the trace and the commit
+        # tick of the instruction just before it.
+        result = execute(compiled.program, Memory(), collect_trace=True)
+        tick = 0
+        target = None
+        for entry in result.trace:
+            if entry[0] == tr.K_BOUNDARY:
+                continue
+            tick += 1
+            if entry[0] == tr.K_ST and tick > 200:
+                target = (tick, entry[3])  # (commit tick of store, base reg)
+                break
+        assert target is not None
+        store_tick, base_reg = target
+
+        injection = Injection(
+            time=store_tick - 1,  # flip lands right before the store
+            target=InjectionTarget.REGISTER,
+            reg=Reg.phys(base_reg),
+            bit=14,
+            detection_delay=10,  # acoustic sensor would be too late
+        )
+        outcome = run_with_injection(
+            compiled, turnpike_machine_config(10), Memory(), injection
+        )
+        assert outcome.parity_detected
+        assert outcome.correct
+
+
+class TestDeterminism:
+    def test_same_injection_same_outcome(self, radix_setup):
+        wl, compiled = radix_setup
+        injection = Injection(
+            time=1234,
+            target=InjectionTarget.REGISTER,
+            reg=Reg.phys(5),
+            bit=17,
+            detection_delay=6,
+        )
+        golden = golden_memory(compiled, wl.fresh_memory())
+        first = run_with_injection(
+            compiled, turnpike_machine_config(10), wl.fresh_memory(), injection, golden
+        )
+        second = run_with_injection(
+            compiled, turnpike_machine_config(10), wl.fresh_memory(), injection, golden
+        )
+        assert first.correct == second.correct
+        assert first.recovered == second.recovered
+        assert first.parity_detected == second.parity_detected

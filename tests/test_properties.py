@@ -1,0 +1,249 @@
+"""Property-based tests (hypothesis): compiler correctness on random
+programs, recovery under random injections, and structure invariants.
+
+These are the heavy guns: random TK loop nests are generated, pushed
+through every compiler configuration, and must (a) stay functionally
+identical to the source and (b) survive arbitrary single-event upsets on
+the resilient machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.compiler.config import turnpike_config, turnstile_config
+from repro.compiler.pipeline import compile_baseline, compile_program
+from repro.faults.campaign import turnpike_machine_config
+from repro.faults.injector import golden_memory, run_with_injection
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.runtime.interpreter import execute
+from repro.runtime.machine import Injection, InjectionTarget
+from repro.runtime.memory import Memory
+
+# ---------------------------------------------------------------------------
+# Random program generation
+# ---------------------------------------------------------------------------
+
+_BIN_OPS = ("add", "sub", "mul", "and_", "or_", "xor", "slt")
+
+
+@st.composite
+def random_programs(draw):
+    """A random single- or double-loop program with stores and branches."""
+    seed = draw(st.integers(0, 2**31))
+    n_loops = draw(st.integers(1, 2))
+    ops_per_loop = draw(st.integers(1, 6))
+    trips = [draw(st.integers(1, 12)) for _ in range(n_loops)]
+    use_diamond = draw(st.booleans())
+
+    import random
+
+    rng = random.Random(seed)
+    b = ProgramBuilder(f"rand{seed}")
+    b.begin_block("entry")
+    base = b.li(0x1000)
+    regs = [b.li(rng.randrange(-100, 100)) for _ in range(4)]
+    slot = 0
+
+    for loop_idx in range(n_loops):
+        i = b.li(0)
+        limit = b.li(trips[loop_idx])
+        header = b.fresh_label(f"L{loop_idx}_h")
+        exit_label = b.fresh_label(f"L{loop_idx}_x")
+        b.jmp(header)
+        b.begin_block(header)
+        acc = regs[loop_idx % len(regs)]
+        for _ in range(ops_per_loop):
+            op = getattr(b, rng.choice(_BIN_OPS))
+            other = regs[rng.randrange(len(regs))]
+            op(acc, other, dest=acc)
+        b.store(acc, base, offset=4 * slot)
+        slot += 1
+        if use_diamond and loop_idx == 0:
+            then_l = b.fresh_label("t")
+            else_l = b.fresh_label("e")
+            join_l = b.fresh_label("j")
+            b.blt(acc, limit, then_l, else_l)
+            b.begin_block(then_l)
+            b.addi(acc, 3, dest=acc)
+            b.jmp(join_l)
+            b.begin_block(else_l)
+            b.xor(acc, limit, dest=acc)
+            b.jmp(join_l)
+            b.begin_block(join_l)
+        b.addi(i, 1, dest=i)
+        b.blt(i, limit, header, exit_label)
+        b.begin_block(exit_label)
+    for k, reg in enumerate(regs):
+        b.store(reg, base, offset=4 * (slot + k))
+    b.ret()
+    return b.finish()
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestCompilerEquivalence:
+    @given(random_programs())
+    @_SETTINGS
+    def test_baseline_compile_preserves_semantics(self, prog):
+        golden = execute(prog, Memory()).memory.data_image()
+        compiled = compile_baseline(prog)
+        got = execute(compiled.program, Memory()).memory.data_image()
+        assert got == golden
+
+    @given(random_programs())
+    @_SETTINGS
+    def test_turnstile_compile_preserves_semantics(self, prog):
+        golden = execute(prog, Memory()).memory.data_image()
+        compiled = compile_program(prog, turnstile_config())
+        got = execute(compiled.program, Memory()).memory.data_image()
+        assert got == golden
+
+    @given(random_programs())
+    @_SETTINGS
+    def test_turnpike_compile_preserves_semantics(self, prog):
+        golden = execute(prog, Memory()).memory.data_image()
+        compiled = compile_program(prog, turnpike_config())
+        got = execute(compiled.program, Memory()).memory.data_image()
+        assert got == golden
+
+    @given(random_programs())
+    @_SETTINGS
+    def test_compiled_programs_validate(self, prog):
+        for cfg in (turnstile_config(), turnpike_config()):
+            compiled = compile_program(prog, cfg)
+            compiled.program.validate()
+            # Region tags and boundaries are structurally consistent.
+            from repro.compiler.regions import check_region_invariants
+
+            problems = check_region_invariants(
+                compiled.program, max_stores=cfg.sb_size
+            )
+            assert problems == []
+
+    @given(random_programs())
+    @_SETTINGS
+    def test_recovery_coverage_no_gaps(self, prog):
+        from repro.compiler.recovery import checkpoint_coverage_gaps
+
+        compiled = compile_program(prog, turnpike_config())
+        assert checkpoint_coverage_gaps(compiled.program) == []
+
+
+class TestResilientMachineProperty:
+    @given(random_programs())
+    @_SETTINGS
+    def test_faultfree_machine_matches_interpreter(self, prog):
+        from repro.runtime.machine import ResilienceConfig, ResilientMachine
+
+        compiled = compile_program(prog, turnpike_config())
+        golden = execute(compiled.program, Memory()).memory.data_image()
+        machine = ResilientMachine(compiled, ResilienceConfig(wcdl=7), Memory())
+        machine.run()
+        assert machine.mem.data_image() == golden
+
+    @given(
+        random_programs(),
+        st.integers(1, 5000),
+        st.integers(1, 30),
+        st.integers(0, 31),
+        st.integers(0, 10),
+    )
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_recovery_from_arbitrary_flip(
+        self, prog, time, reg_idx, bit, delay
+    ):
+        """THE protocol property: any single register flip, detected
+        within WCDL, must leave final memory identical to the golden run
+        under the full Turnpike machine."""
+        reserved = set(prog.register_file.reserved)
+        if reg_idx in reserved:
+            reg_idx += 1
+        compiled = compile_program(prog, turnpike_config())
+        golden = golden_memory(compiled, Memory())
+        injection = Injection(
+            time=time,
+            target=InjectionTarget.REGISTER,
+            reg=Reg.phys(reg_idx % 32 if reg_idx % 32 not in reserved else 1),
+            bit=bit,
+            detection_delay=delay,
+        )
+        outcome = run_with_injection(
+            compiled, turnpike_machine_config(wcdl=10), Memory(), injection, golden
+        )
+        assert outcome.error is None
+        assert outcome.correct
+
+
+class TestStructuralProperties:
+    @given(st.integers(1, 64), st.integers(1, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_compact_clq_conservative(self, n_addrs, clq_size):
+        """Compact CLQ conflicts are a superset of ideal CLQ conflicts."""
+        import random
+
+        from repro.arch.clq import CompactCLQ, IdealCLQ
+
+        rng = random.Random(n_addrs * 31 + clq_size)
+        ideal, compact = IdealCLQ(), CompactCLQ(size=clq_size)
+        ideal.begin_region(0)
+        compact.begin_region(0)
+        for _ in range(n_addrs):
+            addr = rng.randrange(64) * 4
+            ideal.record_load(0, addr)
+            compact.record_load(0, addr)
+        for addr in range(0, 300, 4):
+            if ideal.store_has_war(0, addr):
+                assert compact.store_has_war(0, addr)
+
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_coloring_pool_never_leaks(self, ops):
+        """Colors are conserved: available + in-flight + verified == pool."""
+        from repro.arch.coloring import QUARANTINE, ColorMaps
+
+        cm = ColorMaps(num_colors=4)
+        reg = 7
+        live_instances: list[int] = []
+        next_instance = 0
+        for op in ops:
+            if op in (0, 1):  # assign in a new region instance
+                cm.assign(next_instance, reg)
+                live_instances.append(next_instance)
+                next_instance += 1
+            elif op == 2 and live_instances:  # verify oldest
+                cm.verify(live_instances.pop(0))
+            elif op == 3 and live_instances:  # recovery discard
+                cm.discard(live_instances)
+                live_instances = []
+            in_flight = sum(
+                1
+                for inst in live_instances
+                if cm._uc.get(inst, {}).get(reg, QUARANTINE) != QUARANTINE
+            )
+            verified = (
+                1
+                if cm.verified_color(reg) not in (None, QUARANTINE)
+                else 0
+            )
+            assert cm.available(reg) + in_flight + verified == 4
+
+    @given(st.integers(2, 400), st.integers(1, 3))
+    @settings(max_examples=30, deadline=None)
+    def test_wrap32_involution(self, value, sign):
+        from repro.runtime.memory import wrap32
+
+        v = value if sign != 2 else -value
+        assert wrap32(wrap32(v)) == wrap32(v)
+        assert -(2**31) <= wrap32(v) < 2**31

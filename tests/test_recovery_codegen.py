@@ -1,0 +1,187 @@
+"""Recovery-block code generation tests (Figure 9 fidelity).
+
+The generated recovery blocks must (a) cover every region live-in,
+(b) order recomputation steps after their operand loads, and (c) agree
+with the resilient machine's binding-resolution semantics whenever the
+live bindings match the statically anticipated variant.
+"""
+
+import pytest
+
+from repro.compiler.config import turnpike_config, turnstile_config
+from repro.compiler.pipeline import compile_program
+from repro.compiler.pruning import PRUNED_ANNOTATION
+from repro.compiler.recovery_codegen import (
+    RecoveryCodegenError,
+    evaluate_recovery_block,
+    generate_recovery_blocks,
+    storage_address,
+)
+from repro.isa.builder import ProgramBuilder
+from repro.isa.registers import Reg
+from repro.workloads.suites import load_workload
+
+
+@pytest.fixture(scope="module")
+def gcc_blocks():
+    wl = load_workload("CPU2006.gcc")
+    compiled = compile_program(wl.program, turnpike_config())
+    return compiled, generate_recovery_blocks(compiled)
+
+
+class TestGeneration:
+    def test_block_per_region(self, gcc_blocks):
+        compiled, blocks = gcc_blocks
+        assert set(blocks) == set(compiled.recovery.entries)
+
+    def test_every_live_in_covered(self, gcc_blocks):
+        compiled, blocks = gcc_blocks
+        for region_id, entry in compiled.recovery.entries.items():
+            targets = {step.target for step in blocks[region_id].steps}
+            for reg in entry.live_in:
+                assert reg in targets, f"R{region_id} misses {reg.name}"
+
+    def test_operands_defined_before_use(self, gcc_blocks):
+        _, blocks = gcc_blocks
+        for block in blocks.values():
+            defined: set[Reg] = set()
+            for step in block.steps:
+                for operand in step.operands:
+                    assert operand in defined, block.render()
+                defined.add(step.target)
+
+    def test_resume_points_match_recovery_map(self, gcc_blocks):
+        compiled, blocks = gcc_blocks
+        for region_id, entry in compiled.recovery.entries.items():
+            block = blocks[region_id]
+            assert block.resume_block == entry.block
+            assert block.resume_index == entry.index + 1
+
+    def test_pruned_registers_recomputed_not_loaded(self):
+        b = ProgramBuilder("cg")
+        b.begin_block("entry")
+        base = b.li(0x100)
+        x = b.li(10)
+        y = b.addi(x, 4)
+        b.store(x, base)
+        b.store(y, base, offset=4)
+        b.store(x, base, offset=8)
+        b.ret()
+        compiled = compile_program(b.finish(), turnpike_config())
+        blocks = generate_recovery_blocks(compiled)
+        # Find a region where y (post-allocation) is a live-in with a
+        # pruned definition: its step must be an op/const, not a load.
+        pruned_dests = {
+            i.dest
+            for i in compiled.program.instructions()
+            if PRUNED_ANNOTATION in i.annotations
+        }
+        recomputed = set()
+        for block in blocks.values():
+            for step in block.steps:
+                if step.kind in ("const", "op"):
+                    recomputed.add(step.target)
+        assert pruned_dests & recomputed or not pruned_dests
+
+    def test_render_readable(self, gcc_blocks):
+        _, blocks = gcc_blocks
+        text = next(iter(blocks.values())).render()
+        assert "recovery block" in text and "jmp" in text
+
+    def test_turnstile_blocks_are_pure_loads(self):
+        wl = load_workload("CPU2006.gcc")
+        compiled = compile_program(wl.program, turnstile_config())
+        blocks = generate_recovery_blocks(compiled)
+        for block in blocks.values():
+            assert all(step.kind == "load" for step in block.steps)
+
+    def test_baseline_program_rejected(self, gcc_workload, gcc_baseline):
+        with pytest.raises(ValueError):
+            generate_recovery_blocks(gcc_baseline)
+
+
+class TestEvaluationEquivalence:
+    def test_matches_machine_restoration(self):
+        """Drive the resilient machine to a recovery and compare its
+        restored registers against the generated block's evaluation."""
+        from repro.faults.campaign import turnpike_machine_config
+        from repro.runtime.machine import Injection, InjectionTarget, ResilientMachine
+
+        wl = load_workload("CPU2006.bzip2")
+        compiled = compile_program(wl.program, turnpike_config())
+        blocks = generate_recovery_blocks(compiled)
+
+        machine = ResilientMachine(
+            compiled, turnpike_machine_config(10), wl.fresh_memory()
+        )
+        machine.arm_injection(
+            Injection(
+                time=5000,
+                target=InjectionTarget.REGISTER,
+                reg=Reg.phys(4),
+                bit=9,
+                detection_delay=8,
+            )
+        )
+
+        restored = {}
+
+        original = machine._do_recovery
+
+        def spying_recovery():
+            result = original()
+            target_region = machine.rbb.current.region_id
+            entry = compiled.recovery.entry(target_region)
+            restored["region"] = target_region
+            restored["regs"] = {
+                reg: machine.regs[reg] for reg in entry.live_in
+            }
+            restored["bindings"] = dict(machine.vc_bindings)
+            return result
+
+        machine._do_recovery = spying_recovery
+        machine.run()
+        assert restored, "injection did not trigger a recovery"
+
+        block = blocks[restored["region"]]
+        env = evaluate_recovery_block(block, restored["bindings"])
+        for reg, machine_value in restored["regs"].items():
+            # The static block anticipates the pruned variant; accept
+            # either an exact match or, when a different definition
+            # variant was live, the binding-resolved value (which the
+            # load steps produce by construction).
+            assert reg in env
+            binding = restored["bindings"].get(reg.index)
+            if binding is not None and binding[0] == "value":
+                if any(
+                    s.kind == "load" and s.target == reg for s in block.steps
+                ):
+                    assert env[reg] == machine_value
+
+    def test_missing_binding_raises(self, gcc_blocks):
+        _, blocks = gcc_blocks
+        # Pick a block containing a load step: constants/ops evaluate
+        # without consulting bindings, loads must fail on an empty map.
+        block = next(
+            b
+            for b in blocks.values()
+            if any(s.kind == "load" for s in b.steps)
+        )
+        with pytest.raises(RecoveryCodegenError):
+            evaluate_recovery_block(block, {})
+
+
+class TestStorageLayout:
+    def test_addresses_disjoint_per_register(self):
+        seen = set()
+        for reg_idx in range(32):
+            for slot in range(5):
+                addr = storage_address(Reg.phys(reg_idx), slot)
+                assert addr not in seen
+                seen.add(addr)
+
+    def test_addresses_outside_data_and_stack(self):
+        from repro.runtime.memory import DATA_LIMIT, STACK_LIMIT
+
+        lowest = storage_address(Reg.phys(0), 0)
+        assert lowest >= DATA_LIMIT and lowest >= STACK_LIMIT

@@ -1,0 +1,149 @@
+"""Tests for the acoustic sensor model (Figure 18) and the hardware cost
+model (Table 1)."""
+
+import math
+
+import pytest
+
+from repro.hwcost.cacti import (
+    build_table1,
+    cam_array,
+    clq_cost,
+    color_maps_cost,
+    ram_array,
+    store_buffer_cost,
+)
+from repro.sensors.acoustic import (
+    SensorGrid,
+    area_overhead_percent,
+    detection_latency_cycles,
+    figure18_series,
+    sensors_for_wcdl,
+)
+
+
+class TestSensorModel:
+    def test_paper_anchor_300_sensors_2500mhz(self):
+        """300 sensors @ 2.5 GHz -> ~10 cycles (the paper's default)."""
+        latency = detection_latency_cycles(300, 2.5)
+        assert 8.0 <= latency <= 12.0
+
+    def test_paper_anchor_30_sensors(self):
+        """30 sensors -> ~30 cycles at 2.5 GHz."""
+        latency = detection_latency_cycles(30, 2.5)
+        assert 24.0 <= latency <= 34.0
+
+    def test_latency_decreases_with_sensors(self):
+        values = [detection_latency_cycles(n, 2.5) for n in (10, 30, 100, 300)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_latency_increases_with_clock(self):
+        assert detection_latency_cycles(100, 3.0) > detection_latency_cycles(
+            100, 2.0
+        )
+
+    def test_inverse_square_root_scaling(self):
+        """Propagation distance scales with 1/sqrt(n): quadrupling the
+        sensors halves the distance-borne latency."""
+        overhead = detection_latency_cycles(10**9, 2.5)  # ~pure overhead
+        l100 = detection_latency_cycles(100, 2.5) - overhead
+        l400 = detection_latency_cycles(400, 2.5) - overhead
+        assert l400 == pytest.approx(l100 / 2, rel=0.01)
+
+    def test_sensors_for_wcdl_inverse(self):
+        n = sensors_for_wcdl(10.0, 2.5)
+        assert detection_latency_cycles(n, 2.5) <= 10.0
+        if n > 1:
+            assert detection_latency_cycles(n - 1, 2.5) > 10.0
+
+    def test_figure18_series_structure(self):
+        series = figure18_series()
+        assert set(series) == {2.0, 2.5, 3.0}
+        for clock, points in series.items():
+            ns = [n for n, _ in points]
+            assert ns == sorted(ns)
+
+    def test_area_overhead_under_one_percent(self):
+        """The paper: 300 sensors cost <~1% of die area."""
+        assert area_overhead_percent(300) < 1.5
+
+    def test_bigger_die_longer_latency(self):
+        small = SensorGrid(100, die_area_mm2=1.0)
+        big = SensorGrid(100, die_area_mm2=4.0)
+        assert big.wcdl_cycles(2.5) > small.wcdl_cycles(2.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SensorGrid(0)
+        with pytest.raises(ValueError):
+            SensorGrid(10, die_area_mm2=-1)
+        with pytest.raises(ValueError):
+            SensorGrid(10).wcdl_cycles(0)
+        with pytest.raises(ValueError):
+            sensors_for_wcdl(-1, 2.5)
+
+
+class TestHardwareCost:
+    """Table 1 anchors, reproduced by the calibrated CACTI-style model."""
+
+    def test_sb4_area(self):
+        assert store_buffer_cost(4).area_um2 == pytest.approx(621.28, rel=0.01)
+
+    def test_sb4_energy(self):
+        assert store_buffer_cost(4).dynamic_energy_pj == pytest.approx(
+            0.43099, rel=0.01
+        )
+
+    def test_sb40_area(self):
+        assert store_buffer_cost(40).area_um2 == pytest.approx(3132.50, rel=0.01)
+
+    def test_sb40_energy(self):
+        assert store_buffer_cost(40).dynamic_energy_pj == pytest.approx(
+            2.11525, rel=0.01
+        )
+
+    def test_color_maps_cost(self):
+        cost = color_maps_cost()
+        assert cost.area_um2 == pytest.approx(36.651, rel=0.01)
+        assert cost.dynamic_energy_pj == pytest.approx(0.02518, rel=0.01)
+
+    def test_clq_cost(self):
+        cost = clq_cost(2)
+        assert cost.area_um2 == pytest.approx(24.434, rel=0.01)
+        assert cost.dynamic_energy_pj == pytest.approx(0.01679, rel=0.01)
+
+    def test_turnpike_total_about_ten_percent_of_sb(self):
+        table = build_table1()
+        area_ratio, energy_ratio = table.turnpike_vs_sb4
+        assert area_ratio == pytest.approx(0.098, abs=0.01)
+        assert energy_ratio == pytest.approx(0.097, abs=0.01)
+
+    def test_sb40_about_5x_sb4(self):
+        table = build_table1()
+        area_ratio, energy_ratio = table.sb40_vs_sb4
+        assert area_ratio == pytest.approx(5.04, rel=0.02)
+        assert energy_ratio == pytest.approx(4.91, rel=0.03)
+
+    def test_cam_scales_superlinearly_vs_ram(self):
+        """CAM energy grows with the whole array (search); RAM energy
+        stays near-constant per access."""
+        cam_small = cam_array("s", 4, 64).dynamic_energy_pj
+        cam_big = cam_array("b", 40, 64).dynamic_energy_pj
+        ram_small = ram_array("s", 4, 64).dynamic_energy_pj
+        ram_big = ram_array("b", 40, 64).dynamic_energy_pj
+        assert cam_big / cam_small > 3.0
+        # CAM scaling is much steeper than RAM scaling (full-array search
+        # vs one-entry read + decoder growth).
+        assert cam_big / cam_small > 2 * (ram_big / ram_small)
+
+    def test_table_rows_complete(self):
+        table = build_table1()
+        names = [row.name for row in table.rows()]
+        assert len(names) == 5
+        assert any("4-entry SB" in n for n in names)
+        assert any("40-entry SB" in n for n in names)
+        assert any("total" in n for n in names)
+
+    def test_area_monotone_in_entries(self):
+        areas = [store_buffer_cost(n).area_um2 for n in (2, 4, 8, 16, 40)]
+        assert all(a < b for a, b in zip(areas, areas[1:]))

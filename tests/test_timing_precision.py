@@ -1,0 +1,117 @@
+"""Cycle-precise checks of the verification-timing math in the core.
+
+These pin the exact store-buffer release semantics: a quarantined store
+becomes releasable at (region end + WCDL + drain position), and a
+stalled store resumes exactly then.
+"""
+
+from repro.arch.config import CoreConfig, ResilienceHardwareConfig
+from repro.arch.core import simulate_trace
+from repro.runtime import trace as tr
+
+
+def _alu(dest=1):
+    return (tr.K_ALU, dest, -1, -1, -1, -1, 0)
+
+
+def _st(addr, region=0):
+    return (tr.K_ST, -1, 2, 3, addr, region, 0)
+
+
+def _boundary(region):
+    return (tr.K_BOUNDARY, -1, -1, -1, -1, region, 0)
+
+
+def _ret():
+    return (tr.K_RET, -1, -1, -1, -1, -1, 0)
+
+
+def _run(trace, wcdl, sb_size=1):
+    hw = ResilienceHardwareConfig.turnstile(wcdl=wcdl, sb_size=sb_size)
+    return simulate_trace(trace, core=CoreConfig(), resilience=hw)
+
+
+class TestWcdlReleaseTiming:
+    def _two_region_trace(self, fillers: int):
+        """Region 0: one store; region 1: ``fillers`` ALUs then a store.
+
+        Region 0 ends when region 1's boundary commits; its entry then
+        releases WCDL cycles later. With a 1-entry SB, region 1's store
+        stalls until that release — unless the fillers already cover the
+        WCDL window.
+        """
+        trace = [_boundary(0), _st(0x100, 0), _boundary(1)]
+        trace += [_alu(4 + (k % 3)) for k in range(fillers)]
+        trace += [_st(0x200, 1), _ret()]
+        return trace
+
+    def test_stall_scales_linearly_with_wcdl(self):
+        trace = self._two_region_trace(fillers=2)
+        cycles = {w: _run(trace, w).cycles for w in (10, 20, 40)}
+        # Every extra WCDL cycle delays the second store by exactly one
+        # cycle once it is the bottleneck.
+        assert cycles[20] - cycles[10] == 10
+        assert cycles[40] - cycles[20] == 20
+
+    def test_long_region_hides_verification(self):
+        """When the gap between the regions exceeds WCDL, the first
+        entry has already released: no stall at all."""
+        short_gap = self._two_region_trace(fillers=2)
+        long_gap = self._two_region_trace(fillers=120)
+        wcdl = 10
+        stalled = _run(short_gap, wcdl)
+        hidden = _run(long_gap, wcdl)
+        assert stalled.sb_stall_cycles > 0
+        assert hidden.sb_stall_cycles == 0
+
+    def test_exact_release_point(self):
+        """Pin the stall amount: with back-to-back regions, the second
+        store waits from its commit until region-0-end + WCDL."""
+        wcdl = 30
+        trace = self._two_region_trace(fillers=0)
+        stats = _run(trace, wcdl)
+        # Region 0 ends when the second boundary is processed; the
+        # second store commits ~2 cycles in; the gap to end+WCDL is the
+        # stall. Allow the couple-of-cycles of pipeline skew but require
+        # the WCDL-dominated magnitude.
+        assert wcdl - 5 <= stats.sb_stall_cycles <= wcdl + 2
+
+    def test_drain_serialises_multiple_entries(self):
+        """Two quarantined entries of a region drain one per cycle: a
+        third store waits one cycle longer than after a single entry."""
+        def trace(n_stores):
+            t = [_boundary(0)]
+            t += [_st(0x100 + 4 * k, 0) for k in range(n_stores)]
+            t += [_boundary(1), _st(0x300, 1), _ret()]
+            return t
+
+        one = _run(trace(1), wcdl=20, sb_size=2)
+        two = _run(trace(2), wcdl=20, sb_size=2)
+        assert two.sb_stall_cycles >= one.sb_stall_cycles
+
+    def test_baseline_immune_to_wcdl(self):
+        trace = self._two_region_trace(fillers=2)
+        base = ResilienceHardwareConfig.baseline()
+        a = simulate_trace(trace, resilience=base).cycles
+        # Baseline ignores regions entirely; WCDL is a resilience knob.
+        assert a < _run(trace, 10).cycles
+
+
+class TestColoringTiming:
+    def test_colored_checkpoints_dont_occupy_sb(self):
+        """Checkpoint-only regions never touch the SB when colors are
+        available: a following store sees a free buffer."""
+        trace = [_boundary(0), _alu(5), (tr.K_CKPT, -1, 5, -1, -1, 0, 0)]
+        trace += [_boundary(1), _st(0x100, 1), _ret()]
+        hw = ResilienceHardwareConfig.turnpike(wcdl=50, sb_size=1)
+        stats = simulate_trace(trace, resilience=hw)
+        assert stats.colored_released == 1
+        assert stats.sb_stall_cycles == 0
+
+    def test_turnstile_checkpoint_occupies_sb(self):
+        trace = [_boundary(0), _alu(5), (tr.K_CKPT, -1, 5, -1, -1, 0, 0)]
+        trace += [_boundary(1), _st(0x100, 1), _ret()]
+        hw = ResilienceHardwareConfig.turnstile(wcdl=50, sb_size=1)
+        stats = simulate_trace(trace, resilience=hw)
+        assert stats.quarantined == 2
+        assert stats.sb_stall_cycles > 0

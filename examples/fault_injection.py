@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
 """Fault injection demo: soft errors, detection, and recovery.
 
-Injects register bit flips into a running benchmark under four protocol
-variants and checks whether the final memory matches the fault-free
-golden run:
+Part 1 injects register bit flips into a running benchmark under four
+protocol variants and checks whether the final memory matches the
+fault-free golden run:
 
 * Turnstile (full quarantine)          -> always recovers;
 * WAR-free fast release                -> always recovers;
@@ -11,13 +11,29 @@ golden run:
 * UNSAFE: checkpoint fast release with NO coloring -> silent data
   corruption, reproducing the paper's Figure 16 counter-example.
 
+Part 2 widens the fault model: a mixed-target campaign strikes every
+protected structure (registers, store buffer, CLQ, color maps,
+checkpoint storage, PC, raw memory words — with occasional double-bit
+events) under full Turnpike and prints the per-structure vulnerability
+report. Every outcome must be *contained*: masked, recovered, or a
+detected fail-stop — never silent corruption.
+
 Run:  python examples/fault_injection.py [benchmark-uid] [num-injections]
 """
 
 import sys
 
 from repro import compile_program, load_workload, turnpike_config
-from repro.faults import run_protocol_campaigns
+from repro.faults import (
+    CampaignResult,
+    golden_memory,
+    random_mixed_injections,
+    run_protocol_campaigns,
+    run_with_injection,
+    turnpike_machine_config,
+    vulnerability_report,
+)
+from repro.faults.campaign import _horizon
 
 
 def main() -> None:
@@ -59,6 +75,41 @@ def main() -> None:
 
     assert campaigns.turnpike.correct_runs == campaigns.turnpike.runs
     assert campaigns.unsafe.sdc_runs > 0, "expected Figure 16 corruption"
+
+    # -- part 2: strike every protected structure under full Turnpike -----
+    mixed_count = max(count, 7)
+    memory = workload.fresh_memory()
+    golden = golden_memory(compiled, memory)
+    injections = random_mixed_injections(
+        compiled,
+        wcdl=10,
+        count=mixed_count,
+        seed=2024,
+        horizon=_horizon(compiled, memory),
+    )
+    result = CampaignResult()
+    for injection in injections:
+        result.outcomes.append(
+            run_with_injection(
+                compiled, turnpike_machine_config(10), memory, injection,
+                golden,
+            )
+        )
+
+    print(
+        f"\nmixed-target campaign under Turnpike "
+        f"({mixed_count} strikes, all structures):"
+    )
+    header = f"{'structure':<14}{'runs':>6}{'contained':>11}{'SDC':>6}"
+    print(header)
+    print("-" * len(header))
+    for target, row in vulnerability_report(result).items():
+        print(
+            f"{target:<14}{row['runs']:>6}"
+            f"{100 * row['containment_rate']:>10.0f}%"
+            f"{row['kinds']['sdc']:>6}"
+        )
+    assert all(o.contained for o in result.outcomes), "uncontained strike"
 
 
 if __name__ == "__main__":

@@ -4,8 +4,11 @@ Commands:
   list                       — list the 36 benchmarks
   run <uid> [--wcdl N] [--sb N] [--scheme turnpike|turnstile|baseline]
                              — compile + simulate one benchmark
-  inject <uid> [--count N] [--wcdl N]
-                             — fault-injection campaign across variants
+  inject [uid] [--count N] [--wcdl N] [--targets a,b] [--workers N]
+         [--manifest PATH] [--resume] [--export PATH]
+                             — differential fault-injection campaign
+                               across protocol variants (parallel,
+                               resumable via the manifest)
   figure <id>                — regenerate one figure/table on the full
                                suite (fig4, fig14, fig15, fig18, fig19,
                                fig20, fig21, fig22, fig23, fig24, fig25,
@@ -84,22 +87,50 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_inject(args) -> int:
-    from repro import compile_program, load_workload, turnpike_config
-    from repro.faults import run_protocol_campaigns
-
-    workload = load_workload(args.uid)
-    compiled = compile_program(workload.program, turnpike_config())
-    campaigns = run_protocol_campaigns(
-        compiled,
-        workload.fresh_memory(),
-        wcdl=args.wcdl,
-        count=args.count,
-        seed=args.seed,
+    from repro.faults.campaign import (
+        CampaignRunner,
+        CampaignSpec,
+        format_differential_report,
     )
-    print(f"{args.count} register bit flips on {args.uid} (WCDL={args.wcdl}):")
-    for name in ("turnstile", "warfree", "turnpike", "unsafe"):
-        summary = getattr(campaigns, name).summary()
-        print(f"  {name:<10} {summary}")
+
+    targets = tuple(t.strip() for t in args.targets.split(",") if t.strip())
+    variants = tuple(v.strip() for v in args.variants.split(",") if v.strip())
+    try:
+        spec = CampaignSpec(
+            uid=args.uid,
+            wcdl=args.wcdl,
+            count=args.count,
+            seed=args.seed,
+            targets=targets,
+            variants=variants,
+            shard_size=args.shard_size,
+        )
+    except ValueError as exc:
+        print(f"invalid campaign: {exc}", file=sys.stderr)
+        return 2
+    if args.resume and args.manifest is None:
+        print("--resume requires --manifest", file=sys.stderr)
+        return 2
+
+    runner = CampaignRunner(spec, manifest_path=args.manifest)
+    try:
+        report = runner.run(
+            workers=args.workers,
+            resume=args.resume,
+            progress=lambda done, total: print(
+                f"  shard {done}/{total} done", file=sys.stderr
+            ),
+        )
+    except ValueError as exc:  # e.g. manifest/spec mismatch on --resume
+        print(f"cannot run campaign: {exc}", file=sys.stderr)
+        return 2
+    print(format_differential_report(report))
+    if args.export:
+        from repro.harness.export import campaign_to_json
+
+        with open(args.export, "w") as fh:
+            fh.write(campaign_to_json(report))
+        print(f"aggregate written to {args.export}", file=sys.stderr)
     return 0
 
 
@@ -206,10 +237,40 @@ def main(argv: list[str] | None = None) -> int:
     )
 
     inj_p = sub.add_parser("inject", help="fault-injection campaign")
-    inj_p.add_argument("uid")
+    inj_p.add_argument("uid", nargs="?", default="SPLASH3.radix")
     inj_p.add_argument("--count", type=int, default=30)
     inj_p.add_argument("--wcdl", type=int, default=10)
     inj_p.add_argument("--seed", type=int, default=2024)
+    inj_p.add_argument(
+        "--targets",
+        default="register,store_buffer,clq,coloring",
+        help="comma-separated structures to strike (register, store_buffer,"
+        " clq, coloring, checkpoint, pc, memory)",
+    )
+    inj_p.add_argument(
+        "--variants",
+        default="turnstile,warfree,turnpike,unsafe",
+        help="comma-separated protocol variants to diff",
+    )
+    inj_p.add_argument(
+        "--workers", type=int, default=1, help="worker processes for shards"
+    )
+    inj_p.add_argument(
+        "--shard-size", type=int, default=8, help="injections per shard"
+    )
+    inj_p.add_argument(
+        "--manifest",
+        default=None,
+        help="JSON manifest checkpointed after every shard (enables resume)",
+    )
+    inj_p.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted campaign from --manifest",
+    )
+    inj_p.add_argument(
+        "--export", default=None, help="write the aggregate JSON to this path"
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a figure/table")
     fig_p.add_argument("id")

@@ -30,6 +30,7 @@ class CLQStats:
     war_checks: int = 0
     war_conflicts: int = 0
     overflows: int = 0
+    parity_conservative: int = 0
     occupancy_samples: int = 0
     occupancy_sum: int = 0
     occupancy_max: int = 0
@@ -79,6 +80,17 @@ class BaseCLQ:
         for instance in instances:
             self.retire_region(instance)
 
+    def corrupt(self, bit: int) -> bool:
+        """Fault injection: flip a bit in a resident entry.
+
+        CLQ storage is parity-protected (the SRAM-hardening assumption of
+        Section 5): a struck entry fails its parity check on the next WAR
+        query and answers *conservatively* (conflict → quarantine), so a
+        narrowed range can never green-light an unsafe fast release.
+        Returns True when a live entry was actually hit.
+        """
+        raise NotImplementedError
+
 
 class IdealCLQ(BaseCLQ):
     """Unbounded, address-matching CLQ (the paper's ideal design)."""
@@ -86,11 +98,14 @@ class IdealCLQ(BaseCLQ):
     def __init__(self) -> None:
         super().__init__()
         self._loads: dict[int, set[int]] = {}
+        self._parity_bad: set[int] = set()
 
     def begin_region(self, instance: int, prior_verified: bool = True) -> None:
         self._loads[instance] = set()
 
     def record_load(self, instance: int, addr: int) -> None:
+        if instance in self._parity_bad:
+            return  # untrusted entry: hardware stops inserting
         entry = self._loads.get(instance)
         if entry is None:
             entry = self._loads[instance] = set()
@@ -100,6 +115,10 @@ class IdealCLQ(BaseCLQ):
 
     def store_has_war(self, instance: int, addr: int) -> bool:
         self.stats.war_checks += 1
+        if instance in self._parity_bad:
+            self.stats.parity_conservative += 1
+            self.stats.war_conflicts += 1
+            return True
         loads = self._loads.get(instance)
         # An untracked instance has no WAR information: be conservative.
         conflict = True if loads is None else addr in loads
@@ -109,6 +128,19 @@ class IdealCLQ(BaseCLQ):
 
     def retire_region(self, instance: int) -> None:
         self._loads.pop(instance, None)
+        self._parity_bad.discard(instance)
+
+    def corrupt(self, bit: int) -> bool:
+        populated = sorted(k for k, v in self._loads.items() if v)
+        if not populated:
+            return False
+        instance = populated[bit % len(populated)]
+        loads = self._loads[instance]
+        victim = sorted(loads)[bit % len(loads)]
+        loads.discard(victim)
+        loads.add(victim ^ (1 << (bit % 32)))
+        self._parity_bad.add(instance)
+        return True
 
 
 @dataclass
@@ -117,6 +149,7 @@ class _RangeEntry:
     lo: int = -1
     hi: int = -1
     populated: bool = False
+    parity_ok: bool = True
 
     def insert(self, addr: int) -> None:
         if not self.populated:
@@ -179,8 +212,8 @@ class CompactCLQ(BaseCLQ):
 
     def record_load(self, instance: int, addr: int) -> None:
         entry = self._entries.get(instance)
-        if entry is None:
-            return  # instance untracked (overflow) — insertions blocked
+        if entry is None or not entry.parity_ok:
+            return  # untracked (overflow) or untrusted (parity) — blocked
         entry.insert(addr)
         self.stats.loads_inserted += 1
         self.stats.sample_occupancy(
@@ -194,6 +227,13 @@ class CompactCLQ(BaseCLQ):
             # Untracked region: no WAR information, quarantine everything.
             self.stats.war_conflicts += 1
             return True
+        if not entry.parity_ok:
+            # Parity failure: the range can no longer be trusted (a
+            # narrowed range would unsafely enable fast release), so the
+            # store is quarantined unconditionally.
+            self.stats.parity_conservative += 1
+            self.stats.war_conflicts += 1
+            return True
         conflict = entry.contains(addr)
         if conflict:
             self.stats.war_conflicts += 1
@@ -201,6 +241,20 @@ class CompactCLQ(BaseCLQ):
 
     def retire_region(self, instance: int) -> None:
         self._entries.pop(instance, None)
+
+    def corrupt(self, bit: int) -> bool:
+        populated = sorted(
+            k for k, e in self._entries.items() if e.populated
+        )
+        if not populated:
+            return False
+        entry = self._entries[populated[bit % len(populated)]]
+        if bit % 2:
+            entry.hi ^= 1 << (bit % 32)
+        else:
+            entry.lo ^= 1 << (bit % 32)
+        entry.parity_ok = False
+        return True
 
 
 def make_clq(kind: str, size: int = 2, recycle: bool = True) -> BaseCLQ:

@@ -30,6 +30,7 @@ QUARANTINE = -1  # pseudo-color for checkpoints routed through the SB
 class ColoringStats:
     fast_released: int = 0
     fallback_quarantined: int = 0
+    parity_fallbacks: int = 0
 
 
 class ColorMaps:
@@ -47,6 +48,13 @@ class ColorMaps:
         # VC: reg -> color of the latest verified checkpoint.
         self._vc: dict[int, int] = {}
         self.stats = ColoringStats()
+        # Parity over the three maps (Section 5 hardening): a particle
+        # strike sets ``parity_bad``; the first access that observes it
+        # sets ``poisoned`` and the maps degrade fail-safe — every later
+        # assignment falls back to the store-buffer quarantine, so a
+        # corrupted free list can never double-allocate a live slot.
+        self.parity_bad = False
+        self.poisoned = False
 
     def _free_list(self, reg: int) -> list[int]:
         colors = self._ac.get(reg)
@@ -65,6 +73,10 @@ class ColorMaps:
         color — only the last value matters and it overwrites in place
         before verification ever exposes it.
         """
+        if self.parity_bad:
+            self.poisoned = True
+            self.stats.parity_fallbacks += 1
+            return QUARANTINE
         uc = self._uc.setdefault(instance, {})
         existing = uc.get(reg)
         if existing is not None:
@@ -87,6 +99,8 @@ class ColorMaps:
         Returns the promoted ``{reg: color}`` map (including quarantined
         entries, whose storage merge is handled by the store buffer).
         """
+        if self.parity_bad:
+            self.poisoned = True  # promotion reads the maps too
         uc = self._uc.pop(instance, {})
         for reg, color in uc.items():
             old = self._vc.get(reg)
@@ -102,6 +116,34 @@ class ColorMaps:
             for reg, color in uc.items():
                 if color != QUARANTINE:
                     self._free_list(reg).append(color)
+
+    # -- fault injection ------------------------------------------------------
+
+    def corrupt(self, bit: int) -> bool:
+        """SEU strike into the AC/UC/VC arrays: flip a bit in one entry.
+
+        The flip lands deterministically (``bit`` indexes the populated
+        entries); parity goes bad, so the next :meth:`assign` observes
+        the failure and degrades to quarantine-only operation. Returns
+        True when a populated entry was actually struck.
+        """
+        targets: list[tuple[str, tuple]] = []
+        for inst in sorted(self._uc):
+            for reg in sorted(self._uc[inst]):
+                targets.append(("uc", (inst, reg)))
+        for reg in sorted(self._vc):
+            targets.append(("vc", (reg,)))
+        if not targets:
+            return False
+        kind, key = targets[bit % len(targets)]
+        flip = 1 << (bit % max(1, self.num_colors.bit_length()))
+        if kind == "uc":
+            inst, reg = key
+            self._uc[inst][reg] ^= flip
+        else:
+            self._vc[key[0]] ^= flip
+        self.parity_bad = True
+        return True
 
     # -- queries --------------------------------------------------------------
 

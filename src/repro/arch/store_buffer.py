@@ -29,6 +29,7 @@ class SBEntry:
     reg: int  # checkpoints: register index; regular stores: -1
     color: int  # checkpoints: target color slot (QUARANTINE pseudo-color ok)
     value: int
+    parity_ok: bool = True  # GSB storage parity, checked at drain
 
 
 class FunctionalStoreBuffer:
@@ -63,11 +64,17 @@ class FunctionalStoreBuffer:
     def occupancy(self) -> int:
         return len(self.entries)
 
-    def corrupt_entry(self, index: int, bit: int) -> None:
-        """Fault injection into SB storage (hardened in the paper's model,
-        but exercised by tests to show the quarantine contains it)."""
+    def corrupt_entry(self, index: int, bit: int, *extra_bits: int) -> None:
+        """Fault injection into SB storage. Flips the value bits and marks
+        the entry's parity bad: GSB SRAM is parity-protected, and the
+        drain path checks parity before merging — a strike that lands
+        after the owning region's sensors were read (i.e. after its
+        verification window opened) is still caught at the merge.
+        Accepts extra bit positions for multi-bit upsets."""
         entry = self.entries[index]
-        entry.value ^= 1 << bit
+        for b in (bit, *extra_bits):
+            entry.value ^= 1 << b
+        entry.parity_ok = False
 
 
 class TimingStoreBuffer:

@@ -13,7 +13,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.compiler.pipeline import CompiledProgram
-from repro.faults.injector import random_register_injections
+from repro.faults.injector import (
+    CONTAINED_KINDS,
+    CampaignResult,
+    random_register_injections,
+)
 from repro.runtime.interpreter import execute
 from repro.runtime.machine import ResilienceConfig, ResilientMachine
 from repro.runtime.memory import Memory
@@ -100,6 +104,26 @@ def measure_recovery_cost(
                 detection_was_parity=stats.parity_detections > 0,
             )
         )
+    return report
+
+
+def vulnerability_report(result: CampaignResult) -> dict[str, dict[str, object]]:
+    """Per-structure vulnerability summary of a mixed-target campaign.
+
+    For each injected structure: the outcome-kind histogram plus the two
+    numbers an adopter actually asks for — the containment rate (MASKED +
+    RECOVERED + DETECTED_HALT over runs) and the SDC rate.
+    """
+    report: dict[str, dict[str, object]] = {}
+    for target, hist in sorted(result.by_target().items()):
+        runs = sum(hist.values())
+        contained = sum(hist[kind.value] for kind in CONTAINED_KINDS)
+        report[target] = {
+            "runs": runs,
+            "kinds": hist,
+            "containment_rate": contained / runs if runs else 1.0,
+            "sdc_rate": hist["sdc"] / runs if runs else 0.0,
+        }
     return report
 
 

@@ -1,22 +1,47 @@
-"""Pre-packaged fault-injection campaigns over the protocol variants.
+"""Fault-injection campaigns: protocol-variant sweeps and the parallel,
+resumable :class:`CampaignRunner`.
 
-These drive :mod:`repro.faults.injector` across the three configurations
-whose safety the paper argues for, plus the Figure 16 negative control.
-Tests and the fault-injection example both consume this module.
+Two layers live here:
+
+* the light-weight :func:`run_protocol_campaigns` sweep (same register
+  faults under turnstile / warfree / turnpike / unsafe), kept for tests
+  and the example script;
+* the :class:`CampaignRunner` verification engine — mixed-target
+  campaigns sharded across ``multiprocessing`` workers with
+  deterministic per-injection seeds, JSON manifest checkpointing after
+  every shard, resume-from-manifest, and differential cross-variant
+  reporting (the same physical fault diffed per protocol outcome).
+
+Determinism contract: every injection is derived from ``(seed, index)``
+alone (see :func:`repro.faults.injector.injection_for_index`), shards
+partition the index space statically, and aggregates are built from
+records sorted by index — so a campaign killed after any number of
+shards and resumed later produces **byte-identical** aggregate JSON to
+an uninterrupted run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from repro.compiler.pipeline import CompiledProgram
 from repro.faults.injector import (
     CampaignResult,
+    FaultOutcomeKind,
+    injection_for_index,
+    injection_to_dict,
+    outcome_from_dict,
+    outcome_to_dict,
     random_register_injections,
     run_campaign,
+    run_with_injection,
 )
 from repro.runtime.interpreter import execute
-from repro.runtime.machine import ResilienceConfig
+from repro.runtime.machine import InjectionTarget, ResilienceConfig
 from repro.runtime.memory import Memory
 
 
@@ -66,6 +91,17 @@ def unsafe_machine_config(wcdl: int = 10) -> ResilienceConfig:
     )
 
 
+#: The four protocol variants a differential campaign compares.
+VARIANT_CONFIGS: dict[str, Callable[[int], ResilienceConfig]] = {
+    "turnstile": turnstile_machine_config,
+    "warfree": warfree_machine_config,
+    "turnpike": turnpike_machine_config,
+    "unsafe": unsafe_machine_config,
+}
+
+DEFAULT_VARIANTS = tuple(VARIANT_CONFIGS)
+
+
 def run_protocol_campaigns(
     compiled: CompiledProgram,
     memory: Memory,
@@ -92,3 +128,345 @@ def run_protocol_campaigns(
             compiled, unsafe_machine_config(wcdl), memory, injections
         ),
     )
+
+
+# -- differential campaign engine ------------------------------------------
+
+
+DEFAULT_TARGET_NAMES = ("register", "store_buffer", "clq", "coloring")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Everything a worker needs to reproduce its share of a campaign."""
+
+    uid: str
+    wcdl: int = 10
+    count: int = 40
+    seed: int = 1234
+    targets: tuple[str, ...] = DEFAULT_TARGET_NAMES
+    variants: tuple[str, ...] = DEFAULT_VARIANTS
+    shard_size: int = 8
+    max_steps: int = 4_000_000
+
+    def __post_init__(self) -> None:
+        if not self.targets:
+            raise ValueError("campaign needs at least one target structure")
+        if not self.variants:
+            raise ValueError("campaign needs at least one protocol variant")
+        for name in self.targets:
+            InjectionTarget(name)  # raises ValueError on unknown targets
+        for name in self.variants:
+            if name not in VARIANT_CONFIGS:
+                raise ValueError(f"unknown protocol variant {name!r}")
+        if self.count < 1:
+            raise ValueError("campaign needs at least one injection")
+        if self.shard_size < 1:
+            raise ValueError("shard size must be >= 1")
+
+    @property
+    def target_kinds(self) -> tuple[InjectionTarget, ...]:
+        return tuple(InjectionTarget(name) for name in self.targets)
+
+    def shards(self) -> list[list[int]]:
+        """Static partition of the injection index space."""
+        indices = list(range(self.count))
+        return [
+            indices[i : i + self.shard_size]
+            for i in range(0, self.count, self.shard_size)
+        ]
+
+    def to_dict(self) -> dict:
+        return {
+            "uid": self.uid,
+            "wcdl": self.wcdl,
+            "count": self.count,
+            "seed": self.seed,
+            "targets": list(self.targets),
+            "variants": list(self.variants),
+            "shard_size": self.shard_size,
+            "max_steps": self.max_steps,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CampaignSpec":
+        return cls(
+            uid=data["uid"],
+            wcdl=data["wcdl"],
+            count=data["count"],
+            seed=data["seed"],
+            targets=tuple(data["targets"]),
+            variants=tuple(data["variants"]),
+            shard_size=data["shard_size"],
+            max_steps=data["max_steps"],
+        )
+
+
+# Per-worker-process cache: compiling the workload once per process
+# instead of once per shard. Keyed by uid; safe because workers are
+# single-threaded and every entry is deterministic.
+_WORKER_CACHE: dict[str, tuple] = {}
+
+
+def _campaign_context(uid: str):
+    cached = _WORKER_CACHE.get(uid)
+    if cached is None:
+        from repro.compiler.config import turnpike_config
+        from repro.compiler.pipeline import compile_program
+        from repro.faults.injector import golden_memory
+        from repro.workloads.suites import load_workload
+
+        workload = load_workload(uid)
+        compiled = compile_program(workload.program, turnpike_config())
+        memory = workload.fresh_memory()
+        golden = golden_memory(compiled, memory)
+        horizon = _horizon(compiled, memory)
+        cached = (compiled, memory, golden, horizon)
+        _WORKER_CACHE[uid] = cached
+    return cached
+
+
+def _run_shard(payload: dict) -> tuple[int, list[dict]]:
+    """Worker entry point: run one shard of injections, all variants."""
+    spec = CampaignSpec.from_dict(payload["spec"])
+    shard_id = payload["shard_id"]
+    compiled, memory, golden, horizon = _campaign_context(spec.uid)
+    targets = spec.target_kinds
+    records = []
+    for index in payload["indices"]:
+        injection = injection_for_index(
+            compiled, spec.wcdl, spec.seed, index, horizon, targets
+        )
+        outcomes = {}
+        for variant in spec.variants:
+            config = VARIANT_CONFIGS[variant](spec.wcdl)
+            outcome = run_with_injection(
+                compiled,
+                config,
+                memory,
+                injection,
+                golden,
+                max_steps=spec.max_steps,
+            )
+            outcomes[variant] = outcome_to_dict(outcome)
+        records.append(
+            {
+                "index": index,
+                "injection": injection_to_dict(injection),
+                "outcomes": outcomes,
+            }
+        )
+    return shard_id, records
+
+
+@dataclass
+class CampaignReport:
+    """Differential cross-variant view over a finished campaign."""
+
+    spec: CampaignSpec
+    records: list[dict] = field(default_factory=list)
+
+    def variant_result(self, variant: str) -> CampaignResult:
+        """Reconstruct one variant's outcomes as a :class:`CampaignResult`."""
+        result = CampaignResult()
+        for record in self.records:
+            result.outcomes.append(outcome_from_dict(record["outcomes"][variant]))
+        return result
+
+    def per_variant(self) -> dict[str, dict[str, int]]:
+        """variant -> outcome-kind histogram."""
+        return {
+            variant: self.variant_result(variant).by_kind()
+            for variant in self.spec.variants
+        }
+
+    def per_target(self) -> dict[str, dict[str, dict[str, int]]]:
+        """Per-structure vulnerability: target -> variant -> kind counts."""
+        table: dict[str, dict[str, dict[str, int]]] = {}
+        for record in self.records:
+            target = record["injection"]["target"]
+            per_variant = table.setdefault(
+                target,
+                {
+                    variant: {kind.value: 0 for kind in FaultOutcomeKind}
+                    for variant in self.spec.variants
+                },
+            )
+            for variant in self.spec.variants:
+                kind = record["outcomes"][variant]["kind"]
+                per_variant[variant][kind] += 1
+        return table
+
+    def divergences(self) -> list[dict]:
+        """Injections whose outcome kind differs across variants — the
+        differential signal: what one protocol contains and another
+        does not."""
+        out = []
+        for record in self.records:
+            kinds = {
+                variant: record["outcomes"][variant]["kind"]
+                for variant in self.spec.variants
+            }
+            if len(set(kinds.values())) > 1:
+                out.append(
+                    {
+                        "index": record["index"],
+                        "injection": record["injection"],
+                        "kinds": kinds,
+                    }
+                )
+        return out
+
+    def aggregate(self) -> dict:
+        """Deterministic summary (sorted, no timestamps): the object the
+        resume guarantee is stated over."""
+        return {
+            "spec": self.spec.to_dict(),
+            "per_variant": self.per_variant(),
+            "per_target": self.per_target(),
+            "divergent_indices": [d["index"] for d in self.divergences()],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.aggregate(), indent=2, sort_keys=True)
+
+
+class CampaignInterrupted(RuntimeError):
+    """Raised by progress callbacks to abort a campaign mid-flight
+    (primarily for tests exercising the resume path)."""
+
+
+class CampaignRunner:
+    """Shard a differential campaign over worker processes, checkpointing
+    partial results to a JSON manifest after every shard."""
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        manifest_path: str | Path | None = None,
+    ) -> None:
+        self.spec = spec
+        self.manifest_path = Path(manifest_path) if manifest_path else None
+
+    # -- manifest ----------------------------------------------------------
+
+    def _load_manifest(self, resume: bool) -> dict:
+        if self.manifest_path is None or not self.manifest_path.exists():
+            return {"spec": self.spec.to_dict(), "shards": {}}
+        if not resume:
+            return {"spec": self.spec.to_dict(), "shards": {}}
+        manifest = json.loads(self.manifest_path.read_text())
+        if manifest.get("spec") != self.spec.to_dict():
+            raise ValueError(
+                f"manifest {self.manifest_path} was written by a different "
+                "campaign spec; refusing to resume"
+            )
+        return manifest
+
+    def _write_manifest(self, manifest: dict) -> None:
+        if self.manifest_path is None:
+            return
+        tmp = self.manifest_path.with_suffix(
+            self.manifest_path.suffix + ".tmp"
+        )
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
+        os.replace(tmp, self.manifest_path)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(
+        self,
+        workers: int = 1,
+        resume: bool = False,
+        progress: Callable[[int, int], None] | None = None,
+    ) -> CampaignReport:
+        """Run (or finish) the campaign and return its report.
+
+        ``workers > 1`` fans shards out over ``multiprocessing`` workers;
+        results are identical to a serial run because every injection is
+        derived from ``(seed, index)`` and aggregation sorts by index.
+        ``progress(done, total)`` is invoked after every shard.
+        """
+        manifest = self._load_manifest(resume)
+        shards = self.spec.shards()
+        pending = [
+            {
+                "spec": self.spec.to_dict(),
+                "shard_id": sid,
+                "indices": indices,
+            }
+            for sid, indices in enumerate(shards)
+            if str(sid) not in manifest["shards"]
+        ]
+        done = len(shards) - len(pending)
+
+        def record(shard_id: int, records: list[dict]) -> None:
+            nonlocal done
+            manifest["shards"][str(shard_id)] = records
+            self._write_manifest(manifest)
+            done += 1
+            if progress is not None:
+                progress(done, len(shards))
+
+        if pending:
+            if workers > 1:
+                import multiprocessing as mp
+
+                ctx = mp.get_context("fork")
+                with ctx.Pool(processes=min(workers, len(pending))) as pool:
+                    for shard_id, records in pool.imap_unordered(
+                        _run_shard, pending
+                    ):
+                        record(shard_id, records)
+            else:
+                for payload in pending:
+                    shard_id, records = _run_shard(payload)
+                    record(shard_id, records)
+
+        all_records = [
+            rec
+            for sid in sorted(manifest["shards"], key=int)
+            for rec in manifest["shards"][sid]
+        ]
+        all_records.sort(key=lambda rec: rec["index"])
+        return CampaignReport(spec=self.spec, records=all_records)
+
+
+def format_differential_report(report: CampaignReport) -> str:
+    """Human-readable cross-variant table of a campaign report."""
+    kinds = [kind.value for kind in FaultOutcomeKind]
+    lines = []
+    spec = report.spec
+    lines.append(
+        f"{spec.count} injections on {spec.uid} "
+        f"(WCDL={spec.wcdl}, seed={spec.seed}, "
+        f"targets={','.join(spec.targets)}):"
+    )
+    header = f"  {'variant':<10}" + "".join(f"{k:>14}" for k in kinds)
+    lines.append(header)
+    lines.append("  " + "-" * (len(header) - 2))
+    for variant, hist in report.per_variant().items():
+        lines.append(
+            f"  {variant:<10}"
+            + "".join(f"{hist[k]:>14}" for k in kinds)
+        )
+    per_target = report.per_target()
+    if len(per_target) > 1:
+        lines.append("")
+        lines.append("  per-structure SDC / contained (by variant):")
+        for target in sorted(per_target):
+            cells = []
+            for variant in spec.variants:
+                hist = per_target[target][variant]
+                contained = (
+                    hist["masked"] + hist["recovered"] + hist["detected_halt"]
+                )
+                cells.append(f"{variant}={hist['sdc']}/{contained}")
+            lines.append(f"    {target:<13} " + "  ".join(cells))
+    divergent = report.divergences()
+    lines.append("")
+    lines.append(
+        f"  {len(divergent)} injection(s) with divergent outcomes "
+        "across variants"
+    )
+    return "\n".join(lines)

@@ -68,6 +68,27 @@ def breakdown_to_csv(breakdown: dict[str, dict[str, float]]) -> str:
     return buffer.getvalue()
 
 
+def campaign_to_json(report) -> str:
+    """Deterministic JSON of a :class:`CampaignReport` aggregate — the
+    artifact the resume byte-identity guarantee is stated over."""
+    return report.to_json()
+
+
+def campaign_to_csv(report) -> str:
+    """Long-form CSV of a fault-injection campaign: one row per
+    (target, variant, outcome kind) with its count."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(["target", "variant", "kind", "count"])
+    per_target = report.per_target()
+    for target in sorted(per_target):
+        for variant in report.spec.variants:
+            hist = per_target[target][variant]
+            for kind in sorted(hist):
+                writer.writerow([target, variant, kind, hist[kind]])
+    return buffer.getvalue()
+
+
 def table1_to_json(table1) -> str:
     """Table 1 rows plus the two ratio lines, as JSON."""
     area_ratio, energy_ratio = table1.turnpike_vs_sb4

@@ -16,10 +16,14 @@ It models, end to end:
 * hardware coloring fast release of checkpoint stores — plus a
   deliberately *unsafe* mode that releases checkpoints without coloring,
   reproducing the paper's Figure 16 failure;
-* single-event-upset injection into registers or SB entries, acoustic
-  detection within WCDL, per-register parity on fast-released store
-  addresses, and region-level recovery (restore live-ins, restart at the
-  recovery PC).
+* single-event-upset injection into registers, SB entries, CLQ entries,
+  the color maps, checkpoint storage slots, the PC, and raw data-memory
+  words — including multi-bit events; acoustic detection within WCDL,
+  per-register parity on fast-released store addresses, parity over the
+  CLQ/color-map SRAM (conservative fallback on a failed check), ECC over
+  checkpoint storage and the memory hierarchy (single-bit correct,
+  multi-bit detect-and-halt), and region-level recovery (restore
+  live-ins, restart at the recovery PC).
 
 A fault-free resilient run must produce memory identical to the plain
 interpreter; an injected run must too, unless the unsafe mode is enabled.
@@ -28,6 +32,7 @@ interpreter; an injected run must too, unless the unsafe mode is enabled.
 from __future__ import annotations
 
 import enum
+import time
 from dataclasses import dataclass, field
 
 from repro.arch.clq import BaseCLQ, make_clq
@@ -39,31 +44,82 @@ from repro.compiler.pruning import PRUNED_ANNOTATION, RecoveryExpr
 from repro.isa.instructions import Opcode
 from repro.isa.registers import Reg
 from repro.runtime.interpreter import _BRANCH_EVAL, _eval_alu
-from repro.runtime.memory import Memory, STACK_BASE, wrap32
+from repro.runtime.memory import DATA_BASE, DATA_LIMIT, Memory, STACK_BASE, wrap32
 
 
 class ProtocolError(Exception):
     """The resilience protocol reached an impossible/uncovered state."""
 
 
+class WatchdogTimeout(ProtocolError):
+    """A run exceeded its step or wall-clock budget (possible livelock)."""
+
+
 class RecoveryFailure(Exception):
     """Recovery could not restore a required register binding."""
+
+
+class DetectedHalt(Exception):
+    """Hardware detected an uncorrectable error and failed-stop.
+
+    Raised when ECC over checkpoint storage or the memory hierarchy sees
+    a multi-bit error it can detect but not correct: the machine halts
+    instead of silently consuming the corrupt word.
+    """
 
 
 class InjectionTarget(enum.Enum):
     REGISTER = "register"
     STORE_BUFFER = "store_buffer"
+    CLQ = "clq"
+    COLORING = "coloring"
+    CHECKPOINT = "checkpoint"
+    PC = "pc"
+    MEMORY = "memory"
 
 
 @dataclass(frozen=True)
 class Injection:
-    """A single-event upset to apply during a run."""
+    """A single-event upset to apply during a run.
+
+    ``bits`` generalises ``bit`` to multi-bit events (double flips from a
+    single energetic particle); when empty, the single ``bit`` applies.
+    ``addr`` optionally pins a MEMORY injection to a specific word.
+    """
 
     time: int  # commit tick after which the flip happens
     target: InjectionTarget
     reg: Reg | None = None  # for REGISTER flips
     bit: int = 0
     detection_delay: int = 0  # sensor latency, must be <= WCDL
+    bits: tuple[int, ...] = ()  # multi-bit events; empty -> (bit,)
+    addr: int | None = None  # MEMORY flips: explicit word address
+
+    @property
+    def bit_positions(self) -> tuple[int, ...]:
+        return self.bits if self.bits else (self.bit,)
+
+    def validate(self, wcdl: int) -> None:
+        """Check the documented invariants; raise ``ValueError`` if broken."""
+        if self.time < 1:
+            raise ValueError("injection time must be >= 1")
+        if self.detection_delay < 0:
+            raise ValueError("sensor detection delay must be non-negative")
+        if self.detection_delay > wcdl:
+            raise ValueError("sensor detection delay cannot exceed WCDL")
+        positions = self.bit_positions
+        if len(set(positions)) != len(positions):
+            raise ValueError("duplicate bit positions in multi-bit injection")
+        for b in positions:
+            if not 0 <= b < 32:
+                raise ValueError(f"bit position {b} outside [0, 32)")
+        if self.target is InjectionTarget.REGISTER and self.reg is None:
+            raise ValueError("register injection needs a target register")
+        if self.addr is not None:
+            if self.target is not InjectionTarget.MEMORY:
+                raise ValueError("addr is only meaningful for MEMORY injections")
+            if self.addr < 0:
+                raise ValueError("memory injection address must be non-negative")
 
 
 @dataclass
@@ -93,11 +149,17 @@ class MachineStats:
     quarantined_checkpoints: int = 0
     pruned_bindings: int = 0
     sb_discards: int = 0
+    ecc_corrections: int = 0
+    structure_parity_trips: int = 0
+    pc_parity_detections: int = 0
 
 
 # A checkpoint binding: how to obtain a register's recovery value.
-#   ("value", v)      — direct storage (colored slot or merged quarantine)
-#   ("expr", expr)    — pruned checkpoint, recompute at recovery
+#   ("value", v)           — direct value (hardened pre-entry state and
+#                            the unsafe Figure 16 release path)
+#   ("slot", (reg, color)) — read the ECC-protected checkpoint storage
+#                            slot at recovery time
+#   ("expr", expr)         — pruned checkpoint, recompute at recovery
 Binding = tuple
 
 
@@ -110,6 +172,7 @@ class ResilientMachine:
         config: ResilienceConfig,
         memory: Memory | None = None,
         max_steps: int = 4_000_000,
+        wall_clock_budget: float | None = None,
     ):
         if compiled.recovery is None:
             raise ValueError("program was compiled without resilience support")
@@ -118,6 +181,7 @@ class ResilientMachine:
         self.recovery_map = compiled.recovery
         self.config = config
         self.max_steps = max_steps
+        self.wall_clock_budget = wall_clock_budget
 
         self.mem = memory if memory is not None else Memory()
         self.regs: dict[Reg, int] = {}
@@ -147,6 +211,9 @@ class ResilientMachine:
         self._detection_due: int | None = None
         self._tainted_regs: set[Reg] = set()
         self._tainted_cells: set[int] = set()
+        # Outstanding ECC syndromes: struck-but-not-yet-read words.
+        self._slot_flips: dict[tuple[int, int], frozenset[int]] = {}
+        self._mem_flips: dict[int, frozenset[int]] = {}
 
         self._init_registers()
 
@@ -168,8 +235,13 @@ class ResilientMachine:
         self.vc_bindings[reg.index] = ("value", value)
 
     def arm_injection(self, injection: Injection) -> None:
-        if injection.detection_delay > self.config.wcdl:
-            raise ValueError("sensor detection delay cannot exceed WCDL")
+        injection.validate(self.config.wcdl)
+        if injection.reg is not None and not (
+            0 <= injection.reg.index < self.program.register_file.num_registers
+        ):
+            raise ValueError(
+                f"injection register {injection.reg} outside the register file"
+            )
         self.injection = injection
 
     # -- main loop -----------------------------------------------------------
@@ -183,13 +255,24 @@ class ResilientMachine:
         t = 0
         steps = 0
         get = self.regs.get
+        budget = self.wall_clock_budget
+        start = time.monotonic() if budget is not None else 0.0
 
         while True:
             steps += 1
             if steps > self.max_steps:
-                raise ProtocolError(
+                raise WatchdogTimeout(
                     f"{program.name}: exceeded {self.max_steps} steps "
                     "(possible recovery livelock)"
+                )
+            if (
+                budget is not None
+                and not (steps & 0xFFF)
+                and time.monotonic() - start > budget
+            ):
+                raise WatchdogTimeout(
+                    f"{program.name}: exceeded wall-clock budget "
+                    f"{budget:.1f}s after {steps} steps"
                 )
             self._process_events(t)
             if self._recovery_requested:
@@ -215,7 +298,12 @@ class ResilientMachine:
                 base = instr.srcs[0]
                 addr = get(base, 0) + instr.imm
                 forwarded = self.sb.forward(addr)
-                value = forwarded if forwarded is not None else self.mem.load(addr)
+                if forwarded is not None:
+                    value = forwarded
+                elif self._mem_flips and addr in self._mem_flips:
+                    value = self._ecc_load(addr)
+                else:
+                    value = self.mem.load(addr)
                 self.regs[instr.dest] = value
                 self._taint_dest(instr.dest, addr_tainted=base in self._tainted_regs, loaded_addr=addr)
                 if self.clq is not None and self.rbb.current is not None:
@@ -279,18 +367,35 @@ class ResilientMachine:
             if self._detection_due is not None
             else float("inf")
         )
-        for inst in self.rbb.due_verifications(float(t), before=before):
+        due = self.rbb.due_verifications(float(t), before=before)
+        for i, inst in enumerate(due):
+            if any(
+                not e.parity_ok
+                for e in self.sb.entries
+                if e.instance == inst.instance
+            ):
+                # GSB parity is checked at drain: a struck entry vetoes
+                # the merge and surfaces as a detection now, so recovery
+                # re-executes the region and regenerates the stores.
+                for later in reversed(due[i:]):
+                    self.rbb.unverified.appendleft(later)
+                self.rbb.stats.instances_verified -= len(due) - i
+                self._structure_parity_trip(t)
+                return
             self._verify_instance(inst)
 
     def _verify_instance(self, inst: RegionInstance) -> None:
         # Merge quarantined stores to cache/memory.
         for entry in self.sb.release_instance(inst.instance):
             if entry.is_checkpoint:
-                self.ckpt_storage[(entry.reg, entry.color)] = entry.value
+                self._write_ckpt_slot((entry.reg, entry.color), entry.value)
             else:
-                self.mem.store(entry.addr, entry.value)
+                self._store_word(entry.addr, entry.value)
         # Promote color assignments and value/expr bindings.
+        was_poisoned = self.coloring.poisoned
         self.coloring.verify(inst.instance)
+        if self.coloring.poisoned and not was_poisoned:
+            self._structure_parity_trip(int(self._now))
         for reg_idx, binding in self.pending_bindings.pop(inst.instance, {}).items():
             self.vc_bindings[reg_idx] = binding
         if self.clq is not None:
@@ -301,18 +406,60 @@ class ResilientMachine:
         if inj is None or t != inj.time:
             return
         self.injection = None
-        if inj.target is InjectionTarget.REGISTER:
+        target = inj.target
+        bits = inj.bit_positions
+        mask = 0
+        for b in bits:
+            mask |= 1 << b
+
+        if target is InjectionTarget.REGISTER:
             reg = inj.reg
             if reg is None:
                 raise ValueError("register injection needs a target register")
-            self.regs[reg] = wrap32(self.regs.get(reg, 0) ^ (1 << inj.bit))
+            self.regs[reg] = wrap32(self.regs.get(reg, 0) ^ mask)
             self._tainted_regs.add(reg)
-        else:
+        elif target is InjectionTarget.STORE_BUFFER:
             if self.sb.entries:
                 index = inj.bit % len(self.sb.entries)
-                self.sb.corrupt_entry(index, inj.bit % 32)
+                self.sb.corrupt_entry(index, *bits)
             # An empty SB means the particle hit hardened/idle storage;
             # the sensor still fires.
+        elif target is InjectionTarget.CLQ:
+            # Entry parity makes post-strike WAR queries conservative;
+            # the acoustic detection below cleans the structure up.
+            if self.clq is not None:
+                self.clq.corrupt(inj.bit)
+        elif target is InjectionTarget.COLORING:
+            # Map parity is observed at the next assign/verify access,
+            # which degrades coloring to quarantine-only (fail-safe).
+            self.coloring.corrupt(inj.bit)
+        elif target is InjectionTarget.CHECKPOINT:
+            if self.ckpt_storage:
+                keys = sorted(self.ckpt_storage)
+                key = keys[(inj.time * 31 + inj.bit) % len(keys)]
+                self.ckpt_storage[key] = wrap32(self.ckpt_storage[key] ^ mask)
+                self._slot_flips[key] = frozenset(bits)
+            # ECC resolves the syndrome at the next recovery read.
+        elif target is InjectionTarget.PC:
+            # The architectural PC is parity-protected in fetch: the flip
+            # is caught on the next fetch, before any wrong-path
+            # instruction can commit, and recovery restarts the region.
+            self.stats.pc_parity_detections += 1
+            self._detection_due = t
+            return
+        elif target is InjectionTarget.MEMORY:
+            addr = inj.addr
+            if addr is None:
+                cells = sorted(
+                    a for a in self.mem.cells if DATA_BASE <= a < DATA_LIMIT
+                )
+                if cells:
+                    addr = cells[(inj.time * 31 + inj.bit) % len(cells)]
+            if addr is not None:
+                self.mem.store(addr, self.mem.load(addr) ^ mask)
+                self._mem_flips[addr] = frozenset(bits)
+        else:  # pragma: no cover - enum is exhaustive
+            raise ValueError(f"unhandled injection target {target}")
         self._detection_due = t + inj.detection_delay
 
     # -- taint tracking (parity model) ---------------------------------------
@@ -343,6 +490,58 @@ class ResilientMachine:
         self.stats.parity_detections += 1
         self._detection_due = t
 
+    def _structure_parity_trip(self, t: int) -> None:
+        """SRAM parity over a protocol structure (CLQ / color maps) failed:
+        treat it like any detection — initiate recovery no later than now."""
+        self.stats.structure_parity_trips += 1
+        if self._detection_due is None or self._detection_due > t:
+            self._detection_due = t
+
+    # -- ECC over checkpoint storage and the memory hierarchy -----------------
+
+    def _store_word(self, addr: int, value: int) -> None:
+        """Memory write; overwriting a struck word clears its syndrome."""
+        self.mem.store(addr, value)
+        if self._mem_flips:
+            self._mem_flips.pop(addr, None)
+
+    def _ecc_load(self, addr: int) -> int:
+        """Read a struck memory word: correct single-bit, halt on multi-bit."""
+        flips = self._mem_flips.pop(addr)
+        if len(flips) > 1:
+            raise DetectedHalt(
+                f"uncorrectable {len(flips)}-bit error in memory word {addr:#x}"
+            )
+        value = wrap32(self.mem.load(addr) ^ (1 << next(iter(flips))))
+        self.mem.store(addr, value)
+        self.stats.ecc_corrections += 1
+        return value
+
+    def _write_ckpt_slot(self, key: tuple[int, int], value: int) -> None:
+        self.ckpt_storage[key] = value
+        if self._slot_flips:
+            self._slot_flips.pop(key, None)
+
+    def _read_ckpt_slot(self, key: tuple[int, int]) -> int:
+        if key not in self.ckpt_storage:
+            reg_idx, color = key
+            raise RecoveryFailure(
+                f"checkpoint slot (r{reg_idx}, color {color}) was never written"
+            )
+        value = self.ckpt_storage[key]
+        flips = self._slot_flips.get(key)
+        if flips:
+            if len(flips) > 1:
+                raise DetectedHalt(
+                    f"uncorrectable {len(flips)}-bit error in checkpoint "
+                    f"slot {key}"
+                )
+            value = wrap32(value ^ (1 << next(iter(flips))))
+            self.ckpt_storage[key] = value
+            del self._slot_flips[key]
+            self.stats.ecc_corrections += 1
+        return value
+
     # -- stores ------------------------------------------------------------------
 
     def _commit_store(self, addr: int, value: int, base: Reg, value_reg: Reg, t: int) -> None:
@@ -361,7 +560,7 @@ class ResilientMachine:
             self._parity_trip(t)
             return
         if fast:
-            self.mem.store(addr, value)
+            self._store_word(addr, value)
             self._record_store_taint(addr, value_reg)
             self.stats.warfree_released += 1
         else:
@@ -390,10 +589,13 @@ class ResilientMachine:
             return
         color = QUARANTINE
         if self.config.coloring_enabled:
+            was_poisoned = self.coloring.poisoned
             color = self.coloring.assign(inst.instance, reg.index)
+            if self.coloring.poisoned and not was_poisoned:
+                self._structure_parity_trip(t)
         if color != QUARANTINE:
-            self.ckpt_storage[(reg.index, color)] = value
-            self._bind_pending(reg.index, ("value", value))
+            self._write_ckpt_slot((reg.index, color), value)
+            self._bind_pending(reg.index, ("slot", (reg.index, color)))
             self.stats.colored_checkpoints += 1
         else:
             self.sb.push(
@@ -406,7 +608,11 @@ class ResilientMachine:
                     value=value,
                 )
             )
-            self._bind_pending(reg.index, ("value", value))
+            # The quarantine pseudo-slot is written when the region
+            # verifies (SB merge), which is also when this binding can
+            # first be promoted — the slot read at recovery always sees
+            # the merged value.
+            self._bind_pending(reg.index, ("slot", (reg.index, QUARANTINE)))
             self.stats.quarantined_checkpoints += 1
 
     def _bind_pending(self, reg_idx: int, binding: Binding) -> None:
@@ -441,6 +647,19 @@ class ResilientMachine:
                 return False
         if self.rbb.unverified:
             raise ProtocolError("instances left unverified after drain")
+        # Memory-scrubber pass: resolve outstanding ECC syndromes so the
+        # final image never silently carries a struck word.
+        for addr, flips in sorted(self._mem_flips.items()):
+            if len(flips) > 1:
+                raise DetectedHalt(
+                    f"uncorrectable {len(flips)}-bit error in memory "
+                    f"word {addr:#x} found by scrub"
+                )
+            self.mem.store(
+                addr, wrap32(self.mem.load(addr) ^ (1 << next(iter(flips))))
+            )
+            self.stats.ecc_corrections += 1
+        self._mem_flips.clear()
         return True
 
     # -- recovery ----------------------------------------------------------------
@@ -497,6 +716,8 @@ class ResilientMachine:
         kind, payload = binding
         if kind == "value":
             return payload
+        if kind == "slot":
+            return self._read_ckpt_slot(payload)
         if kind == "expr":
             resolving.add(reg_idx)
             try:

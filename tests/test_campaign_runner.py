@@ -1,0 +1,181 @@
+"""Parallel, resumable differential campaigns.
+
+The determinism contract under test: every injection derives from
+``(seed, index)`` alone, shards partition the index space statically,
+and aggregation sorts by index — so worker count, shard interleaving,
+and kill/resume cycles must all be invisible in the aggregate JSON
+(byte-identical output).
+"""
+
+import json
+
+import pytest
+
+from repro.__main__ import main as cli_main
+from repro.faults.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    format_differential_report,
+)
+
+SPEC = CampaignSpec(
+    uid="CPU2006.bzip2",
+    wcdl=10,
+    count=9,
+    seed=77,
+    targets=("register", "clq", "coloring"),
+    shard_size=3,
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    """One serial, manifest-less run of the reference campaign."""
+    return CampaignRunner(SPEC).run()
+
+
+class TestDeterminism:
+    def test_parallel_run_is_byte_identical_to_serial(self, report):
+        parallel = CampaignRunner(SPEC).run(workers=2)
+        assert parallel.to_json() == report.to_json()
+
+    def test_resumed_run_is_byte_identical(self, report, tmp_path):
+        manifest = tmp_path / "campaign.json"
+        first = CampaignRunner(SPEC, manifest_path=manifest).run()
+        assert first.to_json() == report.to_json()
+
+        # Simulate a kill after some shards: drop one finished shard
+        # from the manifest, then resume.
+        state = json.loads(manifest.read_text())
+        assert set(state["shards"]) == {"0", "1", "2"}
+        del state["shards"]["1"]
+        manifest.write_text(json.dumps(state))
+
+        resumed = CampaignRunner(SPEC, manifest_path=manifest).run(resume=True)
+        assert resumed.to_json() == report.to_json()
+
+    def test_resume_refuses_mismatched_spec(self, tmp_path):
+        manifest = tmp_path / "campaign.json"
+        other = CampaignSpec(
+            uid=SPEC.uid,
+            wcdl=SPEC.wcdl,
+            count=SPEC.count,
+            seed=SPEC.seed + 1,
+            targets=SPEC.targets,
+            shard_size=SPEC.shard_size,
+        )
+        manifest.write_text(json.dumps({"spec": other.to_dict(), "shards": {}}))
+        with pytest.raises(ValueError, match="refusing to resume"):
+            CampaignRunner(SPEC, manifest_path=manifest).run(resume=True)
+
+    def test_progress_callback_sees_every_shard(self, tmp_path):
+        calls = []
+        CampaignRunner(SPEC).run(progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestDifferentialResults:
+    def test_turnpike_contains_every_strike(self, report):
+        hist = report.per_variant()["turnpike"]
+        assert hist["sdc"] == 0
+        assert hist["protocol_bug"] == 0
+        assert hist["timeout"] == 0
+
+    def test_unsafe_variant_shows_figure16_sdc(self, report):
+        assert report.per_variant()["unsafe"]["sdc"] > 0
+
+    def test_divergences_isolate_the_protocol_difference(self, report):
+        divergent = report.divergences()
+        assert divergent, "safe and unsafe variants should diverge"
+        for entry in divergent:
+            kinds = set(entry["kinds"].values())
+            assert len(kinds) > 1
+            assert 0 <= entry["index"] < SPEC.count
+
+    def test_per_target_covers_requested_structures(self, report):
+        per_target = report.per_target()
+        assert set(per_target) == set(SPEC.targets)
+        for variant_hists in per_target.values():
+            assert set(variant_hists) == set(SPEC.variants)
+        total = sum(
+            sum(hist.values())
+            for variant_hists in per_target.values()
+            for hist in variant_hists.values()
+        )
+        assert total == SPEC.count * len(SPEC.variants)
+
+    def test_format_report_mentions_variants_and_structures(self, report):
+        text = format_differential_report(report)
+        for variant in SPEC.variants:
+            assert variant in text
+        assert "per-structure" in text
+        assert "divergent" in text
+
+
+class TestSpecValidation:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(uid="CPU2006.bzip2", targets=("flux_capacitor",))
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="variant"):
+            CampaignSpec(uid="CPU2006.bzip2", variants=("turnpikee",))
+
+    def test_degenerate_counts_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(uid="CPU2006.bzip2", count=0)
+        with pytest.raises(ValueError):
+            CampaignSpec(uid="CPU2006.bzip2", shard_size=0)
+
+    def test_spec_round_trips_through_dict(self):
+        assert CampaignSpec.from_dict(SPEC.to_dict()) == SPEC
+
+    def test_shards_partition_the_index_space(self):
+        shards = SPEC.shards()
+        flat = [i for shard in shards for i in shard]
+        assert flat == list(range(SPEC.count))
+        assert all(len(shard) <= SPEC.shard_size for shard in shards)
+
+
+class TestInjectCLI:
+    def test_inject_with_manifest_and_export(self, tmp_path, capsys):
+        manifest = tmp_path / "m.json"
+        export = tmp_path / "agg.json"
+        rc = cli_main(
+            [
+                "inject", "CPU2006.bzip2",
+                "--count", "3", "--seed", "7",
+                "--targets", "register",
+                "--variants", "turnpike,unsafe",
+                "--shard-size", "2",
+                "--manifest", str(manifest),
+                "--export", str(export),
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "turnpike" in out and "unsafe" in out
+        aggregate = json.loads(export.read_text())
+        assert aggregate["spec"]["count"] == 3
+        assert set(aggregate["per_variant"]) == {"turnpike", "unsafe"}
+        # Re-running with --resume finds everything done in the manifest.
+        rc = cli_main(
+            [
+                "inject", "CPU2006.bzip2",
+                "--count", "3", "--seed", "7",
+                "--targets", "register",
+                "--variants", "turnpike,unsafe",
+                "--shard-size", "2",
+                "--manifest", str(manifest),
+                "--resume",
+                "--export", str(export),
+            ]
+        )
+        assert rc == 0
+        assert json.loads(export.read_text()) == aggregate
+
+    def test_resume_without_manifest_is_an_error(self):
+        assert cli_main(["inject", "CPU2006.bzip2", "--resume"]) == 2
+
+    def test_unknown_target_is_an_error(self):
+        assert cli_main(["inject", "--targets", "flux_capacitor"]) == 2

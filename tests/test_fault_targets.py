@@ -1,0 +1,172 @@
+"""Expanded SEU target model: strikes into every protected structure.
+
+The hardening claims under test:
+
+* CLQ, coloring, checkpoint-storage, PC, and memory strikes under full
+  Turnpike are always *contained* (masked, recovered, or fail-stop) —
+  never silent corruption, never a protocol crash;
+* a parity-bad CLQ entry answers WAR queries conservatively, so a
+  narrowed range can never unsafely enable fast release;
+* a parity-bad color map degrades fail-safe to quarantine-only;
+* store-buffer strikes are contained under all safe protocol variants
+  (and even the unsafe variant never crashes the model).
+"""
+
+import pytest
+
+from repro.arch.clq import CompactCLQ, IdealCLQ
+from repro.arch.coloring import ColorMaps, QUARANTINE
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.campaign import (
+    VARIANT_CONFIGS,
+    _horizon,
+    turnpike_machine_config,
+)
+from repro.faults.injector import (
+    FaultOutcomeKind,
+    golden_memory,
+    random_mixed_injections,
+    run_with_injection,
+)
+from repro.runtime.machine import InjectionTarget
+
+
+@pytest.fixture(scope="module")
+def bzip2_setup():
+    from repro.workloads.suites import load_workload
+
+    wl = load_workload("CPU2006.bzip2")
+    compiled = compile_program(wl.program, turnpike_config())
+    memory = wl.fresh_memory()
+    golden = golden_memory(compiled, memory)
+    horizon = _horizon(compiled, memory)
+    return compiled, memory, golden, horizon
+
+
+UNCONTAINED = {
+    FaultOutcomeKind.SDC,
+    FaultOutcomeKind.PROTOCOL_BUG,
+    FaultOutcomeKind.TIMEOUT,
+}
+
+
+class TestStructureStrikesUnderTurnpike:
+    @pytest.mark.parametrize(
+        "target",
+        [
+            InjectionTarget.CLQ,
+            InjectionTarget.COLORING,
+            InjectionTarget.CHECKPOINT,
+            InjectionTarget.PC,
+            InjectionTarget.MEMORY,
+        ],
+    )
+    def test_strikes_are_contained(self, bzip2_setup, target):
+        compiled, memory, golden, horizon = bzip2_setup
+        injections = random_mixed_injections(
+            compiled, wcdl=10, count=5, seed=13, horizon=horizon,
+            targets=(target,),
+        )
+        for injection in injections:
+            outcome = run_with_injection(
+                compiled, turnpike_machine_config(10), memory, injection,
+                golden,
+            )
+            assert outcome.kind not in UNCONTAINED, (
+                f"{target.value} strike at t={injection.time} "
+                f"bits={injection.bit_positions}: {outcome.kind.value} "
+                f"({outcome.error})"
+            )
+            if outcome.kind is not FaultOutcomeKind.DETECTED_HALT:
+                assert outcome.correct
+
+
+class TestStoreBufferAcrossVariants:
+    """Satellite: SB strikes exercised under all four protocol variants."""
+
+    @pytest.mark.parametrize("variant", ["turnstile", "warfree", "turnpike"])
+    def test_safe_variants_contain_sb_strikes(self, bzip2_setup, variant):
+        compiled, memory, golden, horizon = bzip2_setup
+        injections = random_mixed_injections(
+            compiled, wcdl=10, count=6, seed=29, horizon=horizon,
+            targets=(InjectionTarget.STORE_BUFFER,),
+        )
+        config = VARIANT_CONFIGS[variant](10)
+        for injection in injections:
+            outcome = run_with_injection(
+                compiled, config, memory, injection, golden
+            )
+            assert outcome.kind not in UNCONTAINED, (
+                f"{variant}: SB strike at t={injection.time} -> "
+                f"{outcome.kind.value} ({outcome.error})"
+            )
+            if outcome.kind is not FaultOutcomeKind.DETECTED_HALT:
+                assert outcome.correct
+
+    def test_unsafe_variant_never_crashes_on_sb_strikes(self, bzip2_setup):
+        compiled, memory, golden, horizon = bzip2_setup
+        injections = random_mixed_injections(
+            compiled, wcdl=10, count=6, seed=29, horizon=horizon,
+            targets=(InjectionTarget.STORE_BUFFER,),
+        )
+        config = VARIANT_CONFIGS["unsafe"](10)
+        for injection in injections:
+            outcome = run_with_injection(
+                compiled, config, memory, injection, golden
+            )
+            # SDC is the expected Figure 16 failure mode; what is NOT
+            # acceptable is the model itself crashing or livelocking.
+            assert outcome.kind not in (
+                FaultOutcomeKind.PROTOCOL_BUG,
+                FaultOutcomeKind.TIMEOUT,
+            )
+
+
+class TestCLQParityFailSafe:
+    def test_ideal_clq_answers_conservatively_after_strike(self):
+        clq = IdealCLQ()
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.record_load(0, 0x104)
+        assert clq.corrupt(bit=5)
+        # The struck instance must report a WAR conflict for EVERY
+        # address — including ones its (corrupted) range would exclude.
+        assert clq.store_has_war(0, 0x9999)
+        assert clq.stats.parity_conservative >= 1
+        # The hardware also stops inserting into the untrusted entry.
+        inserted = clq.stats.loads_inserted
+        clq.record_load(0, 0x200)
+        assert clq.stats.loads_inserted == inserted
+
+    def test_compact_clq_answers_conservatively_after_strike(self):
+        clq = CompactCLQ(size=2)
+        clq.begin_region(0)
+        clq.record_load(0, 0x100)
+        clq.record_load(0, 0x140)
+        assert not clq.store_has_war(0, 0x9999)
+        assert clq.corrupt(bit=4)
+        assert clq.store_has_war(0, 0x9999)
+        assert clq.stats.parity_conservative >= 1
+
+    def test_corrupt_with_no_populated_entries_is_a_miss(self):
+        assert not IdealCLQ().corrupt(bit=3)
+        assert not CompactCLQ().corrupt(bit=3)
+
+
+class TestColoringParityFailSafe:
+    def test_struck_maps_degrade_to_quarantine(self):
+        maps = ColorMaps(num_registers=8, num_colors=4)
+        color = maps.assign(instance=1, reg=3)
+        assert color != QUARANTINE
+        assert maps.corrupt(bit=2)
+        assert maps.parity_bad and not maps.poisoned
+        # First access after the strike observes the failure: fail-safe.
+        assert maps.assign(instance=1, reg=5) == QUARANTINE
+        assert maps.poisoned
+        assert maps.stats.parity_fallbacks == 1
+        # Every later assignment stays quarantined too.
+        assert maps.assign(instance=2, reg=6) == QUARANTINE
+
+    def test_corrupt_with_no_entries_is_a_miss(self):
+        assert not ColorMaps().corrupt(bit=0)

@@ -1,0 +1,273 @@
+"""Typed fault-outcome taxonomy tests.
+
+Every injected run must land in exactly one :class:`FaultOutcomeKind`
+bucket, and the mapping from machine behaviour to bucket must be
+deterministic: completed-and-correct-without-recovery is MASKED,
+fail-stop exceptions are DETECTED_HALT, the watchdog is TIMEOUT, and
+*any* unexpected exception surfaces as PROTOCOL_BUG with a traceback
+instead of being silently swallowed.
+"""
+
+import pytest
+
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.campaign import (
+    _horizon,
+    turnpike_machine_config,
+    unsafe_machine_config,
+)
+from repro.faults.injector import (
+    FaultOutcomeKind,
+    InjectionOutcome,
+    golden_memory,
+    outcome_from_dict,
+    outcome_to_dict,
+    random_register_injections,
+    run_with_injection,
+)
+from repro.runtime.machine import (
+    Injection,
+    InjectionTarget,
+    ProtocolError,
+    RecoveryFailure,
+    ResilientMachine,
+)
+from repro.runtime.memory import Memory
+
+from helpers import build_sum_loop
+
+
+@pytest.fixture(scope="module")
+def loop_setup():
+    compiled = compile_program(build_sum_loop(trip=40), turnpike_config())
+    memory = Memory()
+    golden = golden_memory(compiled, memory)
+    return compiled, memory, golden
+
+
+def _memory_injection(time: int, bits=(), bit: int = 3) -> Injection:
+    return Injection(
+        time=time,
+        target=InjectionTarget.MEMORY,
+        bit=bit,
+        bits=tuple(bits),
+        detection_delay=2,
+        addr=0x400,
+    )
+
+
+class TestKindClassification:
+    def test_injection_past_end_of_run_is_masked(self, loop_setup):
+        compiled, memory, golden = loop_setup
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=100_000),
+            golden,
+        )
+        assert outcome.kind is FaultOutcomeKind.MASKED
+        assert outcome.correct and not outcome.recovered
+        assert outcome.masked and outcome.contained
+
+    def test_single_bit_memory_error_is_contained(self, loop_setup):
+        compiled, memory, golden = loop_setup
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=200),
+            golden,
+        )
+        assert outcome.kind in (
+            FaultOutcomeKind.MASKED,
+            FaultOutcomeKind.RECOVERED,
+        )
+        assert outcome.correct
+
+    def test_double_bit_memory_error_is_detected_halt(self, loop_setup):
+        compiled, memory, golden = loop_setup
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=200, bits=(3, 7)),
+            golden,
+        )
+        assert outcome.kind is FaultOutcomeKind.DETECTED_HALT
+        assert outcome.contained and not outcome.correct
+        assert "uncorrectable" in (outcome.error or "")
+
+    def test_watchdog_maps_to_timeout(self, loop_setup):
+        compiled, memory, golden = loop_setup
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=200),
+            golden,
+            max_steps=5,
+        )
+        assert outcome.kind is FaultOutcomeKind.TIMEOUT
+        assert not outcome.contained
+        assert "WatchdogTimeout" in (outcome.error or "")
+
+    @pytest.mark.parametrize(
+        "exc, expected_kind",
+        [
+            (RuntimeError("synthetic crash"), FaultOutcomeKind.PROTOCOL_BUG),
+            (ProtocolError("impossible state"), FaultOutcomeKind.PROTOCOL_BUG),
+            (RecoveryFailure("no binding"), FaultOutcomeKind.DETECTED_HALT),
+        ],
+    )
+    def test_exception_mapping(self, loop_setup, monkeypatch, exc, expected_kind):
+        compiled, memory, golden = loop_setup
+
+        def explode(self):
+            raise exc
+
+        monkeypatch.setattr(ResilientMachine, "run", explode)
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=200),
+            golden,
+        )
+        assert outcome.kind is expected_kind
+        assert type(exc).__name__ in (outcome.error or "")
+        if expected_kind is FaultOutcomeKind.PROTOCOL_BUG:
+            # Unexpected exceptions must carry the full traceback so the
+            # campaign report is debuggable, not just countable.
+            assert outcome.traceback is not None
+            assert type(exc).__name__ in outcome.traceback
+            assert str(exc) in outcome.traceback
+
+
+class TestMaskedSemantics:
+    def _outcome(self, kind, correct, recovered):
+        return InjectionOutcome(
+            injection=_memory_injection(time=5),
+            kind=kind,
+            correct=correct,
+            recovered=recovered,
+            parity_detected=False,
+        )
+
+    def test_sdc_is_never_masked(self):
+        outcome = self._outcome(FaultOutcomeKind.SDC, False, True)
+        assert not outcome.masked
+        assert not outcome.contained
+
+    def test_recovered_run_is_not_masked(self):
+        outcome = self._outcome(FaultOutcomeKind.RECOVERED, True, True)
+        assert not outcome.masked
+        assert outcome.contained
+
+    def test_masked_requires_correct_without_recovery(self):
+        outcome = self._outcome(FaultOutcomeKind.MASKED, True, False)
+        assert outcome.masked
+
+
+class TestSerializationRoundTrip:
+    @pytest.fixture(scope="class")
+    def unsafe_outcomes(self):
+        """Register campaign on the Figure 16 unsafe configuration."""
+        from repro.workloads.suites import load_workload
+
+        wl = load_workload("CPU2006.bzip2")
+        compiled = compile_program(wl.program, turnpike_config())
+        memory = wl.fresh_memory()
+        golden = golden_memory(compiled, memory)
+        horizon = _horizon(compiled, memory)
+        injections = random_register_injections(
+            compiled, wcdl=10, count=8, seed=77, horizon=horizon
+        )
+        return [
+            run_with_injection(
+                compiled, unsafe_machine_config(10), memory, inj, golden
+            )
+            for inj in injections
+        ]
+
+    def test_unsafe_config_produces_sdc(self, unsafe_outcomes):
+        sdc = [o for o in unsafe_outcomes if o.kind is FaultOutcomeKind.SDC]
+        assert sdc, "Figure 16 unsafe mode should corrupt some runs"
+        for o in sdc:
+            assert not o.correct and not o.masked and not o.contained
+
+    def test_outcome_round_trip_is_lossless(self, unsafe_outcomes):
+        for outcome in unsafe_outcomes:
+            restored = outcome_from_dict(outcome_to_dict(outcome))
+            assert restored == outcome
+
+    def test_round_trip_preserves_error_text(self, loop_setup, monkeypatch):
+        compiled, memory, golden = loop_setup
+
+        def explode(self):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(ResilientMachine, "run", explode)
+        outcome = run_with_injection(
+            compiled,
+            turnpike_machine_config(10),
+            memory,
+            _memory_injection(time=200),
+            golden,
+        )
+        restored = outcome_from_dict(outcome_to_dict(outcome))
+        assert restored == outcome
+        assert restored.traceback == outcome.traceback
+
+
+class TestInjectionValidation:
+    """Satellite: arm_injection rejects malformed injections up front."""
+
+    def _machine(self, loop_setup):
+        compiled, memory, _ = loop_setup
+        return ResilientMachine(
+            compiled, turnpike_machine_config(10), memory.copy()
+        )
+
+    def test_detection_delay_beyond_wcdl_rejected(self, loop_setup):
+        machine = self._machine(loop_setup)
+        bad = Injection(
+            time=5,
+            target=InjectionTarget.MEMORY,
+            bit=0,
+            detection_delay=11,
+            addr=0x400,
+        )
+        with pytest.raises(ValueError, match="exceed WCDL"):
+            machine.arm_injection(bad)
+
+    @pytest.mark.parametrize(
+        "kwargs, match",
+        [
+            (dict(time=0, target=InjectionTarget.PC, bit=1), "time"),
+            (dict(time=5, target=InjectionTarget.PC, bit=40), "bit"),
+            (
+                dict(time=5, target=InjectionTarget.PC, bit=3, bits=(3, 3)),
+                "duplicate",
+            ),
+            (dict(time=5, target=InjectionTarget.REGISTER, bit=3), "register"),
+            (
+                dict(time=5, target=InjectionTarget.PC, bit=3, addr=0x400),
+                "MEMORY",
+            ),
+            (
+                dict(
+                    time=5,
+                    target=InjectionTarget.MEMORY,
+                    bit=3,
+                    addr=-4,
+                ),
+                "non-negative",
+            ),
+        ],
+    )
+    def test_malformed_injection_rejected(self, loop_setup, kwargs, match):
+        machine = self._machine(loop_setup)
+        with pytest.raises(ValueError, match=match):
+            machine.arm_injection(Injection(**kwargs))

@@ -9,6 +9,11 @@ Commands:
                              — differential fault-injection campaign
                                across protocol variants (parallel,
                                resumable via the manifest)
+  lint <uid>|--all [--scheme S] [--sb N] [--format text|json|sarif]
+       [--no-differential] [--strict] [--output PATH]
+                             — static resilience verifier over compiled
+                               benchmarks (exit 0 clean, 1 findings,
+                               2 usage)
   figure <id>                — regenerate one figure/table on the full
                                suite (fig4, fig14, fig15, fig18, fig19,
                                fig20, fig21, fig22, fig23, fig24, fig25,
@@ -132,6 +137,12 @@ def _cmd_inject(args) -> int:
             fh.write(campaign_to_json(report))
         print(f"aggregate written to {args.export}", file=sys.stderr)
     return 0
+
+
+def _cmd_lint(args) -> int:
+    from repro.verify.lint import run_lint
+
+    return run_lint(args)
 
 
 def _cmd_figure(args) -> int:
@@ -272,6 +283,40 @@ def main(argv: list[str] | None = None) -> int:
         "--export", default=None, help="write the aggregate JSON to this path"
     )
 
+    lint_p = sub.add_parser(
+        "lint", help="statically verify compiled benchmarks"
+    )
+    lint_p.add_argument("uid", nargs="?", default=None)
+    lint_p.add_argument(
+        "--all", action="store_true", help="lint every benchmark"
+    )
+    lint_p.add_argument(
+        "--scheme", choices=("turnpike", "turnstile"), default="turnpike"
+    )
+    lint_p.add_argument("--sb", type=int, default=4)
+    lint_p.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
+    lint_p.add_argument(
+        "--no-differential",
+        action="store_true",
+        help="skip the dynamic WAR cross-check (static rules only)",
+    )
+    lint_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures",
+    )
+    lint_p.add_argument(
+        "--max-per-rule",
+        type=int,
+        default=8,
+        help="text output: findings shown per rule/severity (-1: all)",
+    )
+    lint_p.add_argument(
+        "--output", default=None, help="write the report to this path"
+    )
+
     fig_p = sub.add_parser("figure", help="regenerate a figure/table")
     fig_p.add_argument("id")
 
@@ -283,6 +328,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "inject": _cmd_inject,
+        "lint": _cmd_lint,
         "figure": _cmd_figure,
         "sensors": _cmd_sensors,
     }

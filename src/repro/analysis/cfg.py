@@ -76,6 +76,9 @@ class ControlFlowGraph:
     def unreachable_blocks(self) -> set[str]:
         return {b.label for b in self.program.blocks} - self.reachable_blocks()
 
+    def is_reachable(self, label: str) -> bool:
+        return label in self.reachable_blocks()
+
     # -- edge queries ------------------------------------------------------
 
     def edges(self) -> list[tuple[str, str]]:

@@ -26,9 +26,12 @@ class LivenessInfo:
 
     def _compute(self) -> None:
         cfg = self.cfg
-        labels = cfg.reverse_postorder()
-        for label in labels:
-            block = cfg.block(label)
+        # Local use/def and (empty) live sets exist for *every* block, so
+        # queries on unreachable blocks are well-defined instead of raising;
+        # the fixpoint below only iterates reachable blocks, which keeps
+        # dead code from contributing phantom live-outs.
+        for block in cfg.program.blocks:
+            label = block.label
             uses: set[Reg] = set()
             defs: set[Reg] = set()
             for instr in block.instructions:

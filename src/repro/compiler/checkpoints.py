@@ -63,9 +63,11 @@ class LiveAcrossBoundary:
 
     def _compute(self) -> None:
         order = self.cfg.postorder()
-        for label in order:
-            self.live_in[label] = set()
-            self.lab_in[label] = set()
+        # Every block gets (empty) entry sets so unreachable blocks can be
+        # queried without raising; only reachable blocks join the fixpoint.
+        for block in self.cfg.program.blocks:
+            self.live_in[block.label] = set()
+            self.lab_in[block.label] = set()
         changed = True
         while changed:
             changed = False
@@ -119,7 +121,10 @@ def insert_eager_checkpoints(program: Program) -> CheckpointStats:
     lab = LiveAcrossBoundary(cfg)
     inserted = 0
     regions: set[int] = set()
+    reachable = cfg.reachable_blocks()
     for block in program.blocks:
+        if block.label not in reachable:
+            continue  # dead code never reaches a boundary at run time
         pairs = lab.per_instruction_lab_after(block.label)
         # Collect insertion points first; then splice, back to front, so
         # positions stay valid.

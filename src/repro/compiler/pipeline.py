@@ -85,8 +85,17 @@ def compile_baseline(source: Program) -> CompiledProgram:
     )
 
 
-def compile_program(source: Program, config: CompilerConfig) -> CompiledProgram:
-    """Compile ``source`` under ``config``; the source is not mutated."""
+def compile_program(
+    source: Program, config: CompilerConfig, verify: bool = False
+) -> CompiledProgram:
+    """Compile ``source`` under ``config``; the source is not mutated.
+
+    With ``verify=True`` the static resilience verifier
+    (:mod:`repro.verify`) runs over the result: the report's summary
+    lands in ``stats["verify"]`` and any error-severity finding raises
+    :class:`repro.verify.VerificationError`, so a regression in any
+    compiler pass fails loudly at compile time.
+    """
     program = source.copy()
     stats: dict[str, object] = {}
 
@@ -120,10 +129,19 @@ def compile_program(source: Program, config: CompilerConfig) -> CompiledProgram:
         program.validate()
         recovery = build_recovery_map(program)
 
-    return CompiledProgram(
+    compiled = CompiledProgram(
         program=program,
         config=config,
         partition=partition,
         recovery=recovery,
         stats=stats,
     )
+    if verify:
+        # Imported lazily: repro.verify depends on this module.
+        from repro.verify import VerificationError, verify_compiled
+
+        report = verify_compiled(compiled)
+        stats["verify"] = report
+        if not report.ok:
+            raise VerificationError(report)
+    return compiled

@@ -113,13 +113,16 @@ class _Boundness:
 
     def _compute(self) -> None:
         rpo = self.cfg.reverse_postorder()
-        for label in rpo:
-            self._in[label] = {}
+        # Unreachable blocks get the all-bound entry state (missing =>
+        # bound); only reachable blocks participate in the fixpoint.
+        for block in self.cfg.program.blocks:
+            self._in[block.label] = {}
+        reachable = set(rpo)
         changed = True
         while changed:
             changed = False
             for label in rpo:
-                preds = [p for p in self.cfg.preds(label) if p in self._in]
+                preds = [p for p in self.cfg.preds(label) if p in reachable]
                 if label == self.cfg.entry or not preds:
                     new_in: dict[Reg, bool] = {}  # missing => bound (initial)
                 else:
@@ -254,7 +257,10 @@ def prune_checkpoints(program: Program) -> PruningStats:
 
     pruned = 0
     examined = 0
+    reachable = cfg.reachable_blocks()
     for block in program.blocks:
+        if block.label not in reachable:
+            continue  # dead code: never executed, nothing to prune
         instrs = block.instructions
         keep: list[Instruction] = []
         pos = 0

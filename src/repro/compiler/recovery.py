@@ -55,7 +55,12 @@ def build_recovery_map(program: Program) -> RecoveryMap:
     cfg = build_cfg(program)
     liveness = compute_liveness(cfg)
     entries: dict[int, RegionEntry] = {}
+    reachable = cfg.reachable_blocks()
     for block in program.blocks:
+        if block.label not in reachable:
+            # A boundary in dead code can never open a region at run time;
+            # giving it a recovery entry would be a phantom restart target.
+            continue
         # Per-instruction liveness: live set *before* each instruction is
         # the live-after of the previous one; recompute via live_after.
         pairs = liveness.live_after(block.label)

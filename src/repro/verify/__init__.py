@@ -1,0 +1,50 @@
+"""Static resilience verifier for compiled Turnpike programs.
+
+``repro.verify`` proves the protocol invariants the compiler claims to
+establish — region store capacity, checkpoint completeness, WAR-freedom
+of fast-released stores, colour-pool bounds, recovery-map consistency,
+and checkpoint scheduling — directly on :class:`CompiledProgram` text.
+See :mod:`repro.verify.manager` for the pass framework and
+:mod:`repro.verify.rules` for the rule suite.
+"""
+
+from repro.verify.diagnostics import (
+    Diagnostic,
+    Location,
+    Severity,
+    VerificationError,
+    VerificationReport,
+)
+from repro.verify.manager import (
+    ColorRun,
+    RegionGraph,
+    VerifierContext,
+    VerifierPassManager,
+    VerifierRule,
+    build_region_graph,
+    color_runs,
+    default_manager,
+    default_rules,
+    verify_compiled,
+)
+from repro.verify.sarif import render_sarif, reports_to_sarif
+
+__all__ = [
+    "Diagnostic",
+    "Location",
+    "Severity",
+    "VerificationError",
+    "VerificationReport",
+    "ColorRun",
+    "RegionGraph",
+    "VerifierContext",
+    "VerifierPassManager",
+    "VerifierRule",
+    "build_region_graph",
+    "color_runs",
+    "default_manager",
+    "default_rules",
+    "verify_compiled",
+    "render_sarif",
+    "reports_to_sarif",
+]

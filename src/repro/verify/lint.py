@@ -1,0 +1,135 @@
+"""The ``repro lint`` driver: verify compiled benchmarks from the CLI.
+
+Compiles each requested benchmark under the chosen scheme, runs the
+verifier rule suite (differential WAR cross-checking included by
+default), and renders the findings as text, JSON, or SARIF.
+
+Exit codes follow lint conventions: 0 when no error-severity finding
+exists (warnings allowed unless ``--strict``), 1 when findings fail the
+run, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import TextIO
+
+from repro.verify.diagnostics import VerificationReport
+from repro.verify.manager import VerifierContext, default_manager
+from repro.verify.sarif import render_sarif
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def lint_benchmark(
+    uid: str,
+    scheme: str = "turnpike",
+    sb_size: int = 4,
+    differential: bool = True,
+    max_steps: int = 2_000_000,
+) -> VerificationReport:
+    """Compile one benchmark and verify it."""
+    from repro.compiler.config import turnpike_config, turnstile_config
+    from repro.compiler.pipeline import compile_program
+    from repro.workloads.suites import load_workload
+
+    workload = load_workload(uid)
+    if scheme == "turnstile":
+        config = turnstile_config(sb_size=sb_size)
+    else:
+        config = turnpike_config(sb_size=sb_size)
+    compiled = compile_program(workload.program, config)
+    ctx = VerifierContext(
+        compiled,
+        differential=differential,
+        memory_factory=workload.fresh_memory,
+        max_steps=max_steps,
+    )
+    report = default_manager().run(ctx)
+    # Report under the benchmark uid rather than the internal program
+    # name, so CLI findings are attributable; diagnostic locations keep
+    # the program name.
+    report.program = uid
+    return report
+
+
+def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
+    """Handler for ``repro lint`` (argparse namespace in, exit code out)."""
+    from repro.workloads.suites import all_profiles
+
+    # Resolve the stream at call time so output redirection (pytest
+    # capture, shell pipes set up after import) is respected.
+    if out is None:
+        out = sys.stdout
+
+    if args.all and args.uid:
+        print("lint: give either a benchmark uid or --all, not both",
+              file=sys.stderr)
+        return EXIT_USAGE
+    if not args.all and not args.uid:
+        print("lint: need a benchmark uid or --all", file=sys.stderr)
+        return EXIT_USAGE
+    uids = (
+        [p.uid for p in all_profiles()] if args.all else [args.uid]
+    )
+    known = {p.uid for p in all_profiles()}
+    unknown = [u for u in uids if u not in known]
+    if unknown:
+        print(f"lint: unknown benchmark(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    reports: list[VerificationReport] = []
+    for uid in uids:
+        report = lint_benchmark(
+            uid,
+            scheme=args.scheme,
+            sb_size=args.sb,
+            differential=not args.no_differential,
+        )
+        reports.append(report)
+        if args.format == "text":
+            print(report.render_text(max_per_rule=args.max_per_rule),
+                  file=out)
+
+    rendered: str | None = None
+    if args.format == "json":
+        rendered = json.dumps(
+            {
+                "reports": [r.to_dict() for r in reports],
+                "ok": all(r.ok for r in reports),
+            },
+            indent=2,
+            sort_keys=True,
+        )
+    elif args.format == "sarif":
+        rendered = render_sarif(reports)
+    if rendered is not None:
+        if args.output:
+            with open(args.output, "w") as fh:
+                fh.write(rendered + "\n")
+        else:
+            print(rendered, file=out)
+    elif args.output:
+        with open(args.output, "w") as fh:
+            for report in reports:
+                fh.write(report.render_text(args.max_per_rule) + "\n")
+
+    errors = sum(len(r.errors) for r in reports)
+    warnings = sum(len(r.warnings) for r in reports)
+    if args.format == "text":
+        verdict = "FAIL" if errors or (args.strict and warnings) else "OK"
+        print(
+            f"lint: {len(reports)} program(s), {errors} error(s), "
+            f"{warnings} warning(s) -> {verdict}",
+            file=out,
+        )
+    if errors:
+        return EXIT_FINDINGS
+    if args.strict and warnings:
+        return EXIT_FINDINGS
+    return EXIT_CLEAN

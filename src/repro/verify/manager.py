@@ -1,0 +1,360 @@
+"""Verifier pass framework: context, region graph, and pass manager.
+
+The :class:`VerifierContext` wraps one :class:`CompiledProgram` and lazily
+builds the analyses the rules share (CFG, liveness, dominators, loop
+forest, region graph). Rules are :class:`VerifierRule` subclasses; the
+:class:`VerifierPassManager` runs a configured sequence of them and
+collects their findings into a :class:`VerificationReport`.
+
+The **region graph** is the verifier's central derived structure: nodes
+are static region ids, and an edge ``a -> b`` means control can flow from
+an instruction of region ``a`` directly to the BOUNDARY that opens region
+``b`` (intra-block fall-through or a CFG edge). Loops whose body is a
+single region produce self-edges — each iteration is a fresh dynamic
+instance of the same static region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.analysis.cfg import ControlFlowGraph, build_cfg
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import LoopForest
+from repro.verify.diagnostics import Diagnostic, VerificationReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.pipeline import CompiledProgram
+    from repro.isa.memory import Memory
+    from repro.isa.program import Program
+    from repro.isa.registers import Reg
+
+
+@dataclass
+class RegionGraph:
+    """Static region-to-region control flow for one compiled program."""
+
+    regions: set[int] = field(default_factory=set)
+    edges: dict[int, set[int]] = field(default_factory=dict)
+    ckpt_regs: dict[int, set["Reg"]] = field(default_factory=dict)
+    boundary_of: dict[int, tuple[str, int]] = field(default_factory=dict)
+    first_rid: dict[str, int | None] = field(default_factory=dict)
+    last_rid: dict[str, int | None] = field(default_factory=dict)
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.edges.setdefault(src, set()).add(dst)
+
+    def succs(self, rid: int) -> set[int]:
+        return self.edges.get(rid, set())
+
+
+def build_region_graph(cfg: ControlFlowGraph) -> RegionGraph:
+    """Derive the region graph from a partitioned program's CFG."""
+    graph = RegionGraph()
+    reachable = cfg.reachable_blocks()
+    starts_with_boundary: dict[str, bool] = {}
+    for label in cfg.reverse_postorder():
+        block = cfg.block(label)
+        instrs = block.instructions
+        starts_with_boundary[label] = bool(instrs) and instrs[0].is_boundary
+        prev: int | None = None
+        first: int | None = None
+        for index, instr in enumerate(instrs):
+            rid = instr.region_id
+            if rid is None:
+                continue
+            graph.regions.add(rid)
+            if instr.is_checkpoint:
+                graph.ckpt_regs.setdefault(rid, set()).add(instr.srcs[0])
+            if instr.is_boundary:
+                graph.boundary_of.setdefault(rid, (label, index))
+                if prev is not None:
+                    graph.add_edge(prev, rid)
+            elif prev is not None and rid != prev:
+                # Region changed without a boundary: a tagging bug that R5
+                # reports; keep the edge so downstream rules stay sound.
+                graph.add_edge(prev, rid)
+            if first is None:
+                first = rid
+            prev = rid
+        graph.first_rid[label] = first
+        graph.last_rid[label] = prev
+    for src, dst in cfg.edges():
+        if src not in reachable or dst not in reachable:
+            continue
+        a = graph.last_rid.get(src)
+        b = graph.first_rid.get(dst)
+        if a is None or b is None:
+            continue
+        # Same region continuing across the edge is not a transition —
+        # unless the successor opens with a BOUNDARY, which starts a new
+        # dynamic instance (the single-region-loop self-edge case).
+        if a != b or starts_with_boundary.get(dst, False):
+            graph.add_edge(a, b)
+    return graph
+
+
+@dataclass(frozen=True)
+class ColorRun:
+    """Checkpoint-colour pressure of one register over the region graph.
+
+    ``longest_acyclic`` is the longest chain of *consecutive* regions that
+    all checkpoint the register along any acyclic region path; ``cyclic``
+    is True when those regions lie on a region-graph cycle (a loop re-
+    checkpointing the register each iteration), where the chain length is
+    bounded only by the dynamic in-flight region count, not statically.
+    """
+
+    longest_acyclic: int
+    cyclic: bool
+
+
+def color_runs(graph: RegionGraph) -> dict["Reg", ColorRun]:
+    """Per-register checkpoint-colour pressure (see R4).
+
+    A colour taken by region ``A``'s checkpoint of ``r`` is held until
+    ``A`` verifies, so two ``r``-checkpointing regions accumulate
+    colours whenever both can be in flight — regardless of how many
+    non-checkpointing regions execute between them. The per-register
+    subgraph therefore connects ``A -> B`` when ``B`` is *reachable*
+    from ``A`` in the region graph without passing through another
+    ``r``-checkpointing region (paths through one are covered by
+    chaining that node's own edges).
+    """
+    regs: set["Reg"] = set()
+    for members in graph.ckpt_regs.values():
+        regs |= members
+    out: dict["Reg", ColorRun] = {}
+    for reg in regs:
+        nodes = {
+            rid for rid, members in graph.ckpt_regs.items() if reg in members
+        }
+        sub = {rid: _condensed_succs(graph, rid, nodes) for rid in nodes}
+        cyclic = _has_cycle(sub)
+        longest = _longest_path(sub) if not cyclic else _longest_path_dagged(sub)
+        out[reg] = ColorRun(longest_acyclic=longest, cyclic=cyclic)
+    return out
+
+
+def _condensed_succs(
+    graph: RegionGraph, start: int, nodes: set[int]
+) -> set[int]:
+    """Members of ``nodes`` reachable from ``start`` with no ``nodes``
+    member as an intermediate hop (frontier-stopping BFS)."""
+    found: set[int] = set()
+    seen: set[int] = set()
+    work = list(graph.succs(start))
+    while work:
+        rid = work.pop()
+        if rid in seen:
+            continue
+        seen.add(rid)
+        if rid in nodes:
+            found.add(rid)
+            continue  # stop here: further hops chain through rid's edges
+        work.extend(graph.succs(rid))
+    return found
+
+
+def _has_cycle(sub: dict[int, set[int]]) -> bool:
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in sub}
+    for root in sub:
+        if color[root] != WHITE:
+            continue
+        stack: list[tuple[int, list[int]]] = [(root, sorted(sub[root]))]
+        color[root] = GRAY
+        while stack:
+            node, succs = stack[-1]
+            if succs:
+                nxt = succs.pop()
+                if color[nxt] == GRAY:
+                    return True
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    stack.append((nxt, sorted(sub[nxt])))
+            else:
+                color[node] = BLACK
+                stack.pop()
+    return False
+
+
+def _longest_path(sub: dict[int, set[int]]) -> int:
+    """Longest node count along any path of an acyclic subgraph."""
+    memo: dict[int, int] = {}
+
+    def visit(node: int) -> int:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        memo[node] = 1  # provisional (graph is acyclic; never read back)
+        best = 1 + max((visit(s) for s in sub[node]), default=0)
+        memo[node] = best
+        return best
+
+    return max((visit(n) for n in sub), default=0)
+
+
+def _longest_path_dagged(sub: dict[int, set[int]]) -> int:
+    """Longest path ignoring back edges (for cyclic subgraphs)."""
+    memo: dict[int, int] = {}
+    on_path: set[int] = set()
+
+    def visit(node: int) -> int:
+        cached = memo.get(node)
+        if cached is not None:
+            return cached
+        on_path.add(node)
+        best = 1 + max(
+            (visit(s) for s in sub[node] if s not in on_path), default=0
+        )
+        on_path.discard(node)
+        memo[node] = best
+        return best
+
+    return max((visit(n) for n in sub), default=0)
+
+
+class VerifierContext:
+    """Shared state for one verification run over a compiled program."""
+
+    def __init__(
+        self,
+        compiled: "CompiledProgram",
+        differential: bool = False,
+        memory_factory: Callable[[], "Memory"] | None = None,
+        max_steps: int = 2_000_000,
+    ) -> None:
+        self.compiled = compiled
+        self.differential = differential
+        self.memory_factory = memory_factory
+        self.max_steps = max_steps
+        self._cfg: ControlFlowGraph | None = None
+        self._liveness: LivenessInfo | None = None
+        self._dominators: DominatorTree | None = None
+        self._loops: LoopForest | None = None
+        self._region_graph: RegionGraph | None = None
+        self._color_runs: dict["Reg", ColorRun] | None = None
+
+    @property
+    def program(self) -> "Program":
+        return self.compiled.program
+
+    @property
+    def config(self):  # -> CompilerConfig
+        return self.compiled.config
+
+    def cfg(self) -> ControlFlowGraph:
+        if self._cfg is None:
+            self._cfg = build_cfg(self.program)
+        return self._cfg
+
+    def liveness(self) -> LivenessInfo:
+        if self._liveness is None:
+            self._liveness = compute_liveness(self.cfg())
+        return self._liveness
+
+    def dominators(self) -> DominatorTree:
+        if self._dominators is None:
+            self._dominators = DominatorTree(self.cfg())
+        return self._dominators
+
+    def loops(self) -> LoopForest:
+        if self._loops is None:
+            self._loops = LoopForest(self.cfg(), self.dominators())
+        return self._loops
+
+    def region_graph(self) -> RegionGraph:
+        if self._region_graph is None:
+            self._region_graph = build_region_graph(self.cfg())
+        return self._region_graph
+
+    def color_pressure(self) -> dict["Reg", ColorRun]:
+        if self._color_runs is None:
+            self._color_runs = color_runs(self.region_graph())
+        return self._color_runs
+
+    def exhaustible_registers(self, num_colors: int = 4) -> set["Reg"]:
+        """Registers whose colour pool can run dry on some static path.
+
+        A checkpoint of any *other* register always fast-releases through
+        the colour pool and never occupies a store-buffer entry; only these
+        registers' checkpoints can fall back to SB quarantine.
+        """
+        return {
+            reg
+            for reg, run in self.color_pressure().items()
+            if run.cyclic or run.longest_acyclic >= num_colors
+        }
+
+
+class VerifierRule:
+    """Base class: one named invariant check over a VerifierContext."""
+
+    rule_id: str = "R0"
+    title: str = ""
+    description: str = ""
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        raise NotImplementedError
+
+
+class VerifierPassManager:
+    """Runs a sequence of rules and aggregates their findings."""
+
+    def __init__(self, rules: list[VerifierRule]):
+        self.rules = list(rules)
+
+    def rule_ids(self) -> list[str]:
+        return [rule.rule_id for rule in self.rules]
+
+    def run(self, ctx: VerifierContext) -> VerificationReport:
+        report = VerificationReport(program=ctx.program.name)
+        for rule in self.rules:
+            report.extend(rule.run(ctx))
+            report.rules_run.append(rule.rule_id)
+        return report
+
+
+def default_rules() -> list[VerifierRule]:
+    """The standard R1..R6 rule suite."""
+    from repro.verify.rules.capacity import RegionCapacityRule
+    from repro.verify.rules.checkpoints import CheckpointCompletenessRule
+    from repro.verify.rules.colors import ColorPoolRule
+    from repro.verify.rules.recovery import RecoveryMapRule
+    from repro.verify.rules.scheduling import SchedulingHazardRule
+    from repro.verify.rules.war import WarFreedomRule
+
+    return [
+        RegionCapacityRule(),
+        CheckpointCompletenessRule(),
+        WarFreedomRule(),
+        ColorPoolRule(),
+        RecoveryMapRule(),
+        SchedulingHazardRule(),
+    ]
+
+
+def default_manager() -> VerifierPassManager:
+    return VerifierPassManager(default_rules())
+
+
+def verify_compiled(
+    compiled: "CompiledProgram",
+    differential: bool = False,
+    memory_factory: Callable[[], "Memory"] | None = None,
+    max_steps: int = 2_000_000,
+    manager: VerifierPassManager | None = None,
+) -> VerificationReport:
+    """Run the default (or given) rule suite over one compiled program."""
+    ctx = VerifierContext(
+        compiled,
+        differential=differential,
+        memory_factory=memory_factory,
+        max_steps=max_steps,
+    )
+    if manager is None:
+        manager = default_manager()
+    return manager.run(ctx)

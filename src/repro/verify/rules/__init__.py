@@ -1,0 +1,27 @@
+"""The verifier's rule suite (R1..R6).
+
+Each module holds one :class:`~repro.verify.manager.VerifierRule`:
+
+* ``capacity``    — R1 region store traffic vs the gated SB budget;
+* ``checkpoints`` — R2 every boundary-crossing value is recoverable;
+* ``war``         — R3 static WAR classification (+ differential mode);
+* ``colors``      — R4 checkpoint colour-pool pressure;
+* ``recovery``    — R5 recovery-map structural consistency;
+* ``scheduling``  — R6 checkpoint scheduling hazards.
+"""
+
+from repro.verify.rules.capacity import RegionCapacityRule
+from repro.verify.rules.checkpoints import CheckpointCompletenessRule
+from repro.verify.rules.colors import ColorPoolRule
+from repro.verify.rules.recovery import RecoveryMapRule
+from repro.verify.rules.scheduling import SchedulingHazardRule
+from repro.verify.rules.war import WarFreedomRule
+
+__all__ = [
+    "RegionCapacityRule",
+    "CheckpointCompletenessRule",
+    "WarFreedomRule",
+    "ColorPoolRule",
+    "RecoveryMapRule",
+    "SchedulingHazardRule",
+]

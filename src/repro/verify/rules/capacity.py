@@ -1,0 +1,161 @@
+"""R1 — region store capacity vs the gated store buffer.
+
+Turnpike's deadlock-freedom argument requires that the quarantined
+stores of a region fit the gated SB: the partitioner budgets
+``config.max_stores_per_region`` regular stores per region (half the SB
+under overlap partitioning, so two in-flight regions co-reside). This
+rule recomputes the bound the hard way — a forward dataflow carrying the
+worst-case store count along every intra-region path, across block
+boundaries — instead of trusting the partitioner's bookkeeping.
+
+Two counts are tracked:
+
+* **regular** — ``ST`` instructions only. Exceeding the budget is an
+  ERROR: the compiler's contract is violated and two adjacent regions
+  can deadlock the SB.
+* **refined** — regular stores plus checkpoints of *exhaustible*
+  registers (see :meth:`VerifierContext.exhaustible_registers`): only
+  those checkpoints can ever fall back to SB quarantine when the colour
+  pool runs dry. Exceeding the budget here is a WARNING — the overflow
+  is conditional on colour exhaustion, and the hardware degrades by
+  stalling the quarantined checkpoint, not by corrupting state — but it
+  erodes the sizing argument and is worth surfacing (LICM sinking can
+  pile many sunk checkpoints into one loop-exit region).
+"""
+
+from __future__ import annotations
+
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.manager import VerifierContext, VerifierRule
+
+# Counts saturate here so store loops without an interior boundary still
+# reach a fixpoint; a saturated count reads as "unbounded".
+_SATURATE = 1 << 16
+
+
+class RegionCapacityRule(VerifierRule):
+    rule_id = "R1"
+    title = "region-capacity"
+    description = (
+        "max quarantined stores along any intra-region path must fit the "
+        "partitioner's per-region store-buffer budget"
+    )
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        budget = ctx.config.max_stores_per_region
+        cfg = ctx.cfg()
+        exhaustible = ctx.exhaustible_registers()
+        rpo = cfg.reverse_postorder()
+        reachable = set(rpo)
+
+        # state = (regular, refined) max counts since the last boundary.
+        in_state: dict[str, tuple[int, int]] = {
+            label: (0, 0) for label in rpo
+        }
+
+        def transfer(label: str, state: tuple[int, int]) -> tuple[int, int]:
+            regular, refined = state
+            for instr in cfg.block(label).instructions:
+                if instr.is_boundary:
+                    regular, refined = 0, 0
+                elif instr.is_regular_store:
+                    regular = min(regular + 1, _SATURATE)
+                    refined = min(refined + 1, _SATURATE)
+                elif instr.is_checkpoint and instr.srcs[0] in exhaustible:
+                    refined = min(refined + 1, _SATURATE)
+            return regular, refined
+
+        changed = True
+        while changed:
+            changed = False
+            for label in rpo:
+                preds = [p for p in cfg.preds(label) if p in reachable]
+                outs = [transfer(p, in_state[p]) for p in preds]
+                if label == cfg.entry:
+                    outs.append((0, 0))  # the program-start path
+                if not outs:
+                    new_in = (0, 0)
+                else:
+                    new_in = (
+                        max(o[0] for o in outs),
+                        max(o[1] for o in outs),
+                    )
+                if new_in != in_state[label]:
+                    in_state[label] = new_in
+                    changed = True
+
+        # Reporting pass: worst count observed at each store, per region.
+        worst_regular: dict[int, tuple[int, Location]] = {}
+        worst_refined: dict[int, tuple[int, Location]] = {}
+        name = ctx.program.name
+        for label in rpo:
+            regular, refined = in_state[label]
+            for index, instr in enumerate(cfg.block(label).instructions):
+                if instr.is_boundary:
+                    regular, refined = 0, 0
+                    continue
+                counts_store = instr.is_regular_store
+                counts_ckpt = (
+                    instr.is_checkpoint and instr.srcs[0] in exhaustible
+                )
+                if not counts_store and not counts_ckpt:
+                    continue
+                loc = Location(name, label, index, instr.uid)
+                rid = instr.region_id
+                if rid is None:
+                    continue  # R5 reports untagged instructions
+                if counts_store:
+                    regular = min(regular + 1, _SATURATE)
+                refined = min(refined + 1, _SATURATE)
+                if counts_store and regular > worst_regular.get(rid, (0, loc))[0]:
+                    worst_regular[rid] = (regular, loc)
+                if refined > worst_refined.get(rid, (0, loc))[0]:
+                    worst_refined[rid] = (refined, loc)
+
+        diags: list[Diagnostic] = []
+        for rid, (count, loc) in sorted(worst_regular.items()):
+            if count <= budget:
+                continue
+            rendered = "unbounded" if count >= _SATURATE else str(count)
+            diags.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=(
+                        f"region {rid} quarantines {rendered} regular "
+                        f"stores on one path; the SB budget is {budget}"
+                    ),
+                    hint=(
+                        "split the region (insert a BOUNDARY upstream of "
+                        "this store) or raise the store-buffer size"
+                    ),
+                )
+            )
+        for rid, (count, loc) in sorted(worst_refined.items()):
+            if count <= budget:
+                continue
+            regular_count = worst_regular.get(rid, (0, loc))[0]
+            if regular_count > budget:
+                continue  # already an error above; don't double-report
+            rendered = "unbounded" if count >= _SATURATE else str(count)
+            diags.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=Severity.WARNING,
+                    location=loc,
+                    message=(
+                        f"region {rid} can quarantine {rendered} stores "
+                        f"(budget {budget}) if the checkpoint colour pool "
+                        "is exhausted; regular stores alone fit "
+                        f"({regular_count})"
+                    ),
+                    hint=(
+                        "colour-pool fallback degrades to SB stalls, not "
+                        "corruption; reduce LICM-sunk checkpoints in this "
+                        "region or enlarge the colour pool to remove the "
+                        "pressure"
+                    ),
+                )
+            )
+        return diags

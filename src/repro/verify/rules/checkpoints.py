@@ -1,0 +1,129 @@
+"""R2 — checkpoint completeness for boundary-crossing values.
+
+Recovery restores a restarted region's live-in registers from verified
+checkpoint storage, so every value that crosses a region boundary must
+be *bound*: either an explicit ``CKPT`` executes between the defining
+instruction and every boundary the value crosses, or the definition
+carries a pruned-checkpoint annotation (Penny-style reconstruction), or
+the value predates the program (initial register bindings are
+pre-verified by the runtime).
+
+The check is a backward "unprotected live-across-boundary" dataflow,
+jointly with plain liveness (meet = union over successors):
+
+* at a BOUNDARY, the unprotected set becomes the entire live set —
+  everything live here flows into the region that starts at the
+  boundary and must be recoverable;
+* a ``CKPT r`` removes ``r`` — the value is bound from here backward;
+* a definition of ``r`` while ``r`` is still unprotected is the
+  violation: that exact value reaches a boundary with no binding on
+  some path. Pruned definitions are exempt.
+
+This is stronger than the program-level coverage check in
+:mod:`repro.compiler.recovery` — it is path-sensitive about *which*
+definition reaches the boundary, so a checkpoint elsewhere in the
+program cannot excuse an unprotected path (the case LICM sinking must
+preserve and this rule proves it does).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.pruning import PRUNED_ANNOTATION
+from repro.isa.registers import Reg
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.manager import VerifierContext, VerifierRule
+
+
+class CheckpointCompletenessRule(VerifierRule):
+    rule_id = "R2"
+    title = "checkpoint-completeness"
+    description = (
+        "every region-live-out register is checkpointed before the "
+        "boundary or provably reconstructable"
+    )
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        cfg = ctx.cfg()
+        order = cfg.postorder()  # reachable blocks only
+        live_in: dict[str, set[Reg]] = {label: set() for label in order}
+        ulab_in: dict[str, set[Reg]] = {label: set() for label in order}
+
+        def transfer(
+            label: str,
+            live: set[Reg],
+            ulab: set[Reg],
+            diags: list[Diagnostic] | None,
+        ) -> tuple[set[Reg], set[Reg]]:
+            block = cfg.block(label)
+            for index in range(len(block.instructions) - 1, -1, -1):
+                instr = block.instructions[index]
+                if instr.is_boundary:
+                    ulab = set(live)
+                    continue
+                if instr.is_checkpoint:
+                    ulab.discard(instr.srcs[0])
+                    live.update(instr.srcs)
+                    continue
+                dest = instr.dest
+                if dest is not None:
+                    if (
+                        diags is not None
+                        and dest in ulab
+                        and PRUNED_ANNOTATION not in instr.annotations
+                    ):
+                        diags.append(
+                            Diagnostic(
+                                rule=self.rule_id,
+                                severity=Severity.ERROR,
+                                location=Location(
+                                    ctx.program.name, label, index, instr.uid
+                                ),
+                                message=(
+                                    f"{dest.name} defined here crosses a "
+                                    "region boundary with no checkpoint "
+                                    "and no pruned-checkpoint binding on "
+                                    "some path"
+                                ),
+                                hint=(
+                                    f"insert `ckpt {dest.name}` after this "
+                                    "definition (eager checkpointing) or "
+                                    "prove it reconstructable so pruning "
+                                    "annotates it"
+                                ),
+                            )
+                        )
+                    live.discard(dest)
+                    ulab.discard(dest)
+                live.update(instr.srcs)
+            return live, ulab
+
+        changed = True
+        while changed:
+            changed = False
+            for label in order:
+                live: set[Reg] = set()
+                ulab: set[Reg] = set()
+                for succ in cfg.succs(label):
+                    live |= live_in.get(succ, set())
+                    ulab |= ulab_in.get(succ, set())
+                live, ulab = transfer(label, live, ulab, None)
+                if live != live_in[label]:
+                    live_in[label] = live
+                    changed = True
+                if ulab != ulab_in[label]:
+                    ulab_in[label] = ulab
+                    changed = True
+
+        # Reporting pass over the converged states. Registers still
+        # unprotected at the top of the entry block are program live-ins
+        # (or read-before-write defaults); the runtime pre-verifies every
+        # initial register binding, so they need no diagnostic.
+        diags: list[Diagnostic] = []
+        for label in cfg.reverse_postorder():
+            live = set()
+            ulab = set()
+            for succ in cfg.succs(label):
+                live |= live_in.get(succ, set())
+                ulab |= ulab_in.get(succ, set())
+            transfer(label, live, ulab, diags)
+        return diags

@@ -1,0 +1,99 @@
+"""R4 — checkpoint colour-pool bound.
+
+Fast-releasing a checkpoint store must not overwrite the only verified
+copy of the register, so the hardware rotates each register's
+checkpoints through a small colour pool (default 4). A colour is held
+from the checkpoint's commit until its region verifies, and the VC map
+permanently occupies one slot once a checkpoint has verified — so a
+chain of N *consecutive* region instances that all checkpoint the same
+register holds N + 1 colours simultaneously in the worst case, and the
+pool is exhausted (safe SB-quarantine fallback, but a sizing-claim
+violation) when N reaches the pool size.
+
+This rule walks the region graph per checkpointed register:
+
+* an **acyclic** chain of length >= the pool size is a WARNING — a
+  bounded static path can already exhaust the pool, contradicting the
+  paper's 4-colour sizing argument;
+* chains around a region **cycle** (a loop re-checkpointing the
+  register each iteration) are reported once per program as INFO: their
+  length equals the dynamic in-flight region count, which the WCDL
+  bounds at run time, so no static violation can be claimed.
+"""
+
+from __future__ import annotations
+
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.manager import VerifierContext, VerifierRule
+
+DEFAULT_NUM_COLORS = 4
+
+
+class ColorPoolRule(VerifierRule):
+    rule_id = "R4"
+    title = "colour-pool-bound"
+    description = (
+        "no static path may hold more simultaneous checkpoint colours "
+        "than the per-register pool provides"
+    )
+
+    def __init__(self, num_colors: int = DEFAULT_NUM_COLORS):
+        self.num_colors = num_colors
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        name = ctx.program.name
+        graph = ctx.region_graph()
+        cyclic_regs = []
+        for reg, run in sorted(
+            ctx.color_pressure().items(), key=lambda item: item[0].name
+        ):
+            if run.cyclic:
+                cyclic_regs.append(reg)
+                continue
+            if run.longest_acyclic >= self.num_colors:
+                # Anchor at the boundary of some region checkpointing reg.
+                rid = min(
+                    r for r, members in graph.ckpt_regs.items()
+                    if reg in members
+                )
+                block, index = graph.boundary_of.get(rid, ("", -1))
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.WARNING,
+                        location=Location(name, block, index),
+                        message=(
+                            f"{reg.name} is checkpointed by "
+                            f"{run.longest_acyclic} consecutive regions on "
+                            "an acyclic path; with the verified colour the "
+                            f"pool of {self.num_colors} is exhausted and "
+                            "checkpoints degrade to SB quarantine"
+                        ),
+                        hint=(
+                            "merge regions, prune intermediate "
+                            "checkpoints, or grow the colour pool"
+                        ),
+                    )
+                )
+        if cyclic_regs:
+            regs = ", ".join(r.name for r in cyclic_regs[:8])
+            more = (
+                f" (+{len(cyclic_regs) - 8} more)"
+                if len(cyclic_regs) > 8
+                else ""
+            )
+            diags.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=Severity.INFO,
+                    location=Location(name),
+                    message=(
+                        f"{len(cyclic_regs)} register(s) re-checkpoint "
+                        f"around region cycles ({regs}{more}); colour "
+                        "demand there equals the in-flight region count, "
+                        "bounded dynamically by the WCDL"
+                    ),
+                )
+            )
+        return diags

@@ -1,0 +1,236 @@
+"""R5 — recovery-map structural consistency.
+
+When an error is detected, the machine restarts the most recent
+unverified region through its :class:`RegionEntry`: jump to the
+instruction after the region's BOUNDARY and restore the entry's live-in
+registers. Every field of that metadata is safety-critical, so this
+rule re-derives all of it from the program text and compares:
+
+* every region id used by any reachable instruction has a recovery
+  entry, and every entry's region id exists in the program;
+* the entry points at a real block and index, the instruction there is
+  the region's own BOUNDARY, and the block is reachable (recovery must
+  not resume into dead code);
+* no region has two boundaries (a restart target must be unique);
+* the recorded live-in set equals independently recomputed liveness at
+  the boundary (a stale set under-restores registers after an error);
+* recovery-block code generation succeeds for every region (pruned
+  recovery expressions must form an acyclic, generatable slice);
+* reachable instructions are region-tagged at all (untagged code would
+  escape the protocol entirely).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.recovery_codegen import (
+    RecoveryCodegenError,
+    generate_recovery_blocks,
+)
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.manager import VerifierContext, VerifierRule
+
+
+class RecoveryMapRule(VerifierRule):
+    rule_id = "R5"
+    title = "recovery-map-consistency"
+    description = (
+        "every region entry maps to reachable, register-consistent "
+        "recovery code"
+    )
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        diags: list[Diagnostic] = []
+        name = ctx.program.name
+        cfg = ctx.cfg()
+        program = ctx.program
+        recovery = ctx.compiled.recovery
+        reachable = cfg.reachable_blocks()
+
+        has_boundaries = any(
+            i.is_boundary for i in program.instructions()
+        )
+        if recovery is None:
+            if has_boundaries:
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=Location(name),
+                        message=(
+                            "program has region boundaries but no "
+                            "recovery map — errors are undetectable but "
+                            "unrecoverable"
+                        ),
+                        hint="call build_recovery_map after partitioning",
+                    )
+                )
+            return diags
+
+        # Scan the program: boundary locations and used region ids.
+        boundary_at: dict[int, list[tuple[str, int]]] = {}
+        used_rids: set[int] = set()
+        for label in cfg.reverse_postorder():
+            for index, instr in enumerate(cfg.block(label).instructions):
+                rid = instr.region_id
+                if rid is None:
+                    diags.append(
+                        Diagnostic(
+                            rule=self.rule_id,
+                            severity=Severity.ERROR,
+                            location=Location(name, label, index, instr.uid),
+                            message=(
+                                "reachable instruction carries no region "
+                                "id; it executes outside every region's "
+                                "recovery protocol"
+                            ),
+                            hint="re-run the region partitioner",
+                        )
+                    )
+                    continue
+                used_rids.add(rid)
+                if instr.is_boundary:
+                    boundary_at.setdefault(rid, []).append((label, index))
+
+        for rid, sites in sorted(boundary_at.items()):
+            if len(sites) > 1:
+                label, index = sites[1]
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=Location(name, label, index),
+                        message=(
+                            f"region {rid} has {len(sites)} boundaries; "
+                            "its restart target is ambiguous"
+                        ),
+                        hint="region ids must be unique per boundary",
+                    )
+                )
+
+        for rid in sorted(used_rids):
+            if rid not in recovery.entries:
+                label, index = boundary_at.get(rid, [("", -1)])[0]
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=Location(name, label, index),
+                        message=(
+                            f"region {rid} has no recovery entry; an "
+                            "error inside it cannot be recovered"
+                        ),
+                        hint="rebuild the recovery map",
+                    )
+                )
+
+        block_labels = {b.label for b in program.blocks}
+        liveness = ctx.liveness()
+        live_after_cache: dict[str, list] = {}
+        for rid, entry in sorted(recovery.entries.items()):
+            loc = Location(name, entry.block, entry.index)
+            if entry.block not in block_labels:
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"region {rid}'s recovery entry names "
+                            f"unknown block {entry.block!r}"
+                        ),
+                        hint="rebuild the recovery map",
+                    )
+                )
+                continue
+            instrs = program.block(entry.block).instructions
+            if not 0 <= entry.index < len(instrs):
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"region {rid}'s recovery entry index "
+                            f"{entry.index} is out of bounds for block "
+                            f"{entry.block!r} ({len(instrs)} instructions)"
+                        ),
+                        hint="rebuild the recovery map",
+                    )
+                )
+                continue
+            target = instrs[entry.index]
+            if not target.is_boundary or target.region_id != rid:
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"region {rid}'s recovery entry does not "
+                            "point at its own BOUNDARY (found "
+                            f"{target.op.value})"
+                        ),
+                        hint="rebuild the recovery map",
+                    )
+                )
+                continue
+            if entry.block not in reachable:
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"region {rid}'s recovery entry resumes in "
+                            f"unreachable block {entry.block!r}"
+                        ),
+                        hint=(
+                            "dead regions must not own recovery entries; "
+                            "rebuild the recovery map"
+                        ),
+                    )
+                )
+                continue
+            pairs = live_after_cache.get(entry.block)
+            if pairs is None:
+                pairs = live_after_cache[entry.block] = liveness.live_after(
+                    entry.block
+                )
+            expected = frozenset(pairs[entry.index][1])
+            if expected != entry.live_in:
+                missing = sorted(r.name for r in expected - entry.live_in)
+                extra = sorted(r.name for r in entry.live_in - expected)
+                diags.append(
+                    Diagnostic(
+                        rule=self.rule_id,
+                        severity=Severity.ERROR,
+                        location=loc,
+                        message=(
+                            f"region {rid}'s recorded live-in set "
+                            "disagrees with recomputed liveness "
+                            f"(missing: {missing or '-'}, stale: "
+                            f"{extra or '-'})"
+                        ),
+                        hint=(
+                            "the recovery map is stale — rebuild it after "
+                            "the last program transformation"
+                        ),
+                    )
+                )
+
+        try:
+            generate_recovery_blocks(ctx.compiled)
+        except RecoveryCodegenError as exc:
+            diags.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=Severity.ERROR,
+                    location=Location(name),
+                    message=f"recovery code generation failed: {exc}",
+                    hint=(
+                        "a pruned-checkpoint expression has no "
+                        "generatable restore slice"
+                    ),
+                )
+            )
+        return diags

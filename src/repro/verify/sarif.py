@@ -1,0 +1,110 @@
+"""SARIF 2.1.0 rendering of verification reports.
+
+Emits a minimal, spec-conformant static-analysis log so findings can be
+ingested by SARIF viewers and code-scanning UIs. Program locations use
+``repro://<program>/<block>`` artifact URIs with the instruction index
+(1-based) as the line number.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.verify.diagnostics import Diagnostic, VerificationReport
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVEL = {"error": "error", "warning": "warning", "info": "note"}
+
+RULE_CATALOGUE: dict[str, tuple[str, str]] = {
+    "R1": (
+        "region-capacity",
+        "max quarantined stores along any intra-region path fits the "
+        "store-buffer budget",
+    ),
+    "R2": (
+        "checkpoint-completeness",
+        "every region-live-out register is checkpointed or provably "
+        "reconstructable",
+    ),
+    "R3": (
+        "war-freedom",
+        "fast-released stores are provably WAR-free (with optional "
+        "differential cross-check)",
+    ),
+    "R4": (
+        "colour-pool-bound",
+        "no static path holds more simultaneous checkpoint colours than "
+        "the pool provides",
+    ),
+    "R5": (
+        "recovery-map-consistency",
+        "every region entry maps to reachable, register-consistent "
+        "recovery code",
+    ),
+    "R6": (
+        "scheduling-hazard",
+        "checkpoints issue at least producer-latency instructions after "
+        "their definition",
+    ),
+}
+
+
+def _result(diag: Diagnostic) -> dict[str, object]:
+    message = diag.message
+    if diag.hint:
+        message += f" [hint: {diag.hint}]"
+    region: dict[str, object] = {}
+    if diag.location.index >= 0:
+        region["startLine"] = diag.location.index + 1
+    physical: dict[str, object] = {
+        "artifactLocation": {"uri": diag.location.artifact_uri()},
+    }
+    if region:
+        physical["region"] = region
+    return {
+        "ruleId": diag.rule,
+        "level": _LEVEL[diag.severity.value],
+        "message": {"text": message},
+        "locations": [{"physicalLocation": physical}],
+    }
+
+
+def reports_to_sarif(reports: list[VerificationReport]) -> dict[str, object]:
+    """Build one SARIF log with a single run covering all reports."""
+    rules = [
+        {
+            "id": rule_id,
+            "name": name,
+            "shortDescription": {"text": desc},
+        }
+        for rule_id, (name, desc) in RULE_CATALOGUE.items()
+    ]
+    results: list[dict[str, object]] = []
+    for report in reports:
+        for diag in report.sorted_diagnostics():
+            results.append(_result(diag))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(reports: list[VerificationReport]) -> str:
+    return json.dumps(reports_to_sarif(reports), indent=2, sort_keys=True)

@@ -1,0 +1,24 @@
+"""Deliberately-broken compiled programs for the verifier's own tests.
+
+Each factory in :mod:`fixtures.broken` builds a :class:`CompiledProgram`
+that violates exactly one verifier rule; the test suite asserts the rule
+fires on it and that no *other* rule does.
+"""
+
+from fixtures.broken import (
+    five_colour_region,
+    missing_checkpoint,
+    over_capacity_region,
+    scheduling_hazard,
+    stale_recovery_map,
+    war_hazard_store,
+)
+
+__all__ = [
+    "over_capacity_region",
+    "missing_checkpoint",
+    "war_hazard_store",
+    "five_colour_region",
+    "stale_recovery_map",
+    "scheduling_hazard",
+]

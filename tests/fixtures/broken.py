@@ -1,0 +1,153 @@
+"""Hand-built programs that each violate exactly one verifier rule.
+
+The programs are constructed below the compiler — boundaries and region
+tags are placed by hand — because the point is to test the *verifier*,
+and the real pipeline (correctly) refuses to produce these shapes.
+
+Every factory returns a :class:`CompiledProgram` under the default
+Turnpike config (SB size 4 => per-region store budget 2, colour pool 4)
+with a freshly built recovery map, so all rules other than the targeted
+one see a consistent program.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import CompiledProgram
+from repro.compiler.recovery import RecoveryMap, RegionEntry, build_recovery_map
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.isa.program import Program
+
+
+def _tag_regions(program: Program) -> None:
+    """Assign region ids: each BOUNDARY opens the next id in order."""
+    rid = None
+    next_rid = 0
+    for block in program.blocks:
+        for instr in block.instructions:
+            if instr.is_boundary:
+                rid = next_rid
+                next_rid += 1
+            instr.region_id = rid
+
+
+def _package(program: Program) -> CompiledProgram:
+    _tag_regions(program)
+    return CompiledProgram(
+        program=program,
+        config=turnpike_config(),
+        partition=None,
+        recovery=build_recovery_map(program),
+    )
+
+
+def over_capacity_region() -> CompiledProgram:
+    """R1: five regular stores in one region against a budget of two."""
+    b = ProgramBuilder("over_capacity")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    value = b.li(7)
+    base = b.li(0x400)
+    for i in range(5):
+        b.store(value, base, offset=4 * i)
+    b.ret()
+    return _package(b.finish())
+
+
+def missing_checkpoint() -> CompiledProgram:
+    """R2: a value crosses a region boundary with no checkpoint."""
+    b = ProgramBuilder("missing_checkpoint")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    value = b.li(41)
+    value = b.addi(value, 1)  # the unprotected boundary-crossing def
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    b.store(value, base)
+    b.ret()
+    return _package(b.finish())
+
+
+def war_hazard_store() -> CompiledProgram:
+    """R3: a store provably overwrites an address its region loaded."""
+    b = ProgramBuilder("war_hazard")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    value = b.load(base)
+    value = b.addi(value, 1)
+    b.store(value, base)  # same (base, 0) address: guaranteed WAR
+    b.ret()
+    return _package(b.finish())
+
+
+def five_colour_region() -> CompiledProgram:
+    """R4: one register checkpointed by four consecutive regions.
+
+    With the verified-colour slot occupied, four in-flight checkpoints
+    exhaust the default pool of four on a straight-line (acyclic) path.
+    """
+    b = ProgramBuilder("five_colour")
+    b.begin_block("entry")
+    reg = b.li(0)
+    b.emit(ins.checkpoint(reg))
+    for step in range(1, 4):
+        b.emit(ins.boundary())
+        b.addi(reg, step, dest=reg)
+        b.emit(ins.checkpoint(reg))
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    b.store(reg, base)
+    b.ret()
+    program = b.finish()
+    # The pre-boundary prologue needs a region too: open one first.
+    program.entry.instructions.insert(0, ins.boundary())
+    return _package(program)
+
+
+def stale_recovery_map() -> CompiledProgram:
+    """R5: a recovery entry whose live-in set is stale."""
+    b = ProgramBuilder("stale_recovery")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    value = b.li(3)
+    b.emit(ins.checkpoint(value))
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    b.store(value, base)
+    b.ret()
+    program = b.finish()
+    _tag_regions(program)
+    recovery = build_recovery_map(program)
+    entries = dict(recovery.entries)
+    victim = entries[1]
+    entries[1] = RegionEntry(
+        region_id=victim.region_id,
+        block=victim.block,
+        index=victim.index,
+        live_in=frozenset(),  # drops the store's value register
+    )
+    return CompiledProgram(
+        program=program,
+        config=turnpike_config(),
+        partition=None,
+        recovery=RecoveryMap(entries),
+    )
+
+
+def scheduling_hazard() -> CompiledProgram:
+    """R6: a checkpoint issued back-to-back with its 3-cycle load."""
+    b = ProgramBuilder("scheduling_hazard")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    value = b.load(base)
+    b.emit(ins.checkpoint(value))  # LD latency 3, gap 0 -> 2 stall cycles
+    b.emit(ins.boundary())
+    # Rematerialise the base after the boundary so only the checkpointed
+    # register crosses it (keeps R2 quiet; this fixture targets R6).
+    base2 = b.li(0x404)
+    b.store(value, base2)
+    b.ret()
+    return _package(b.finish())

@@ -1,0 +1,192 @@
+"""Analyses on awkward CFGs: dead blocks, irreducible and multi-entry loops.
+
+Two families of tests:
+
+* Unreachable-block safety — the dataflow passes (liveness, lab,
+  boundness) iterate reachable blocks only but must still answer queries
+  about dead blocks without crashing or inventing phantom live-outs, and
+  the full compile pipeline must survive a program with an orphan block.
+* Irreducible CFGs — dominators and natural-loop detection on graphs
+  where a "loop" has two entries. Natural-loop discovery (back edge =
+  ``t -> h`` with ``h`` dominating ``t``) must correctly report *no*
+  loops there rather than fabricating one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.dominators import compute_dominators
+from repro.analysis.liveness import compute_liveness
+from repro.analysis.loops import find_loops
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.runtime.interpreter import execute
+
+
+def _program_with_island():
+    """entry -> exit, plus an 'island' block nothing jumps to."""
+    b = ProgramBuilder("island")
+    b.begin_block("entry")
+    v = b.li(11)
+    base = b.li(0x400)
+    b.store(v, base)
+    b.jmp("exit")
+    b.begin_block("island")
+    dead = b.li(99)
+    b.store(dead, base, offset=4)
+    b.jmp("exit")
+    b.begin_block("exit")
+    b.load(base)
+    b.ret()
+    return b.finish()
+
+
+def _irreducible_program():
+    """entry branches into both halves of a two-block cycle.
+
+    ``left`` and ``right`` jump to each other, and both are reached
+    directly from entry — the classic irreducible (multi-entry) loop.
+    A counter bounds the cycle so the program still terminates.
+    """
+    b = ProgramBuilder("irreducible")
+    b.begin_block("entry")
+    i = b.li(0)
+    limit = b.li(4)
+    sel = b.li(1)
+    b.beq(sel, i, "left", "right")
+    b.begin_block("left")
+    i = b.addi(i, 1, dest=i)
+    b.blt(i, limit, "right", "exit")
+    b.begin_block("right")
+    i = b.addi(i, 1, dest=i)
+    b.blt(i, limit, "left", "exit")
+    b.begin_block("exit")
+    b.ret()
+    return b.finish()
+
+
+class TestUnreachableBlocks:
+    def test_cfg_reports_reachability(self):
+        cfg = build_cfg(_program_with_island())
+        assert cfg.is_reachable("entry")
+        assert cfg.is_reachable("exit")
+        assert not cfg.is_reachable("island")
+
+    def test_liveness_query_on_dead_block_is_empty(self):
+        program = _program_with_island()
+        cfg = build_cfg(program)
+        liveness = compute_liveness(cfg)
+        # Dead blocks contribute nothing downstream: live-out is empty,
+        # and querying them must not raise.
+        island = next(bl for bl in program.blocks if bl.label == "island")
+        pairs = liveness.live_after(island.label)
+        assert len(pairs) == len(island.instructions)
+        assert pairs[-1][1] == frozenset()
+
+    def test_liveness_of_reachable_blocks_unpolluted(self):
+        program = _program_with_island()
+        liveness = compute_liveness(build_cfg(program))
+        entry = program.entry
+        # The island stores base+4; if dead blocks leaked into the
+        # fixpoint, entry's live-out would keep the dead value alive.
+        _, live_out = liveness.live_after(entry.label)[-1]
+        dead_value_regs = {
+            instr.dest
+            for bl in program.blocks
+            if bl.label == "island"
+            for instr in bl.instructions
+            if instr.dest is not None
+        }
+        assert not (live_out & dead_value_regs)
+
+    def test_full_pipeline_compiles_and_runs_island_program(self):
+        compiled = compile_program(_program_with_island(), turnpike_config())
+        result = execute(compiled.program)
+        assert result.memory.load(0x400) == 11
+
+    def test_recovery_map_skips_dead_blocks(self):
+        compiled = compile_program(_program_with_island(), turnpike_config())
+        dead = {
+            bl.label
+            for bl in compiled.program.blocks
+            if not build_cfg(compiled.program).is_reachable(bl.label)
+        }
+        for entry in compiled.recovery.entries.values():
+            assert entry.block not in dead
+
+    def test_verifier_accepts_island_program(self):
+        from repro.verify import verify_compiled
+
+        compiled = compile_program(_program_with_island(), turnpike_config())
+        assert verify_compiled(compiled).ok
+
+
+class TestIrreducibleCfgs:
+    def test_dominators_of_multi_entry_cycle(self):
+        cfg = build_cfg(_irreducible_program())
+        dom = compute_dominators(cfg)
+        # Neither half of the cycle dominates the other: each can be
+        # reached from entry without passing through its partner.
+        assert not dom.dominates("left", "right")
+        assert not dom.dominates("right", "left")
+        assert dom.idom["left"] == "entry"
+        assert dom.idom["right"] == "entry"
+        assert dom.dominates("entry", "exit")
+
+    def test_dominator_sets_match_idom_walk(self):
+        cfg = build_cfg(_irreducible_program())
+        dom = compute_dominators(cfg)
+        sets = dom.dominator_sets()
+        assert sets["left"] == {"entry", "left"}
+        assert sets["right"] == {"entry", "right"}
+        assert sets["exit"] == {"entry", "exit"}
+
+    def test_no_natural_loop_fabricated_for_irreducible_cycle(self):
+        cfg = build_cfg(_irreducible_program())
+        forest = find_loops(cfg, compute_dominators(cfg))
+        # left<->right is a cycle but neither edge is a back edge under
+        # the dominance test, so the forest must be empty.
+        assert forest.headers == set()
+        assert forest.loop_depth("left") == 0
+
+    def test_reducible_loop_still_detected_alongside(self):
+        # Sanity: turning the same shape into a single-entry loop (entry
+        # only reaches 'left') makes it a natural loop again.
+        b = ProgramBuilder("reducible")
+        b.begin_block("entry")
+        i = b.li(0)
+        limit = b.li(4)
+        b.jmp("left")
+        b.begin_block("left")
+        i = b.addi(i, 1, dest=i)
+        b.blt(i, limit, "right", "exit")
+        b.begin_block("right")
+        b.jmp("left")
+        b.begin_block("exit")
+        b.ret()
+        cfg = build_cfg(b.finish())
+        forest = find_loops(cfg, compute_dominators(cfg))
+        assert forest.headers == {"left"}
+        loop = forest.loops["left"]
+        assert loop.body == {"left", "right"}
+        assert loop.exits == {"exit"}
+        assert forest.loop_depth("right") == 1
+
+    def test_dominators_ignore_unreachable_predecessors(self):
+        # An unreachable block that jumps into the reachable graph must
+        # not perturb idoms of its target.
+        b = ProgramBuilder("dead_pred")
+        b.begin_block("entry")
+        b.li(1)
+        b.jmp("mid")
+        b.begin_block("dead")
+        b.jmp("mid")
+        b.begin_block("mid")
+        b.ret()
+        cfg = build_cfg(b.finish())
+        dom = compute_dominators(cfg)
+        assert dom.idom["mid"] == "entry"
+        forest = find_loops(cfg, dom)
+        assert forest.headers == set()

@@ -1,0 +1,65 @@
+"""Each broken fixture trips exactly its intended rule.
+
+"Trips" means at least one warning- or error-severity finding from the
+target rule; "exactly" means no other rule reports at warning severity
+or above on the same program (INFO advisories are allowed — e.g. R3
+always summarises store classifications).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.verify import Severity, verify_compiled
+
+from fixtures import (
+    five_colour_region,
+    missing_checkpoint,
+    over_capacity_region,
+    scheduling_hazard,
+    stale_recovery_map,
+    war_hazard_store,
+)
+
+CASES = [
+    (over_capacity_region, "R1", Severity.ERROR),
+    (missing_checkpoint, "R2", Severity.ERROR),
+    (war_hazard_store, "R3", Severity.WARNING),
+    (five_colour_region, "R4", Severity.WARNING),
+    (stale_recovery_map, "R5", Severity.ERROR),
+    (scheduling_hazard, "R6", Severity.WARNING),
+]
+
+
+@pytest.mark.parametrize(
+    "factory,rule,severity", CASES, ids=[c[1] for c in CASES]
+)
+def test_fixture_trips_exactly_its_rule(factory, rule, severity):
+    report = verify_compiled(factory())
+    flagged = [
+        d
+        for d in report.diagnostics
+        if d.severity in (Severity.ERROR, Severity.WARNING)
+    ]
+    assert flagged, f"{rule} fixture produced no findings"
+    assert {d.rule for d in flagged} == {rule}, (
+        f"expected only {rule}, got: "
+        + "; ".join(d.render() for d in flagged)
+    )
+    assert max(d.severity.rank for d in flagged) == severity.rank
+
+
+@pytest.mark.parametrize(
+    "factory,rule,severity", CASES, ids=[c[1] for c in CASES]
+)
+def test_fixture_findings_carry_locations_and_hints(factory, rule, severity):
+    report = verify_compiled(factory())
+    target = [
+        d
+        for d in report.by_rule(rule)
+        if d.severity in (Severity.ERROR, Severity.WARNING)
+    ]
+    assert target
+    for diag in target:
+        assert diag.location.block, "rule findings should be block-anchored"
+        assert diag.hint, "actionable findings should carry a fix hint"

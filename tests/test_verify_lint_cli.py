@@ -1,0 +1,102 @@
+"""CLI behaviour of ``repro lint``: formats, exit codes, SARIF shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+from repro.verify import render_sarif, verify_compiled
+from repro.verify.sarif import RULE_CATALOGUE, reports_to_sarif
+
+from fixtures import over_capacity_region
+
+
+class TestExitCodes:
+    def test_clean_benchmark_exits_zero(self, capsys):
+        assert main(["lint", "SPLASH3.radix", "--no-differential"]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+        assert "-> OK" in out
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert main(["lint"]) == 2
+        assert main(["lint", "--all", "SPLASH3.radix"]) == 2
+        assert main(["lint", "no.such-benchmark"]) == 2
+
+    def test_strict_promotes_warnings(self):
+        # radix carries a genuine always-WAR store warning (R3).
+        assert main(["lint", "SPLASH3.radix", "--no-differential"]) == 0
+        assert (
+            main(["lint", "SPLASH3.radix", "--no-differential", "--strict"])
+            == 1
+        )
+
+
+class TestFormats:
+    def test_json_format_is_parseable_and_complete(self, capsys):
+        code = main(
+            ["lint", "SPLASH3.radix", "--no-differential", "--format", "json"]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        (report,) = payload["reports"]
+        assert report["program"] == "SPLASH3.radix"
+        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_output_file(self, tmp_path, capsys):
+        path = tmp_path / "report.json"
+        code = main(
+            [
+                "lint",
+                "SPLASH3.radix",
+                "--no-differential",
+                "--format",
+                "json",
+                "--output",
+                str(path),
+            ]
+        )
+        assert code == 0
+        assert json.loads(path.read_text())["ok"] is True
+
+    def test_differential_runs_by_default(self, capsys):
+        assert main(["lint", "SPLASH3.radix"]) == 0
+        assert "differential:" in capsys.readouterr().out
+
+
+class TestSarif:
+    def test_sarif_document_shape(self):
+        report = verify_compiled(over_capacity_region())
+        doc = reports_to_sarif([report])
+        assert doc["version"] == "2.1.0"
+        (run,) = doc["runs"]
+        driver = run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert {r["id"] for r in driver["rules"]} == set(RULE_CATALOGUE)
+        errors = [
+            res for res in run["results"] if res["level"] == "error"
+        ]
+        assert errors, "the R1 fixture must surface as SARIF errors"
+        location = errors[0]["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].startswith("repro://")
+        assert location["region"]["startLine"] >= 1
+
+    def test_sarif_levels_map_info_to_note(self):
+        report = verify_compiled(over_capacity_region())
+        doc = reports_to_sarif([report])
+        levels = {res["level"] for res in doc["runs"][0]["results"]}
+        assert levels <= {"error", "warning", "note"}
+
+    def test_render_sarif_round_trips(self):
+        report = verify_compiled(over_capacity_region())
+        parsed = json.loads(render_sarif([report]))
+        assert parsed["runs"][0]["results"]
+
+    def test_cli_sarif_format(self, capsys):
+        code = main(
+            ["lint", "SPLASH3.radix", "--no-differential", "--format", "sarif"]
+        )
+        assert code == 0
+        parsed = json.loads(capsys.readouterr().out)
+        assert parsed["version"] == "2.1.0"

@@ -1,0 +1,314 @@
+"""Unit tests for the verifier framework and the R1..R6 rule suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import CompiledProgram, compile_program
+from repro.compiler.recovery import build_recovery_map
+from repro.isa import instructions as ins
+from repro.isa.builder import ProgramBuilder
+from repro.verify import (
+    Severity,
+    VerifierContext,
+    VerifierPassManager,
+    build_region_graph,
+    color_runs,
+    default_manager,
+    default_rules,
+    verify_compiled,
+)
+from repro.verify.diagnostics import Diagnostic, Location, VerificationReport
+from repro.verify.rules.war import MAY, MUST, WARFREE, classify_stores, simulate_war
+
+from fixtures.broken import _package  # reuse the hand-tagging helper
+from helpers import build_sum_loop
+
+
+def _clean_compiled():
+    """A well-formed two-region program (compiled by hand)."""
+    b = ProgramBuilder("clean")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    v = b.li(5)
+    b.emit(ins.checkpoint(v))
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    b.store(v, base)
+    b.ret()
+    return _package(b.finish())
+
+
+class TestFramework:
+    def test_clean_program_has_no_errors(self):
+        report = verify_compiled(_clean_compiled())
+        assert report.ok
+        assert report.rules_run == ["R1", "R2", "R3", "R4", "R5", "R6"]
+
+    def test_manager_runs_selected_rules_only(self):
+        rules = [r for r in default_rules() if r.rule_id in ("R1", "R5")]
+        report = VerifierPassManager(rules).run(
+            VerifierContext(_clean_compiled())
+        )
+        assert report.rules_run == ["R1", "R5"]
+
+    def test_report_rendering_and_counts(self):
+        report = VerificationReport(program="p")
+        report.extend(
+            [
+                Diagnostic("R1", Severity.ERROR, Location("p", "b", 3), "boom"),
+                Diagnostic("R3", Severity.INFO, Location("p"), "fyi"),
+            ]
+        )
+        assert not report.ok
+        assert report.summary_counts() == {"error": 1, "warning": 0, "info": 1}
+        text = report.render_text()
+        assert "error[R1] p/b:3: boom" in text
+        assert report.to_dict()["counts"]["error"] == 1
+
+    def test_text_rendering_elides_long_groups(self):
+        report = VerificationReport(program="p")
+        report.extend(
+            Diagnostic("R6", Severity.WARNING, Location("p", "b", i), "w")
+            for i in range(12)
+        )
+        text = report.render_text(max_per_rule=3)
+        assert "9 more R6/warning finding(s) elided" in text
+
+
+class TestRegionGraph:
+    def test_straightline_regions_chain(self):
+        compiled = _clean_compiled()
+        graph = build_region_graph(VerifierContext(compiled).cfg())
+        assert graph.regions == {0, 1}
+        assert graph.succs(0) == {1}
+        assert graph.ckpt_regs[0] and not graph.ckpt_regs.get(1)
+
+    def test_loop_regions_form_a_cycle(self):
+        program = build_sum_loop(trip=4)
+        compiled = compile_program(program, turnpike_config())
+        graph = build_region_graph(VerifierContext(compiled).cfg())
+
+        def reaches_itself(rid):
+            seen, work = set(), list(graph.succs(rid))
+            while work:
+                node = work.pop()
+                if node == rid:
+                    return True
+                if node not in seen:
+                    seen.add(node)
+                    work.extend(graph.succs(node))
+            return False
+
+        assert any(reaches_itself(rid) for rid in graph.regions), (
+            "loop regions should form a region-graph cycle"
+        )
+
+    def test_color_runs_chain_through_non_checkpointing_regions(self):
+        # r checkpointed by regions 0 and 2; region 1 between them does
+        # not checkpoint it — the colour run must still connect 0 -> 2.
+        b = ProgramBuilder("chain")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        r = b.li(1)
+        b.emit(ins.checkpoint(r))
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        b.store(r, base)
+        b.emit(ins.boundary())
+        r2 = b.addi(r, 1, dest=r)
+        b.emit(ins.checkpoint(r2))
+        b.store(r2, base, offset=4)
+        b.ret()
+        compiled = _package(b.finish())
+        runs = color_runs(VerifierContext(compiled).region_graph())
+        assert runs[r].longest_acyclic == 2
+        assert not runs[r].cyclic
+
+
+class TestRuleSpecifics:
+    def test_r1_counts_worst_path_across_blocks(self):
+        # Diamond: one arm stores 3 times, the other once; the region
+        # spans the join, so the worst path (3 + 1 after the join) must
+        # be reported, not the per-block count.
+        b = ProgramBuilder("diamond_stores")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        v = b.li(1)
+        base = b.li(0x400)
+        cond = b.li(0)
+        then_l, else_l, join = "then", "else", "join"
+        b.beq(cond, cond, then_l, else_l)
+        b.begin_block(then_l)
+        for i in range(3):
+            b.store(v, base, offset=4 * i)
+        b.jmp(join)
+        b.begin_block(else_l)
+        b.store(v, base, offset=32)
+        b.jmp(join)
+        b.begin_block(join)
+        b.store(v, base, offset=64)
+        b.ret()
+        compiled = _package(b.finish())
+        report = verify_compiled(compiled)
+        r1 = [d for d in report.by_rule("R1") if d.severity is Severity.ERROR]
+        assert len(r1) == 1
+        assert "4 regular stores" in r1[0].message
+
+    def test_r2_checkpoint_on_one_path_only_is_reported(self):
+        # The def is checkpointed on the then-path but crosses the
+        # boundary unprotected via the else-path: path-sensitivity.
+        b = ProgramBuilder("half_protected")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        v = b.li(9)
+        cond = b.li(0)
+        b.beq(cond, cond, "then", "else")
+        b.begin_block("then")
+        b.emit(ins.checkpoint(v))
+        b.jmp("join")
+        b.begin_block("else")
+        b.jmp("join")
+        b.begin_block("join")
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        b.store(v, base)
+        b.ret()
+        compiled = _package(b.finish())
+        errors = [
+            d
+            for d in verify_compiled(compiled).by_rule("R2")
+            if d.severity is Severity.ERROR
+        ]
+        assert len(errors) == 1
+        assert "crosses a region boundary" in errors[0].message
+
+    def test_r3_distinct_offsets_same_base_are_warfree(self):
+        b = ProgramBuilder("disjoint")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        v = b.load(base, offset=0)
+        b.store(v, base, offset=4)  # provably distinct from the load
+        b.ret()
+        compiled = _package(b.finish())
+        classes = classify_stores(VerifierContext(compiled))
+        assert [sc.kind for sc in classes.values()] == [WARFREE]
+
+    def test_r3_region_reset_forgets_loads(self):
+        b = ProgramBuilder("region_reset")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        v = b.load(base)
+        b.emit(ins.checkpoint(v))
+        b.emit(ins.boundary())
+        b.store(v, base)  # same address, but a new region: WAR-free
+        b.ret()
+        compiled = _package(b.finish())
+        classes = classify_stores(VerifierContext(compiled))
+        assert [sc.kind for sc in classes.values()] == [WARFREE]
+
+    def test_r3_cross_block_loads_become_undecided(self):
+        b = ProgramBuilder("cross_block")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        v = b.load(base)
+        b.jmp("next")
+        b.begin_block("next")
+        base2 = b.li(0x500)
+        b.store(v, base2, offset=8)  # actually disjoint, but unknown
+        b.ret()
+        compiled = _package(b.finish())
+        classes = classify_stores(VerifierContext(compiled))
+        assert [sc.kind for sc in classes.values()] == [MAY]
+
+    def test_r3_simulator_matches_known_conflicts(self):
+        from repro.runtime.memory import Memory
+
+        compiled = _package_war_loop()
+        dyn = simulate_war(compiled.program, Memory())
+        conflicts = {u: s.conflicts for u, s in dyn.items() if s.executions}
+        assert any(c > 0 for c in conflicts.values())
+
+    def test_r4_acyclic_pressure_below_pool_is_silent(self):
+        compiled = _clean_compiled()
+        report = verify_compiled(compiled)
+        assert not [
+            d
+            for d in report.by_rule("R4")
+            if d.severity is not Severity.INFO
+        ]
+
+    def test_r5_flags_dangling_region_id(self):
+        compiled = _clean_compiled()
+        # Orphan an instruction into a region that has no boundary.
+        compiled.program.entry.instructions[2].region_id = 77
+        report = verify_compiled(compiled)
+        assert any(
+            "no recovery entry" in d.message for d in report.by_rule("R5")
+        )
+
+    def test_r6_quiet_when_scheduler_separated_the_pair(self):
+        b = ProgramBuilder("spaced")
+        b.begin_block("entry")
+        b.emit(ins.boundary())
+        base = b.li(0x400)
+        v = b.load(base)
+        b.li(1)
+        b.li(2)  # two filler issues cover the 3-cycle load latency
+        b.emit(ins.checkpoint(v))
+        b.ret()
+        compiled = _package(b.finish())
+        assert not verify_compiled(compiled).by_rule("R6")
+
+
+def _package_war_loop():
+    """A loop that reloads and rewrites the same cell each iteration."""
+    b = ProgramBuilder("war_loop")
+    b.begin_block("entry")
+    b.emit(ins.boundary())
+    base = b.li(0x400)
+    i = b.li(0)
+    limit = b.li(3)
+    b.jmp("loop")
+    b.begin_block("loop")
+    v = b.load(base)
+    v2 = b.addi(v, 1)
+    b.store(v2, base)
+    i2 = b.addi(i, 1, dest=i)
+    b.blt(i2, limit, "loop", "exit")
+    b.begin_block("exit")
+    b.ret()
+    return _package(b.finish())
+
+
+class TestPipelineIntegration:
+    def test_compile_with_verify_flag_passes_on_real_workload(self):
+        from repro.workloads.suites import load_workload
+
+        workload = load_workload("SPLASH3.radix")
+        compiled = compile_program(
+            workload.program, turnpike_config(), verify=True
+        )
+        report = compiled.stats["verify"]
+        assert report.ok
+
+    def test_verify_flag_raises_on_broken_result(self, monkeypatch):
+        from repro.verify import VerificationError
+        import repro.compiler.pipeline as pipeline_mod
+
+        # Sabotage the final recovery map so verification must fail.
+        def bad_recovery_map(program):
+            real = build_recovery_map(program)
+            real.entries.pop(max(real.entries), None)
+            return real
+
+        monkeypatch.setattr(
+            pipeline_mod, "build_recovery_map", bad_recovery_map
+        )
+        with pytest.raises(VerificationError) as exc:
+            compile_program(build_sum_loop(), turnpike_config(), verify=True)
+        assert exc.value.report.by_rule("R5")

@@ -49,7 +49,9 @@ from repro.runtime import (
     Memory,
     ResilienceConfig,
     ResilientMachine,
+    compile_fast,
     execute,
+    execute_fast,
 )
 from repro.workloads import (
     BenchmarkProfile,
@@ -88,7 +90,9 @@ __all__ = [
     "Memory",
     "ResilienceConfig",
     "ResilientMachine",
+    "compile_fast",
     "execute",
+    "execute_fast",
     "BenchmarkProfile",
     "Workload",
     "all_profiles",

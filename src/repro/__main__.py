@@ -3,6 +3,7 @@
 Commands:
   list                       — list the 36 benchmarks
   run <uid> [--wcdl N] [--sb N] [--scheme turnpike|turnstile|baseline]
+      [--backend fast|reference]
                              — compile + simulate one benchmark
   inject [uid] [--count N] [--wcdl N] [--targets a,b] [--workers N]
          [--manifest PATH] [--resume] [--export PATH]
@@ -10,14 +11,18 @@ Commands:
                                across protocol variants (parallel,
                                resumable via the manifest)
   lint <uid>|--all [--scheme S] [--sb N] [--format text|json|sarif]
-       [--no-differential] [--strict] [--output PATH]
+       [--no-differential] [--strict] [--output PATH] [--workers N]
                              — static resilience verifier over compiled
                                benchmarks (exit 0 clean, 1 findings,
-                               2 usage)
+                               2 usage); --workers shards --all across
+                               processes
   figure <id>                — regenerate one figure/table on the full
                                suite (fig4, fig14, fig15, fig18, fig19,
                                fig20, fig21, fig22, fig23, fig24, fig25,
                                fig26, table1)
+  cache info|clear|warm [--workers N]
+                             — inspect, empty, or pre-populate the
+                               persistent simulation artifact cache
   sensors [--clock GHZ]      — sensor-count vs WCDL table
 """
 
@@ -43,11 +48,13 @@ def _cmd_run(args) -> int:
         compile_baseline,
         compile_program,
         execute,
+        execute_fast,
         load_workload,
         turnpike_config,
         turnstile_config,
     )
 
+    run_functional = execute_fast if args.backend == "fast" else execute
     workload = load_workload(args.uid)
     if args.scheme == "baseline":
         compiled = compile_baseline(workload.program)
@@ -63,11 +70,15 @@ def _cmd_run(args) -> int:
         )
         hw = ResilienceHardwareConfig.turnpike(wcdl=args.wcdl, sb_size=args.sb)
 
-    result = execute(compiled.program, workload.fresh_memory(), collect_trace=True)
+    result = run_functional(
+        compiled.program, workload.fresh_memory(), collect_trace=True
+    )
     stats = InOrderCore(CoreConfig(), hw).run(result.trace)
 
     base = compile_baseline(workload.program)
-    base_run = execute(base.program, workload.fresh_memory(), collect_trace=True)
+    base_run = run_functional(
+        base.program, workload.fresh_memory(), collect_trace=True
+    )
     base_stats = InOrderCore(
         CoreConfig(), ResilienceHardwareConfig.baseline()
     ).run(base_run.trace)
@@ -211,6 +222,43 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+def _cmd_cache(args) -> int:
+    from repro.harness.artifacts import ArtifactCache
+
+    cache = ArtifactCache.default()
+    if cache is None:
+        print("persistent cache disabled (REPRO_CACHE_DIR=0)", file=sys.stderr)
+        return 2
+    if args.action == "info":
+        info = cache.info()
+        print(f"location:  {info['root']}")
+        print(
+            f"artifacts: {info['artifacts']} "
+            f"({info['traces']} traces, {info['stats']} stats)"
+        )
+        print(f"size:      {info['bytes'] / 1024:.1f} KiB")
+        print(f"code hash: {info['code_digest']}")
+    elif args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached artifact(s) from {cache.root}")
+    elif args.action == "warm":
+        from repro.harness.runner import resolve_workers, warm_suite
+
+        workers = resolve_workers(args.workers)
+        print(
+            f"warming benchmark x scheme matrix with {workers} worker(s)...",
+            file=sys.stderr,
+        )
+        results = warm_suite(workers=workers)
+        info = cache.info()
+        print(
+            f"warmed {len(results)} (benchmark, scheme) pairs; cache now "
+            f"holds {info['artifacts']} artifacts "
+            f"({info['bytes'] / 1024:.1f} KiB)"
+        )
+    return 0
+
+
 def _cmd_sensors(args) -> int:
     from repro.sensors import (
         area_overhead_percent,
@@ -245,6 +293,13 @@ def main(argv: list[str] | None = None) -> int:
         "--scheme",
         choices=("turnpike", "turnstile", "baseline"),
         default="turnpike",
+    )
+    run_p.add_argument(
+        "--backend",
+        choices=("fast", "reference"),
+        default="fast",
+        help="functional simulation backend (fast: compiled basic-block "
+        "replay; reference: the golden interpreter)",
     )
 
     inj_p = sub.add_parser("inject", help="fault-injection campaign")
@@ -316,9 +371,28 @@ def main(argv: list[str] | None = None) -> int:
     lint_p.add_argument(
         "--output", default=None, help="write the report to this path"
     )
+    lint_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for --all (default: REPRO_WORKERS or 1; "
+        "0 means one per CPU)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a figure/table")
     fig_p.add_argument("id")
+
+    cache_p = sub.add_parser(
+        "cache", help="manage the persistent simulation artifact cache"
+    )
+    cache_p.add_argument("action", choices=("info", "clear", "warm"))
+    cache_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for warm (default: REPRO_WORKERS or 1; "
+        "0 means one per CPU)",
+    )
 
     sen_p = sub.add_parser("sensors", help="sensor sizing table")
     sen_p.add_argument("--clock", type=float, default=2.5)
@@ -330,6 +404,7 @@ def main(argv: list[str] | None = None) -> int:
         "inject": _cmd_inject,
         "lint": _cmd_lint,
         "figure": _cmd_figure,
+        "cache": _cmd_cache,
         "sensors": _cmd_sensors,
     }
     return handlers[args.command](args)

@@ -47,6 +47,23 @@ class CLQStats:
             return 0.0
         return self.occupancy_sum / self.occupancy_samples
 
+    def merge(self, other: "CLQStats") -> "CLQStats":
+        """Fold another shard's CLQ counters into this one, in place.
+
+        All fields are either sums or maxima, so merging shards is exact
+        (``occupancy_avg`` is derived from the merged sum/samples).
+        """
+        self.loads_inserted += other.loads_inserted
+        self.war_checks += other.war_checks
+        self.war_conflicts += other.war_conflicts
+        self.overflows += other.overflows
+        self.parity_conservative += other.parity_conservative
+        self.occupancy_samples += other.occupancy_samples
+        self.occupancy_sum += other.occupancy_sum
+        if other.occupancy_max > self.occupancy_max:
+            self.occupancy_max = other.occupancy_max
+        return self
+
 
 class BaseCLQ:
     """Common interface: per-region-instance load tracking + WAR queries."""

@@ -49,6 +49,45 @@ class SimStats:
     def all_stores(self) -> int:
         return self.stores_total + self.checkpoints_total
 
+    def merge(self, other: "SimStats") -> "SimStats":
+        """Fold another shard's stats into this one, in place.
+
+        Multiprocess campaigns time disjoint slices of work in separate
+        processes; merging treats the shards as executing back-to-back:
+        counters and cycle totals add, occupancy maxima take the max, and
+        the CLQ occupancy average is weighted by each shard's region
+        count (the boundary commits at which occupancy is sampled).
+        Returns ``self`` for chaining.
+        """
+        my_regions, other_regions = self.regions, other.regions
+        self.cycles += other.cycles
+        self.instructions += other.instructions
+        self.sb_stall_cycles += other.sb_stall_cycles
+        self.data_stall_cycles += other.data_stall_cycles
+        self.branch_stall_cycles += other.branch_stall_cycles
+        self.stores_total += other.stores_total
+        self.checkpoints_total += other.checkpoints_total
+        self.warfree_released += other.warfree_released
+        self.colored_released += other.colored_released
+        self.quarantined += other.quarantined
+        self.spill_stores += other.spill_stores
+        self.app_stores += other.app_stores
+        self.regions += other.regions
+        self.forced_region_closures += other.forced_region_closures
+        self.branch_mispredictions += other.branch_mispredictions
+        weight = my_regions + other_regions
+        if weight:
+            self.clq_occupancy_avg = (
+                self.clq_occupancy_avg * my_regions
+                + other.clq_occupancy_avg * other_regions
+            ) / weight
+        self.clq_occupancy_max = max(
+            self.clq_occupancy_max, other.clq_occupancy_max
+        )
+        for key, value in other.cache.items():
+            self.cache[key] = self.cache.get(key, 0) + value
+        return self
+
     def as_dict(self) -> dict[str, float]:
         return {
             "cycles": self.cycles,
@@ -67,6 +106,16 @@ class SimStats:
             "clq_occupancy_avg": self.clq_occupancy_avg,
             "clq_occupancy_max": self.clq_occupancy_max,
         }
+
+
+def merge_stats(shards: list[SimStats]) -> SimStats:
+    """Combine per-shard stats into one aggregate (fresh object)."""
+    if not shards:
+        raise ValueError("merge_stats of empty list")
+    total = SimStats()
+    for shard in shards:
+        total.merge(shard)
+    return total
 
 
 def slowdown(resilient: SimStats, baseline: SimStats) -> float:

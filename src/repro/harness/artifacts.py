@@ -1,0 +1,189 @@
+"""Persistent on-disk artifact cache for simulation products.
+
+Traces and timing results are pure functions of (benchmark uid, compiler
+config, hardware config, core config) *and of the simulator's own source
+code*. This module keys every artifact by a digest of the whole
+``repro`` package source plus the reprs of the frozen config dataclasses,
+so a warm cache can never serve results produced by different simulator
+semantics: touching any ``src/repro`` file invalidates everything.
+
+Two artifact kinds are stored:
+
+* ``trace-<key>.pkl`` — the dynamic trace of one (uid, compiler-config)
+  pair, as pickled tuples. Branch-id fields inside a trace come from the
+  process-global instruction uid counter, so cached bytes can differ from
+  a fresh trace by a constant offset — the bimodal predictor indexes its
+  table by ``uid & mask``, and aliasing depends only on pairwise uid
+  *differences*, which are structural. Timing statistics computed from a
+  cached trace are therefore identical to those from a fresh one.
+* ``stats-<key>.json`` — a finished :class:`~repro.arch.stats.SimStats`
+  for one (uid, compiler, hardware, core) combination.
+
+Writes are atomic (temp file + ``os.replace``), so any number of
+processes — the multiprocess shards of :mod:`repro.harness.runner`
+included — may share one cache directory without locking. Every load is
+failure-tolerant: a corrupt or truncated artifact is treated as a miss
+and rewritten.
+
+The cache root resolves in order:
+1. ``REPRO_CACHE_DIR`` environment variable (``0``/``off`` disables);
+2. ``~/.cache/repro-turnpike``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+
+from repro.arch.config import CoreConfig, ResilienceHardwareConfig
+from repro.arch.stats import SimStats
+from repro.compiler.config import CompilerConfig
+
+_FORMAT_VERSION = 1
+_code_digest: str | None = None
+
+
+def code_digest() -> str:
+    """Digest of every ``repro`` source file (computed once per process)."""
+    global _code_digest
+    if _code_digest is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        hasher = hashlib.sha256()
+        hasher.update(str(_FORMAT_VERSION).encode())
+        for path in sorted(root.rglob("*.py")):
+            hasher.update(str(path.relative_to(root)).encode())
+            hasher.update(path.read_bytes())
+        _code_digest = hasher.hexdigest()
+    return _code_digest
+
+
+def _key(*parts: object) -> str:
+    text = "|".join([code_digest(), *[repr(p) for p in parts]])
+    return hashlib.sha256(text.encode()).hexdigest()[:40]
+
+
+class ArtifactCache:
+    """File-per-artifact cache under one root directory."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def default() -> "ArtifactCache | None":
+        """The environment-configured cache, or None when disabled.
+
+        Never raises: an unusable cache directory (read-only home,
+        sandboxed filesystem) degrades to no persistence.
+        """
+        env = os.environ.get("REPRO_CACHE_DIR")
+        if env is not None and env.strip().lower() in ("", "0", "off", "none"):
+            return None
+        root = env or os.path.join("~", ".cache", "repro-turnpike")
+        try:
+            return ArtifactCache(root)
+        except OSError:
+            return None
+
+    # -- keys -------------------------------------------------------------
+
+    @staticmethod
+    def trace_key(uid: str, compiler: CompilerConfig) -> str:
+        return _key("trace", uid, compiler)
+
+    @staticmethod
+    def stats_key(
+        uid: str,
+        compiler: CompilerConfig,
+        hardware: ResilienceHardwareConfig,
+        core: CoreConfig,
+    ) -> str:
+        return _key("stats", uid, compiler, hardware, core)
+
+    # -- IO ----------------------------------------------------------------
+
+    def _write_atomic(self, path: Path, data: bytes) -> None:
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, prefix=".tmp-")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(data)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            pass  # persistence is best-effort
+
+    def load_trace(self, key: str) -> list[tuple] | None:
+        path = self.root / f"trace-{key}.pkl"
+        try:
+            with open(path, "rb") as fh:
+                trace = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+        if not isinstance(trace, list):
+            return None
+        return trace
+
+    def store_trace(self, key: str, trace: list[tuple]) -> None:
+        data = pickle.dumps(trace, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(self.root / f"trace-{key}.pkl", data)
+
+    def load_stats(self, key: str) -> SimStats | None:
+        path = self.root / f"stats-{key}.json"
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        try:
+            return SimStats(**data)
+        except TypeError:
+            return None
+
+    def store_stats(self, key: str, stats: SimStats) -> None:
+        data = json.dumps(dataclasses.asdict(stats), sort_keys=True)
+        self._write_atomic(self.root / f"stats-{key}.json", data.encode())
+
+    # -- maintenance -------------------------------------------------------
+
+    def artifact_paths(self) -> list[Path]:
+        return sorted(
+            p
+            for p in self.root.iterdir()
+            if p.name.startswith(("trace-", "stats-"))
+        )
+
+    def clear(self) -> int:
+        """Delete every artifact (any generation); returns the count."""
+        removed = 0
+        for path in self.artifact_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def info(self) -> dict[str, object]:
+        paths = self.artifact_paths()
+        traces = [p for p in paths if p.name.startswith("trace-")]
+        return {
+            "root": str(self.root),
+            "artifacts": len(paths),
+            "traces": len(traces),
+            "stats": len(paths) - len(traces),
+            "bytes": sum(p.stat().st_size for p in paths),
+            "code_digest": code_digest()[:16],
+        }

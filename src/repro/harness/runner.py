@@ -1,103 +1,246 @@
-"""Compile / execute / simulate pipeline with memoisation.
+"""Compile / execute / simulate pipeline with memoisation and sharding.
 
 Every experiment needs the same expensive artefacts — compiled programs,
-dynamic traces, baseline cycle counts — for many (benchmark, compiler
-config, hardware config) combinations. This module produces them through
-a process-wide cache so a full figure sweep touches each artefact once.
+dynamic traces, timing results — for many (benchmark, compiler config,
+hardware config) combinations. This module produces them through three
+cooperating layers:
+
+1. an in-process :class:`RunCache` (thread-safe; every lookup/insert
+   happens under one lock, so concurrent ``prepared()`` calls and
+   ``clear()`` are safe);
+2. a persistent :class:`~repro.harness.artifacts.ArtifactCache` shared
+   across processes and sessions (keyed by a digest of the simulator
+   source, so stale artefacts can never survive a code change);
+3. multiprocess sharding (:func:`simulate_many`, :func:`warm_suite`)
+   that fans benchmark x config jobs out across cores.
+
+Per-process caches are **independent**: each worker process builds its
+own ``RunCache`` (a fork inherits a snapshot of the parent's, spawn
+starts empty) and they never synchronise in memory. All cross-process
+reuse flows through the persistent artifact layer, whose writes are
+atomic — two workers may race to produce the same artefact and both
+succeed, one file winning harmlessly.
+
+Functional execution uses the fast backend
+(:mod:`repro.runtime.fastsim`) by default; set
+``REPRO_SIM_BACKEND=reference`` to fall back to the golden interpreter.
+The two are bit-identical (enforced by the differential parity suite in
+``tests/test_fastsim_parity.py``), so the choice is invisible to every
+figure.
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+import os
+import threading
+from dataclasses import replace
 
 from repro.arch.config import CoreConfig, ResilienceHardwareConfig
 from repro.arch.core import InOrderCore
 from repro.arch.stats import SimStats
 from repro.compiler.config import CompilerConfig, turnpike_config, turnstile_config
 from repro.compiler.pipeline import CompiledProgram, compile_baseline, compile_program
+from repro.harness.artifacts import ArtifactCache
+from repro.runtime.fastsim import execute_fast
 from repro.runtime.interpreter import execute
 from repro.runtime.trace import TraceSummary
 from repro.workloads.generator import Workload, build_workload
 from repro.workloads.suites import all_profiles, profile as lookup_profile
 
 
-@dataclass
-class PreparedRun:
-    """Everything needed to simulate one (benchmark, compile-config) pair."""
+def functional_backend() -> str:
+    """``"fast"`` (default) or ``"reference"``, from REPRO_SIM_BACKEND."""
+    backend = os.environ.get("REPRO_SIM_BACKEND", "fast").strip().lower()
+    if backend not in ("fast", "reference"):
+        raise ValueError(
+            f"REPRO_SIM_BACKEND={backend!r}: expected 'fast' or 'reference'"
+        )
+    return backend
 
-    workload: Workload
-    compiled: CompiledProgram
-    trace: list[tuple]
-    summary: TraceSummary
+
+def _run_functional(program, memory):
+    if functional_backend() == "reference":
+        return execute(program, memory, collect_trace=True)
+    return execute_fast(program, memory, collect_trace=True)
+
+
+def _baseline_config() -> CompilerConfig:
+    return CompilerConfig(
+        eager_checkpointing=False,
+        checkpoint_pruning=False,
+        licm_sinking=False,
+        induction_variable_merging=False,
+        instruction_scheduling=False,
+        store_aware_regalloc=False,
+        name="baseline",
+    )
+
+
+class PreparedRun:
+    """Everything needed to simulate one (benchmark, compile-config) pair.
+
+    The trace is always materialised; the workload and compiled program
+    are rebuilt lazily, so a run served from the persistent trace cache
+    never pays compiler time unless a caller actually asks for
+    ``.compiled`` (e.g. the code-size study).
+    """
+
+    __slots__ = ("uid", "config", "trace", "_workload", "_compiled", "_summary")
+
+    def __init__(
+        self,
+        uid: str,
+        config: CompilerConfig,
+        trace: list[tuple],
+        workload: Workload | None = None,
+        compiled: CompiledProgram | None = None,
+    ) -> None:
+        self.uid = uid
+        self.config = config
+        self.trace = trace
+        self._workload = workload
+        self._compiled = compiled
+        self._summary: TraceSummary | None = None
+
+    @property
+    def workload(self) -> Workload:
+        if self._workload is None:
+            self._workload = build_workload(lookup_profile(self.uid))
+        return self._workload
+
+    @property
+    def compiled(self) -> CompiledProgram:
+        if self._compiled is None:
+            if self.config.name == "baseline":
+                self._compiled = compile_baseline(self.workload.program)
+            else:
+                self._compiled = compile_program(self.workload.program, self.config)
+        return self._compiled
+
+    @property
+    def summary(self) -> TraceSummary:
+        if self._summary is None:
+            self._summary = TraceSummary(self.trace)
+        return self._summary
 
 
 class RunCache:
-    """Process-wide memoisation of workloads, compiles, traces, baselines."""
+    """Process-wide memoisation of workloads, compiles, traces, stats.
 
-    def __init__(self) -> None:
+    Thread-safe: all dictionary access is serialised through one
+    re-entrant lock, so ``prepared()`` from several threads and a
+    concurrent ``clear()`` cannot corrupt state (a cleared cache simply
+    recomputes). Instances in different processes are independent by
+    design — cross-process reuse goes through ``persistent``.
+    """
+
+    def __init__(
+        self, persistent: ArtifactCache | None | str = "default"
+    ) -> None:
+        if persistent == "default":
+            persistent = ArtifactCache.default()
+        self.persistent: ArtifactCache | None = persistent  # type: ignore[assignment]
+        self._lock = threading.RLock()
         self._workloads: dict[str, Workload] = {}
         # Keyed by the full (frozen) compiler config: two configs that
         # merely share a display name must not collide.
         self._prepared: dict[tuple[str, CompilerConfig], PreparedRun] = {}
-        self._baseline_cycles: dict[str, float] = {}
+        self._stats: dict[
+            tuple[str, CompilerConfig, ResilienceHardwareConfig, CoreConfig],
+            SimStats,
+        ] = {}
 
     def workload(self, uid: str) -> Workload:
-        wl = self._workloads.get(uid)
-        if wl is None:
-            wl = build_workload(lookup_profile(uid))
-            self._workloads[uid] = wl
-        return wl
+        with self._lock:
+            wl = self._workloads.get(uid)
+            if wl is None:
+                wl = build_workload(lookup_profile(uid))
+                self._workloads[uid] = wl
+            return wl
 
     def prepared(self, uid: str, config: CompilerConfig) -> PreparedRun:
         key = (uid, config)
-        run = self._prepared.get(key)
-        if run is None:
+        with self._lock:
+            run = self._prepared.get(key)
+            if run is not None:
+                return run
+            if self.persistent is not None:
+                trace = self.persistent.load_trace(
+                    self.persistent.trace_key(uid, config)
+                )
+                if trace is not None:
+                    run = PreparedRun(uid, config, trace)
+                    self._prepared[key] = run
+                    return run
             workload = self.workload(uid)
             if config.name == "baseline":
                 compiled = compile_baseline(workload.program)
             else:
                 compiled = compile_program(workload.program, config)
-            result = execute(
-                compiled.program, workload.fresh_memory(), collect_trace=True
-            )
+            result = _run_functional(compiled.program, workload.fresh_memory())
             assert result.trace is not None
             run = PreparedRun(
-                workload=workload,
-                compiled=compiled,
-                trace=result.trace,
-                summary=TraceSummary(result.trace),
+                uid, config, result.trace, workload=workload, compiled=compiled
             )
+            if self.persistent is not None:
+                self.persistent.store_trace(
+                    self.persistent.trace_key(uid, config), result.trace
+                )
             self._prepared[key] = run
-        return run
+            return run
 
     def baseline(self, uid: str, core: CoreConfig | None = None) -> PreparedRun:
-        cfg = CompilerConfig(
-            eager_checkpointing=False,
-            checkpoint_pruning=False,
-            licm_sinking=False,
-            induction_variable_merging=False,
-            instruction_scheduling=False,
-            store_aware_regalloc=False,
-            name="baseline",
-        )
-        return self.prepared(uid, cfg)
+        return self.prepared(uid, _baseline_config())
+
+    def stats(
+        self,
+        uid: str,
+        compiler: CompilerConfig,
+        hardware: ResilienceHardwareConfig,
+        core: CoreConfig | None = None,
+    ) -> SimStats:
+        """Timing stats for one combination, memoised at every layer."""
+        core = core or CoreConfig()
+        key = (uid, compiler, hardware, core)
+        with self._lock:
+            stats = self._stats.get(key)
+            if stats is None and self.persistent is not None:
+                stats = self.persistent.load_stats(
+                    self.persistent.stats_key(uid, compiler, hardware, core)
+                )
+                if stats is not None:
+                    self._stats[key] = stats
+            if stats is None:
+                run = self.prepared(uid, compiler)
+                stats = InOrderCore(core, hardware).run(run.trace)
+                self._stats[key] = stats
+                if self.persistent is not None:
+                    self.persistent.store_stats(
+                        self.persistent.stats_key(uid, compiler, hardware, core),
+                        stats,
+                    )
+            # Defensive copy: cached stats must survive caller mutation.
+            return replace(stats, cache=dict(stats.cache))
 
     def baseline_cycles(self, uid: str, core: CoreConfig | None = None) -> float:
-        cycles = self._baseline_cycles.get(uid)
-        if cycles is None:
-            run = self.baseline(uid)
-            stats = InOrderCore(
-                core or CoreConfig(), ResilienceHardwareConfig.baseline()
-            ).run(run.trace)
-            cycles = stats.cycles
-            self._baseline_cycles[uid] = cycles
-        return cycles
+        return self.stats(
+            uid,
+            _baseline_config(),
+            ResilienceHardwareConfig.baseline(),
+            core,
+        ).cycles
 
     def clear(self) -> None:
-        self._workloads.clear()
-        self._prepared.clear()
-        self._baseline_cycles.clear()
+        """Drop all in-memory memoisation (atomically).
+
+        The persistent on-disk layer is deliberately untouched — use
+        ``cache.persistent.clear()`` (or ``repro cache clear``) for that.
+        """
+        with self._lock:
+            self._workloads.clear()
+            self._prepared.clear()
+            self._stats.clear()
 
 
 GLOBAL_CACHE = RunCache()
@@ -112,8 +255,7 @@ def simulate(
 ) -> SimStats:
     """Timing-simulate one benchmark under a scheme."""
     cache = cache or GLOBAL_CACHE
-    run = cache.prepared(uid, compiler)
-    return InOrderCore(core or CoreConfig(), hardware).run(run.trace)
+    return cache.stats(uid, compiler, hardware, core)
 
 
 def normalized_time(
@@ -157,3 +299,88 @@ def turnpike_scheme(
 
 def default_benchmarks() -> list[str]:
     return [p.uid for p in all_profiles()]
+
+
+# -- multiprocess sharding -------------------------------------------------
+
+SimJob = tuple  # (uid, CompilerConfig, ResilienceHardwareConfig[, CoreConfig])
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Explicit argument > REPRO_WORKERS env > 1 (sequential)."""
+    if workers is None:
+        try:
+            workers = int(os.environ.get("REPRO_WORKERS", "1"))
+        except ValueError:
+            workers = 1
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return workers
+
+
+def _mp_simulate(job: SimJob) -> SimStats:
+    """Worker entry point: simulate one job via the worker's own caches."""
+    uid, compiler, hardware = job[0], job[1], job[2]
+    core = job[3] if len(job) > 3 else None
+    return simulate(uid, compiler, hardware, core)
+
+
+def simulate_many(
+    jobs: list[SimJob],
+    workers: int | None = None,
+    cache: RunCache | None = None,
+) -> list[SimStats]:
+    """Simulate many (uid, compiler, hardware[, core]) jobs, sharded.
+
+    With ``workers > 1`` the jobs fan out across a process pool; each
+    worker runs against its own independent in-process cache, and every
+    computed artefact lands in the shared persistent cache so the parent
+    (and future sessions) reuse it. Results return in job order and are
+    also folded into ``cache`` via the persistent layer on next access.
+    """
+    workers = resolve_workers(workers)
+    if workers <= 1 or len(jobs) <= 1:
+        cache = cache or GLOBAL_CACHE
+        return [
+            cache.stats(j[0], j[1], j[2], j[3] if len(j) > 3 else None)
+            for j in jobs
+        ]
+    import multiprocessing as mp
+
+    with mp.get_context().Pool(min(workers, len(jobs))) as pool:
+        return pool.map(_mp_simulate, jobs, chunksize=1)
+
+
+def default_schemes() -> list[tuple[str, CompilerConfig, ResilienceHardwareConfig]]:
+    """The scheme triples every figure sweep touches first."""
+    base = _baseline_config()
+    ts_c, ts_h = turnstile_scheme()
+    tp_c, tp_h = turnpike_scheme()
+    return [
+        ("baseline", base, ResilienceHardwareConfig.baseline()),
+        ("turnstile", ts_c, ts_h),
+        ("turnpike", tp_c, tp_h),
+    ]
+
+
+def warm_suite(
+    uids: list[str] | None = None,
+    schemes: list[tuple[str, CompilerConfig, ResilienceHardwareConfig]] | None = None,
+    workers: int | None = None,
+) -> dict[tuple[str, str], SimStats]:
+    """Pre-populate the caches for a benchmark x scheme matrix, sharded.
+
+    Returns ``{(uid, scheme_name): stats}``. After this returns, the
+    persistent cache holds a trace and timing stats for every
+    combination, so subsequent figure sweeps start warm.
+    """
+    uids = uids if uids is not None else default_benchmarks()
+    schemes = schemes if schemes is not None else default_schemes()
+    jobs: list[SimJob] = []
+    names: list[tuple[str, str]] = []
+    for uid in uids:
+        for name, compiler, hardware in schemes:
+            jobs.append((uid, compiler, hardware))
+            names.append((uid, name))
+    results = simulate_many(jobs, workers=workers)
+    return dict(zip(names, results))

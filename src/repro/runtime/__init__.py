@@ -13,6 +13,11 @@ from repro.runtime.interpreter import (
     ExecutionResult,
     execute,
 )
+from repro.runtime.fastsim import (
+    FastProgram,
+    compile_fast,
+    execute_fast,
+)
 from repro.runtime.trace import (
     K_ALU,
     K_BOUNDARY,
@@ -45,6 +50,9 @@ __all__ = [
     "ExecutionLimitExceeded",
     "ExecutionResult",
     "execute",
+    "FastProgram",
+    "compile_fast",
+    "execute_fast",
     "K_ALU",
     "K_BOUNDARY",
     "K_BR",

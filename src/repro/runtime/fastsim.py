@@ -1,0 +1,423 @@
+"""Fast-path functional backend: basic-block micro-trace compilation.
+
+The reference interpreter (:mod:`repro.runtime.interpreter`) decodes and
+dispatches opcode-by-opcode for every *dynamic* instruction. This module
+decodes each basic block exactly once: :func:`compile_fast` lowers every
+block into a specialised Python step function in which register slots,
+immediates, wrap-to-32-bit arithmetic, trace tuples and branch auxiliary
+bits are all folded into the generated source at compile time. Executing
+the program then replays those closed-over step functions — one call per
+dynamic basic block instead of one dispatch per dynamic instruction.
+
+The backend is held to a *bit-identical* contract with the reference
+interpreter (enforced by ``tests/test_fastsim_parity.py``):
+
+* identical final :class:`~repro.runtime.memory.Memory` image,
+* identical final register map and dynamic step count,
+* an identical trace, tuple for tuple — so the timing core produces the
+  same cycle counts, store-buffer stalls and CLQ/coloring statistics no
+  matter which backend generated the trace.
+
+The only tolerated divergence is *where* inside an over-budget block an
+:class:`ExecutionLimitExceeded` is raised: the fast backend checks the
+dynamic-instruction budget at block granularity (before running a block
+that would cross it) rather than per instruction, so the partial memory
+state at the point of the raise may differ. Successful runs are
+unaffected.
+
+Generated code for one block looks like::
+
+    def _b3(R, M, T):
+        A = T.append
+        g5 = R[5]
+        g3 = R[3]
+        g5 = (((g5 + g3) + 2147483648 & 4294967295) - 2147483648)
+        A((0, 5, 5, 3, -1, 2, 0))
+        _a = g3 + (8)
+        M[_a] = (((g5) + 2147483648 & 4294967295) - 2147483648)
+        A((4, -1, 5, 3, _a, 2, 0))
+        _tk = g5 < g3
+        A((6, -1, 5, 3, 41, 2, 3) if _tk else (6, -1, 5, 3, 41, 2, 2))
+        R[5] = g5
+        return 3 if _tk else 4
+
+Trace tuples whose fields are all static (every ALU/CKPT/BOUNDARY entry,
+and both arms of every branch) become constant tuples, which CPython
+folds into code-object constants: appending one is a single
+``LOAD_CONST`` + call.
+"""
+
+from __future__ import annotations
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.program import Program
+from repro.isa.registers import Reg
+from repro.runtime import trace as tr
+from repro.runtime.interpreter import (
+    ExecutionLimitExceeded,
+    ExecutionResult,
+    _reg_index,
+)
+from repro.runtime.memory import Memory, STACK_BASE
+
+__all__ = ["FastProgram", "compile_fast", "execute_fast"]
+
+
+# Signed 32-bit wrap as a branch-free expression (identical results to
+# memory.wrap32 for every int): ((x + 2^31) & (2^32 - 1)) - 2^31.
+def _wrap(expr: str) -> str:
+    return f"((({expr}) + 2147483648 & 4294967295) - 2147483648)"
+
+
+_BRANCH_CMP = {
+    Opcode.BEQ: "==",
+    Opcode.BNE: "!=",
+    Opcode.BLT: "<",
+    Opcode.BGE: ">=",
+}
+
+
+def _alu_expr(instr: Instruction, use) -> str:
+    """The exact expression :func:`interpreter._eval_alu` computes."""
+    op = instr.op
+    if op is Opcode.LI:
+        from repro.runtime.memory import wrap32
+
+        return repr(wrap32(instr.imm))
+    if op is Opcode.MOV:
+        return use(instr.srcs[0])
+    if op is Opcode.ADDI:
+        return _wrap(f"{use(instr.srcs[0])} + ({instr.imm})")
+    if op is Opcode.MULI:
+        return _wrap(f"{use(instr.srcs[0])} * ({instr.imm})")
+    if op is Opcode.ANDI:
+        return f"{use(instr.srcs[0])} & ({instr.imm})"
+    if op is Opcode.SHLI:
+        return _wrap(f"{use(instr.srcs[0])} << {instr.imm & 31}")
+    if op is Opcode.SHRI:
+        return f"({use(instr.srcs[0])} & 4294967295) >> {instr.imm & 31}"
+    if op is Opcode.NOP:
+        return "0"
+    a = use(instr.srcs[0])
+    b = use(instr.srcs[1])
+    if op is Opcode.ADD:
+        return _wrap(f"{a} + {b}")
+    if op is Opcode.SUB:
+        return _wrap(f"{a} - {b}")
+    if op is Opcode.MUL:
+        return _wrap(f"{a} * {b}")
+    if op is Opcode.DIV:
+        # int(a / b): C-style truncation via float division, exactly as
+        # the reference interpreter computes it.
+        return f"(0 if {b} == 0 else {_wrap(f'int({a} / {b})')})"
+    if op is Opcode.REM:
+        return f"(0 if {b} == 0 else {_wrap(f'{a} - int({a} / {b}) * {b}')})"
+    if op is Opcode.AND:
+        return f"{a} & {b}"
+    if op is Opcode.OR:
+        return f"{a} | {b}"
+    if op is Opcode.XOR:
+        return f"{a} ^ {b}"
+    if op is Opcode.SHL:
+        return _wrap(f"{a} << ({b} & 31)")
+    if op is Opcode.SHR:
+        return f"({a} & 4294967295) >> ({b} & 31)"
+    if op is Opcode.SLT:
+        return f"(1 if {a} < {b} else 0)"
+    if op is Opcode.SEQ:
+        return f"(1 if {a} == {b} else 0)"
+    raise ValueError(f"unhandled opcode {op}")
+
+
+class _BlockCode:
+    """Codegen result for one basic block."""
+
+    __slots__ = ("length", "writes", "trace_lines", "plain_lines")
+
+    def __init__(self) -> None:
+        self.length = 0
+        self.writes: set[Reg] = set()
+        self.trace_lines: list[str] = []
+        self.plain_lines: list[str] = []
+
+
+def _gen_block(
+    block_instrs: list[Instruction],
+    label: str,
+    here_order: int,
+    label_index: dict[str, int],
+    block_order: dict[str, int],
+) -> _BlockCode:
+    out = _BlockCode()
+    body: list[tuple[str, bool]] = []  # (line, trace_only)
+    defined: set[str] = set()
+    load_order: list[tuple[str, int]] = []
+    loaded: set[str] = set()
+
+    def use(reg: Reg) -> str:
+        slot = _reg_index(reg)
+        name = f"g{slot}"
+        if name not in defined and name not in loaded:
+            loaded.add(name)
+            load_order.append((name, slot))
+        return name
+
+    def define(reg: Reg) -> str:
+        name = f"g{_reg_index(reg)}"
+        defined.add(name)
+        out.writes.add(reg)
+        return name
+
+    def emit(line: str, trace_only: bool = False) -> None:
+        body.append((line, trace_only))
+
+    def region_of(instr: Instruction) -> int:
+        return -1 if instr.region_id is None else instr.region_id
+
+    terminated = False
+    for instr in block_instrs:
+        out.length += 1
+        op = instr.op
+        srcs = instr.srcs
+
+        if op is Opcode.BOUNDARY:
+            emit(
+                f"A((7, -1, -1, -1, -1, {instr.region_id or 0}, 0))",
+                trace_only=True,
+            )
+            continue
+
+        if op is Opcode.LD:
+            base = use(srcs[0])
+            emit(f"_a = {base} + ({instr.imm})" if instr.imm else f"_a = {base}")
+            s1 = _reg_index(srcs[0])
+            dest = define(instr.dest)
+            emit(f"{dest} = M.get(_a, 0)")
+            emit(
+                f"A((3, {_reg_index(instr.dest)}, {s1}, -1, _a,"
+                f" {region_of(instr)}, 0))",
+                trace_only=True,
+            )
+            continue
+
+        if op is Opcode.ST:
+            value = use(srcs[0])
+            base = use(srcs[1])
+            emit(f"_a = {base} + ({instr.imm})" if instr.imm else f"_a = {base}")
+            emit(f"M[_a] = {_wrap(value)}")
+            kind_ord = tr.STORE_KIND_ORDINAL.get(instr.store_kind, 0)
+            emit(
+                f"A((4, -1, {_reg_index(srcs[0])}, {_reg_index(srcs[1])},"
+                f" _a, {region_of(instr)}, {kind_ord}))",
+                trace_only=True,
+            )
+            continue
+
+        if op is Opcode.CKPT:
+            emit(
+                f"A((5, -1, {_reg_index(srcs[0])}, -1, -1,"
+                f" {region_of(instr)}, 0))",
+                trace_only=True,
+            )
+            continue
+
+        if op in _BRANCH_CMP:
+            lhs = use(srcs[0])
+            rhs = use(srcs[1])
+            backward = 2 if block_order[instr.targets[0]] <= here_order else 0
+            s1, s2 = _reg_index(srcs[0]), _reg_index(srcs[1])
+            taken_tup = f"(6, -1, {s1}, {s2}, {instr.uid}, {region_of(instr)}, {1 | backward})"
+            fall_tup = f"(6, -1, {s1}, {s2}, {instr.uid}, {region_of(instr)}, {backward})"
+            emit(f"_tk = {lhs} {_BRANCH_CMP[op]} {rhs}")
+            emit(f"A({taken_tup} if _tk else {fall_tup})", trace_only=True)
+            ret = (
+                f"return {label_index[instr.targets[0]]} if _tk"
+                f" else {label_index[instr.targets[1]]}"
+            )
+            terminated = True
+            break
+
+        if op is Opcode.JMP:
+            backward = 2 if block_order[instr.targets[0]] <= here_order else 0
+            emit(
+                f"A((6, -1, -1, -1, {instr.uid}, {region_of(instr)},"
+                f" {1 | backward | 4}))",
+                trace_only=True,
+            )
+            ret = f"return {label_index[instr.targets[0]]}"
+            terminated = True
+            break
+
+        if op is Opcode.RET:
+            emit("A((8, -1, -1, -1, -1, -1, 0))", trace_only=True)
+            ret = "return -1"
+            terminated = True
+            break
+
+        # ALU family.
+        expr = _alu_expr(instr, use)
+        dest_slot = -1
+        if instr.dest is not None:
+            dest_slot = _reg_index(instr.dest)
+            emit(f"{define(instr.dest)} = {expr}")
+        src1 = _reg_index(srcs[0]) if len(srcs) > 0 else -1
+        src2 = _reg_index(srcs[1]) if len(srcs) > 1 else -1
+        emit(
+            f"A(({tr.kind_of_opcode(op)}, {dest_slot}, {src1}, {src2}, -1,"
+            f" {region_of(instr)}, 0))",
+            trace_only=True,
+        )
+
+    if not terminated:
+        # Mirror the interpreter's error for non-terminated blocks.
+        ret = f"raise RuntimeError({f'fell off the end of block {label!r}'!r})"
+
+    prologue = [f"{name} = R[{slot}]" for name, slot in load_order]
+    writeback = sorted(f"R[{_reg_index(r)}] = g{_reg_index(r)}" for r in out.writes)
+    for traced in (True, False):
+        lines = prologue + [
+            line for line, trace_only in body if traced or not trace_only
+        ]
+        lines = (["A = T.append"] if traced else []) + lines
+        lines += writeback
+        lines.append(ret)
+        target = out.trace_lines if traced else out.plain_lines
+        target.extend(lines)
+    return out
+
+
+class FastProgram:
+    """A program lowered to per-block step functions.
+
+    The lowering snapshots the program at compile time: mutating the
+    source :class:`Program` afterwards is NOT reflected (unlike the
+    reference interpreter, which re-reads instructions every step).
+    """
+
+    def __init__(self, program: Program) -> None:
+        self.name = program.name
+        self._sp = program.register_file.stack_pointer
+        self._sp_slot = _reg_index(self._sp)
+
+        label_index = {b.label: i for i, b in enumerate(program.blocks)}
+        block_order = {b.label: i for i, b in enumerate(program.blocks)}
+        if not program.blocks:
+            # Match Program.entry's complaint lazily at execute time.
+            self._lens: list[int] = []
+            self._writes: list[set[Reg]] = []
+            self._tfuncs: list = []
+            self._pfuncs: list = []
+            self.num_slots = 32
+            return
+
+        codes = [
+            _gen_block(
+                b.instructions, b.label, block_order[b.label], label_index,
+                block_order,
+            )
+            for b in program.blocks
+        ]
+        self._lens = [c.length for c in codes]
+        self._writes = [c.writes for c in codes]
+
+        src_lines: list[str] = []
+        for i, code in enumerate(codes):
+            src_lines.append(f"def _b{i}_t(R, M, T):")
+            src_lines.extend(f"    {line}" for line in code.trace_lines)
+            src_lines.append(f"def _b{i}_p(R, M):")
+            src_lines.extend(f"    {line}" for line in code.plain_lines)
+        namespace: dict[str, object] = {}
+        exec(compile("\n".join(src_lines), f"<fastsim:{self.name}>", "exec"), namespace)
+        self._tfuncs = [namespace[f"_b{i}_t"] for i in range(len(codes))]
+        self._pfuncs = [namespace[f"_b{i}_p"] for i in range(len(codes))]
+
+        slots = [self._sp_slot] + [_reg_index(r) for r in program.all_registers()]
+        self.num_slots = max(32, max(slots) + 1)
+
+    def execute(
+        self,
+        memory: Memory | None = None,
+        initial_registers: dict[Reg, int] | None = None,
+        max_steps: int = 2_000_000,
+        collect_trace: bool = False,
+    ) -> ExecutionResult:
+        """Run to RET; same contract as :func:`interpreter.execute`."""
+        if not self._lens:
+            from repro.isa.program import ProgramError
+
+            raise ProgramError("program has no blocks")
+        mem = memory if memory is not None else Memory()
+        num_slots = self.num_slots
+        init_items = list(initial_registers.items()) if initial_registers else []
+        for reg, _ in init_items:
+            if _reg_index(reg) >= num_slots:
+                num_slots = _reg_index(reg) + 1
+        R = [0] * num_slots
+        R[self._sp_slot] = STACK_BASE
+        for reg, value in init_items:
+            R[_reg_index(reg)] = value
+
+        M = mem.cells
+        lens = self._lens
+        executed = [False] * len(lens)
+        trace: list[tuple] | None = None
+        steps = 0
+        idx = 0
+        if collect_trace:
+            trace = []
+            funcs = self._tfuncs
+            while idx >= 0:
+                steps += lens[idx]
+                if steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"{self.name}: exceeded {max_steps} dynamic instructions"
+                    )
+                executed[idx] = True
+                idx = funcs[idx](R, M, trace)
+        else:
+            funcs = self._pfuncs
+            while idx >= 0:
+                steps += lens[idx]
+                if steps > max_steps:
+                    raise ExecutionLimitExceeded(
+                        f"{self.name}: exceeded {max_steps} dynamic instructions"
+                    )
+                executed[idx] = True
+                idx = funcs[idx](R, M)
+
+        regs: dict[Reg, int] = {self._sp: R[self._sp_slot]}
+        for reg, _ in init_items:
+            regs[reg] = R[_reg_index(reg)]
+        written: set[Reg] = set()
+        for i, flag in enumerate(executed):
+            if flag:
+                written.update(self._writes[i])
+        for reg in written:
+            regs[reg] = R[_reg_index(reg)]
+        return ExecutionResult(mem, regs, steps, trace)
+
+
+def compile_fast(program: Program) -> FastProgram:
+    """Lower ``program`` to per-block step functions (decode once)."""
+    return FastProgram(program)
+
+
+def execute_fast(
+    program: Program,
+    memory: Memory | None = None,
+    initial_registers: dict[Reg, int] | None = None,
+    max_steps: int = 2_000_000,
+    collect_trace: bool = False,
+) -> ExecutionResult:
+    """Drop-in replacement for :func:`interpreter.execute`.
+
+    Compiles then runs; callers replaying the same program many times
+    should hold a :class:`FastProgram` (via :func:`compile_fast`) to pay
+    the block-lowering cost once.
+    """
+    return FastProgram(program).execute(
+        memory,
+        initial_registers=initial_registers,
+        max_steps=max_steps,
+        collect_trace=collect_trace,
+    )

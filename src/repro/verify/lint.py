@@ -57,6 +57,40 @@ def lint_benchmark(
     return report
 
 
+def _lint_job(job: tuple[str, str, int, bool]) -> VerificationReport:
+    """Multiprocessing entry point: lint one benchmark in a worker.
+
+    Must stay module-level (picklable) and take a single tuple so it can
+    be mapped over a process pool; reports are plain dataclasses and
+    travel back to the parent intact.
+    """
+    uid, scheme, sb_size, differential = job
+    return lint_benchmark(
+        uid, scheme=scheme, sb_size=sb_size, differential=differential
+    )
+
+
+def _lint_all(
+    uids: list[str],
+    scheme: str,
+    sb_size: int,
+    differential: bool,
+    workers: int,
+) -> list[VerificationReport]:
+    """Lint many benchmarks, fanning out across processes when asked.
+
+    Results come back in ``uids`` order regardless of worker count, so
+    text/JSON/SARIF output is deterministic either way.
+    """
+    jobs = [(uid, scheme, sb_size, differential) for uid in uids]
+    if workers <= 1 or len(jobs) <= 1:
+        return [_lint_job(job) for job in jobs]
+    import multiprocessing as mp
+
+    with mp.get_context().Pool(min(workers, len(jobs))) as pool:
+        return pool.map(_lint_job, jobs, chunksize=1)
+
+
 def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
     """Handler for ``repro lint`` (argparse namespace in, exit code out)."""
     from repro.workloads.suites import all_profiles
@@ -83,16 +117,18 @@ def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
               file=sys.stderr)
         return EXIT_USAGE
 
-    reports: list[VerificationReport] = []
-    for uid in uids:
-        report = lint_benchmark(
-            uid,
-            scheme=args.scheme,
-            sb_size=args.sb,
-            differential=not args.no_differential,
-        )
-        reports.append(report)
-        if args.format == "text":
+    from repro.harness.runner import resolve_workers
+
+    workers = resolve_workers(getattr(args, "workers", None))
+    reports = _lint_all(
+        uids,
+        scheme=args.scheme,
+        sb_size=args.sb,
+        differential=not args.no_differential,
+        workers=workers,
+    )
+    if args.format == "text":
+        for report in reports:
             print(report.render_text(max_per_rule=args.max_per_rule),
                   file=out)
 

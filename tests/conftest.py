@@ -18,6 +18,21 @@ from repro.workloads.suites import profile
 from helpers import build_diamond, build_sum_loop
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite the golden trace fixtures instead of diffing "
+        "against them (then commit the changed JSON)",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def sum_loop():
     return build_sum_loop()

@@ -1,0 +1,378 @@
+"""Property-based tests (hypothesis) for the microarchitectural models.
+
+Three structures carry the resilience protocol's correctness burden and
+get randomized invariant checks here:
+
+* the gated store buffer — occupancy never exceeds capacity under the
+  timing model, releases drain in FIFO order, forwarding returns the
+  youngest matching value;
+* the committed load queue — the compact range design is *conservative*
+  with respect to the ideal address-matching design (it may quarantine
+  more, never less) and respects its entry bound;
+* hardware coloring — the per-register color pool is conserved: at any
+  point the free list, in-flight UC assignments, and the verified color
+  partition exactly the ``num_colors`` distinct locations.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.arch.clq import CompactCLQ, IdealCLQ
+from repro.arch.coloring import QUARANTINE, ColorMaps
+from repro.arch.store_buffer import (
+    FunctionalStoreBuffer,
+    SBEntry,
+    TimingStoreBuffer,
+)
+
+_SETTINGS = settings(max_examples=100, deadline=None)
+
+
+# ---------------------------------------------------------------------------
+# Timing store buffer
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(
+    capacity=st.integers(1, 8),
+    stores=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(1, 30)), max_size=40
+    ),
+)
+def test_timing_sb_occupancy_bounded(capacity, stores):
+    """allocation_time + push never leaves more than ``capacity`` live."""
+    sb = TimingStoreBuffer(capacity)
+    now = 0.0
+    for gap, lifetime in stores:
+        now += gap
+        when, stalled = sb.allocation_time(now)
+        assert when >= now
+        assert not stalled  # all releases in this test are finite
+        sb.push(when + lifetime, instance=0)
+        assert sb.occupancy() <= capacity
+        now = when
+
+
+@_SETTINGS
+@given(
+    n_open=st.integers(1, 8),
+    n_closed=st.integers(0, 4),
+    base=st.integers(0, 100),
+    interval=st.integers(1, 5),
+)
+def test_timing_sb_fifo_release_order(n_open, n_closed, base, interval):
+    """set_instance_release drains the open region's entries in push
+    order, one per drain interval, leaving other instances untouched."""
+    sb = TimingStoreBuffer(capacity=64)
+    for i in range(n_closed):
+        sb.push(float(i), instance=7, addr=i)
+    for i in range(n_open):
+        sb.push(float("inf"), instance=1, addr=100 + i)
+    sb.set_instance_release(1, float(base), drain_interval=float(interval))
+    mine = [e for e in sb.entries if e[1] == 1]
+    others = [e for e in sb.entries if e[1] != 1]
+    assert [e[0] for e in mine] == [
+        float(base + k * interval) for k in range(n_open)
+    ]
+    assert [e[0] for e in mine] == sorted(e[0] for e in mine)
+    assert [e[0] for e in others] == [float(i) for i in range(n_closed)]
+
+
+@_SETTINGS
+@given(
+    entries=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 7), st.integers(-50, 50)),
+        max_size=30,
+    ),
+    probe=st.integers(0, 7),
+)
+def test_functional_sb_forwarding_youngest(entries, probe):
+    """forward() returns the value of the youngest regular store, and
+    release_instance preserves FIFO order within an instance."""
+    sb = FunctionalStoreBuffer()
+    youngest: dict[int, int] = {}
+    by_instance: dict[int, list[int]] = {}
+    for serial, (instance, addr, value) in enumerate(entries):
+        sb.push(
+            SBEntry(
+                instance=instance,
+                is_checkpoint=False,
+                addr=addr,
+                reg=-1,
+                color=-1,
+                value=value,
+            )
+        )
+        youngest[addr] = value
+        by_instance.setdefault(instance, []).append(value)
+    assert sb.forward(probe) == youngest.get(probe)
+
+    for instance, expected_values in by_instance.items():
+        released = sb.release_instance(instance)
+        assert [e.value for e in released] == expected_values
+        assert all(e.instance == instance for e in released)
+    assert sb.occupancy() == 0
+    assert sb.release_instance(0) == []
+
+
+@_SETTINGS
+@given(
+    entries=st.lists(
+        st.tuples(st.booleans(), st.integers(0, 7), st.integers(-50, 50)),
+        max_size=20,
+    ),
+    probe=st.integers(0, 7),
+)
+def test_functional_sb_checkpoints_never_forward(entries, probe):
+    sb = FunctionalStoreBuffer()
+    expected = None
+    for is_ckpt, addr, value in entries:
+        sb.push(
+            SBEntry(
+                instance=0,
+                is_checkpoint=is_ckpt,
+                addr=addr if not is_ckpt else -1,
+                reg=addr if is_ckpt else -1,
+                color=0 if is_ckpt else -1,
+                value=value,
+            )
+        )
+        if not is_ckpt and addr == probe:
+            expected = value
+    assert sb.forward(probe) == expected
+
+
+# ---------------------------------------------------------------------------
+# Committed load queue: compact is conservative w.r.t. ideal
+# ---------------------------------------------------------------------------
+
+# An op is (action, addr): action 0 = record_load, 1 = store_has_war,
+# 2 = close current region and open the next.
+_clq_ops = st.lists(
+    st.tuples(st.integers(0, 2), st.integers(0, 63)), max_size=60
+)
+
+
+@_SETTINGS
+@given(ops=_clq_ops, size=st.integers(1, 4), recycle=st.booleans())
+def test_compact_clq_conservative_vs_ideal(ops, size, recycle):
+    """Whenever the ideal CLQ reports a WAR conflict, the compact CLQ
+    must as well (a missed conflict would release an unsafe store)."""
+    ideal = IdealCLQ()
+    compact = CompactCLQ(size=size, recycle=recycle)
+    instance = 0
+    ideal.begin_region(instance)
+    compact.begin_region(instance)
+    for action, addr in ops:
+        if action == 0:
+            ideal.record_load(instance, addr)
+            compact.record_load(instance, addr)
+        elif action == 1:
+            ideal_war = ideal.store_has_war(instance, addr)
+            compact_war = compact.store_has_war(instance, addr)
+            if ideal_war:
+                assert compact_war
+        else:
+            ideal.retire_region(instance)
+            # The compact design keeps closed-region entries resident
+            # until verification; only the ideal retires eagerly here,
+            # which can only make the compact side *more* conservative.
+            instance += 1
+            ideal.begin_region(instance)
+            compact.begin_region(instance)
+        assert len(compact._entries) <= size
+    assert compact.stats.occupancy_max <= size
+
+
+@_SETTINGS
+@given(ops=_clq_ops)
+def test_ideal_clq_exact(ops):
+    """The ideal CLQ is exact: WAR iff the address was loaded."""
+    clq = IdealCLQ()
+    clq.begin_region(0)
+    loaded: set[int] = set()
+    for action, addr in ops:
+        if action == 0:
+            clq.record_load(0, addr)
+            loaded.add(addr)
+        elif action == 1:
+            assert clq.store_has_war(0, addr) == (addr in loaded)
+
+
+# ---------------------------------------------------------------------------
+# Hardware coloring: pool conservation
+# ---------------------------------------------------------------------------
+
+
+def _check_pool_invariant(maps: ColorMaps) -> None:
+    """Each touched register's colors partition range(num_colors)."""
+    touched = set(maps._ac)
+    for uc in maps._uc.values():
+        touched.update(uc)
+    touched.update(maps._vc)
+    for reg in touched:
+        held = list(maps._ac.get(reg, range(maps.num_colors)))
+        for uc in maps._uc.values():
+            color = uc.get(reg)
+            if color is not None and color != QUARANTINE:
+                held.append(color)
+        vc = maps._vc.get(reg)
+        if vc is not None and vc != QUARANTINE:
+            held.append(vc)
+        assert sorted(held) == list(range(maps.num_colors)), (
+            f"register {reg}: pool {sorted(held)} is not a permutation"
+        )
+
+
+# An op is (action, reg): action 0 = assign in the open region,
+# 1 = verify the oldest open region, 2 = discard all open regions
+# (recovery), 3 = open the next region.
+_color_ops = st.lists(
+    st.tuples(st.integers(0, 3), st.integers(0, 5)), max_size=60
+)
+
+
+@_SETTINGS
+@given(ops=_color_ops, num_colors=st.integers(1, 4))
+def test_coloring_pool_conservation(ops, num_colors):
+    maps = ColorMaps(num_registers=8, num_colors=num_colors)
+    open_instances: list[int] = [0]
+    next_instance = 1
+    for action, reg in ops:
+        if action == 0:
+            color = maps.assign(open_instances[-1], reg)
+            assert color == QUARANTINE or 0 <= color < num_colors
+        elif action == 1 and open_instances:
+            maps.verify(open_instances.pop(0))
+        elif action == 2 and open_instances:
+            maps.discard(open_instances)
+            open_instances = []
+        elif action == 3:
+            open_instances.append(next_instance)
+            next_instance += 1
+        if not open_instances:
+            open_instances = [next_instance]
+            next_instance += 1
+        _check_pool_invariant(maps)
+
+
+@_SETTINGS
+@given(
+    regs=st.lists(st.integers(0, 3), min_size=1, max_size=30),
+    num_colors=st.integers(1, 4),
+)
+def test_coloring_exhaustion_quarantines(regs, num_colors):
+    """Across concurrent regions, a register yields at most num_colors
+    distinct fast colors; further demands fall back to QUARANTINE."""
+    maps = ColorMaps(num_registers=4, num_colors=num_colors)
+    per_reg_colors: dict[int, set[int]] = {}
+    for instance, reg in enumerate(regs):
+        color = maps.assign(instance, reg)  # every region distinct
+        if color != QUARANTINE:
+            colors = per_reg_colors.setdefault(reg, set())
+            assert color not in colors, "double-allocated a live color"
+            colors.add(color)
+            assert len(colors) <= num_colors
+        else:
+            assert len(per_reg_colors.get(reg, set())) == num_colors
+    _check_pool_invariant(maps)
+
+
+# ---------------------------------------------------------------------------
+# Fault sequences: strikes degrade conservatively, never unsafely
+# ---------------------------------------------------------------------------
+
+
+@_SETTINGS
+@given(
+    entries=st.lists(st.integers(-50, 50), min_size=1, max_size=10),
+    victim=st.integers(0, 9),
+    bits=st.lists(st.integers(0, 31), min_size=1, max_size=3),
+)
+def test_functional_sb_corruption_marks_parity(entries, victim, bits):
+    """corrupt_entry flips value bits and clears parity without changing
+    occupancy or entry order — the drain path owns detection."""
+    sb = FunctionalStoreBuffer()
+    for i, value in enumerate(entries):
+        sb.push(
+            SBEntry(
+                instance=0, is_checkpoint=False, addr=i, reg=-1, color=-1,
+                value=value,
+            )
+        )
+    victim %= len(entries)
+    sb.corrupt_entry(victim, *bits)
+    assert sb.occupancy() == len(entries)
+    struck = sb.entries[victim]
+    assert not struck.parity_ok
+    expected = entries[victim]
+    for b in bits:
+        expected ^= 1 << b
+    assert struck.value == expected
+    assert all(
+        e.parity_ok for i, e in enumerate(sb.entries) if i != victim
+    )
+
+
+@_SETTINGS
+@given(
+    ops=_clq_ops,
+    size=st.integers(1, 4),
+    ideal=st.booleans(),
+    bit=st.integers(0, 63),
+    probes=st.lists(st.integers(0, 63), max_size=8),
+)
+def test_clq_corruption_is_conservative(ops, size, ideal, bit, probes):
+    """After an SEU on a populated CLQ entry, the struck instance must
+    answer every WAR query with a conflict (parity fail-safe): a strike
+    can disable fast release but never green-light an unsafe one."""
+    clq = IdealCLQ() if ideal else CompactCLQ(size=size)
+    clq.begin_region(0)
+    for action, addr in ops:
+        if action == 0:
+            clq.record_load(0, addr)
+    before = clq.stats.parity_conservative
+    if not clq.corrupt(bit):
+        return  # nothing populated: no strike landed
+    for addr in probes:
+        assert clq.store_has_war(0, addr)
+    if probes:
+        assert clq.stats.parity_conservative == before + len(probes)
+
+
+@_SETTINGS
+@given(
+    assigns=st.lists(st.integers(0, 3), min_size=1, max_size=10),
+    bit=st.integers(0, 63),
+    reg=st.integers(0, 3),
+)
+def test_coloring_corruption_poisons_to_quarantine(assigns, bit, reg):
+    """A strike on the AC/UC/VC maps degrades every later assignment to
+    the store-buffer quarantine path — no post-strike fast release."""
+    maps = ColorMaps(num_registers=4, num_colors=2)
+    for instance, r in enumerate(assigns):
+        maps.assign(instance, r)
+    if not maps.corrupt(bit):
+        return
+    assert maps.parity_bad
+    fallbacks_before = maps.stats.parity_fallbacks
+    assert maps.assign(len(assigns), reg) == QUARANTINE
+    assert maps.poisoned
+    assert maps.stats.parity_fallbacks == fallbacks_before + 1
+    assert maps.assign(len(assigns) + 1, reg) == QUARANTINE
+
+
+@_SETTINGS
+@given(reg=st.integers(0, 3), rounds=st.integers(1, 12))
+def test_coloring_verify_recycles(reg, rounds):
+    """Serial assign/verify rounds never exhaust the pool: the displaced
+    verified color always returns to the free list."""
+    maps = ColorMaps(num_registers=4, num_colors=2)
+    for instance in range(rounds):
+        color = maps.assign(instance, reg)
+        assert color != QUARANTINE
+        promoted = maps.verify(instance)
+        assert promoted == {reg: color}
+        _check_pool_invariant(maps)

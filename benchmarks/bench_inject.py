@@ -1,0 +1,127 @@
+"""Benchmark the snapshot-accelerated fault-injection path.
+
+Runs the same campaign three ways and reports injections/second:
+
+* ``accel off``   — every injection simulates from cycle 0 (reference),
+* ``accel cold``  — snapshot acceleration on, empty artifact cache, so
+  the per-variant golden recordings are paid inside the measurement,
+* ``accel warm``  — a second accelerated run that loads the golden
+  records from the artifact cache written by the cold run.
+
+All three aggregates must be byte-identical (the acceleration contract);
+the script exits non-zero if they are not. Results are written to
+``benchmarks/BENCH_inject.json`` next to this file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_inject.py            # full (bzip2, 200x4)
+    PYTHONPATH=src python benchmarks/bench_inject.py --quick    # radix, 24x4 smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+HERE = Path(__file__).resolve().parent
+OUT_PATH = HERE / "BENCH_inject.json"
+
+
+def _run(spec, accel, cache_dir):
+    """One timed campaign run in a fresh interpreter state.
+
+    The in-process golden memo (`_GOLDEN_CACHE`) and compile context are
+    module-level, so cold/warm separation has to come from the on-disk
+    cache alone; we clear the in-process memos between runs.
+    """
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    from repro.faults import campaign as campaign_mod
+
+    campaign_mod._GOLDEN_CACHE.clear()
+    start = time.perf_counter()
+    report = campaign_mod.CampaignRunner(spec, accel=accel).run()
+    elapsed = time.perf_counter() - start
+    return report, elapsed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--uid", default=None, help="benchmark uid")
+    parser.add_argument("--count", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=2024)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="small radix campaign instead of the full bzip2 one",
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_PATH),
+        help="where to write the JSON results",
+    )
+    args = parser.parse_args(argv)
+
+    uid = args.uid or ("SPLASH3.radix" if args.quick else "CPU2006.bzip2")
+    count = args.count or (24 if args.quick else 200)
+
+    from repro.faults.campaign import AccelOptions, CampaignSpec
+
+    spec = CampaignSpec(uid=uid, count=count, seed=args.seed)
+    injections = spec.count * len(spec.variants)
+    print(f"campaign: {uid}, {spec.count} injections x "
+          f"{len(spec.variants)} variants = {injections} runs")
+
+    results = {}
+    with tempfile.TemporaryDirectory(prefix="bench-inject-") as cache_dir:
+        report_off, t_off = _run(
+            spec, AccelOptions(enabled=False), cache_dir="0"
+        )
+        results["accel_off"] = t_off
+        print(f"accel off : {t_off:7.1f}s  {injections / t_off:6.1f} inj/s")
+
+        report_cold, t_cold = _run(spec, AccelOptions(), cache_dir=cache_dir)
+        results["accel_cold"] = t_cold
+        print(f"accel cold: {t_cold:7.1f}s  {injections / t_cold:6.1f} inj/s")
+
+        report_warm, t_warm = _run(spec, AccelOptions(), cache_dir=cache_dir)
+        results["accel_warm"] = t_warm
+        print(f"accel warm: {t_warm:7.1f}s  {injections / t_warm:6.1f} inj/s")
+
+    identical = (
+        report_off.to_json() == report_cold.to_json() == report_warm.to_json()
+    )
+    print(f"aggregates byte-identical: {identical}")
+
+    payload = {
+        "campaign": {
+            "uid": uid,
+            "count": spec.count,
+            "seed": spec.seed,
+            "variants": list(spec.variants),
+            "targets": list(spec.targets),
+            "injections": injections,
+        },
+        "seconds": {k: round(v, 2) for k, v in results.items()},
+        "injections_per_second": {
+            k: round(injections / v, 1) for k, v in results.items()
+        },
+        "speedup_vs_off": {
+            "cold": round(results["accel_off"] / results["accel_cold"], 1),
+            "warm": round(results["accel_off"] / results["accel_warm"], 1),
+        },
+        "byte_identical": identical,
+        "python": platform.python_version(),
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"speedup: {payload['speedup_vs_off']['cold']}x cold, "
+          f"{payload['speedup_vs_off']['warm']}x warm")
+    return 0 if identical else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

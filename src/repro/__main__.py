@@ -7,9 +7,12 @@ Commands:
                              — compile + simulate one benchmark
   inject [uid] [--count N] [--wcdl N] [--targets a,b] [--workers N]
          [--manifest PATH] [--resume] [--export PATH]
+         [--accel on|off] [--snapshot-interval N]
                              — differential fault-injection campaign
                                across protocol variants (parallel,
-                               resumable via the manifest)
+                               resumable via the manifest; snapshot
+                               acceleration on by default and
+                               observationally invisible)
   lint <uid>|--all [--scheme S] [--sb N] [--format text|json|sarif]
        [--no-differential] [--strict] [--output PATH] [--workers N]
                              — static resilience verifier over compiled
@@ -104,6 +107,7 @@ def _cmd_run(args) -> int:
 
 def _cmd_inject(args) -> int:
     from repro.faults.campaign import (
+        AccelOptions,
         CampaignRunner,
         CampaignSpec,
         format_differential_report,
@@ -128,7 +132,14 @@ def _cmd_inject(args) -> int:
         print("--resume requires --manifest", file=sys.stderr)
         return 2
 
-    runner = CampaignRunner(spec, manifest_path=args.manifest)
+    if args.snapshot_interval is None:
+        accel = AccelOptions(enabled=args.accel == "on")
+    else:
+        accel = AccelOptions(
+            enabled=args.accel == "on",
+            snapshot_interval=args.snapshot_interval,
+        )
+    runner = CampaignRunner(spec, manifest_path=args.manifest, accel=accel)
     try:
         report = runner.run(
             workers=args.workers,
@@ -234,7 +245,8 @@ def _cmd_cache(args) -> int:
         print(f"location:  {info['root']}")
         print(
             f"artifacts: {info['artifacts']} "
-            f"({info['traces']} traces, {info['stats']} stats)"
+            f"({info['traces']} traces, {info['stats']} stats, "
+            f"{info['goldens']} goldens)"
         )
         print(f"size:      {info['bytes'] / 1024:.1f} KiB")
         print(f"code hash: {info['code_digest']}")
@@ -336,6 +348,21 @@ def main(argv: list[str] | None = None) -> int:
     )
     inj_p.add_argument(
         "--export", default=None, help="write the aggregate JSON to this path"
+    )
+    inj_p.add_argument(
+        "--accel",
+        choices=("on", "off"),
+        default="on",
+        help="snapshot acceleration: golden-run memoization, injection "
+        "fast-forward, and convergence early-exit (observationally "
+        "invisible; aggregate JSON is byte-identical either way)",
+    )
+    inj_p.add_argument(
+        "--snapshot-interval",
+        type=int,
+        default=None,
+        help="ticks between golden-run snapshots (<= 0: fingerprints only, "
+        "no fast-forward)",
     )
 
     lint_p = sub.add_parser(

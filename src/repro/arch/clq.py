@@ -21,7 +21,7 @@ iteration.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import astuple, dataclass, field
 
 
 @dataclass
@@ -108,6 +108,20 @@ class BaseCLQ:
         """
         raise NotImplementedError
 
+    def snapshot_state(self) -> dict:
+        """Plain-data image for machine checkpointing (picklable)."""
+        raise NotImplementedError
+
+    def restore_state(self, state: dict) -> None:
+        raise NotImplementedError
+
+    def canonical(self, imap: dict[int, int]) -> tuple:
+        """Translation-invariant fingerprint component (stats excluded).
+
+        ``imap`` maps live region-instance ids to their age rank.
+        """
+        raise NotImplementedError
+
 
 class IdealCLQ(BaseCLQ):
     """Unbounded, address-matching CLQ (the paper's ideal design)."""
@@ -158,6 +172,30 @@ class IdealCLQ(BaseCLQ):
         loads.add(victim ^ (1 << (bit % 32)))
         self._parity_bad.add(instance)
         return True
+
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "ideal",
+            "loads": [(k, sorted(v)) for k, v in self._loads.items()],
+            "parity_bad": sorted(self._parity_bad),
+            "stats": astuple(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "ideal":
+            raise ValueError(f"not an IdealCLQ snapshot: {state.get('kind')!r}")
+        self._loads = {k: set(v) for k, v in state["loads"]}
+        self._parity_bad = set(state["parity_bad"])
+        self.stats = CLQStats(*state["stats"])
+
+    def canonical(self, imap: dict[int, int]) -> tuple:
+        return (
+            "ideal",
+            tuple(
+                (imap[k], tuple(sorted(v)), k in self._parity_bad)
+                for k, v in self._loads.items()
+            ),
+        )
 
 
 @dataclass
@@ -272,6 +310,40 @@ class CompactCLQ(BaseCLQ):
             entry.lo ^= 1 << (bit % 32)
         entry.parity_ok = False
         return True
+
+    def snapshot_state(self) -> dict:
+        return {
+            "kind": "compact",
+            "entries": [
+                (k, e.lo, e.hi, e.populated, e.parity_ok)
+                for k, e in self._entries.items()
+            ],
+            "disabled": self._disabled,
+            "stats": astuple(self.stats),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        if state.get("kind") != "compact":
+            raise ValueError(
+                f"not a CompactCLQ snapshot: {state.get('kind')!r}"
+            )
+        self._entries = {
+            k: _RangeEntry(instance=k, lo=lo, hi=hi, populated=pop,
+                           parity_ok=par)
+            for k, lo, hi, pop, par in state["entries"]
+        }
+        self._disabled = state["disabled"]
+        self.stats = CLQStats(*state["stats"])
+
+    def canonical(self, imap: dict[int, int]) -> tuple:
+        return (
+            "compact",
+            tuple(
+                (imap[k], e.lo, e.hi, e.populated, e.parity_ok)
+                for k, e in self._entries.items()
+            ),
+            self._disabled,
+        )
 
 
 def make_clq(kind: str, size: int = 2, recycle: bool = True) -> BaseCLQ:

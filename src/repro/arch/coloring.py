@@ -145,6 +145,57 @@ class ColorMaps:
         self.parity_bad = True
         return True
 
+    # -- snapshot / restore (machine checkpointing) ---------------------------
+
+    def snapshot_state(self) -> dict:
+        """Plain-data image of the three maps (picklable, order-preserving).
+
+        AC free-list *order* is behaviour: colors pop from the end, so the
+        exact lists (including which registers have materialised a list at
+        all) are preserved verbatim.
+        """
+        return {
+            "ac": [(reg, list(colors)) for reg, colors in self._ac.items()],
+            "uc": [(inst, list(uc.items())) for inst, uc in self._uc.items()],
+            "vc": list(self._vc.items()),
+            "parity_bad": self.parity_bad,
+            "poisoned": self.poisoned,
+            "stats": (self.stats.fast_released,
+                      self.stats.fallback_quarantined,
+                      self.stats.parity_fallbacks),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._ac = {reg: list(colors) for reg, colors in state["ac"]}
+        self._uc = {inst: dict(uc) for inst, uc in state["uc"]}
+        self._vc = dict(state["vc"])
+        self.parity_bad = state["parity_bad"]
+        self.poisoned = state["poisoned"]
+        fast, fallback, parity = state["stats"]
+        self.stats = ColoringStats(fast_released=fast,
+                                   fallback_quarantined=fallback,
+                                   parity_fallbacks=parity)
+
+    def canonical(self, imap: dict[int, int]) -> tuple:
+        """Translation-invariant fingerprint component (stats excluded).
+
+        A register with no materialised AC list is equivalent to one
+        holding the pristine ``[0..num_colors)`` list, so both normalise
+        to the same tuple; UC keys are renumbered through ``imap`` and
+        inner dicts keep insertion order (promotion order is behaviour).
+        """
+        default = tuple(range(self.num_colors))
+        ac = tuple(
+            tuple(self._ac[reg]) if reg in self._ac else default
+            for reg in range(self.num_registers)
+        )
+        uc = tuple(
+            (imap[inst], tuple(entries.items()))
+            for inst, entries in self._uc.items()
+        )
+        vc = tuple(sorted(self._vc.items()))
+        return (ac, uc, vc, self.parity_bad, self.poisoned)
+
     # -- queries --------------------------------------------------------------
 
     def verified_color(self, reg: int) -> int | None:

@@ -108,3 +108,40 @@ class RegionBoundaryBuffer:
         self.unverified.clear()
         self.current = None
         return dropped
+
+    # -- snapshot / restore (machine checkpointing) -------------------------
+
+    def active_instances(self) -> list[RegionInstance]:
+        """In-flight instances oldest-first: unverified queue, then open."""
+        active = list(self.unverified)
+        if self.current is not None:
+            active.append(self.current)
+        return active
+
+    def snapshot_state(self) -> dict:
+        def enc(inst: RegionInstance) -> tuple:
+            return (inst.instance, inst.region_id, inst.start_time,
+                    inst.end_time)
+
+        return {
+            "current": enc(self.current) if self.current is not None else None,
+            "unverified": [enc(inst) for inst in self.unverified],
+            "next_instance": self._next_instance,
+            "stats": (self.stats.instances_opened,
+                      self.stats.instances_verified,
+                      self.stats.max_unverified),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        def dec(fields: tuple) -> RegionInstance:
+            return RegionInstance(instance=fields[0], region_id=fields[1],
+                                  start_time=fields[2], end_time=fields[3])
+
+        cur = state["current"]
+        self.current = dec(cur) if cur is not None else None
+        self.unverified = deque(dec(f) for f in state["unverified"])
+        self._next_instance = state["next_instance"]
+        opened, verified, max_unv = state["stats"]
+        self.stats = RBBStats(instances_opened=opened,
+                              instances_verified=verified,
+                              max_unverified=max_unv)

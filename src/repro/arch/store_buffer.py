@@ -76,6 +76,32 @@ class FunctionalStoreBuffer:
             entry.value ^= 1 << b
         entry.parity_ok = False
 
+    # -- snapshot / restore (machine checkpointing) -------------------------
+
+    def snapshot_state(self) -> list[tuple]:
+        """Plain-data image of the queue (picklable, order-preserving)."""
+        return [
+            (e.instance, e.is_checkpoint, e.addr, e.reg, e.color, e.value,
+             e.parity_ok)
+            for e in self.entries
+        ]
+
+    def restore_state(self, state: list[tuple]) -> None:
+        self.entries = [SBEntry(*fields) for fields in state]
+
+    def canonical(self, imap: dict[int, int]) -> tuple:
+        """Translation-invariant fingerprint component.
+
+        ``imap`` renumbers live region-instance ids by age so two runs
+        whose absolute instance counters differ (one recovered, one did
+        not) still compare equal when their queues are equivalent.
+        """
+        return tuple(
+            (imap[e.instance], e.is_checkpoint, e.addr, e.reg, e.color,
+             e.value, e.parity_ok)
+            for e in self.entries
+        )
+
 
 class TimingStoreBuffer:
     """Occupancy model: entries carry release times, capacity is enforced.

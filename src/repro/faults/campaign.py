@@ -40,6 +40,11 @@ from repro.faults.injector import (
     run_campaign,
     run_with_injection,
 )
+from repro.faults.snapshot import (
+    DEFAULT_SNAPSHOT_INTERVAL,
+    GoldenRecord,
+    record_golden_run,
+)
 from repro.runtime.interpreter import execute
 from repro.runtime.machine import InjectionTarget, ResilienceConfig
 from repro.runtime.memory import Memory
@@ -202,10 +207,45 @@ class CampaignSpec:
         )
 
 
+@dataclass(frozen=True)
+class AccelOptions:
+    """Snapshot-acceleration settings for a campaign.
+
+    Deliberately **not** part of :class:`CampaignSpec`: acceleration is
+    observationally invisible (the aggregate JSON — which embeds the
+    spec — is byte-identical either way), so a campaign may be resumed
+    with different acceleration settings than it was started with.
+
+    ``snapshot_interval <= 0`` records fingerprints only (convergence
+    early-exit without fast-forward), the degenerate configuration that
+    exercises the legacy from-scratch execution path.
+    """
+
+    enabled: bool = True
+    snapshot_interval: int = DEFAULT_SNAPSHOT_INTERVAL
+
+    def to_dict(self) -> dict:
+        return {
+            "enabled": self.enabled,
+            "snapshot_interval": self.snapshot_interval,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "AccelOptions":
+        return cls(
+            enabled=data["enabled"],
+            snapshot_interval=data["snapshot_interval"],
+        )
+
+
 # Per-worker-process cache: compiling the workload once per process
 # instead of once per shard. Keyed by uid; safe because workers are
 # single-threaded and every entry is deterministic.
 _WORKER_CACHE: dict[str, tuple] = {}
+
+# Per-worker-process golden-record cache, keyed by
+# (uid, variant, wcdl, snapshot_interval, max_steps).
+_GOLDEN_CACHE: dict[tuple, GoldenRecord] = {}
 
 
 def _campaign_context(uid: str):
@@ -226,10 +266,66 @@ def _campaign_context(uid: str):
     return cached
 
 
+def _golden_record(
+    spec: CampaignSpec, variant: str, interval: int
+) -> GoldenRecord | None:
+    """The (memoized) fault-free acceleration record for one variant.
+
+    Resolution order: per-process memo, then the persistent artifact
+    cache (keyed by source digest + resilience config + interval + step
+    budget, see :meth:`ArtifactCache.golden_key`), then a fresh
+    fault-free run — stored back to disk so every later worker, resume,
+    or re-invocation starts warm.
+
+    Returns None when the campaign's step budget is too small for even
+    the fault-free run to finish: acceleration silently degrades to the
+    from-scratch path (whose injected runs will time out identically).
+    """
+    memo_key = (spec.uid, variant, spec.wcdl, interval, spec.max_steps)
+    if memo_key in _GOLDEN_CACHE:
+        return _GOLDEN_CACHE[memo_key]
+
+    from repro.harness.artifacts import ArtifactCache
+    from repro.runtime.machine import WatchdogTimeout
+
+    compiled, memory, golden, _horizon_ = _campaign_context(spec.uid)
+    config = VARIANT_CONFIGS[variant](spec.wcdl)
+    cache = ArtifactCache.default()
+    disk_key = (
+        ArtifactCache.golden_key(spec.uid, config, interval, spec.max_steps)
+        if cache is not None
+        else None
+    )
+    record = cache.load_golden(disk_key) if cache is not None else None
+    if record is not None and (
+        record.interval != (interval if interval > 0 else None)
+        or record.max_steps != spec.max_steps
+    ):
+        record = None  # stale/foreign artifact: rebuild
+    if record is None:
+        try:
+            record = record_golden_run(
+                compiled,
+                config,
+                memory,
+                interval=interval,
+                max_steps=spec.max_steps,
+                golden_image=golden,
+            )
+        except WatchdogTimeout:
+            record = None
+        else:
+            if cache is not None:
+                cache.store_golden(disk_key, record)
+    _GOLDEN_CACHE[memo_key] = record
+    return record
+
+
 def _run_shard(payload: dict) -> tuple[int, list[dict]]:
     """Worker entry point: run one shard of injections, all variants."""
     spec = CampaignSpec.from_dict(payload["spec"])
     shard_id = payload["shard_id"]
+    accel = AccelOptions.from_dict(payload["accel"])
     compiled, memory, golden, horizon = _campaign_context(spec.uid)
     targets = spec.target_kinds
     records = []
@@ -247,6 +343,11 @@ def _run_shard(payload: dict) -> tuple[int, list[dict]]:
                 injection,
                 golden,
                 max_steps=spec.max_steps,
+                accel=(
+                    _golden_record(spec, variant, accel.snapshot_interval)
+                    if accel.enabled
+                    else None
+                ),
             )
             outcomes[variant] = outcome_to_dict(outcome)
         records.append(
@@ -344,9 +445,11 @@ class CampaignRunner:
         self,
         spec: CampaignSpec,
         manifest_path: str | Path | None = None,
+        accel: AccelOptions | None = None,
     ) -> None:
         self.spec = spec
         self.manifest_path = Path(manifest_path) if manifest_path else None
+        self.accel = accel if accel is not None else AccelOptions()
 
     # -- manifest ----------------------------------------------------------
 
@@ -394,11 +497,23 @@ class CampaignRunner:
                 "spec": self.spec.to_dict(),
                 "shard_id": sid,
                 "indices": indices,
+                "accel": self.accel.to_dict(),
             }
             for sid, indices in enumerate(shards)
             if str(sid) not in manifest["shards"]
         ]
         done = len(shards) - len(pending)
+
+        if pending and self.accel.enabled:
+            # Pre-warm the compiled context and every variant's golden
+            # record in the parent before forking: workers then share
+            # them copy-on-write instead of racing to rebuild (the
+            # artifact cache would still dedupe the disk work, but the
+            # in-memory build is the expensive part).
+            for variant in self.spec.variants:
+                _golden_record(
+                    self.spec, variant, self.accel.snapshot_interval
+                )
 
         def record(shard_id: int, records: list[dict]) -> None:
             nonlocal done

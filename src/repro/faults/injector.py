@@ -26,6 +26,11 @@ import traceback as _traceback
 from dataclasses import dataclass, field
 
 from repro.compiler.pipeline import CompiledProgram
+from repro.faults.snapshot import (
+    ConvergedExit,
+    GoldenRecord,
+    prepare_accelerated_run,
+)
 from repro.isa.registers import Reg
 from repro.runtime.interpreter import execute
 from repro.runtime.machine import (
@@ -231,8 +236,18 @@ def run_with_injection(
     golden: dict[int, int] | None = None,
     max_steps: int = 4_000_000,
     wall_clock_budget: float | None = None,
+    accel: "GoldenRecord | None" = None,
 ) -> InjectionOutcome:
-    """Execute one injected run and classify it against the golden image."""
+    """Execute one injected run and classify it against the golden image.
+
+    ``accel`` (a :class:`repro.faults.snapshot.GoldenRecord` built for
+    the *same* compiled program, config, memory and ``max_steps``)
+    enables snapshot fast-forward to the injection tick and convergence
+    early-exit against the golden fingerprint stream. Acceleration is
+    observationally invisible — the returned outcome is identical to an
+    unaccelerated run — and is ignored under a wall-clock budget (the
+    budget's trip point is inherently timing-dependent).
+    """
     if golden is None:
         golden = golden_memory(compiled, memory)
     machine = ResilientMachine(
@@ -242,9 +257,42 @@ def run_with_injection(
         max_steps=max_steps,
         wall_clock_budget=wall_clock_budget,
     )
+    if accel is not None and wall_clock_budget is None:
+        # Restore before arming: restore() overwrites the injection slot.
+        prepare_accelerated_run(machine, accel, injection.time, memory)
     machine.arm_injection(injection)
     try:
         stats = machine.run()
+    except ConvergedExit as conv:
+        # The injected run's architectural state matched a golden tick:
+        # its future *is* the golden suffix. Splice the terminal result.
+        total_steps = conv.steps + (accel.total_steps - conv.golden_steps)
+        if total_steps > max_steps:
+            # The from-scratch run would have tripped the watchdog while
+            # replaying this suffix.
+            return InjectionOutcome(
+                injection=injection,
+                kind=FaultOutcomeKind.TIMEOUT,
+                correct=False,
+                recovered=machine.stats.recoveries > 0,
+                parity_detected=machine.stats.parity_detections > 0,
+                error=(
+                    f"WatchdogTimeout: {compiled.program.name}: exceeded "
+                    f"{max_steps} steps (possible recovery livelock)"
+                ),
+            )
+        recovered = machine.stats.recoveries > 0
+        return InjectionOutcome(
+            injection=injection,
+            kind=(
+                FaultOutcomeKind.RECOVERED
+                if recovered
+                else FaultOutcomeKind.MASKED
+            ),
+            correct=True,
+            recovered=recovered,
+            parity_detected=machine.stats.parity_detections > 0,
+        )
     except WatchdogTimeout as exc:
         return InjectionOutcome(
             injection=injection,

@@ -7,7 +7,7 @@ code*. This module keys every artifact by a digest of the whole
 so a warm cache can never serve results produced by different simulator
 semantics: touching any ``src/repro`` file invalidates everything.
 
-Two artifact kinds are stored:
+Three artifact kinds are stored:
 
 * ``trace-<key>.pkl`` — the dynamic trace of one (uid, compiler-config)
   pair, as pickled tuples. Branch-id fields inside a trace come from the
@@ -18,6 +18,11 @@ Two artifact kinds are stored:
   cached trace are therefore identical to those from a fresh one.
 * ``stats-<key>.json`` — a finished :class:`~repro.arch.stats.SimStats`
   for one (uid, compiler, hardware, core) combination.
+* ``golden-<key>.pkl`` — a fault-free
+  :class:`~repro.faults.snapshot.GoldenRecord` (periodic machine
+  snapshots plus the per-tick fingerprint stream) for one (uid,
+  resilience-config, snapshot-interval, max-steps) combination, used to
+  accelerate fault-injection campaigns.
 
 Writes are atomic (temp file + ``os.replace``), so any number of
 processes — the multiprocess shards of :mod:`repro.harness.runner`
@@ -107,6 +112,22 @@ class ArtifactCache:
     ) -> str:
         return _key("stats", uid, compiler, hardware, core)
 
+    @staticmethod
+    def golden_key(
+        uid: str,
+        config: object,
+        interval: int | None,
+        max_steps: int,
+    ) -> str:
+        """Key for a fault-free :class:`GoldenRecord`.
+
+        ``config`` is the machine's frozen ``ResilienceConfig`` (keyed by
+        repr, like the compiler configs above); the snapshot interval and
+        step budget are part of the identity because they change the
+        record's snapshot grid and timeout-splice arithmetic.
+        """
+        return _key("golden", uid, config, interval, max_steps)
+
     # -- IO ----------------------------------------------------------------
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
@@ -156,13 +177,35 @@ class ArtifactCache:
         data = json.dumps(dataclasses.asdict(stats), sort_keys=True)
         self._write_atomic(self.root / f"stats-{key}.json", data.encode())
 
+    def load_golden(self, key: str):
+        """Load a pickled :class:`GoldenRecord`, or None on any miss.
+
+        The import is deferred: ``repro.faults`` imports this module for
+        campaign artifact storage, so a top-level import would cycle.
+        """
+        from repro.faults.snapshot import GoldenRecord
+
+        path = self.root / f"golden-{key}.pkl"
+        try:
+            with open(path, "rb") as fh:
+                record = pickle.load(fh)
+        except (OSError, pickle.PickleError, EOFError, AttributeError):
+            return None
+        if not isinstance(record, GoldenRecord):
+            return None
+        return record
+
+    def store_golden(self, key: str, record) -> None:
+        data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._write_atomic(self.root / f"golden-{key}.pkl", data)
+
     # -- maintenance -------------------------------------------------------
 
     def artifact_paths(self) -> list[Path]:
         return sorted(
             p
             for p in self.root.iterdir()
-            if p.name.startswith(("trace-", "stats-"))
+            if p.name.startswith(("trace-", "stats-", "golden-"))
         )
 
     def clear(self) -> int:
@@ -178,12 +221,14 @@ class ArtifactCache:
 
     def info(self) -> dict[str, object]:
         paths = self.artifact_paths()
-        traces = [p for p in paths if p.name.startswith("trace-")]
+        traces = sum(1 for p in paths if p.name.startswith("trace-"))
+        goldens = sum(1 for p in paths if p.name.startswith("golden-"))
         return {
             "root": str(self.root),
             "artifacts": len(paths),
-            "traces": len(traces),
-            "stats": len(paths) - len(traces),
+            "traces": traces,
+            "stats": len(paths) - traces - goldens,
+            "goldens": goldens,
             "bytes": sum(p.stat().st_size for p in paths),
             "code_digest": code_digest()[:16],
         }

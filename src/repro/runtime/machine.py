@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import enum
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.arch.clq import BaseCLQ, make_clq
 from repro.arch.coloring import QUARANTINE, ColorMaps
@@ -66,6 +66,76 @@ class DetectedHalt(Exception):
     a multi-bit error it can detect but not correct: the machine halts
     instead of silently consuming the corrupt word.
     """
+
+
+class SnapshotError(ProtocolError):
+    """snapshot()/restore() found machine state it has no rule for.
+
+    Raised loudly instead of silently dropping state: a restored machine
+    missing any field would diverge from a from-scratch run and corrupt
+    the byte-identical parity guarantee of accelerated campaigns.
+    """
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _cell_hash(addr: int, value: int) -> int:
+    """64-bit mix of one memory cell for the incremental XOR fingerprint.
+
+    Zero cells hash to 0 so a written-then-zeroed cell fingerprints the
+    same as an absent one (``Memory.load`` treats both as 0).
+    """
+    if value == 0:
+        return 0
+    x = ((addr << 32) ^ value) & _MASK64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return x ^ (x >> 31)
+
+
+def memory_fingerprint(cells: dict[int, int]) -> int:
+    """XOR-fold of every cell; maintained incrementally by the machine."""
+    fp = 0
+    for addr, value in cells.items():
+        fp ^= _cell_hash(addr, value)
+    return fp
+
+
+@dataclass
+class MachineSnapshot:
+    """Picklable, plain-data image of a :class:`ResilientMachine` mid-run.
+
+    Captured at the bottom of the run loop (after the commit at tick
+    ``t``); restoring and calling :meth:`ResilientMachine.run` continues
+    with state bit-identical to a from-scratch run at the same point.
+    ``mem_delta`` holds either the full cell dict (``mem_full``) or only
+    the cells changed since the previous snapshot of a golden recording.
+    """
+
+    label: str
+    pc: int
+    t: int
+    steps: int
+    now: int
+    mem_delta: dict[int, int]
+    mem_full: bool
+    mem_fp: int | None
+    regs: dict[int, int]
+    sb: list[tuple]
+    rbb: dict
+    clq: dict | None
+    coloring: dict
+    ckpt_storage: dict[tuple[int, int], int]
+    vc_bindings: dict[int, "Binding"]
+    pending_bindings: dict[int, dict[int, "Binding"]]
+    stats: "MachineStats"
+    injection: "Injection | None"
+    detection_due: int | None
+    tainted_regs: tuple[int, ...]
+    tainted_cells: tuple[int, ...]
+    slot_flips: dict[tuple[int, int], frozenset[int]]
+    mem_flips: dict[int, frozenset[int]]
 
 
 class InjectionTarget(enum.Enum):
@@ -215,6 +285,15 @@ class ResilientMachine:
         self._slot_flips: dict[tuple[int, int], frozenset[int]] = {}
         self._mem_flips: dict[int, frozenset[int]] = {}
 
+        # Acceleration state: the incremental memory fingerprint (None =
+        # not maintained; captured by snapshots), a per-tick callback
+        # fired at the bottom of the run loop, and the restored loop
+        # position consumed by the next run() call (both excluded from
+        # snapshots).
+        self._mem_fp: int | None = None
+        self._on_tick = None
+        self._resume: tuple[str, int, int, int] | None = None
+
         self._init_registers()
 
     # -- setup -------------------------------------------------------------
@@ -244,16 +323,174 @@ class ResilientMachine:
             )
         self.injection = injection
 
+    # -- snapshot / restore --------------------------------------------------
+
+    # Every instance attribute must appear in exactly one of these two
+    # sets. snapshot() audits ``vars(self)`` against them and raises
+    # SnapshotError on any unclassified field, so adding machine state
+    # without a snapshot rule fails loudly instead of corrupting restore.
+    _SNAPSHOT_FIELDS = frozenset(
+        {
+            "mem",
+            "regs",
+            "sb",
+            "rbb",
+            "clq",
+            "coloring",
+            "ckpt_storage",
+            "vc_bindings",
+            "pending_bindings",
+            "stats",
+            "injection",
+            "_detection_due",
+            "_tainted_regs",
+            "_tainted_cells",
+            "_slot_flips",
+            "_mem_flips",
+            "_now",
+            "_mem_fp",
+        }
+    )
+    # Static configuration and harness plumbing: identical across the
+    # runs a snapshot may move between, so capturing it would be wasted
+    # bytes (and _on_tick/_resume are per-run, not machine state).
+    _SNAPSHOT_EXCLUDED = frozenset(
+        {
+            "compiled",
+            "program",
+            "recovery_map",
+            "config",
+            "max_steps",
+            "wall_clock_budget",
+            "_on_tick",
+            "_resume",
+        }
+    )
+
+    def snapshot(
+        self,
+        label: str,
+        pc: int,
+        t: int,
+        steps: int,
+        prev_cells: dict[int, int] | None = None,
+    ) -> MachineSnapshot:
+        """Capture the machine at the bottom of the run loop.
+
+        ``(label, pc, t, steps)`` is the loop position the caller's
+        ``_on_tick`` hook received. With ``prev_cells`` (the cell dict as
+        of the previous snapshot) only changed cells are stored; without
+        it the snapshot is self-contained.
+        """
+        unknown = set(vars(self)) - self._SNAPSHOT_FIELDS - self._SNAPSHOT_EXCLUDED
+        if unknown:
+            raise SnapshotError(
+                "machine fields without a snapshot rule: "
+                f"{sorted(unknown)}; classify them in _SNAPSHOT_FIELDS "
+                "or _SNAPSHOT_EXCLUDED and teach snapshot()/restore() "
+                "about them"
+            )
+        cells = self.mem.cells
+        if prev_cells is None:
+            mem_delta = dict(cells)
+            mem_full = True
+        else:
+            # Key-exact delta: a cell holding 0 is distinct from an absent
+            # one here because MEMORY-injection targeting enumerates keys.
+            mem_delta = {
+                a: v
+                for a, v in cells.items()
+                if a not in prev_cells or prev_cells[a] != v
+            }
+            mem_full = False
+        return MachineSnapshot(
+            label=label,
+            pc=pc,
+            t=t,
+            steps=steps,
+            now=int(self._now),
+            mem_delta=mem_delta,
+            mem_full=mem_full,
+            mem_fp=self._mem_fp,
+            regs={r.index: v for r, v in self.regs.items()},
+            sb=self.sb.snapshot_state(),
+            rbb=self.rbb.snapshot_state(),
+            clq=self.clq.snapshot_state() if self.clq is not None else None,
+            coloring=self.coloring.snapshot_state(),
+            ckpt_storage=dict(self.ckpt_storage),
+            vc_bindings=dict(self.vc_bindings),
+            pending_bindings={
+                inst: dict(bindings)
+                for inst, bindings in self.pending_bindings.items()
+            },
+            stats=replace(self.stats),
+            injection=self.injection,
+            detection_due=self._detection_due,
+            tainted_regs=tuple(sorted(r.index for r in self._tainted_regs)),
+            tainted_cells=tuple(sorted(self._tainted_cells)),
+            slot_flips=dict(self._slot_flips),
+            mem_flips=dict(self._mem_flips),
+        )
+
+    def restore(
+        self, snap: MachineSnapshot, cells: dict[int, int] | None = None
+    ) -> None:
+        """Restore a snapshot; the next run() resumes at its loop position.
+
+        Delta snapshots need ``cells``: the fully materialised cell dict
+        at the snapshot point (base memory plus every delta up to and
+        including this snapshot's).
+        """
+        if snap.mem_full:
+            self.mem.cells = dict(snap.mem_delta)
+        else:
+            if cells is None:
+                raise SnapshotError(
+                    "delta snapshot needs the materialised cell dict"
+                )
+            self.mem.cells = dict(cells)
+        self._mem_fp = snap.mem_fp
+        self.regs = {Reg.phys(i): v for i, v in snap.regs.items()}
+        self.sb.restore_state(snap.sb)
+        self.rbb.restore_state(snap.rbb)
+        if (self.clq is None) != (snap.clq is None):
+            raise SnapshotError(
+                "snapshot CLQ presence does not match this machine's config"
+            )
+        if self.clq is not None and snap.clq is not None:
+            self.clq.restore_state(snap.clq)
+        self.coloring.restore_state(snap.coloring)
+        self.ckpt_storage = dict(snap.ckpt_storage)
+        self.vc_bindings = dict(snap.vc_bindings)
+        self.pending_bindings = {
+            inst: dict(bindings)
+            for inst, bindings in snap.pending_bindings.items()
+        }
+        self.stats = replace(snap.stats)
+        self.injection = snap.injection
+        self._detection_due = snap.detection_due
+        self._tainted_regs = {Reg.phys(i) for i in snap.tainted_regs}
+        self._tainted_cells = set(snap.tainted_cells)
+        self._slot_flips = dict(snap.slot_flips)
+        self._mem_flips = dict(snap.mem_flips)
+        self._now = snap.now
+        self._resume = (snap.label, snap.pc, snap.t, snap.steps)
+
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> MachineStats:
         program = self.program
         blocks = {b.label: b.instructions for b in program.blocks}
-        label = program.entry.label
+        if self._resume is not None:
+            # Continue from a restored snapshot (see restore()).
+            label, pc, t, steps = self._resume
+            self._resume = None
+        else:
+            label = program.entry.label
+            pc = 0
+            t = 0
+            steps = 0
         instrs = blocks[label]
-        pc = 0
-        t = 0
-        steps = 0
         get = self.regs.get
         budget = self.wall_clock_budget
         start = time.monotonic() if budget is not None else 0.0
@@ -351,6 +588,8 @@ class ResilientMachine:
                 pc += 1
 
             self._maybe_inject(t)
+            if self._on_tick is not None:
+                self._on_tick(label, pc, t, steps)
 
     # -- events, verification, detection ----------------------------------------
 
@@ -456,7 +695,7 @@ class ResilientMachine:
                 if cells:
                     addr = cells[(inj.time * 31 + inj.bit) % len(cells)]
             if addr is not None:
-                self.mem.store(addr, self.mem.load(addr) ^ mask)
+                self._mem_write(addr, self.mem.load(addr) ^ mask)
                 self._mem_flips[addr] = frozenset(bits)
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unhandled injection target {target}")
@@ -499,9 +738,23 @@ class ResilientMachine:
 
     # -- ECC over checkpoint storage and the memory hierarchy -----------------
 
+    def _mem_write(self, addr: int, value: int) -> None:
+        """Every memory write funnels through here so the incremental
+        fingerprint (maintained only while acceleration is active) stays
+        in sync with the cells."""
+        fp = self._mem_fp
+        if fp is None:
+            self.mem.store(addr, value)
+            return
+        cells = self.mem.cells
+        old = cells.get(addr, 0)
+        new = wrap32(value)
+        cells[addr] = new
+        self._mem_fp = fp ^ _cell_hash(addr, old) ^ _cell_hash(addr, new)
+
     def _store_word(self, addr: int, value: int) -> None:
         """Memory write; overwriting a struck word clears its syndrome."""
-        self.mem.store(addr, value)
+        self._mem_write(addr, value)
         if self._mem_flips:
             self._mem_flips.pop(addr, None)
 
@@ -513,7 +766,7 @@ class ResilientMachine:
                 f"uncorrectable {len(flips)}-bit error in memory word {addr:#x}"
             )
         value = wrap32(self.mem.load(addr) ^ (1 << next(iter(flips))))
-        self.mem.store(addr, value)
+        self._mem_write(addr, value)
         self.stats.ecc_corrections += 1
         return value
 
@@ -655,7 +908,7 @@ class ResilientMachine:
                     f"uncorrectable {len(flips)}-bit error in memory "
                     f"word {addr:#x} found by scrub"
                 )
-            self.mem.store(
+            self._mem_write(
                 addr, wrap32(self.mem.load(addr) ^ (1 << next(iter(flips))))
             )
             self.stats.ecc_corrections += 1

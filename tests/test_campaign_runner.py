@@ -13,6 +13,7 @@ import pytest
 
 from repro.__main__ import main as cli_main
 from repro.faults.campaign import (
+    AccelOptions,
     CampaignRunner,
     CampaignSpec,
     format_differential_report,
@@ -72,6 +73,72 @@ class TestDeterminism:
         calls = []
         CampaignRunner(SPEC).run(progress=lambda d, t: calls.append((d, t)))
         assert calls == [(1, 3), (2, 3), (3, 3)]
+
+
+class TestAccelInvisibility:
+    """Snapshot acceleration must be observationally invisible: the
+    aggregate JSON may not depend on whether acceleration was on, what
+    snapshot interval was used, or when the campaign was interrupted.
+    (The module-scope ``report`` fixture runs with the default
+    ``AccelOptions()``, i.e. acceleration ON.)"""
+
+    def test_accel_off_is_byte_identical(self, report):
+        off = CampaignRunner(SPEC, accel=AccelOptions(enabled=False)).run()
+        assert off.to_json() == report.to_json()
+
+    def test_odd_snapshot_interval_is_byte_identical(self, report):
+        odd = CampaignRunner(
+            SPEC, accel=AccelOptions(snapshot_interval=37)
+        ).run()
+        assert odd.to_json() == report.to_json()
+
+    def test_fingerprints_only_is_byte_identical(self, report):
+        # interval <= 0: convergence early-exit without fast-forward.
+        fp_only = CampaignRunner(
+            SPEC, accel=AccelOptions(snapshot_interval=0)
+        ).run()
+        assert fp_only.to_json() == report.to_json()
+
+    def test_killed_accelerated_campaign_resumes_identically(
+        self, report, tmp_path
+    ):
+        manifest = tmp_path / "campaign.json"
+        first = CampaignRunner(SPEC, manifest_path=manifest).run()
+        assert first.to_json() == report.to_json()
+
+        state = json.loads(manifest.read_text())
+        del state["shards"]["2"]
+        manifest.write_text(json.dumps(state))
+
+        # Resume with a *different* accel setting than the original run:
+        # the manifest does not record acceleration (it cannot affect
+        # outcomes), so this must still be byte-identical.
+        resumed = CampaignRunner(
+            SPEC,
+            manifest_path=manifest,
+            accel=AccelOptions(enabled=False),
+        ).run(resume=True)
+        assert resumed.to_json() == report.to_json()
+
+    def test_tiny_step_budget_degrades_identically(self):
+        # A budget below the fault-free run length means no golden record
+        # can be built; acceleration must silently fall back to the
+        # from-scratch path rather than crash during prewarm.
+        tiny = CampaignSpec(
+            uid=SPEC.uid,
+            wcdl=SPEC.wcdl,
+            count=3,
+            seed=SPEC.seed,
+            targets=("register",),
+            shard_size=3,
+            max_steps=50,
+        )
+        on = CampaignRunner(tiny).run()
+        off = CampaignRunner(tiny, accel=AccelOptions(enabled=False)).run()
+        assert on.to_json() == off.to_json()
+        assert all(
+            hist["timeout"] == 3 for hist in on.per_variant().values()
+        )
 
 
 class TestDifferentialResults:

@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Batch-simulate the benchmark suite through the job service.
+
+Submits a timing run for every benchmark in the suite to a running
+``repro serve`` instance (starting a private one if none is found),
+submits every job a *second* time from a different client name to show
+content-addressed dedup in action, polls ``/metrics`` while the queue
+drains, and prints a throughput summary.
+
+Run:  python examples/service_batch.py [--quick N] [--workers W]
+      --quick N    only the first N benchmarks (default: whole suite)
+      --workers W  workers for a private server (default: 4)
+
+An already-running service is used when ``REPRO_SERVICE`` is set or a
+server has written its endpoint discovery file; otherwise a private
+server is started on a temporary journal and drained on exit.
+"""
+
+import argparse
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.service.client import ServiceClient, resolve_endpoint
+from repro.workloads import all_profiles
+
+
+def find_or_start_server(workers: int):
+    """Return (client, server-process-or-None, journal-dir-or-None)."""
+    try:
+        resolve_endpoint()
+    except ValueError:
+        pass
+    else:
+        client = ServiceClient(client_name="service-batch")
+        client.handshake()
+        print(f"using running service at {client.host}:{client.port}")
+        return client, None, None
+
+    journal = Path(tempfile.mkdtemp(prefix="repro-service-batch-"))
+    print(f"starting a private server (journal: {journal})")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve",
+            "--journal", str(journal), "--port", "0",
+            "--workers", str(workers),
+        ],
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    deadline = time.monotonic() + 30
+    while not (journal / "endpoint").exists():
+        if proc.poll() is not None or time.monotonic() > deadline:
+            raise SystemExit("server failed to start")
+        time.sleep(0.05)
+    client = ServiceClient(
+        journal_dir=str(journal), client_name="service-batch"
+    )
+    return client, proc, journal
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--quick", type=int, default=None, metavar="N")
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args()
+
+    uids = [p.uid for p in all_profiles()]
+    if args.quick:
+        uids = uids[: args.quick]
+
+    client, proc, journal = find_or_start_server(args.workers)
+    try:
+        started = time.monotonic()
+
+        # one timing run per benchmark...
+        jobs = {}
+        for uid in uids:
+            job, deduped = client.submit("run", {"uid": uid})
+            jobs[uid] = job["id"]
+
+        # ...and the whole batch again from a second client: identical
+        # specs hash to identical job keys, so nothing is re-executed
+        twin = ServiceClient(
+            endpoint=f"{client.host}:{client.port}",
+            client_name="service-batch-twin",
+        )
+        deduplicated = sum(
+            twin.submit("run", {"uid": uid})[1] for uid in uids
+        )
+        print(
+            f"submitted {len(uids)} jobs twice; "
+            f"{deduplicated}/{len(uids)} duplicates were deduplicated"
+        )
+
+        # poll /metrics while the pool works through the queue
+        while True:
+            metrics = client.metrics()
+            done = metrics["jobs"]["completed"] + metrics["jobs"]["failed"]
+            print(
+                f"  queue={metrics['queue_depth']:3d} "
+                f"in-flight={metrics['in_flight']} "
+                f"completed={metrics['jobs']['completed']:3d} "
+                f"dedup-hits={metrics['dedup']['hits']}"
+            )
+            if done >= len(uids):
+                break
+            time.sleep(1.0)
+
+        elapsed = time.monotonic() - started
+        failed = [
+            uid for uid in uids
+            if client.job(jobs[uid])["state"] != "done"
+        ]
+        for uid in failed:
+            print(f"  FAILED: {uid} -> {client.job(jobs[uid])['error']}")
+        print(
+            f"all {len(uids) - len(failed)}/{len(uids)} jobs done in "
+            f"{elapsed:.1f}s ({len(uids) / elapsed:.2f} jobs/s)"
+        )
+
+        exec_hist = client.metrics()["latency"]["exec"].get("run", {})
+        mean = exec_hist.get("sum_s", 0.0) / max(1, exec_hist.get("count", 1))
+        print(
+            f"run-job latency: n={exec_hist.get('count', 0)} mean={mean:.2f}s"
+        )
+        if failed:
+            raise SystemExit(1)
+    finally:
+        if proc is not None:
+            print("draining the private server")
+            try:
+                client.shutdown()
+                proc.wait(timeout=120)
+            except Exception:
+                proc.kill()
+
+
+if __name__ == "__main__":
+    main()

@@ -69,7 +69,23 @@ from repro.harness import (
     simulate,
 )
 
-__version__ = "1.0.0"
+def _detect_version() -> str:
+    """Package version: installed metadata first, source fallback second.
+
+    The fallback keeps ``repro --version`` and the service handshake
+    working from a plain ``PYTHONPATH=src`` checkout, where no
+    distribution metadata exists; keep it in sync with
+    ``pyproject.toml``.
+    """
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # PackageNotFoundError or metadata machinery issues
+        return "1.0.0"
+
+
+__version__ = _detect_version()
 
 __all__ = [
     "CompiledProgram",

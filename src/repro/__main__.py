@@ -23,10 +23,22 @@ Commands:
                                suite (fig4, fig14, fig15, fig18, fig19,
                                fig20, fig21, fig22, fig23, fig24, fig25,
                                fig26, table1)
-  cache info|clear|warm [--workers N]
+  cache info|clear|warm [--workers N] [--list] [--json]
                              — inspect, empty, or pre-populate the
                                persistent simulation artifact cache
+                               (info output is deterministically
+                               ordered; --list enumerates artifacts
+                               sorted by key)
   sensors [--clock GHZ]      — sensor-count vs WCDL table
+  serve [--port P] [--workers N] [--queue-limit N] [--journal DIR]
+                             — run the async batch job service
+                               (HTTP/JSON; queue + dedup + crash-safe
+                               journal; drains gracefully on SIGTERM)
+  submit run|inject|lint ... [--wait] [--priority P] [--endpoint H:P]
+                             — submit a job to a running service
+  jobs [--json] [--mine]     — list service jobs
+  result <job-id> [--wait]   — fetch a job's output (exits with the
+                               job's own exit code)
 """
 
 from __future__ import annotations
@@ -44,63 +56,16 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_run(args) -> int:
-    from repro import (
-        CoreConfig,
-        InOrderCore,
-        ResilienceHardwareConfig,
-        compile_baseline,
-        compile_program,
-        execute,
-        execute_fast,
-        load_workload,
-        turnpike_config,
-        turnstile_config,
-    )
+    from repro.harness.runner import run_report_text
 
-    run_functional = execute_fast if args.backend == "fast" else execute
-    workload = load_workload(args.uid)
-    if args.scheme == "baseline":
-        compiled = compile_baseline(workload.program)
-        hw = ResilienceHardwareConfig.baseline()
-    elif args.scheme == "turnstile":
-        compiled = compile_program(
-            workload.program, turnstile_config(sb_size=args.sb)
-        )
-        hw = ResilienceHardwareConfig.turnstile(wcdl=args.wcdl, sb_size=args.sb)
-    else:
-        compiled = compile_program(
-            workload.program, turnpike_config(sb_size=args.sb)
-        )
-        hw = ResilienceHardwareConfig.turnpike(wcdl=args.wcdl, sb_size=args.sb)
-
-    result = run_functional(
-        compiled.program, workload.fresh_memory(), collect_trace=True
-    )
-    stats = InOrderCore(CoreConfig(), hw).run(result.trace)
-
-    base = compile_baseline(workload.program)
-    base_run = run_functional(
-        base.program, workload.fresh_memory(), collect_trace=True
-    )
-    base_stats = InOrderCore(
-        CoreConfig(), ResilienceHardwareConfig.baseline()
-    ).run(base_run.trace)
-
-    print(f"benchmark:        {args.uid}")
-    print(f"scheme:           {args.scheme} (WCDL={args.wcdl}, SB={args.sb})")
-    print(f"instructions:     {stats.instructions}")
-    print(f"cycles:           {stats.cycles:.0f}")
-    print(f"normalized time:  {stats.cycles / base_stats.cycles:.3f}")
-    print(f"IPC:              {stats.ipc:.2f}")
-    print(f"regions:          {stats.regions} (avg {stats.dynamic_region_size:.1f} instr)")
     print(
-        f"stores:           {stats.warfree_released} WAR-free released, "
-        f"{stats.colored_released} colored, {stats.quarantined} quarantined"
-    )
-    print(
-        f"stalls:           SB {stats.sb_stall_cycles:.0f}, "
-        f"data {stats.data_stall_cycles:.0f}, "
-        f"branch {stats.branch_stall_cycles:.0f} cycles"
+        run_report_text(
+            args.uid,
+            scheme=args.scheme,
+            wcdl=args.wcdl,
+            sb_size=args.sb,
+            backend=args.backend,
+        )
     )
     return 0
 
@@ -108,9 +73,8 @@ def _cmd_run(args) -> int:
 def _cmd_inject(args) -> int:
     from repro.faults.campaign import (
         AccelOptions,
-        CampaignRunner,
         CampaignSpec,
-        format_differential_report,
+        execute_campaign,
     )
 
     targets = tuple(t.strip() for t in args.targets.split(",") if t.strip())
@@ -139,11 +103,14 @@ def _cmd_inject(args) -> int:
             enabled=args.accel == "on",
             snapshot_interval=args.snapshot_interval,
         )
-    runner = CampaignRunner(spec, manifest_path=args.manifest, accel=accel)
     try:
-        report = runner.run(
+        _report, text = execute_campaign(
+            spec,
+            manifest_path=args.manifest,
+            accel=accel,
             workers=args.workers,
             resume=args.resume,
+            export_path=args.export,
             progress=lambda done, total: print(
                 f"  shard {done}/{total} done", file=sys.stderr
             ),
@@ -151,12 +118,8 @@ def _cmd_inject(args) -> int:
     except ValueError as exc:  # e.g. manifest/spec mismatch on --resume
         print(f"cannot run campaign: {exc}", file=sys.stderr)
         return 2
-    print(format_differential_report(report))
+    print(text)
     if args.export:
-        from repro.harness.export import campaign_to_json
-
-        with open(args.export, "w") as fh:
-            fh.write(campaign_to_json(report))
         print(f"aggregate written to {args.export}", file=sys.stderr)
     return 0
 
@@ -234,6 +197,8 @@ def _cmd_figure(args) -> int:
 
 
 def _cmd_cache(args) -> int:
+    import json as _json
+
     from repro.harness.artifacts import ArtifactCache
 
     cache = ArtifactCache.default()
@@ -242,6 +207,14 @@ def _cmd_cache(args) -> int:
         return 2
     if args.action == "info":
         info = cache.info()
+        if args.json:
+            if args.list:
+                info["entries"] = [
+                    {"kind": kind, "key": key, "bytes": size}
+                    for kind, key, size in cache.entries()
+                ]
+            print(_json.dumps(info, indent=2, sort_keys=True))
+            return 0
         print(f"location:  {info['root']}")
         print(
             f"artifacts: {info['artifacts']} "
@@ -250,6 +223,9 @@ def _cmd_cache(args) -> int:
         )
         print(f"size:      {info['bytes'] / 1024:.1f} KiB")
         print(f"code hash: {info['code_digest']}")
+        if args.list:
+            for kind, key, size in cache.entries():
+                print(f"{kind:<8} {key}  {size}")
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifact(s) from {cache.root}")
@@ -289,9 +265,63 @@ def _cmd_sensors(args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
+def _cmd_serve(args) -> int:
+    from repro.service.server import serve
+
+    return serve(args)
+
+
+def _cmd_submit(args) -> int:
+    from repro.service.client import cmd_submit
+
+    return cmd_submit(args)
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service.client import cmd_jobs
+
+    return cmd_jobs(args)
+
+
+def _cmd_result(args) -> int:
+    from repro.service.client import cmd_result
+
+    return cmd_result(args)
+
+
+def _add_client_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--endpoint",
+        default=None,
+        help="service endpoint host:port (default: REPRO_SERVICE env or "
+        "the endpoint file in the journal directory)",
+    )
+    parser.add_argument(
+        "--journal",
+        default=None,
+        help="service journal directory used for endpoint discovery "
+        "(default: REPRO_SERVICE_DIR or ~/.cache/repro-turnpike/service)",
+    )
+    parser.add_argument(
+        "--client",
+        default=None,
+        help="client name for fairness/accounting (default: host:pid)",
+    )
+    parser.add_argument(
+        "--no-handshake",
+        action="store_true",
+        help="skip the version/digest compatibility handshake warning",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro", description="Turnpike reproduction toolkit"
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -420,10 +450,142 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for warm (default: REPRO_WORKERS or 1; "
         "0 means one per CPU)",
     )
+    cache_p.add_argument(
+        "--list",
+        action="store_true",
+        help="info: enumerate every artifact, sorted by (kind, key)",
+    )
+    cache_p.add_argument(
+        "--json",
+        action="store_true",
+        help="info: emit machine-readable JSON (sorted keys)",
+    )
 
     sen_p = sub.add_parser("sensors", help="sensor sizing table")
     sen_p.add_argument("--clock", type=float, default=2.5)
 
+    serve_p = sub.add_parser(
+        "serve", help="run the async batch simulation service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0, help="TCP port (0: pick a free one)"
+    )
+    serve_p.add_argument(
+        "--workers", type=int, default=2, help="worker processes in the pool"
+    )
+    serve_p.add_argument(
+        "--queue-limit",
+        type=int,
+        default=256,
+        help="bounded queue size; submissions beyond it get HTTP 429",
+    )
+    serve_p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="retries (with exponential backoff) after a worker death",
+    )
+    serve_p.add_argument(
+        "--job-timeout",
+        type=float,
+        default=None,
+        help="default per-job timeout in seconds (none by default)",
+    )
+    serve_p.add_argument(
+        "--journal",
+        default=None,
+        help="journal directory (crash-safe job log, result store, "
+        "campaign manifests; default REPRO_SERVICE_DIR or "
+        "~/.cache/repro-turnpike/service)",
+    )
+
+    submit_p = sub.add_parser(
+        "submit", help="submit a job to a running service"
+    )
+    kind_sub = submit_p.add_subparsers(dest="kind", required=True)
+    for kind in ("run", "inject", "lint"):
+        kp = kind_sub.add_parser(kind, help=f"submit a {kind} job")
+        _add_client_flags(kp)
+        kp.add_argument(
+            "--priority",
+            type=int,
+            default=10,
+            help="scheduling priority (lower runs first; default 10)",
+        )
+        kp.add_argument(
+            "--job-timeout",
+            type=float,
+            default=None,
+            help="per-job timeout in seconds",
+        )
+        kp.add_argument(
+            "--wait",
+            action="store_true",
+            help="block until done, print the job's stdout, exit with "
+            "the job's exit code",
+        )
+        kp.add_argument("--wait-timeout", type=float, default=None)
+        if kind == "run":
+            kp.add_argument("uid")
+            kp.add_argument("--wcdl", type=int, default=None)
+            kp.add_argument("--sb", type=int, default=None)
+            kp.add_argument(
+                "--scheme",
+                choices=("turnpike", "turnstile", "baseline"),
+                default=None,
+            )
+            kp.add_argument(
+                "--backend", choices=("fast", "reference"), default=None
+            )
+        elif kind == "inject":
+            kp.add_argument("uid", nargs="?", default=None)
+            kp.add_argument("--count", type=int, default=None)
+            kp.add_argument("--wcdl", type=int, default=None)
+            kp.add_argument("--seed", type=int, default=None)
+            kp.add_argument("--targets", default=None)
+            kp.add_argument("--variants", default=None)
+            kp.add_argument(
+                "--shard-size", dest="shard_size", type=int, default=None
+            )
+            kp.add_argument("--accel", choices=("on", "off"), default=None)
+            kp.add_argument(
+                "--snapshot-interval",
+                dest="snapshot_interval",
+                type=int,
+                default=None,
+            )
+        else:  # lint
+            kp.add_argument("uid", nargs="?", default=None)
+            kp.add_argument("--all", action="store_true")
+            kp.add_argument(
+                "--scheme", choices=("turnpike", "turnstile"), default=None
+            )
+            kp.add_argument("--sb", type=int, default=None)
+            kp.add_argument(
+                "--format", choices=("text", "json", "sarif"), default=None
+            )
+            kp.add_argument("--no-differential", action="store_true")
+            kp.add_argument("--strict", action="store_true")
+
+    jobs_p = sub.add_parser("jobs", help="list jobs on a running service")
+    _add_client_flags(jobs_p)
+    jobs_p.add_argument("--json", action="store_true")
+    jobs_p.add_argument(
+        "--mine", action="store_true", help="only this client's jobs"
+    )
+
+    result_p = sub.add_parser("result", help="fetch one job's output")
+    _add_client_flags(result_p)
+    result_p.add_argument("job_id")
+    result_p.add_argument("--wait", action="store_true")
+    result_p.add_argument("--wait-timeout", type=float, default=None)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
         "list": _cmd_list,
@@ -433,6 +595,10 @@ def main(argv: list[str] | None = None) -> int:
         "figure": _cmd_figure,
         "cache": _cmd_cache,
         "sensors": _cmd_sensors,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "jobs": _cmd_jobs,
+        "result": _cmd_result,
     }
     return handlers[args.command](args)
 

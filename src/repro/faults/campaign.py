@@ -458,7 +458,12 @@ class CampaignRunner:
             return {"spec": self.spec.to_dict(), "shards": {}}
         if not resume:
             return {"spec": self.spec.to_dict(), "shards": {}}
-        manifest = json.loads(self.manifest_path.read_text())
+        try:
+            manifest = json.loads(self.manifest_path.read_text())
+        except ValueError:
+            # A torn manifest (crash mid-write) is a fresh start, not an
+            # error: every shard recomputes deterministically.
+            return {"spec": self.spec.to_dict(), "shards": {}}
         if manifest.get("spec") != self.spec.to_dict():
             raise ValueError(
                 f"manifest {self.manifest_path} was written by a different "
@@ -469,11 +474,26 @@ class CampaignRunner:
     def _write_manifest(self, manifest: dict) -> None:
         if self.manifest_path is None:
             return
-        tmp = self.manifest_path.with_suffix(
-            self.manifest_path.suffix + ".tmp"
+        # Unique temp name: two processes checkpointing the same
+        # manifest (e.g. an orphaned worker racing a restarted service
+        # that re-adopted the campaign) must never interleave writes
+        # inside one temp file; with distinct temps the atomic replace
+        # makes the last full checkpoint win.
+        import tempfile
+
+        fd, tmp = tempfile.mkstemp(
+            dir=self.manifest_path.parent, prefix=".manifest-"
         )
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True))
-        os.replace(tmp, self.manifest_path)
+        try:
+            with os.fdopen(fd, "w") as fh:
+                fh.write(json.dumps(manifest, indent=2, sort_keys=True))
+            os.replace(tmp, self.manifest_path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     # -- execution ---------------------------------------------------------
 
@@ -545,6 +565,35 @@ class CampaignRunner:
         ]
         all_records.sort(key=lambda rec: rec["index"])
         return CampaignReport(spec=self.spec, records=all_records)
+
+
+def execute_campaign(
+    spec: CampaignSpec,
+    manifest_path: str | Path | None = None,
+    accel: AccelOptions | None = None,
+    workers: int = 1,
+    resume: bool = False,
+    export_path: str | Path | None = None,
+    progress: Callable[[int, int], None] | None = None,
+) -> tuple[CampaignReport, str]:
+    """Run one differential campaign end-to-end; the single entry point
+    shared by the ``repro inject`` CLI and the batch service.
+
+    Returns ``(report, formatted_text)``. When ``export_path`` is set
+    the deterministic aggregate JSON is written there (atomically, so a
+    crash mid-write can never leave a half aggregate for a parity
+    check to trip over).
+    """
+    runner = CampaignRunner(spec, manifest_path=manifest_path, accel=accel)
+    report = runner.run(workers=workers, resume=resume, progress=progress)
+    if export_path is not None:
+        from repro.harness.export import campaign_to_json
+
+        export_path = Path(export_path)
+        tmp = export_path.with_suffix(export_path.suffix + ".tmp")
+        tmp.write_text(campaign_to_json(report))
+        os.replace(tmp, export_path)
+    return report, format_differential_report(report)
 
 
 def format_differential_report(report: CampaignReport) -> str:

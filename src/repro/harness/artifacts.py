@@ -208,6 +208,25 @@ class ArtifactCache:
             if p.name.startswith(("trace-", "stats-", "golden-"))
         )
 
+    def entries(self) -> list[tuple[str, str, int]]:
+        """Every artifact as ``(kind, key, bytes)``, sorted by (kind, key).
+
+        The ordering is total and deterministic, so ``repro cache info
+        --list`` output is diffable across runs and machines — the
+        service integration tests and CI rely on that.
+        """
+        out = []
+        for path in self.artifact_paths():
+            kind, _, rest = path.name.partition("-")
+            key = rest.rsplit(".", 1)[0]
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            out.append((kind, key, size))
+        out.sort(key=lambda entry: (entry[0], entry[1]))
+        return out
+
     def clear(self) -> int:
         """Delete every artifact (any generation); returns the count."""
         removed = 0

@@ -301,6 +301,66 @@ def default_benchmarks() -> list[str]:
     return [p.uid for p in all_profiles()]
 
 
+def run_report_text(
+    uid: str,
+    scheme: str = "turnpike",
+    wcdl: int = 10,
+    sb_size: int = 4,
+    backend: str = "fast",
+) -> str:
+    """The ``repro run`` report for one benchmark, as text.
+
+    Shared by the CLI handler and anything that needs its exact output
+    (the batch service executes jobs through the CLI entry point, so
+    keeping this single-sourced is what makes service results
+    byte-identical to direct invocations).
+    """
+    from repro.compiler.config import turnpike_config, turnstile_config
+    from repro.workloads.suites import load_workload
+
+    run_functional = execute_fast if backend == "fast" else execute
+    workload = load_workload(uid)
+    if scheme == "baseline":
+        compiled = compile_baseline(workload.program)
+        hw = ResilienceHardwareConfig.baseline()
+    elif scheme == "turnstile":
+        compiled = compile_program(workload.program, turnstile_config(sb_size=sb_size))
+        hw = ResilienceHardwareConfig.turnstile(wcdl=wcdl, sb_size=sb_size)
+    else:
+        compiled = compile_program(workload.program, turnpike_config(sb_size=sb_size))
+        hw = ResilienceHardwareConfig.turnpike(wcdl=wcdl, sb_size=sb_size)
+
+    result = run_functional(
+        compiled.program, workload.fresh_memory(), collect_trace=True
+    )
+    stats = InOrderCore(CoreConfig(), hw).run(result.trace)
+
+    base = compile_baseline(workload.program)
+    base_run = run_functional(
+        base.program, workload.fresh_memory(), collect_trace=True
+    )
+    base_stats = InOrderCore(
+        CoreConfig(), ResilienceHardwareConfig.baseline()
+    ).run(base_run.trace)
+
+    lines = [
+        f"benchmark:        {uid}",
+        f"scheme:           {scheme} (WCDL={wcdl}, SB={sb_size})",
+        f"instructions:     {stats.instructions}",
+        f"cycles:           {stats.cycles:.0f}",
+        f"normalized time:  {stats.cycles / base_stats.cycles:.3f}",
+        f"IPC:              {stats.ipc:.2f}",
+        f"regions:          {stats.regions} "
+        f"(avg {stats.dynamic_region_size:.1f} instr)",
+        f"stores:           {stats.warfree_released} WAR-free released, "
+        f"{stats.colored_released} colored, {stats.quarantined} quarantined",
+        f"stalls:           SB {stats.sb_stall_cycles:.0f}, "
+        f"data {stats.data_stall_cycles:.0f}, "
+        f"branch {stats.branch_stall_cycles:.0f} cycles",
+    ]
+    return "\n".join(lines)
+
+
 # -- multiprocess sharding -------------------------------------------------
 
 SimJob = tuple  # (uid, CompilerConfig, ResilienceHardwareConfig[, CoreConfig])

@@ -1,0 +1,200 @@
+"""Crash-safe job journal and content-addressed result store.
+
+One directory (``--journal``, ``REPRO_SERVICE_DIR``, or
+``~/.cache/repro-turnpike/service``) holds everything a server needs to
+survive a crash:
+
+* ``journal.jsonl`` — append-only event log (one JSON object per line:
+  ``submit`` and ``state`` events), flushed after every write. A
+  ``kill -9`` can at worst truncate the final line; replay tolerates
+  that and every other form of partial write by skipping undecodable
+  lines.
+* ``results/<key>.json`` — finished job results, atomically written and
+  keyed by the job dedup key (which embeds the source digest), so they
+  double as the cross-restart dedup cache: resubmitting a finished spec
+  is a cache hit, and editing the simulator invalidates everything.
+* ``manifests/<key>.json`` — campaign manifests for ``inject`` jobs.
+  The key-addressing is what makes kill-during-campaign cheap to
+  recover: the re-adopted job resumes from the shards already
+  checkpointed instead of starting over.
+* ``exports/<key>.json`` — aggregate JSON exports of ``inject`` jobs.
+* ``endpoint`` — ``host:port`` of the live server, written after bind
+  (and removed on clean exit) so local clients can discover the
+  service without configuration.
+
+On startup the server replays the journal, re-adopts interrupted jobs
+(queued/running but without a stored result), and compacts the log to
+one ``submit`` event per surviving job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Any
+
+from repro.service.jobs import JobRecord, JobState
+
+ENV_SERVICE_DIR = "REPRO_SERVICE_DIR"
+
+
+def default_root() -> Path:
+    env = os.environ.get(ENV_SERVICE_DIR)
+    if env:
+        return Path(env).expanduser()
+    return Path("~/.cache/repro-turnpike/service").expanduser()
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(data)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class Journal:
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        for sub in ("results", "manifests", "exports"):
+            (self.root / sub).mkdir(exist_ok=True)
+        self.log_path = self.root / "journal.jsonl"
+        self._log: IO[str] | None = None
+
+    # -- event log ---------------------------------------------------------
+
+    def _handle(self) -> IO[str]:
+        if self._log is None or self._log.closed:
+            self._log = open(self.log_path, "a", encoding="utf-8")
+        return self._log
+
+    def append(self, event: dict[str, Any]) -> None:
+        handle = self._handle()
+        handle.write(json.dumps(event, sort_keys=True) + "\n")
+        handle.flush()
+
+    def record_submit(self, job: JobRecord) -> None:
+        self.append({"ev": "submit", "job": job.to_dict()})
+
+    def record_state(self, job: JobRecord) -> None:
+        self.append(
+            {
+                "ev": "state",
+                "id": job.id,
+                "key": job.key,
+                "state": job.state.value,
+                "attempts": job.attempts,
+                "started_at": job.started_at,
+                "finished_at": job.finished_at,
+                "exit_code": job.exit_code,
+                "error": job.error,
+            }
+        )
+
+    def replay(self) -> dict[str, JobRecord]:
+        """Rebuild job records from the log, tolerating torn writes."""
+        jobs: dict[str, JobRecord] = {}
+        try:
+            lines = self.log_path.read_text(encoding="utf-8").splitlines()
+        except OSError:
+            return jobs
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a crash
+            try:
+                if event.get("ev") == "submit":
+                    job = JobRecord.from_dict(event["job"])
+                    jobs[job.id] = job
+                elif event.get("ev") == "state":
+                    job = jobs.get(event.get("id", ""))
+                    if job is None:
+                        continue
+                    job.state = JobState(event["state"])
+                    job.key = event.get("key", job.key)
+                    job.attempts = event.get("attempts", job.attempts)
+                    job.started_at = event.get("started_at")
+                    job.finished_at = event.get("finished_at")
+                    job.exit_code = event.get("exit_code")
+                    job.error = event.get("error")
+            except (KeyError, ValueError, TypeError):
+                continue  # event written by an incompatible generation
+        return jobs
+
+    def compact(self, jobs: dict[str, JobRecord]) -> None:
+        """Atomically rewrite the log to one submit event per job."""
+        lines = [
+            json.dumps({"ev": "submit", "job": jobs[jid].to_dict()},
+                       sort_keys=True)
+            for jid in sorted(jobs)
+        ]
+        if self._log is not None and not self._log.closed:
+            self._log.close()
+            self._log = None
+        _write_atomic(
+            self.log_path, ("\n".join(lines) + "\n" if lines else "").encode()
+        )
+
+    def close(self) -> None:
+        if self._log is not None and not self._log.closed:
+            self._log.close()
+        self._log = None
+
+    # -- result store ------------------------------------------------------
+
+    def result_path(self, key: str) -> Path:
+        return self.root / "results" / f"{key}.json"
+
+    def store_result(self, key: str, payload: dict[str, Any]) -> None:
+        data = json.dumps(payload, sort_keys=True, indent=2).encode()
+        _write_atomic(self.result_path(key), data)
+
+    def load_result(self, key: str) -> dict[str, Any] | None:
+        try:
+            with open(self.result_path(key), encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return data if isinstance(data, dict) else None
+
+    def manifest_path(self, key: str) -> Path:
+        return self.root / "manifests" / f"{key}.json"
+
+    def export_path(self, key: str) -> Path:
+        return self.root / "exports" / f"{key}.json"
+
+    # -- endpoint discovery ------------------------------------------------
+
+    @property
+    def endpoint_path(self) -> Path:
+        return self.root / "endpoint"
+
+    def write_endpoint(self, host: str, port: int) -> None:
+        _write_atomic(self.endpoint_path, f"{host}:{port}\n".encode())
+
+    def read_endpoint(self) -> tuple[str, int] | None:
+        try:
+            text = self.endpoint_path.read_text().strip()
+            host, _, port = text.rpartition(":")
+            return host, int(port)
+        except (OSError, ValueError):
+            return None
+
+    def clear_endpoint(self) -> None:
+        try:
+            self.endpoint_path.unlink()
+        except OSError:
+            pass

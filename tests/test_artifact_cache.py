@@ -15,6 +15,8 @@ Covers the tentpole's storage/concurrency contract:
 
 from __future__ import annotations
 
+import json
+import multiprocessing
 import threading
 
 import pytest
@@ -105,6 +107,117 @@ class TestArtifactCache:
     def test_code_digest_stable(self):
         assert artifacts.code_digest() == artifacts.code_digest()
         assert len(artifacts.code_digest()) == 64
+
+
+def _hammer_stats(root: str, key: str, rounds: int) -> None:
+    """Child-process body: repeatedly rewrite one stats key."""
+    cache = ArtifactCache(root)
+    for i in range(rounds):
+        cache.store_stats(
+            key, SimStats(cycles=float(i + 1), instructions=i, cache={})
+        )
+
+
+def _hammer_trace(root: str, key: str, rounds: int) -> None:
+    """Child-process body: repeatedly rewrite one trace key."""
+    cache = ArtifactCache(root)
+    trace = [(i, -1, -1, -1, -1, -1, 0) for i in range(64)]
+    for _ in range(rounds):
+        cache.store_trace(key, trace)
+
+
+class TestConcurrentAccess:
+    """Multiple *processes* writing the same key must never corrupt it:
+    every concurrent load observes either a miss or one writer's
+    complete artifact, never interleaved bytes. This is the contract
+    the service's shared worker pool (and ``repro serve`` generally)
+    leans on."""
+
+    def _spawn(self, target, root, key, procs=3, rounds=40):
+        ctx = multiprocessing.get_context()
+        children = [
+            ctx.Process(target=target, args=(str(root), key, rounds))
+            for _ in range(procs)
+        ]
+        for child in children:
+            child.start()
+        return children
+
+    def test_same_key_stats_writers_never_corrupt(self, disk_cache):
+        key = "f" * 40
+        children = self._spawn(_hammer_stats, disk_cache.root, key)
+        try:
+            # hammer loads while the writers race each other
+            for _ in range(300):
+                stats = disk_cache.load_stats(key)
+                if stats is not None:
+                    assert stats.cycles == float(stats.instructions + 1)
+                if not any(c.is_alive() for c in children):
+                    break
+        finally:
+            for child in children:
+                child.join(timeout=60)
+        assert all(c.exitcode == 0 for c in children)
+        final = disk_cache.load_stats(key)
+        assert final is not None and final.cycles == 40.0
+        # no temp-file litter left behind by the atomic-write protocol
+        assert not list(disk_cache.root.glob(".tmp-*"))
+
+    def test_same_key_trace_writers_never_corrupt(self, disk_cache):
+        key = "e" * 40
+        children = self._spawn(_hammer_trace, disk_cache.root, key, rounds=20)
+        try:
+            for _ in range(300):
+                trace = disk_cache.load_trace(key)
+                if trace is not None:
+                    assert len(trace) == 64
+                    assert trace[63][0] == 63
+                if not any(c.is_alive() for c in children):
+                    break
+        finally:
+            for child in children:
+                child.join(timeout=60)
+        assert all(c.exitcode == 0 for c in children)
+        assert len(disk_cache.load_trace(key)) == 64
+
+
+class TestEntriesAndInfoDeterminism:
+    def test_entries_sorted_and_complete(self, disk_cache):
+        # insertion order deliberately scrambled vs (kind, key) order
+        disk_cache.store_trace("b" * 40, [(0, -1, -1, -1, -1, -1, 0)])
+        disk_cache.store_stats("z" * 40, SimStats(cycles=1.0))
+        disk_cache.store_stats("a" * 40, SimStats(cycles=2.0))
+        entries = disk_cache.entries()
+        assert [(k, key) for k, key, _ in entries] == [
+            ("stats", "a" * 40),
+            ("stats", "z" * 40),
+            ("trace", "b" * 40),
+        ]
+        assert all(size > 0 for _, _, size in entries)
+        assert entries == disk_cache.entries()  # stable across calls
+
+    def test_cache_info_cli_is_diffable(self, monkeypatch, capsys, tmp_path):
+        """`repro cache info --list --json` must emit byte-identical
+        output across invocations so CI can diff it."""
+        from repro.__main__ import main as cli_main
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cli-cache"))
+        cache = ArtifactCache.default()
+        cache.store_stats("c" * 40, SimStats(cycles=3.0))
+        cache.store_trace("d" * 40, [(1, -1, -1, -1, -1, -1, 0)])
+
+        outputs = []
+        for _ in range(2):
+            assert cli_main(["cache", "info", "--list", "--json"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+        payload = json.loads(outputs[0])
+        assert [e["key"] for e in payload["entries"]] == ["c" * 40, "d" * 40]
+        assert payload["artifacts"] == 2
+        # and the plain-text listing is sorted the same way
+        assert cli_main(["cache", "info", "--list"]) == 0
+        text = capsys.readouterr().out
+        assert text.index("c" * 40) < text.index("d" * 40)
 
 
 class TestRunCachePersistence:

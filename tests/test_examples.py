@@ -48,3 +48,13 @@ def test_custom_kernel():
     out = _run("custom_kernel.py")
     assert "Turnstile" in out and "Turnpike" in out
     assert "checkpoint counts fall" in out
+
+
+def test_service_batch_quick(monkeypatch, tmp_path):
+    # never attach to a developer's running service during tests
+    monkeypatch.delenv("REPRO_SERVICE", raising=False)
+    monkeypatch.setenv("REPRO_SERVICE_DIR", str(tmp_path / "svc"))
+    out = _run("service_batch.py", "--quick", "4", "--workers", "2")
+    assert "4/4 duplicates were deduplicated" in out
+    assert "all 4/4 jobs done" in out
+    assert "jobs/s" in out

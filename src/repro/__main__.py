@@ -7,12 +7,14 @@ Commands:
                              — compile + simulate one benchmark
   inject [uid] [--count N] [--wcdl N] [--targets a,b] [--workers N]
          [--manifest PATH] [--resume] [--export PATH]
-         [--accel on|off] [--snapshot-interval N]
+         [--accel on|off] [--snapshot-interval N] [--shards LO:HI]
                              — differential fault-injection campaign
                                across protocol variants (parallel,
                                resumable via the manifest; snapshot
                                acceleration on by default and
-                               observationally invisible)
+                               observationally invisible; --shards
+                               restricts to a shard-id range — the
+                               fabric's lease primitive)
   lint <uid>|--all [--scheme S] [--sb N] [--format text|json|sarif]
        [--no-differential] [--strict] [--output PATH] [--workers N]
                              — static resilience verifier over compiled
@@ -23,17 +25,26 @@ Commands:
                                suite (fig4, fig14, fig15, fig18, fig19,
                                fig20, fig21, fig22, fig23, fig24, fig25,
                                fig26, table1)
-  cache info|clear|warm [--workers N] [--list] [--json]
-                             — inspect, empty, or pre-populate the
-                               persistent simulation artifact cache
-                               (info output is deterministically
-                               ordered; --list enumerates artifacts
-                               sorted by key)
+  cache info|clear|warm|prune [--workers N] [--list] [--json]
+                             — inspect, empty, pre-populate, or
+                               generation-sync the persistent
+                               simulation artifact cache (info output
+                               is deterministically ordered; --list
+                               enumerates artifacts sorted by key;
+                               prune drops artifacts from dead source
+                               generations)
   sensors [--clock GHZ]      — sensor-count vs WCDL table
   serve [--port P] [--workers N] [--queue-limit N] [--journal DIR]
+        [--role local|coordinator|worker] [--coordinator H:P]
+        [--coordinator-journal DIR] [--node-id ID]
                              — run the async batch job service
                                (HTTP/JSON; queue + dedup + crash-safe
-                               journal; drains gracefully on SIGTERM)
+                               journal; drains gracefully on SIGTERM).
+                               --role coordinator scatters campaigns
+                               across registered worker nodes; --role
+                               worker enrolls this server with a
+                               coordinator via heartbeats
+  nodes [--json]             — list a coordinator's worker nodes
   submit run|inject|lint ... [--wait] [--priority P] [--endpoint H:P]
                              — submit a job to a running service
   jobs [--json] [--mine]     — list service jobs
@@ -95,6 +106,16 @@ def _cmd_inject(args) -> int:
     if args.resume and args.manifest is None:
         print("--resume requires --manifest", file=sys.stderr)
         return 2
+    only_shards = None
+    if args.shards is not None:
+        from repro.service.jobs import parse_shard_range
+
+        try:
+            lo, hi = parse_shard_range(args.shards)
+        except ValueError as exc:
+            print(f"invalid --shards: {exc}", file=sys.stderr)
+            return 2
+        only_shards = set(range(lo, hi))
 
     if args.snapshot_interval is None:
         accel = AccelOptions(enabled=args.accel == "on")
@@ -114,6 +135,7 @@ def _cmd_inject(args) -> int:
             progress=lambda done, total: print(
                 f"  shard {done}/{total} done", file=sys.stderr
             ),
+            only_shards=only_shards,
         )
     except ValueError as exc:  # e.g. manifest/spec mismatch on --resume
         print(f"cannot run campaign: {exc}", file=sys.stderr)
@@ -229,6 +251,12 @@ def _cmd_cache(args) -> int:
     elif args.action == "clear":
         removed = cache.clear()
         print(f"removed {removed} cached artifact(s) from {cache.root}")
+    elif args.action == "prune":
+        removed = cache.sync_generation()
+        print(
+            f"pruned {removed} dead-generation artifact(s) from "
+            f"{cache.root} (generation {cache.info()['code_digest']})"
+        )
     elif args.action == "warm":
         from repro.harness.runner import resolve_workers, warm_suite
 
@@ -287,6 +315,12 @@ def _cmd_result(args) -> int:
     from repro.service.client import cmd_result
 
     return cmd_result(args)
+
+
+def _cmd_nodes(args) -> int:
+    from repro.service.client import cmd_nodes
+
+    return cmd_nodes(args)
 
 
 def _add_client_flags(parser: argparse.ArgumentParser) -> None:
@@ -394,6 +428,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="ticks between golden-run snapshots (<= 0: fingerprints only, "
         "no fast-forward)",
     )
+    inj_p.add_argument(
+        "--shards",
+        default=None,
+        metavar="LO:HI",
+        help="run only shard ids [LO, HI) — a campaign lease; results "
+        "checkpoint into --manifest for later merge/resume",
+    )
 
     lint_p = sub.add_parser(
         "lint", help="statically verify compiled benchmarks"
@@ -442,7 +483,7 @@ def build_parser() -> argparse.ArgumentParser:
     cache_p = sub.add_parser(
         "cache", help="manage the persistent simulation artifact cache"
     )
-    cache_p.add_argument("action", choices=("info", "clear", "warm"))
+    cache_p.add_argument("action", choices=("info", "clear", "warm", "prune"))
     cache_p.add_argument(
         "--workers",
         type=int,
@@ -498,6 +539,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="journal directory (crash-safe job log, result store, "
         "campaign manifests; default REPRO_SERVICE_DIR or "
         "~/.cache/repro-turnpike/service)",
+    )
+    serve_p.add_argument(
+        "--role",
+        choices=("local", "coordinator", "worker"),
+        default="local",
+        help="local: single-node server (default); coordinator: scatter "
+        "campaigns across worker nodes; worker: enroll with a coordinator",
+    )
+    serve_p.add_argument(
+        "--coordinator",
+        default=None,
+        metavar="HOST:PORT",
+        help="worker role: the coordinator's explicit endpoint",
+    )
+    serve_p.add_argument(
+        "--coordinator-journal",
+        default=None,
+        metavar="DIR",
+        help="worker role: discover (and follow) the coordinator via the "
+        "endpoint file in this journal directory",
+    )
+    serve_p.add_argument(
+        "--node-id",
+        default=None,
+        help="worker role: fabric identity (default: node-<pid>)",
+    )
+    serve_p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        help="worker role: seconds between heartbeats to the coordinator",
+    )
+    serve_p.add_argument(
+        "--node-timeout",
+        type=float,
+        default=10.0,
+        help="coordinator role: seconds without a heartbeat before a node "
+        "is declared dead and its leases re-dispatched",
+    )
+    serve_p.add_argument(
+        "--lease-timeout",
+        type=float,
+        default=300.0,
+        help="coordinator role: hard per-lease deadline on one node",
+    )
+    serve_p.add_argument(
+        "--steal-after",
+        type=float,
+        default=60.0,
+        help="coordinator role: seconds before a straggling lease is "
+        "duplicated onto another node (work stealing)",
+    )
+    serve_p.add_argument(
+        "--lease-shards",
+        type=int,
+        default=1,
+        help="coordinator role: campaign shards per lease",
     )
 
     submit_p = sub.add_parser(
@@ -555,6 +653,7 @@ def build_parser() -> argparse.ArgumentParser:
                 type=int,
                 default=None,
             )
+            kp.add_argument("--shards", default=None, metavar="LO:HI")
         else:  # lint
             kp.add_argument("uid", nargs="?", default=None)
             kp.add_argument("--all", action="store_true")
@@ -574,6 +673,12 @@ def build_parser() -> argparse.ArgumentParser:
     jobs_p.add_argument(
         "--mine", action="store_true", help="only this client's jobs"
     )
+
+    nodes_p = sub.add_parser(
+        "nodes", help="list a coordinator's registered worker nodes"
+    )
+    _add_client_flags(nodes_p)
+    nodes_p.add_argument("--json", action="store_true")
 
     result_p = sub.add_parser("result", help="fetch one job's output")
     _add_client_flags(result_p)
@@ -599,6 +704,7 @@ def main(argv: list[str] | None = None) -> int:
         "submit": _cmd_submit,
         "jobs": _cmd_jobs,
         "result": _cmd_result,
+        "nodes": _cmd_nodes,
     }
     return handlers[args.command](args)
 

@@ -502,6 +502,7 @@ class CampaignRunner:
         workers: int = 1,
         resume: bool = False,
         progress: Callable[[int, int], None] | None = None,
+        only_shards: "set[int] | None" = None,
     ) -> CampaignReport:
         """Run (or finish) the campaign and return its report.
 
@@ -509,9 +510,22 @@ class CampaignRunner:
         results are identical to a serial run because every injection is
         derived from ``(seed, index)`` and aggregation sorts by index.
         ``progress(done, total)`` is invoked after every shard.
+
+        ``only_shards`` restricts execution to a subset of shard ids —
+        the *lease* primitive of the distributed fabric: a worker node
+        computes its leased shards into a manifest, and whoever merges
+        the manifests (or resumes them) gets byte-identical aggregates
+        because shard contents depend only on ``(seed, index)``. The
+        returned report covers whatever the manifest then holds, which
+        for a lease run is deliberately partial.
         """
         manifest = self._load_manifest(resume)
         shards = self.spec.shards()
+        selected = (
+            set(range(len(shards)))
+            if only_shards is None
+            else {sid for sid in only_shards if 0 <= sid < len(shards)}
+        )
         pending = [
             {
                 "spec": self.spec.to_dict(),
@@ -520,9 +534,9 @@ class CampaignRunner:
                 "accel": self.accel.to_dict(),
             }
             for sid, indices in enumerate(shards)
-            if str(sid) not in manifest["shards"]
+            if sid in selected and str(sid) not in manifest["shards"]
         ]
-        done = len(shards) - len(pending)
+        done = len(selected) - len(pending)
 
         if pending and self.accel.enabled:
             # Pre-warm the compiled context and every variant's golden
@@ -541,7 +555,7 @@ class CampaignRunner:
             self._write_manifest(manifest)
             done += 1
             if progress is not None:
-                progress(done, len(shards))
+                progress(done, len(selected))
 
         if pending:
             if workers > 1:
@@ -575,6 +589,7 @@ def execute_campaign(
     resume: bool = False,
     export_path: str | Path | None = None,
     progress: Callable[[int, int], None] | None = None,
+    only_shards: "set[int] | None" = None,
 ) -> tuple[CampaignReport, str]:
     """Run one differential campaign end-to-end; the single entry point
     shared by the ``repro inject`` CLI and the batch service.
@@ -585,7 +600,10 @@ def execute_campaign(
     check to trip over).
     """
     runner = CampaignRunner(spec, manifest_path=manifest_path, accel=accel)
-    report = runner.run(workers=workers, resume=resume, progress=progress)
+    report = runner.run(
+        workers=workers, resume=resume, progress=progress,
+        only_shards=only_shards,
+    )
     if export_path is not None:
         from repro.harness.export import campaign_to_json
 

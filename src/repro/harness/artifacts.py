@@ -69,6 +69,16 @@ def code_digest() -> str:
     return _code_digest
 
 
+def sync_generation() -> int:
+    """Sync the default cache's generation marker; 0 when disabled.
+
+    Fabric worker nodes call this at startup so a node whose checkout
+    moved on prunes dead-generation artifacts before taking leases.
+    """
+    cache = ArtifactCache.default()
+    return cache.sync_generation() if cache is not None else 0
+
+
 def _key(*parts: object) -> str:
     text = "|".join([code_digest(), *[repr(p) for p in parts]])
     return hashlib.sha256(text.encode()).hexdigest()[:40]
@@ -238,7 +248,36 @@ class ArtifactCache:
                 pass
         return removed
 
+    @property
+    def generation_path(self) -> Path:
+        return self.root / "GENERATION"
+
+    def sync_generation(self) -> int:
+        """Reconcile the cache with the current source generation.
+
+        Artifact keys embed :func:`code_digest`, so stale entries are
+        already *unreachable* — this reclaims their disk. A marker file
+        records the digest the cache was last used with: on mismatch
+        every artifact is pruned (they all belong to dead generations);
+        on first adoption the marker is written without pruning, since
+        a fabric node joining an existing shared cache must not wipe
+        artifacts a same-generation sibling is still using. Returns
+        the number of artifacts removed.
+        """
+        digest = code_digest()[:16]
+        try:
+            recorded = self.generation_path.read_text().strip()
+        except OSError:
+            recorded = None
+        removed = 0
+        if recorded is not None and recorded != digest:
+            removed = self.clear()
+        if recorded != digest:
+            self._write_atomic(self.generation_path, f"{digest}\n".encode())
+        return removed
+
     def info(self) -> dict[str, object]:
+        """Summary dict for ``repro cache info``."""
         paths = self.artifact_paths()
         traces = sum(1 for p in paths if p.name.startswith("trace-"))
         goldens = sum(1 for p in paths if p.name.startswith("golden-"))

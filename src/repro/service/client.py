@@ -14,16 +14,24 @@ digest, so a digest mismatch means cache misses, not wrong results).
 
 from __future__ import annotations
 
-import http.client
 import json
 import os
 import sys
 import time
 from typing import Any
 
+from repro.service import transport
+from repro.service.backoff import BackoffPolicy
 from repro.service.journal import Journal, default_root
 
 ENV_ENDPOINT = "REPRO_SERVICE"
+
+#: Client-side retry: a couple of quick attempts against transient
+#: connection resets (server mid-restart, listen backlog hiccup), then
+#: give up with a diagnosable error.
+RETRY_POLICY = BackoffPolicy(
+    base=0.1, factor=2.0, cap=1.0, jitter=0.25, max_attempts=3, deadline=5.0
+)
 
 
 class ServiceError(RuntimeError):
@@ -35,17 +43,16 @@ class ServiceError(RuntimeError):
         super().__init__(payload.get("error", f"HTTP {status}"))
 
 
+class StaleEndpointError(ConnectionError):
+    """The discovery file points at a server that is provably dead."""
+
+
 def resolve_endpoint(
     endpoint: str | None = None, journal_dir: str | None = None
 ) -> tuple[str, int]:
     spec = endpoint or os.environ.get(ENV_ENDPOINT)
     if spec:
-        spec = spec.removeprefix("http://")
-        host, _, port = spec.rstrip("/").rpartition(":")
-        try:
-            return host or "127.0.0.1", int(port)
-        except ValueError:
-            raise ValueError(f"bad endpoint {spec!r}; expected host:port") from None
+        return transport.parse_endpoint(spec)
     journal = Journal(journal_dir) if journal_dir else Journal(default_root())
     found = journal.read_endpoint()
     if found is None:
@@ -53,6 +60,13 @@ def resolve_endpoint(
             "no service endpoint: pass --endpoint host:port, set "
             f"{ENV_ENDPOINT}, or start `repro serve` (no endpoint file in "
             f"{journal.root})"
+        )
+    if journal.endpoint_status() == "stale":
+        raise StaleEndpointError(
+            f"stale endpoint: {journal.endpoint_path} points at "
+            f"{found[0]}:{found[1]} but the recorded server "
+            f"(pid {journal.read_endpoint_pid()}) is dead; restart "
+            "`repro serve` or remove the file"
         )
     return found
 
@@ -65,6 +79,11 @@ class ServiceClient:
         client_name: str | None = None,
         timeout: float = 30.0,
     ) -> None:
+        # Remember whether the address came from the discovery file: if
+        # so, a dead connection can be *re-resolved* (the server may
+        # have restarted on a fresh port) or diagnosed as stale.
+        self._discovered = not (endpoint or os.environ.get(ENV_ENDPOINT))
+        self._journal_dir = journal_dir
         self.host, self.port = resolve_endpoint(endpoint, journal_dir)
         self.client_name = client_name or f"{os.uname().nodename}:{os.getpid()}"
         self.timeout = timeout
@@ -74,28 +93,44 @@ class ServiceClient:
     def request(
         self, method: str, path: str, payload: dict[str, Any] | None = None
     ) -> dict[str, Any]:
-        body = json.dumps(payload).encode() if payload is not None else None
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
         try:
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"} if body else {},
+            status, decoded = transport.call(
+                self.host, self.port, method, path, payload,
+                timeout=self.timeout, policy=RETRY_POLICY,
             )
-            response = conn.getresponse()
-            data = response.read()
-        finally:
-            conn.close()
-        try:
-            decoded = json.loads(data.decode() or "{}")
-        except ValueError:
-            decoded = {"error": data.decode(errors="replace")}
-        if response.status >= 400:
-            raise ServiceError(response.status, decoded)
+        except transport.Unreachable as exc:
+            if self._discovered:
+                self._rediscover(exc)  # raises unless the address moved
+                status, decoded = transport.call(
+                    self.host, self.port, method, path, payload,
+                    timeout=self.timeout, policy=RETRY_POLICY,
+                )
+            else:
+                raise
+        if status >= 400:
+            raise ServiceError(status, decoded)
         return decoded
+
+    def _rediscover(self, cause: transport.Unreachable) -> None:
+        """After a dead discovered endpoint: follow a restart or diagnose.
+
+        Re-reads the discovery file; if the server restarted on a new
+        address, adopt it. Otherwise raise :class:`StaleEndpointError`
+        (provably dead PID) or re-raise the transport failure.
+        """
+        journal = Journal(self._journal_dir or default_root())
+        found = journal.read_endpoint()
+        if found is not None and found != (self.host, self.port):
+            self.host, self.port = found
+            return
+        if journal.endpoint_status() == "stale":
+            raise StaleEndpointError(
+                f"stale endpoint: {journal.endpoint_path} points at "
+                f"{self.host}:{self.port} but the recorded server "
+                f"(pid {journal.read_endpoint_pid()}) is dead; restart "
+                "`repro serve` or remove the file"
+            ) from cause
+        raise cause
 
     # -- API ---------------------------------------------------------------
 
@@ -201,7 +236,7 @@ def _spec_from_args(args: Any) -> dict[str, Any]:
     for name in (
         "uid", "wcdl", "sb", "scheme", "backend",  # run / lint
         "count", "seed", "targets", "variants", "shard_size",
-        "accel", "snapshot_interval",  # inject
+        "accel", "snapshot_interval", "shards",  # inject
         "format", "strict",  # lint
     ):
         value = getattr(args, name, None)
@@ -279,6 +314,35 @@ def cmd_jobs(args: Any) -> int:
         print(
             f"{job['id']:<9} {job['kind']:<7} {job['state']:<10} "
             f"{job['attempts']:>3} {job['client'][:20]:<20} {brief}"
+        )
+    return 0
+
+
+def cmd_nodes(args: Any) -> int:
+    """Handler for ``repro nodes``: list a coordinator's worker nodes."""
+    try:
+        client = _client_from_args(args)
+        payload = client.request("GET", "/nodes")
+    except (ServiceError, ValueError, ConnectionError, OSError) as exc:
+        print(f"nodes failed: {exc}", file=sys.stderr)
+        return 2
+    nodes = payload.get("nodes", [])
+    if args.json:
+        print(json.dumps({"nodes": nodes}, indent=2, sort_keys=True))
+        return 0
+    if not nodes:
+        print("no worker nodes registered", file=sys.stderr)
+        return 0
+    print(
+        f"{'node':<18} {'endpoint':<22} {'state':<8} {'workers':>7} "
+        f"{'in_flight':>9} {'age_s':>7}"
+    )
+    for node in nodes:
+        endpoint = f"{node.get('host', '?')}:{node.get('port', '?')}"
+        print(
+            f"{node.get('id', '?'):<18} {endpoint:<22} "
+            f"{node.get('state', '?'):<8} {node.get('workers', 0):>7} "
+            f"{node.get('in_flight', 0):>9} {node.get('age_s', 0.0):>7.1f}"
         )
     return 0
 

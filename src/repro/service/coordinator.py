@@ -1,0 +1,656 @@
+"""The campaign coordinator: routes jobs across registered worker nodes.
+
+The coordinator **is** a :class:`~repro.service.server.JobService` — it
+inherits the journal, dedup, drain, and crash re-adoption machinery —
+whose execution path dispatches work to worker nodes instead of (only)
+its own pool:
+
+* ``run`` / ``lint`` jobs are routed whole to one node chosen by
+  consistent hashing over the content-addressed job key (so repeated
+  submissions land on the node whose caches are already warm), with
+  automatic failover to the next ring position when a node dies;
+* ``inject`` campaigns are decomposed into **shard leases** — the same
+  spec restricted to a shard-id range, pointed at a shared manifest
+  store — scattered across live nodes, merged, and finalized locally.
+
+The finalize step is the liveness *and* parity anchor: after the
+scatter/gather phase (however much of it succeeded), the coordinator
+runs the campaign locally with ``--resume`` against the merged
+manifest. If every lease landed, that is a pure aggregation; if nodes
+died mid-lease, the local run computes exactly the missing shards.
+Every injection depends only on ``(seed, index)``, so the aggregate is
+byte-identical to a single-node run **no matter which process computed
+which shard** — chaos only moves work around, never changes output.
+
+Failure handling, in order of escalation:
+
+1. a node missing heartbeats for ``node_timeout`` seconds is declared
+   dead, leaves the ring, and its in-flight leases are re-dispatched to
+   survivors (``lease_redispatch``);
+2. a live-but-slow node holding a lease past ``steal_after`` seconds
+   gets its lease *stolen* — duplicated onto another node
+   (``lease_steals``); both may finish, and since both write the same
+   deterministic records via atomic manifest replace, first-completion
+   -wins is safe;
+3. with zero reachable workers the coordinator degrades to plain local
+   execution (``local_fallback``) — a fabric of one.
+
+Nodes must present the coordinator's own source digest to receive
+work: lease job keys embed the digest, so a stale node would compute
+keys (and caches) that can never match. The shared manifest store
+lives inside the coordinator's journal; worker nodes are expected to
+share that filesystem (the multi-node story on one machine — separate
+processes, shared disk).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.service import transport
+from repro.service.jobs import JobRecord, JobSpec, job_key
+from repro.service.server import JobService, ServiceConfig
+
+
+@dataclass
+class NodeInfo:
+    """One registered worker node, as seen from the coordinator."""
+
+    id: str
+    host: str
+    port: int
+    workers: int = 1
+    in_flight: int = 0
+    queue_depth: int = 0
+    digest: str = ""
+    pid: int | None = None
+    last_seen: float = field(default_factory=time.monotonic)
+
+    def age(self, now: float | None = None) -> float:
+        return (now if now is not None else time.monotonic()) - self.last_seen
+
+    def to_dict(self, node_timeout: float) -> dict[str, Any]:
+        age = self.age()
+        return {
+            "id": self.id,
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "in_flight": self.in_flight,
+            "queue_depth": self.queue_depth,
+            "digest": self.digest,
+            "pid": self.pid,
+            "age_s": round(age, 3),
+            "state": "live" if age <= node_timeout else "dead",
+        }
+
+
+class HashRing:
+    """Consistent hashing with virtual replicas.
+
+    Keys map to the first node clockwise from their hash; adding or
+    removing one node only remaps the keys that hashed into its arcs,
+    so the routing (and therefore which node's caches stay warm) is
+    stable under churn. :meth:`preference` returns the full failover
+    order — distinct nodes in ring-walk order.
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        self.replicas = replicas
+        self._ring: list[tuple[int, str]] = []  # sorted (point, node_id)
+        self._nodes: set[str] = set()
+
+    @staticmethod
+    def _hash(value: str) -> int:
+        return int.from_bytes(
+            hashlib.sha256(value.encode()).digest()[:8], "big"
+        )
+
+    def add(self, node_id: str) -> None:
+        if node_id in self._nodes:
+            return
+        self._nodes.add(node_id)
+        for i in range(self.replicas):
+            self._ring.append((self._hash(f"{node_id}#{i}"), node_id))
+        self._ring.sort()
+
+    def remove(self, node_id: str) -> None:
+        if node_id not in self._nodes:
+            return
+        self._nodes.discard(node_id)
+        self._ring = [entry for entry in self._ring if entry[1] != node_id]
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node_id: str) -> bool:
+        return node_id in self._nodes
+
+    def preference(self, key: str) -> list[str]:
+        """All nodes in failover order for ``key`` (best first)."""
+        if not self._ring:
+            return []
+        point = self._hash(key)
+        import bisect
+
+        start = bisect.bisect_right(self._ring, (point, "￿"))
+        order: list[str] = []
+        seen: set[str] = set()
+        for i in range(len(self._ring)):
+            node_id = self._ring[(start + i) % len(self._ring)][1]
+            if node_id not in seen:
+                seen.add(node_id)
+                order.append(node_id)
+                if len(seen) == len(self._nodes):
+                    break
+        return order
+
+
+# -- lease planning / merging (pure functions, unit-testable) ---------------
+
+
+def shard_count(params: dict[str, Any]) -> int:
+    count, size = params["count"], params["shard_size"]
+    return (count + size - 1) // size
+
+
+def plan_leases(
+    spec: JobSpec, store_dir: str, lease_shards: int = 1
+) -> list[dict[str, Any]]:
+    """Decompose an inject spec into lease descriptors.
+
+    Each lease is itself a valid, content-addressed job: the full
+    campaign params restricted to ``lease_shards`` consecutive shard
+    ids and pointed at the shared store. Descriptor fields: ``params``
+    (submit-ready), ``key`` (the lease's job key), ``shards`` (global
+    shard ids), ``manifest`` (where its contribution lands).
+    """
+    params = spec.as_dict()
+    total = shard_count(params)
+    leases = []
+    for lo in range(0, total, lease_shards):
+        hi = min(lo + lease_shards, total)
+        lease_params = dict(params)
+        lease_params["shards"] = f"{lo}:{hi}"
+        lease_params["store_dir"] = store_dir
+        lease_spec = JobSpec.create("inject", lease_params)
+        key = job_key(lease_spec)
+        leases.append(
+            {
+                "params": lease_spec.as_dict(),
+                "key": key,
+                "shards": list(range(lo, hi)),
+                "manifest": str(Path(store_dir) / f"{key}.json"),
+            }
+        )
+    return leases
+
+
+def lease_complete(lease: dict[str, Any]) -> bool:
+    """True when the lease's manifest covers all its shard ids."""
+    try:
+        manifest = json.loads(Path(lease["manifest"]).read_text())
+    except (OSError, ValueError):
+        return False
+    have = set(manifest.get("shards", {}))
+    return all(str(sid) in have for sid in lease["shards"])
+
+
+def merge_manifests(
+    lease_paths: list[Path], out_path: Path
+) -> int:
+    """Union lease manifests (plus any existing output) into ``out_path``.
+
+    Returns the number of distinct shards now present. Safe against
+    torn or missing inputs (skipped) and concurrent writers (atomic
+    replace; shard contents are deterministic so duplicate keys carry
+    identical records and last-write-wins is a no-op).
+    """
+    merged: dict[str, Any] = {"spec": None, "shards": {}}
+    for path in [out_path, *lease_paths]:
+        try:
+            manifest = json.loads(Path(path).read_text())
+        except (OSError, ValueError):
+            continue
+        if not isinstance(manifest, dict):
+            continue
+        if merged["spec"] is None and manifest.get("spec") is not None:
+            merged["spec"] = manifest["spec"]
+        for sid, records in (manifest.get("shards") or {}).items():
+            merged["shards"].setdefault(sid, records)
+    if merged["spec"] is None:
+        return 0
+    import os
+    import tempfile
+
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=out_path.parent, prefix=".merge-")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            fh.write(json.dumps(merged, indent=2, sort_keys=True))
+        os.replace(tmp, out_path)
+    except BaseException:
+        with contextlib.suppress(OSError):
+            os.unlink(tmp)
+        raise
+    return len(merged["shards"])
+
+
+# -- the coordinator service ------------------------------------------------
+
+
+@dataclass
+class CoordinatorConfig(ServiceConfig):
+    #: Seconds without a heartbeat before a node is declared dead.
+    node_timeout: float = 10.0
+    #: Hard per-lease deadline on one node before re-dispatch.
+    lease_timeout: float = 300.0
+    #: Soft deadline before a straggling lease is duplicated elsewhere.
+    steal_after: float = 60.0
+    #: Campaign shards per lease (1 = finest-grained work distribution).
+    lease_shards: int = 1
+    #: Poll interval while watching a remote job.
+    poll_interval: float = 0.25
+
+
+class Coordinator(JobService):
+    role = "coordinator"
+
+    def __init__(self, config: CoordinatorConfig | None = None) -> None:
+        super().__init__(config or CoordinatorConfig())
+        self.nodes: dict[str, NodeInfo] = {}
+        self.ring = HashRing()
+        self._reaper: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        await super().start()
+        self._reaper = asyncio.create_task(self._reap_loop())
+
+    async def _shutdown(self) -> None:
+        if self._reaper is not None:
+            self._reaper.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._reaper
+        await super()._shutdown()
+
+    @property
+    def _cfg(self) -> CoordinatorConfig:
+        assert isinstance(self.config, CoordinatorConfig)
+        return self.config
+
+    async def _reap_loop(self) -> None:
+        """Expire nodes whose heartbeats stopped; their leases follow."""
+        while True:
+            await asyncio.sleep(max(0.05, self._cfg.node_timeout / 4))
+            now = time.monotonic()
+            for node_id in list(self.nodes):
+                if self.nodes[node_id].age(now) > self._cfg.node_timeout:
+                    del self.nodes[node_id]
+                    self.ring.remove(node_id)
+                    self.metrics.inc("node_deaths")
+                    self._wake.set()
+
+    # -- node registry -----------------------------------------------------
+
+    def live_nodes(self) -> list[NodeInfo]:
+        timeout = self._cfg.node_timeout
+        return [n for n in self.nodes.values() if n.age() <= timeout]
+
+    def _register_heartbeat(self, payload: dict[str, Any]) -> NodeInfo:
+        node_id = str(payload["id"])
+        node = self.nodes.get(node_id)
+        if node is None:
+            node = NodeInfo(
+                id=node_id,
+                host=str(payload["host"]),
+                port=int(payload["port"]),
+            )
+            self.nodes[node_id] = node
+            self.ring.add(node_id)
+            self.metrics.inc("nodes_joined")
+        node.host = str(payload["host"])
+        node.port = int(payload["port"])
+        node.workers = int(payload.get("workers", 1))
+        node.in_flight = int(payload.get("in_flight", 0))
+        node.queue_depth = int(payload.get("queue_depth", 0))
+        node.digest = str(payload.get("digest", ""))
+        node.pid = payload.get("pid")
+        node.last_seen = time.monotonic()
+        self._wake.set()  # capacity may have grown
+        return node
+
+    def _eligible(self, node: NodeInfo) -> bool:
+        """Live and running the same source tree (lease keys agree)."""
+        from repro.harness.artifacts import code_digest
+
+        return (
+            node.age() <= self._cfg.node_timeout
+            and node.digest == code_digest()[:16]
+        )
+
+    def _candidates(self, key: str, exclude: set[str]) -> list[NodeInfo]:
+        order = []
+        for node_id in self.ring.preference(key):
+            node = self.nodes.get(node_id)
+            if node is not None and node_id not in exclude and self._eligible(node):
+                order.append(node)
+        return order
+
+    # -- capacity / metrics ------------------------------------------------
+
+    def _dispatch_capacity(self) -> int:
+        remote = sum(node.workers for node in self.live_nodes())
+        return self.config.workers + remote
+
+    def _fabric_snapshot(self) -> dict | None:
+        timeout = self._cfg.node_timeout
+        return {
+            "role": self.role,
+            "nodes": {
+                node_id: self.nodes[node_id].to_dict(timeout)
+                for node_id in sorted(self.nodes)
+            },
+            "live_nodes": len(self.live_nodes()),
+            "nodes_joined": self.metrics.counters["nodes_joined"],
+            "node_deaths": self.metrics.counters["node_deaths"],
+            "remote_dispatch": self.metrics.counters["remote_dispatch"],
+            "lease_redispatch": self.metrics.counters["lease_redispatch"],
+            "lease_steals": self.metrics.counters["lease_steals"],
+            "local_fallback": self.metrics.counters["local_fallback"],
+            "transport_retries": self.metrics.counters["transport_retries"],
+            "stale_endpoint_replaced": self.metrics.counters[
+                "stale_endpoint_replaced"
+            ],
+        }
+
+    def _on_transport_retry(self, attempt: int, exc: BaseException) -> None:
+        self.metrics.inc("transport_retries")
+
+    # -- HTTP --------------------------------------------------------------
+
+    def _route(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        clean = path.partition("?")[0]
+        if method == "GET" and clean == "/nodes":
+            timeout = self._cfg.node_timeout
+            return 200, {
+                "nodes": [
+                    self.nodes[node_id].to_dict(timeout)
+                    for node_id in sorted(self.nodes)
+                ]
+            }
+        if method == "POST" and clean == "/nodes/heartbeat":
+            try:
+                payload = json.loads(body.decode() or "{}")
+                node = self._register_heartbeat(payload)
+            except (ValueError, KeyError, TypeError, UnicodeDecodeError) as exc:
+                return 400, {"error": f"bad heartbeat: {exc}"}
+            return 200, {
+                "status": "ok",
+                "node": node.id,
+                "known_nodes": len(self.nodes),
+            }
+        return super()._route(method, path, body)
+
+    # -- execution override ------------------------------------------------
+
+    @property
+    def store_dir(self) -> Path:
+        """Shared manifest store: the journal's own manifests directory
+        (stable across coordinator restarts, shared with nodes by
+        filesystem)."""
+        return self.journal.root / "manifests"
+
+    async def _run_job_attempts(self, job: JobRecord) -> None:
+        params = job.spec.as_dict()
+        if (
+            job.spec.kind == "inject"
+            and params.get("shards") is None
+            and shard_count(params) > 1
+        ):
+            # Scatter leases across the fabric (best effort), then let
+            # the inherited local path finalize: with a fully merged
+            # manifest it is pure aggregation; with holes it computes
+            # exactly the missing shards. Parity and liveness both.
+            await self._scatter_gather(job)
+            await super()._run_job_attempts(job)
+            return
+        if await self._run_remote(job):
+            return
+        self.metrics.inc("local_fallback")
+        await super()._run_job_attempts(job)
+
+    # -- whole-job remote routing (run / lint / single-shard inject) -------
+
+    async def _run_remote(self, job: JobRecord) -> bool:
+        """Route one job to its ring-preferred node; mirror the result.
+
+        Returns False (caller falls back to local) when no eligible
+        node accepts, completes, and hands back a result.
+        """
+        from repro.service.jobs import JobState
+
+        tried: set[str] = set()
+        while not self.draining:
+            candidates = self._candidates(job.key, tried)
+            if not candidates:
+                return False
+            node = candidates[0]
+            tried.add(node.id)
+            result = await self._remote_job(node, job.spec, job.timeout)
+            if result is None:
+                self.metrics.inc("lease_redispatch")
+                continue
+            self.metrics.inc("remote_dispatch")
+            duration = float(result.get("duration_s") or 0.0)
+            job.exit_code = result.get("exit_code")
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            self.journal.store_result(
+                job.key,
+                {
+                    "key": job.key,
+                    "job_id": job.id,
+                    "kind": job.spec.kind,
+                    "spec": job.spec.as_dict(),
+                    "exit_code": result.get("exit_code"),
+                    "stdout": result.get("stdout", ""),
+                    "stderr": result.get("stderr", ""),
+                    "duration_s": duration,
+                    "node": node.id,
+                },
+            )
+            self._done_by_key[job.key] = job.id
+            self.journal.record_state(job)
+            self.metrics.inc("completed")
+            self.metrics.observe_exec(job.spec.kind, duration)
+            return True
+        return False
+
+    async def _remote_job(
+        self,
+        node: NodeInfo,
+        spec: JobSpec,
+        timeout: float | None,
+        deadline: float | None = None,
+        done_probe: Any = None,
+    ) -> dict[str, Any] | None:
+        """Submit ``spec`` to ``node`` and poll to completion.
+
+        Returns the result payload, or None on node death, job
+        failure, or deadline expiry. ``done_probe()`` (if given) is an
+        out-of-band completion check — used by leases, whose real
+        output is the manifest a *different* node may have finished.
+        """
+        try:
+            status, payload = await transport.acall(
+                node.host, node.port, "POST", "/jobs",
+                {
+                    "kind": spec.kind,
+                    "spec": spec.as_dict(),
+                    "client": f"coordinator:{self.journal.root.name}",
+                    "timeout": timeout,
+                },
+                idempotency_key=job_key(spec),
+                on_retry=self._on_transport_retry,
+            )
+        except transport.Unreachable:
+            return None
+        if status >= 400:
+            return None
+        job_id = payload["job"]["id"]
+        started = time.monotonic()
+        while not self.draining:
+            await asyncio.sleep(self._cfg.poll_interval)
+            if done_probe is not None and done_probe():
+                return {}
+            elapsed = time.monotonic() - started
+            if deadline is not None and elapsed > deadline:
+                return None
+            if elapsed > self._cfg.lease_timeout:
+                return None
+            try:
+                status, payload = await transport.acall(
+                    node.host, node.port, "GET", f"/jobs/{job_id}",
+                    on_retry=self._on_transport_retry,
+                )
+            except transport.Unreachable:
+                return None
+            if status >= 400:
+                return None
+            state = payload["job"]["state"]
+            if state == "done":
+                try:
+                    status, payload = await transport.acall(
+                        node.host, node.port, "GET",
+                        f"/jobs/{job_id}/result",
+                        on_retry=self._on_transport_retry,
+                    )
+                except transport.Unreachable:
+                    return None
+                if status >= 400:
+                    return None
+                return payload.get("result") or {}
+            if state in ("failed", "cancelled", "timeout"):
+                return None
+        return None
+
+    # -- campaign scatter/gather -------------------------------------------
+
+    async def _scatter_gather(self, job: JobRecord) -> None:
+        """Lease out a campaign's shards; merge whatever comes back."""
+        store = self.store_dir
+        leases = plan_leases(
+            job.spec, str(store), max(1, self._cfg.lease_shards)
+        )
+        if not any(self._candidates(job.key, set())):
+            # Zero reachable workers: skip straight to local execution.
+            self.metrics.inc("local_fallback")
+            return
+        results = await asyncio.gather(
+            *(self._run_lease(lease) for lease in leases),
+            return_exceptions=True,
+        )
+        landed = sum(1 for r in results if r is True)
+        self.metrics.inc("leases_completed", landed)
+        merge_manifests(
+            [Path(lease["manifest"]) for lease in leases],
+            self.journal.manifest_path(job.key),
+        )
+
+    async def _run_lease(self, lease: dict[str, Any]) -> bool:
+        """Drive one lease to completion across node failures.
+
+        Walks the ring preference for the lease key; a dead or expired
+        node causes re-dispatch to the next (``lease_redispatch``), a
+        live-but-slow node causes duplication (``lease_steals``).
+        Completion is judged by the *store*, not the node: the lease is
+        done when its manifest covers its shard ids, whoever wrote it.
+        """
+        if lease_complete(lease):
+            return True  # landed in a previous coordinator incarnation
+        spec = JobSpec.create("inject", lease["params"])
+        tried: set[str] = set()
+        while not self.draining:
+            candidates = self._candidates(lease["key"], tried)
+            if not candidates:
+                return lease_complete(lease)
+            node = candidates[0]
+            tried.add(node.id)
+            stealable = len(self._candidates(lease["key"], tried)) > 0
+            result = await self._remote_job(
+                node,
+                spec,
+                None,
+                deadline=self._cfg.steal_after if stealable else None,
+                done_probe=lambda: lease_complete(lease),
+            )
+            if lease_complete(lease):
+                return True
+            if result is None:
+                # Node death, job failure, or soft deadline: move on.
+                if node.id in self.nodes and self._eligible(node):
+                    self.metrics.inc("lease_steals")
+                else:
+                    self.metrics.inc("lease_redispatch")
+                continue
+            # Job reported done but the manifest is not visible: treat
+            # as failure and re-dispatch.
+            self.metrics.inc("lease_redispatch")
+        return lease_complete(lease)
+
+
+def serve_coordinator(args: Any) -> int:
+    """Entry point for ``repro serve --role coordinator``."""
+    import sys
+
+    config = CoordinatorConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        default_timeout=args.job_timeout,
+        journal_dir=args.journal,
+        node_timeout=args.node_timeout,
+        lease_timeout=args.lease_timeout,
+        steal_after=args.steal_after,
+        lease_shards=max(1, args.lease_shards),
+    )
+    service = Coordinator(config)
+
+    async def _main() -> None:
+        await service.start()
+        host, port = service.address
+        print(
+            f"repro coordinator listening on http://{host}:{port} "
+            f"(journal: {service.journal.root}, local workers: "
+            f"{config.workers})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await service._stopped.wait()
+        await service._shutdown()
+        print(
+            f"repro coordinator drained: "
+            f"{service.metrics.counters['completed']} job(s) completed",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    except RuntimeError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 1
+    return 0

@@ -85,6 +85,30 @@ def _csv(value: Any) -> str:
     return ",".join(part.strip() for part in value.split(",") if part.strip())
 
 
+def _opt_shard_range(value: Any) -> str | None:
+    """``"lo:hi"`` selecting shard ids ``[lo, hi)`` — a campaign lease."""
+    if value is None:
+        return None
+    if isinstance(value, str):
+        lo, sep, hi = value.partition(":")
+        if sep and lo.isdigit() and hi.isdigit() and int(lo) < int(hi):
+            return f"{int(lo)}:{int(hi)}"
+    raise ValueError(f"expected a shard range 'lo:hi' with lo < hi, got {value!r}")
+
+
+def parse_shard_range(value: str) -> tuple[int, int]:
+    lo, _, hi = _opt_shard_range(value).partition(":")  # type: ignore[union-attr]
+    return int(lo), int(hi)
+
+
+def _opt_dir(value: Any) -> str | None:
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value.strip():
+        raise ValueError(f"expected a directory path, got {value!r}")
+    return value
+
+
 _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
     "run": {
         "uid": (REQUIRED, _uid),
@@ -103,6 +127,12 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
         "shard_size": (8, _int(1)),
         "accel": ("on", _str_choice("on", "off")),
         "snapshot_interval": (None, _opt_int),
+        # Fabric plumbing: a coordinator decomposes a campaign into
+        # shard *leases* — the same spec restricted to a shard-id range
+        # — and points them all at one shared manifest store so any
+        # node (or the coordinator itself) can resume/merge the work.
+        "shards": (None, _opt_shard_range),
+        "store_dir": (None, _opt_dir),
     },
     "lint": {
         "uid": (None, _opt_uid),
@@ -190,6 +220,12 @@ class JobSpec:
             ]
             if p["snapshot_interval"] is not None:
                 argv += ["--snapshot-interval", str(p["snapshot_interval"])]
+            if p["shards"] is not None:
+                argv += ["--shards", p["shards"]]
+            # store_dir is deliberately NOT part of the argv: it only
+            # tells the *service* where to place the manifest (shared
+            # fabric store vs local journal); the executed campaign is
+            # identical either way.
             return argv
         argv = ["lint"]
         argv += ["--all"] if p["all"] else [p["uid"]]

@@ -20,7 +20,11 @@ survive a crash:
 * ``exports/<key>.json`` — aggregate JSON exports of ``inject`` jobs.
 * ``endpoint`` — ``host:port`` of the live server, written after bind
   (and removed on clean exit) so local clients can discover the
-  service without configuration.
+  service without configuration. A sibling ``server.pid`` records the
+  serving PID, so a discovery file left behind by a kill -9'd server
+  is detectably *stale*: a successor server replaces it instead of
+  refusing to start, and clients report "stale endpoint" instead of a
+  raw connection error.
 
 On startup the server replays the journal, re-adopts interrupted jobs
 (queued/running but without a stored result), and compacts the log to
@@ -38,6 +42,27 @@ from typing import IO, Any
 from repro.service.jobs import JobRecord, JobState
 
 ENV_SERVICE_DIR = "REPRO_SERVICE_DIR"
+
+#: Journal event schema generation. Replay skips events stamped with a
+#: *newer* generation instead of guessing at their meaning: a journal
+#: shared with (or left behind by) a newer server build degrades to
+#: "those events are invisible", never to a crash or a misparse.
+SCHEMA_VERSION = 1
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for a local PID."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True  # exists, owned by someone else
+    except OSError:
+        return False
+    return True
 
 
 def default_root() -> Path:
@@ -78,6 +103,7 @@ class Journal:
         return self._log
 
     def append(self, event: dict[str, Any]) -> None:
+        event.setdefault("v", SCHEMA_VERSION)
         handle = self._handle()
         handle.write(json.dumps(event, sort_keys=True) + "\n")
         handle.flush()
@@ -115,6 +141,11 @@ class Journal:
                 event = json.loads(line)
             except ValueError:
                 continue  # torn final line from a crash
+            if not isinstance(event, dict):
+                continue
+            version = event.get("v", 1)
+            if isinstance(version, int) and version > SCHEMA_VERSION:
+                continue  # written by a newer generation: skip, don't guess
             try:
                 if event.get("ev") == "submit":
                     job = JobRecord.from_dict(event["job"])
@@ -137,8 +168,11 @@ class Journal:
     def compact(self, jobs: dict[str, JobRecord]) -> None:
         """Atomically rewrite the log to one submit event per job."""
         lines = [
-            json.dumps({"ev": "submit", "job": jobs[jid].to_dict()},
-                       sort_keys=True)
+            json.dumps(
+                {"ev": "submit", "job": jobs[jid].to_dict(),
+                 "v": SCHEMA_VERSION},
+                sort_keys=True,
+            )
             for jid in sorted(jobs)
         ]
         if self._log is not None and not self._log.closed:
@@ -182,8 +216,25 @@ class Journal:
     def endpoint_path(self) -> Path:
         return self.root / "endpoint"
 
-    def write_endpoint(self, host: str, port: int) -> None:
+    @property
+    def server_pid_path(self) -> Path:
+        return self.root / "server.pid"
+
+    def write_endpoint(
+        self, host: str, port: int, pid: int | None = None
+    ) -> None:
+        """Publish the live server's address (and its PID alongside).
+
+        The ``endpoint`` file stays exactly ``host:port`` — scripts
+        ``$(cat)`` it — while the PID lives in a sibling ``server.pid``
+        file so clients and successor servers can tell a *live*
+        endpoint from one a kill -9'd server left behind.
+        """
         _write_atomic(self.endpoint_path, f"{host}:{port}\n".encode())
+        _write_atomic(
+            self.server_pid_path,
+            f"{pid if pid is not None else os.getpid()}\n".encode(),
+        )
 
     def read_endpoint(self) -> tuple[str, int] | None:
         try:
@@ -193,8 +244,30 @@ class Journal:
         except (OSError, ValueError):
             return None
 
-    def clear_endpoint(self) -> None:
+    def read_endpoint_pid(self) -> int | None:
         try:
-            self.endpoint_path.unlink()
-        except OSError:
-            pass
+            return int(self.server_pid_path.read_text().strip())
+        except (OSError, ValueError):
+            return None
+
+    def endpoint_status(self) -> str:
+        """One of ``absent`` / ``live`` / ``stale`` / ``unknown``.
+
+        ``stale`` means the discovery file survives but the recorded
+        server PID is provably dead (the kill -9 signature);
+        ``unknown`` means there is an endpoint but no PID record to
+        judge it by (a pre-PID generation wrote it).
+        """
+        if self.read_endpoint() is None:
+            return "absent"
+        pid = self.read_endpoint_pid()
+        if pid is None:
+            return "unknown"
+        return "live" if pid_alive(pid) else "stale"
+
+    def clear_endpoint(self) -> None:
+        for path in (self.endpoint_path, self.server_pid_path):
+            try:
+                path.unlink()
+            except OSError:
+                pass

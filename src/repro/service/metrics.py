@@ -77,11 +77,23 @@ class ServiceMetrics:
         )
 
     def snapshot(
-        self, queue_depth: int, in_flight: int, workers: int
+        self,
+        queue_depth: int,
+        in_flight: int,
+        workers: int,
+        fabric: dict | None = None,
     ) -> dict:
+        """The ``/metrics`` payload.
+
+        ``fabric`` is the coordinator's health section (per-node
+        liveness, lease re-dispatch/steal counters — see
+        :meth:`repro.service.coordinator.Coordinator.fabric_snapshot`);
+        single-node servers pass None and the key is omitted, so the
+        snapshot shape tells a dashboard which role it is scraping.
+        """
         submitted = self.counters["submitted"]
         hits = self.dedup_hits
-        return {
+        snap = {
             "uptime_s": round(time.time() - self.started_at, 3),
             "queue_depth": queue_depth,
             "in_flight": in_flight,
@@ -112,3 +124,6 @@ class ServiceMetrics:
                 },
             },
         }
+        if fabric is not None:
+            snap["fabric"] = fabric
+        return snap

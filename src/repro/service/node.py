@@ -1,0 +1,191 @@
+"""The worker-node daemon: a job server that enrolls with a coordinator.
+
+A node **is** a plain :class:`~repro.service.server.JobService` — same
+journal, same dedup, same kill -9 recovery — plus a heartbeat task
+that registers it with the coordinator every ``heartbeat_interval``
+seconds. The heartbeat is an idempotent upsert carrying the node's
+address, capacity, load, and source digest; the coordinator only
+dispatches to nodes whose digest matches its own, so a node running a
+stale checkout simply receives no work instead of poisoning caches.
+
+The coordinator's address is re-resolved **on every beat** — from the
+``--coordinator host:port`` flag or, preferably, from the coordinator
+journal's discovery file — so a node follows a restarted coordinator
+to its new port without intervention; missed beats are counted and
+tolerated (the coordinator may be down for seconds during a restart).
+
+At startup the node syncs its artifact-cache generation
+(:func:`repro.harness.artifacts.sync_generation`): if the source tree
+changed since the cache was last used, stale artifacts are pruned
+before any lease can warm up against them.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import os
+from dataclasses import dataclass
+from typing import Any
+
+from repro.service import transport
+from repro.service.backoff import BackoffPolicy
+from repro.service.journal import Journal
+from repro.service.server import JobService, ServiceConfig
+
+#: Heartbeats are cheap and frequent; fail fast, the next beat retries.
+HEARTBEAT_POLICY = BackoffPolicy(
+    base=0.05, factor=2.0, cap=0.5, jitter=0.25, max_attempts=2, deadline=2.0
+)
+
+
+@dataclass
+class NodeConfig(ServiceConfig):
+    #: Explicit coordinator endpoint ("host:port"); overrides discovery.
+    coordinator: str | None = None
+    #: Coordinator journal dir whose discovery file names the endpoint.
+    coordinator_journal: str | None = None
+    #: This node's fabric identity; defaults to "node-<pid>".
+    node_id: str | None = None
+    heartbeat_interval: float = 1.0
+
+
+class WorkerNode(JobService):
+    role = "worker"
+
+    def __init__(self, config: NodeConfig | None = None) -> None:
+        super().__init__(config or NodeConfig())
+        cfg = self.config
+        assert isinstance(cfg, NodeConfig)
+        self.node_id = cfg.node_id or f"node-{os.getpid()}"
+        self._heartbeat: asyncio.Task | None = None
+
+    @property
+    def _cfg(self) -> NodeConfig:
+        assert isinstance(self.config, NodeConfig)
+        return self.config
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        from repro.harness.artifacts import sync_generation
+
+        sync_generation()
+        await super().start()
+        self._heartbeat = asyncio.create_task(self._heartbeat_loop())
+
+    async def _shutdown(self) -> None:
+        if self._heartbeat is not None:
+            self._heartbeat.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._heartbeat
+        await super()._shutdown()
+
+    # -- heartbeat ---------------------------------------------------------
+
+    def _coordinator_endpoint(self) -> tuple[str, int] | None:
+        """Where the coordinator lives *right now*.
+
+        Re-read every beat: after a coordinator restart the discovery
+        file names the new port, and the node follows automatically.
+        """
+        if self._cfg.coordinator:
+            return transport.parse_endpoint(self._cfg.coordinator)
+        if self._cfg.coordinator_journal:
+            return Journal(self._cfg.coordinator_journal).read_endpoint()
+        return None
+
+    def _beat_payload(self) -> dict[str, Any]:
+        from repro.harness.artifacts import code_digest
+
+        host, port = self.address
+        return {
+            "id": self.node_id,
+            "host": host,
+            "port": port,
+            "workers": self.config.workers,
+            "in_flight": self.in_flight,
+            "queue_depth": self.scheduler.depth,
+            "digest": code_digest()[:16],
+            "pid": os.getpid(),
+        }
+
+    async def _heartbeat_loop(self) -> None:
+        while True:
+            target = self._coordinator_endpoint()
+            if target is None:
+                self.metrics.inc("heartbeat_skipped")
+            else:
+                try:
+                    status, _payload = await transport.acall(
+                        target[0], target[1], "POST", "/nodes/heartbeat",
+                        self._beat_payload(),
+                        timeout=5.0,
+                        policy=HEARTBEAT_POLICY,
+                    )
+                    if status >= 400:
+                        self.metrics.inc("heartbeat_rejected")
+                    else:
+                        self.metrics.inc("heartbeats")
+                except transport.Unreachable:
+                    # Coordinator down or restarting: tolerated, the
+                    # next beat re-resolves and re-registers.
+                    self.metrics.inc("heartbeat_failures")
+            await asyncio.sleep(self._cfg.heartbeat_interval)
+
+    def _fabric_snapshot(self) -> dict | None:
+        return {
+            "role": self.role,
+            "node_id": self.node_id,
+            "heartbeats": self.metrics.counters["heartbeats"],
+            "heartbeat_failures": self.metrics.counters["heartbeat_failures"],
+        }
+
+
+def serve_worker(args: Any) -> int:
+    """Entry point for ``repro serve --role worker``."""
+    import sys
+
+    config = NodeConfig(
+        host=args.host,
+        port=args.port,
+        workers=max(1, args.workers),
+        queue_limit=args.queue_limit,
+        max_retries=args.max_retries,
+        default_timeout=args.job_timeout,
+        journal_dir=args.journal,
+        coordinator=args.coordinator,
+        coordinator_journal=args.coordinator_journal,
+        node_id=args.node_id,
+        heartbeat_interval=args.heartbeat_interval,
+    )
+    if config.coordinator is None and config.coordinator_journal is None:
+        print(
+            "repro serve: error: --role worker needs --coordinator "
+            "host:port or --coordinator-journal DIR",
+            file=sys.stderr,
+        )
+        return 2
+    service = WorkerNode(config)
+
+    async def _main() -> None:
+        await service.start()
+        host, port = service.address
+        print(
+            f"repro worker node {service.node_id} listening on "
+            f"http://{host}:{port} (journal: {service.journal.root}, "
+            f"workers: {config.workers})",
+            file=sys.stderr,
+            flush=True,
+        )
+        await service._stopped.wait()
+        await service._shutdown()
+
+    try:
+        asyncio.run(_main())
+    except KeyboardInterrupt:
+        pass
+    except RuntimeError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 1
+    return 0

@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import os
 import signal
 import time
 from concurrent.futures import BrokenExecutor
@@ -44,6 +45,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Callable
 
+from repro.service import transport
+from repro.service.backoff import BackoffPolicy
 from repro.service.jobs import JobRecord, JobSpec, JobState, job_key
 from repro.service.journal import Journal, default_root
 from repro.service.metrics import ServiceMetrics
@@ -51,7 +54,7 @@ from repro.service.scheduler import FairScheduler, QueueFull
 from repro.service.worker import WorkerPool
 
 PROTOCOL_VERSION = 1
-_MAX_BODY = 16 * 1024 * 1024
+_MAX_BODY = transport.MAX_BODY
 
 
 class Draining(RuntimeError):
@@ -74,9 +77,15 @@ class ServiceConfig:
 
 
 class JobService:
+    #: Reported by ``/healthz``; fabric subclasses override.
+    role = "local"
+
     def __init__(self, config: ServiceConfig | None = None) -> None:
         self.config = config or ServiceConfig()
         self.journal = Journal(self.config.journal_dir or default_root())
+        self._retry_policy = BackoffPolicy(
+            base=self.config.retry_base, factor=2.0, cap=30.0, jitter=0.25
+        )
         self.metrics = ServiceMetrics()
         self.scheduler = FairScheduler(self.config.queue_limit)
         self.jobs: dict[str, JobRecord] = {}
@@ -101,6 +110,7 @@ class JobService:
         return sock[0], sock[1]
 
     async def start(self) -> None:
+        self._claim_endpoint()
         self._readopt(self.journal.replay())
         self.pool = self.config.pool_factory(self.config.workers)
         self._server = await asyncio.start_server(
@@ -120,6 +130,29 @@ class JobService:
         await self.start()
         await self._stopped.wait()
         await self._shutdown()
+
+    def _claim_endpoint(self) -> None:
+        """Take over the journal's discovery file — unless it's live.
+
+        A server that crashed (kill -9) leaves ``endpoint`` behind; a
+        successor detects the recorded PID is dead and replaces the
+        stale file instead of refusing to start. Only a *provably live*
+        foreign server blocks the claim.
+        """
+        status = self.journal.endpoint_status()
+        if status == "absent":
+            return
+        pid = self.journal.read_endpoint_pid()
+        if status == "live" and pid is not None and pid != os.getpid():
+            endpoint = self.journal.read_endpoint()
+            raise RuntimeError(
+                f"journal {self.journal.root} is already served by "
+                f"pid {pid} at {endpoint[0]}:{endpoint[1]}"  # type: ignore[index]
+            )
+        # stale (dead pid), unknown (pre-PID generation file), or our
+        # own pid (in-process restart): replace it.
+        self.journal.clear_endpoint()
+        self.metrics.inc("stale_endpoint_replaced")
 
     def _readopt(self, replayed: dict[str, JobRecord]) -> None:
         """Re-adopt journaled jobs after a restart (or a crash).
@@ -276,11 +309,15 @@ class JobService:
 
     # -- dispatch / execution ---------------------------------------------
 
+    def _dispatch_capacity(self) -> int:
+        """Concurrent job slots. The coordinator adds remote capacity."""
+        return self.config.workers
+
     async def _dispatch_loop(self) -> None:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            while self.in_flight < self.config.workers:
+            while self.in_flight < self._dispatch_capacity():
                 job = self.scheduler.pop()
                 if job is None:
                     break
@@ -318,11 +355,18 @@ class JobService:
         """
         argv = job.spec.to_argv()
         if job.spec.kind == "inject":
-            argv += [
-                "--manifest", str(self.journal.manifest_path(job.key)),
-                "--resume",
-                "--export", str(self.journal.export_path(job.key)),
-            ]
+            params = job.spec.as_dict()
+            store = params.get("store_dir")
+            manifest = (
+                Path(store) / f"{job.key}.json"
+                if store
+                else self.journal.manifest_path(job.key)
+            )
+            argv += ["--manifest", str(manifest), "--resume"]
+            # Shard leases are partial campaigns: their output is a
+            # manifest contribution, not an aggregate, so no export.
+            if params.get("shards") is None:
+                argv += ["--export", str(self.journal.export_path(job.key))]
         return argv
 
     async def _run_job(self, job: JobRecord) -> None:
@@ -370,8 +414,7 @@ class JobService:
                 # exponential backoff.
                 if job.attempts <= self.config.max_retries:
                     self.metrics.inc("retries")
-                    delay = self.config.retry_base * (2 ** (job.attempts - 1))
-                    await asyncio.sleep(delay)
+                    await asyncio.sleep(self._retry_policy.delay(job.attempts))
                     continue
                 job.state = JobState.FAILED
                 job.finished_at = time.time()
@@ -440,6 +483,7 @@ class JobService:
                 queue_depth=self.scheduler.depth,
                 in_flight=self.in_flight,
                 workers=self.config.workers,
+                fabric=self._fabric_snapshot(),
             )
         if method == "POST" and path == "/shutdown":
             self.begin_drain()
@@ -448,12 +492,17 @@ class JobService:
             return self._route_jobs(method, parts, query, body)
         return 404, {"error": f"no such endpoint {method} {path}"}
 
+    def _fabric_snapshot(self) -> dict | None:
+        """The ``/metrics`` ``fabric`` section; None off the fabric."""
+        return None
+
     def _healthz(self) -> dict:
         from repro import __version__
         from repro.harness.artifacts import code_digest
 
         return {
             "status": "draining" if self.draining else "ok",
+            "role": self.role,
             "version": __version__,
             "protocol": PROTOCOL_VERSION,
             "code_digest": code_digest()[:16],
@@ -548,63 +597,32 @@ class JobService:
 
 
 # -- minimal HTTP plumbing --------------------------------------------------
+# The implementation moved to repro.service.transport (every process in
+# the fabric speaks the same dialect); these aliases keep old imports
+# working.
 
-
-async def _read_request(
-    reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes]:
-    request_line = (await reader.readline()).decode("latin-1").strip()
-    if not request_line:
-        raise ValueError("empty request")
-    try:
-        method, path, _version = request_line.split(" ", 2)
-    except ValueError:
-        raise ValueError(f"bad request line {request_line!r}") from None
-    length = 0
-    while True:
-        line = await reader.readline()
-        if line in (b"\r\n", b"\n", b""):
-            break
-        name, _, value = line.decode("latin-1").partition(":")
-        if name.strip().lower() == "content-length":
-            length = int(value.strip())
-    if length > _MAX_BODY:
-        raise ValueError("body too large")
-    body = await reader.readexactly(length) if length else b""
-    return method.upper(), path, body
-
-
-_STATUS_TEXT = {
-    200: "OK",
-    201: "Created",
-    400: "Bad Request",
-    404: "Not Found",
-    409: "Conflict",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
-
-
-async def _respond(
-    writer: asyncio.StreamWriter, status: int, payload: dict
-) -> None:
-    body = json.dumps(payload, sort_keys=True).encode()
-    head = (
-        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}\r\n"
-        "Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        "Connection: close\r\n"
-        "\r\n"
-    ).encode("latin-1")
-    writer.write(head + body)
-    with contextlib.suppress(ConnectionError):
-        await writer.drain()
+_read_request = transport.read_request
+_respond = transport.respond
+_STATUS_TEXT = transport.STATUS_TEXT
 
 
 def serve(args: Any) -> int:
-    """Handler for ``repro serve``: run the service until drained."""
+    """Handler for ``repro serve``: run the service until drained.
+
+    ``--role coordinator`` and ``--role worker`` delegate to the fabric
+    entry points; the default ``local`` role is the single-node server.
+    """
     import sys
+
+    role = getattr(args, "role", "local")
+    if role == "coordinator":
+        from repro.service.coordinator import serve_coordinator
+
+        return serve_coordinator(args)
+    if role == "worker":
+        from repro.service.node import serve_worker
+
+        return serve_worker(args)
 
     config = ServiceConfig(
         host=args.host,
@@ -639,4 +657,7 @@ def serve(args: Any) -> int:
         asyncio.run(_main())
     except KeyboardInterrupt:
         pass
+    except RuntimeError as exc:
+        print(f"repro serve: error: {exc}", file=sys.stderr)
+        return 1
     return 0

@@ -1,0 +1,211 @@
+"""HTTP/JSON transport shared by every process in the fabric.
+
+Two halves live here:
+
+* the **server-side stream plumbing** (:func:`read_request`,
+  :func:`respond`) used by every asyncio HTTP listener in the service
+  stack — the single-node job server, the coordinator, and the worker
+  nodes all speak the same minimal HTTP/1.1-with-JSON-bodies dialect,
+  so its implementation exists exactly once;
+* the **client-side call helpers** (:func:`http_json`, :func:`call`,
+  :func:`acall`) with per-request timeouts and jittered
+  exponential-backoff retry on transport-level failures.
+
+Retry discipline: only *transport* failures (connection refused/reset,
+socket timeouts, torn responses) are retried — an HTTP status is a
+delivered answer and is returned as-is. Every mutating request in the
+fabric is idempotent by construction (submissions dedupe on the
+content-addressed job key, heartbeats are upserts), so blind
+re-delivery is safe; the key rides along in an ``X-Idempotency-Key``
+header for log correlation.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+import socket
+from typing import Any
+
+from repro.service.backoff import Backoff, BackoffPolicy
+
+MAX_BODY = 16 * 1024 * 1024
+
+STATUS_TEXT = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class TransportError(ConnectionError):
+    """A request never produced an HTTP response (after any retries)."""
+
+
+class Unreachable(TransportError):
+    """The peer could not be reached or dropped the connection."""
+
+    def __init__(self, host: str, port: int, cause: BaseException) -> None:
+        self.host = host
+        self.port = port
+        self.cause = cause
+        super().__init__(f"{host}:{port} unreachable: {cause}")
+
+
+#: Failures worth a retry: the peer may be restarting or mid-drain.
+_TRANSIENT = (OSError, socket.timeout, http.client.HTTPException, EOFError)
+
+#: Default retry schedule for fabric-internal calls: fast, bounded.
+DEFAULT_POLICY = BackoffPolicy(
+    base=0.05, factor=2.0, cap=1.0, jitter=0.25, max_attempts=3, deadline=10.0
+)
+
+
+def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 10.0,
+    idempotency_key: str | None = None,
+) -> tuple[int, dict[str, Any]]:
+    """One HTTP/JSON exchange; raises :class:`Unreachable` on failure."""
+    body = json.dumps(payload).encode() if payload is not None else None
+    headers = {"Content-Type": "application/json"} if body else {}
+    if idempotency_key:
+        headers["X-Idempotency-Key"] = idempotency_key
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        try:
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+        except _TRANSIENT as exc:
+            raise Unreachable(host, port, exc) from exc
+    finally:
+        conn.close()
+    try:
+        decoded = json.loads(data.decode() or "{}")
+    except ValueError:
+        decoded = {"error": data.decode(errors="replace")}
+    if not isinstance(decoded, dict):
+        decoded = {"value": decoded}
+    return response.status, decoded
+
+
+def call(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 10.0,
+    policy: BackoffPolicy | None = None,
+    idempotency_key: str | None = None,
+    on_retry: Any = None,
+) -> tuple[int, dict[str, Any]]:
+    """:func:`http_json` with backoff retry on transport failures.
+
+    Raises :class:`Unreachable` once the policy's budget is spent.
+    ``on_retry(attempt, exc)`` fires before each sleep (metrics hook).
+    """
+    import time as _time
+
+    schedule = Backoff(policy if policy is not None else DEFAULT_POLICY)
+    while True:
+        try:
+            return http_json(
+                host, port, method, path, payload,
+                timeout=timeout, idempotency_key=idempotency_key,
+            )
+        except Unreachable as exc:
+            delay = schedule.next_delay()
+            if delay is None:
+                raise
+            if on_retry is not None:
+                on_retry(schedule.attempt, exc)
+            _time.sleep(delay)
+
+
+async def acall(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict[str, Any] | None = None,
+    timeout: float = 10.0,
+    policy: BackoffPolicy | None = None,
+    idempotency_key: str | None = None,
+    on_retry: Any = None,
+) -> tuple[int, dict[str, Any]]:
+    """Async wrapper over :func:`call` (runs in the default executor so
+    the coordinator's event loop never blocks on a slow peer)."""
+    return await asyncio.to_thread(
+        call, host, port, method, path, payload,
+        timeout=timeout, policy=policy,
+        idempotency_key=idempotency_key, on_retry=on_retry,
+    )
+
+
+def parse_endpoint(spec: str) -> tuple[str, int]:
+    """``host:port`` (optionally ``http://``-prefixed) -> ``(host, port)``."""
+    spec = spec.removeprefix("http://")
+    host, _, port = spec.rstrip("/").rpartition(":")
+    try:
+        return host or "127.0.0.1", int(port)
+    except ValueError:
+        raise ValueError(f"bad endpoint {spec!r}; expected host:port") from None
+
+
+# -- asyncio server-side plumbing -------------------------------------------
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse one request off an asyncio stream: (method, path, body)."""
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise ValueError("empty request")
+    try:
+        method, path, _version = request_line.split(" ", 2)
+    except ValueError:
+        raise ValueError(f"bad request line {request_line!r}") from None
+    length = 0
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    if length > MAX_BODY:
+        raise ValueError("body too large")
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, body
+
+
+async def respond(
+    writer: asyncio.StreamWriter, status: int, payload: dict
+) -> None:
+    """Write one JSON response and flush (connection: close semantics)."""
+    import contextlib
+
+    body = json.dumps(payload, sort_keys=True).encode()
+    head = (
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    with contextlib.suppress(ConnectionError):
+        await writer.drain()

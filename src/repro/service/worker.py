@@ -24,7 +24,7 @@ from __future__ import annotations
 import contextlib
 import io
 import traceback
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 from typing import Any, Callable
 
 
@@ -72,7 +72,10 @@ class WorkerPool:
         self._pool = ProcessPoolExecutor(max_workers=self.workers)
 
     def submit(self, argv: list[str]) -> Future:
-        assert self._pool is not None
+        if self._pool is None:
+            # Racing a shutdown: surface as the same error class a dead
+            # pool raises, so the server's retry path handles both.
+            raise BrokenExecutor("pool is shut down")
         return self._pool.submit(self.entry, argv)
 
     def restart(self) -> None:

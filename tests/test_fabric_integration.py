@@ -1,0 +1,245 @@
+"""Fabric integration tests: a real coordinator + worker subprocesses
+driven through the CLI and :class:`ServiceClient`.
+
+The acceptance-critical properties:
+
+* a campaign distributed across worker nodes produces stdout and an
+  exported aggregate **byte-identical** to the direct single-process
+  CLI;
+* SIGKILLing a worker mid-campaign does not change that — the
+  coordinator re-dispatches or computes the missing shards locally;
+* with zero workers the coordinator degrades to local execution;
+* ``repro nodes`` reports the fabric roster.
+
+(The full chaos scenario — repeated kills, partitions, coordinator
+restart — lives in ``repro.service.chaos`` and runs in its own CI job;
+these tests keep the per-commit loop fast.)
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.service.client import ServiceClient
+
+SRC = str(Path(__file__).resolve().parent.parent / "src")
+INJECT_ARGS = [
+    "SPLASH3.radix", "--count", "12", "--seed", "7",
+    "--targets", "register", "--variants", "turnpike,unsafe",
+    "--shard-size", "2",
+]
+INJECT_SPEC = {
+    "uid": "SPLASH3.radix", "count": 12, "seed": 7,
+    "targets": "register", "variants": "turnpike,unsafe", "shard_size": 2,
+}
+
+
+def _env(cache_dir: Path) -> dict[str, str]:
+    env = os.environ.copy()
+    env["PYTHONPATH"] = SRC
+    env["REPRO_CACHE_DIR"] = str(cache_dir)
+    env.pop("REPRO_SERVICE", None)
+    return env
+
+
+def _cli(env, *argv, check=True, timeout=300):
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        env=env,
+        timeout=timeout,
+    )
+    if check:
+        assert proc.returncode == 0, proc.stderr.decode()
+    return proc
+
+
+class FabricProc:
+    """One ``repro serve`` role in its own process group."""
+
+    def __init__(self, journal: Path, env: dict, *extra: str):
+        self.journal = journal
+        (journal / "endpoint").unlink(missing_ok=True)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--journal", str(journal), "--port", "0", *extra,
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            start_new_session=True,
+        )
+        deadline = time.monotonic() + 30
+        endpoint = journal / "endpoint"
+        while not endpoint.exists():
+            if self.proc.poll() is not None:
+                raise AssertionError(
+                    "server died: " + self.proc.stderr.read().decode()
+                )
+            if time.monotonic() > deadline:
+                raise AssertionError("server never wrote its endpoint file")
+            time.sleep(0.05)
+
+    def client(self, name="ftest") -> ServiceClient:
+        return ServiceClient(journal_dir=str(self.journal), client_name=name)
+
+    def kill9(self):
+        os.killpg(os.getpgid(self.proc.pid), signal.SIGKILL)
+        self.proc.wait(timeout=30)
+
+    def reap(self):
+        if self.proc.poll() is None:
+            try:
+                os.killpg(os.getpgid(self.proc.pid), signal.SIGKILL)
+            except OSError:
+                pass
+            try:
+                self.proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                pass
+
+
+def start_coordinator(root: Path, env, workers=1) -> FabricProc:
+    return FabricProc(
+        root / "coordinator", env,
+        "--role", "coordinator", "--workers", str(workers),
+        "--node-timeout", "3.0", "--steal-after", "30.0",
+        "--lease-timeout", "120.0",
+    )
+
+
+def start_worker(root: Path, env, idx: int, workers=1) -> FabricProc:
+    return FabricProc(
+        root / f"worker{idx}", env,
+        "--role", "worker", "--workers", str(workers),
+        "--coordinator-journal", str(root / "coordinator"),
+        "--node-id", f"w{idx}", "--heartbeat-interval", "0.2",
+    )
+
+
+def wait_live_nodes(client: ServiceClient, want: int, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        nodes = client.request("GET", "/nodes")["nodes"]
+        if sum(1 for n in nodes if n["state"] == "live") >= want:
+            return nodes
+        time.sleep(0.1)
+    raise AssertionError(f"never saw {want} live node(s): {nodes}")
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("fabric-cache")
+
+
+def test_distributed_campaign_byte_parity_and_nodes_cli(tmp_path, cache_dir):
+    env = _env(cache_dir)
+    procs = []
+    try:
+        coord = start_coordinator(tmp_path, env)
+        procs.append(coord)
+        for idx in (1, 2):
+            procs.append(start_worker(tmp_path, env, idx))
+
+        client = coord.client()
+        wait_live_nodes(client, 2)
+
+        # `repro nodes` sees the roster, as a table and as JSON.
+        journal = ["--journal", str(coord.journal)]
+        table = _cli(env, "nodes", *journal).stdout.decode()
+        assert "w1" in table and "w2" in table and "live" in table
+        listing = json.loads(_cli(env, "nodes", *journal, "--json").stdout)
+        assert {n["id"] for n in listing["nodes"]} == {"w1", "w2"}
+
+        job, _ = client.submit("inject", INJECT_SPEC)
+        done = client.wait(job["id"], timeout=240)
+        assert done["state"] == "done", done
+        result = client.result(job["id"])["result"]
+        assert result["exit_code"] == 0
+
+        direct_export = tmp_path / "direct.json"
+        direct = _cli(
+            env, "inject", *INJECT_ARGS, "--export", str(direct_export),
+        )
+        assert result["stdout"].encode() == direct.stdout  # byte-for-byte
+        service_export = coord.journal / "exports" / f"{done['key']}.json"
+        assert service_export.read_bytes() == direct_export.read_bytes()
+
+        fabric = client.metrics()["fabric"]
+        assert fabric["role"] == "coordinator"
+        assert fabric["live_nodes"] == 2
+        assert fabric["local_fallback"] == 0
+    finally:
+        for proc in procs:
+            proc.reap()
+
+
+def test_worker_kill9_mid_campaign_still_byte_identical(
+    tmp_path, tmp_path_factory
+):
+    # Cold cache on purpose: leases must be slow enough that the kill
+    # lands mid-campaign (the golden-run build provides the window).
+    cache = tmp_path_factory.mktemp("cold-cache")
+    env = _env(cache)
+    procs = []
+    try:
+        coord = start_coordinator(tmp_path, env)
+        procs.append(coord)
+        workers = [start_worker(tmp_path, env, idx) for idx in (1, 2)]
+        procs.extend(workers)
+
+        client = coord.client()
+        wait_live_nodes(client, 2)
+        job, _ = client.submit("inject", INJECT_SPEC)
+
+        # Wait until any lease manifest shows progress, then pull the
+        # plug on one worker.
+        store = coord.journal / "manifests"
+        deadline = time.monotonic() + 120
+        while time.monotonic() < deadline:
+            if any(store.glob("*.json")):
+                break
+            if client.job(job["id"])["state"] == "done":
+                break  # campaign outran us; parity check still stands
+            time.sleep(0.05)
+        workers[0].kill9()
+
+        done = client.wait(job["id"], timeout=240)
+        assert done["state"] == "done", done
+        result = client.result(job["id"])["result"]
+
+        direct_export = tmp_path / "direct.json"
+        direct = _cli(
+            env, "inject", *INJECT_ARGS, "--export", str(direct_export),
+        )
+        assert result["stdout"].encode() == direct.stdout
+        service_export = coord.journal / "exports" / f"{done['key']}.json"
+        assert service_export.read_bytes() == direct_export.read_bytes()
+    finally:
+        for proc in procs:
+            proc.reap()
+
+
+def test_zero_workers_degrades_to_local(tmp_path, cache_dir):
+    env = _env(cache_dir)
+    coord = start_coordinator(tmp_path, env, workers=2)
+    try:
+        client = coord.client()
+        job, _ = client.submit("inject", INJECT_SPEC)
+        done = client.wait(job["id"], timeout=240)
+        assert done["state"] == "done", done
+        assert client.result(job["id"])["result"]["exit_code"] == 0
+        fabric = client.metrics()["fabric"]
+        assert fabric["local_fallback"] >= 1
+        assert fabric["live_nodes"] == 0
+    finally:
+        coord.reap()

@@ -1,0 +1,574 @@
+"""Unit tests for the multi-node campaign fabric: the consistent-hash
+ring, lease planning/completion/merging, coordinator routing and
+degradation (failover, stealing, local fallback), worker-node
+heartbeats, stale-endpoint takeover, and the locked fabric metric
+names — all in-process with stub pools, no simulation work."""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.harness.artifacts import code_digest
+from repro.service.client import StaleEndpointError, resolve_endpoint
+from repro.service.coordinator import (
+    Coordinator,
+    CoordinatorConfig,
+    HashRing,
+    NodeInfo,
+    lease_complete,
+    merge_manifests,
+    plan_leases,
+    shard_count,
+)
+from repro.service.jobs import JobSpec, job_key
+from repro.service.journal import Journal
+from repro.service.node import NodeConfig, WorkerNode
+from repro.service.server import JobService, ServiceConfig
+
+from test_service_unit import StubPool, http, wait_state
+
+UID = "SPLASH3.radix"
+
+
+# -- hash ring ---------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_membership(self):
+        ring = HashRing()
+        ring.add("a")
+        ring.add("b")
+        ring.add("a")  # idempotent
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        ring.remove("a")
+        ring.remove("a")  # idempotent
+        assert len(ring) == 1 and "a" not in ring
+
+    def test_preference_is_a_permutation(self):
+        ring = HashRing()
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        order = ring.preference("some-key")
+        assert sorted(order) == ["a", "b", "c"]
+        assert ring.preference("some-key") == order  # deterministic
+        assert HashRing().preference("k") == []
+
+    def test_removal_preserves_survivor_order(self):
+        """The consistent-hashing property: dropping one node never
+        reorders the surviving nodes in any key's failover list."""
+        ring = HashRing()
+        for node in ("a", "b", "c", "d"):
+            ring.add(node)
+        keys = [f"key-{i}" for i in range(50)]
+        before = {k: ring.preference(k) for k in keys}
+        ring.remove("c")
+        for k in keys:
+            survivors = [n for n in before[k] if n != "c"]
+            assert ring.preference(k) == survivors
+
+    def test_keys_spread_across_nodes(self):
+        ring = HashRing()
+        for node in ("a", "b", "c"):
+            ring.add(node)
+        firsts = [ring.preference(f"key-{i}")[0] for i in range(300)]
+        counts = {n: firsts.count(n) for n in ("a", "b", "c")}
+        assert all(count >= 30 for count in counts.values()), counts
+
+
+# -- lease planning / merging ------------------------------------------------
+
+
+def campaign_spec(count=6, shard_size=2) -> JobSpec:
+    return JobSpec.create(
+        "inject", {"uid": UID, "count": count, "shard_size": shard_size}
+    )
+
+
+class TestLeases:
+    def test_plan_covers_every_shard_exactly_once(self, tmp_path):
+        spec = campaign_spec(count=7, shard_size=2)  # 4 shards
+        assert shard_count(spec.as_dict()) == 4
+        leases = plan_leases(spec, str(tmp_path), lease_shards=1)
+        assert [lease["shards"] for lease in leases] == [[0], [1], [2], [3]]
+        assert len({lease["key"] for lease in leases}) == 4
+        for lease in leases:
+            rebuilt = JobSpec.create("inject", lease["params"])
+            assert job_key(rebuilt) == lease["key"]
+            assert lease["manifest"] == str(
+                tmp_path / f"{lease['key']}.json"
+            )
+
+    def test_plan_with_coarser_leases(self, tmp_path):
+        spec = campaign_spec(count=7, shard_size=2)
+        leases = plan_leases(spec, str(tmp_path), lease_shards=3)
+        assert [lease["shards"] for lease in leases] == [[0, 1, 2], [3]]
+
+    def test_lease_complete_judged_by_store(self, tmp_path):
+        spec = campaign_spec()
+        lease = plan_leases(spec, str(tmp_path), lease_shards=2)[0]
+        assert not lease_complete(lease)  # no manifest at all
+        manifest = Path(lease["manifest"])
+        manifest.write_text(json.dumps({"spec": {}, "shards": {"0": []}}))
+        assert not lease_complete(lease)  # partial coverage
+        manifest.write_text(
+            json.dumps({"spec": {}, "shards": {"0": [], "1": []}})
+        )
+        assert lease_complete(lease)
+        manifest.write_text("{torn")
+        assert not lease_complete(lease)  # corrupt = incomplete
+
+    def test_merge_unions_and_tolerates_garbage(self, tmp_path):
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        out = tmp_path / "out.json"
+        a.write_text(json.dumps({"spec": {"uid": UID}, "shards": {"0": [1]}}))
+        b.write_text(json.dumps({"spec": {"uid": UID}, "shards": {"1": [2]}}))
+        assert merge_manifests([a, b, tmp_path / "missing.json"], out) == 2
+        merged = json.loads(out.read_text())
+        assert merged["shards"] == {"0": [1], "1": [2]}
+        # Re-merge including the existing output: idempotent union.
+        c = tmp_path / "c.json"
+        c.write_text(json.dumps({"spec": {"uid": UID}, "shards": {"2": [3]}}))
+        assert merge_manifests([c], out) == 3
+        # Nothing but garbage: no output written, count 0.
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        assert merge_manifests([bad], tmp_path / "none.json") == 0
+        assert not (tmp_path / "none.json").exists()
+
+
+# -- in-loop fabric harness --------------------------------------------------
+
+
+@contextlib.asynccontextmanager
+async def running_coordinator(tmp_path, pool=None, **overrides):
+    config = CoordinatorConfig(
+        journal_dir=tmp_path / "coordinator",
+        install_signal_handlers=False,
+        pool_factory=lambda workers: pool or StubPool(workers),
+        retry_base=0.01,
+        node_timeout=overrides.pop("node_timeout", 0.6),
+        steal_after=overrides.pop("steal_after", 0.3),
+        lease_timeout=overrides.pop("lease_timeout", 5.0),
+        poll_interval=0.02,
+        **overrides,
+    )
+    service = Coordinator(config)
+    await service.start()
+    try:
+        yield service
+    finally:
+        service.begin_drain()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(service._stopped.wait(), 5.0)
+        await service._shutdown()
+
+
+@contextlib.asynccontextmanager
+async def running_node(tmp_path, name, coordinator, pool=None, **overrides):
+    host, port = coordinator.address
+    config = NodeConfig(
+        journal_dir=tmp_path / name,
+        install_signal_handlers=False,
+        pool_factory=lambda workers: pool or StubPool(workers),
+        retry_base=0.01,
+        coordinator=f"{host}:{port}",
+        node_id=name,
+        heartbeat_interval=0.05,
+        **overrides,
+    )
+    service = WorkerNode(config)
+    await service.start()
+    try:
+        yield service
+    finally:
+        service.begin_drain()
+        with contextlib.suppress(asyncio.TimeoutError):
+            await asyncio.wait_for(service._stopped.wait(), 5.0)
+        await service._shutdown()
+
+
+async def wait_for(predicate, timeout=5.0, interval=0.02):
+    deadline = asyncio.get_event_loop().time() + timeout
+    while asyncio.get_event_loop().time() < deadline:
+        if predicate():
+            return True
+        await asyncio.sleep(interval)
+    return False
+
+
+def fake_heartbeat(node_id, port=1, digest=None, workers=2):
+    return {
+        "id": node_id,
+        "host": "127.0.0.1",
+        "port": port,
+        "workers": workers,
+        "in_flight": 0,
+        "queue_depth": 0,
+        "digest": digest if digest is not None else code_digest()[:16],
+        "pid": os.getpid(),
+    }
+
+
+RUN_SPEC = {"kind": "run", "spec": {"uid": UID}, "client": "t"}
+
+
+class TestCoordinator:
+    def test_heartbeat_registry_and_reaping(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                status, payload = await http(
+                    coord, "POST", "/nodes/heartbeat", fake_heartbeat("w1")
+                )
+                assert status == 200 and payload["known_nodes"] == 1
+                status, listing = await http(coord, "GET", "/nodes")
+                assert [n["id"] for n in listing["nodes"]] == ["w1"]
+                assert listing["nodes"][0]["state"] == "live"
+                assert coord._dispatch_capacity() == coord.config.workers + 2
+                # Malformed heartbeat: rejected, not crashed.
+                status, _ = await http(
+                    coord, "POST", "/nodes/heartbeat", {"host": "x"}
+                )
+                assert status == 400
+                # Stop beating: the reaper expires the node.
+                assert await wait_for(lambda: "w1" not in coord.nodes)
+                assert "w1" not in coord.ring
+                assert coord.metrics.counters["node_deaths"] == 1
+
+        asyncio.run(scenario())
+
+    def test_zero_nodes_degrades_to_local(self, tmp_path):
+        async def scenario():
+            pool = StubPool()
+            async with running_coordinator(tmp_path, pool=pool) as coord:
+                status, payload = await http(coord, "POST", "/jobs", RUN_SPEC)
+                assert status in (200, 201)
+                job = await wait_state(coord, payload["job"]["id"], "done")
+                assert job.exit_code == 0
+                assert coord.metrics.counters["local_fallback"] == 1
+                assert pool.executed  # ran on the coordinator's own pool
+
+        asyncio.run(scenario())
+
+    def test_digest_mismatch_gates_dispatch(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                await http(
+                    coord, "POST", "/nodes/heartbeat",
+                    fake_heartbeat("stale-node", digest="f" * 16),
+                )
+                assert "stale-node" in coord.nodes
+                assert not coord._candidates("any-key", set())
+                status, payload = await http(coord, "POST", "/jobs", RUN_SPEC)
+                await wait_state(coord, payload["job"]["id"], "done")
+                assert coord.metrics.counters["local_fallback"] == 1
+                assert coord.metrics.counters["remote_dispatch"] == 0
+
+        asyncio.run(scenario())
+
+    def test_remote_dispatch_to_live_worker(self, tmp_path):
+        async def scenario():
+            coord_pool, node_pool = StubPool(), StubPool()
+            async with running_coordinator(tmp_path, pool=coord_pool) as coord:
+                async with running_node(
+                    tmp_path, "w1", coord, pool=node_pool
+                ) as node:
+                    assert await wait_for(lambda: "w1" in coord.nodes)
+                    status, payload = await http(
+                        coord, "POST", "/jobs", RUN_SPEC
+                    )
+                    job = await wait_state(coord, payload["job"]["id"], "done")
+                    assert job.exit_code == 0
+                    assert coord.metrics.counters["remote_dispatch"] == 1
+                    assert coord.metrics.counters["local_fallback"] == 0
+                    assert node_pool.executed and not coord_pool.executed
+                    # The mirrored result records which node ran it.
+                    result = coord.journal.load_result(job.key)
+                    assert result["node"] == "w1"
+                    assert node.metrics.counters["heartbeats"] >= 1
+                    # Coordinator's own /result serves the mirror.
+                    status, res = await http(
+                        coord, "GET", f"/jobs/{job.id}/result"
+                    )
+                    assert status == 200
+                    assert res["result"]["node"] == "w1"
+
+        asyncio.run(scenario())
+
+    def test_dead_node_fails_over_to_local(self, tmp_path):
+        async def scenario():
+            pool = StubPool()
+            async with running_coordinator(tmp_path, pool=pool) as coord:
+                # A node that registered and then vanished: its port is
+                # closed, so dispatch gets Unreachable and falls back.
+                await http(
+                    coord, "POST", "/nodes/heartbeat",
+                    fake_heartbeat("ghost", port=1),
+                )
+                status, payload = await http(coord, "POST", "/jobs", RUN_SPEC)
+                job = await wait_state(coord, payload["job"]["id"], "done")
+                assert job.exit_code == 0
+                assert coord.metrics.counters["local_fallback"] == 1
+                assert pool.executed
+
+        asyncio.run(scenario())
+
+
+class TestLeaseFailover:
+    def lease_for(self, coord):
+        spec = campaign_spec(count=4, shard_size=2)
+        return plan_leases(spec, str(coord.store_dir))[0]
+
+    def test_precompleted_lease_short_circuits(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                lease = self.lease_for(coord)
+                Path(lease["manifest"]).write_text(
+                    json.dumps({"spec": {}, "shards": {"0": []}})
+                )
+                assert await coord._run_lease(lease) is True
+                # No nodes were consulted, no counters moved.
+                assert coord.metrics.counters["lease_steals"] == 0
+                assert coord.metrics.counters["lease_redispatch"] == 0
+
+        asyncio.run(scenario())
+
+    def test_slow_live_node_counts_as_steal(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                for name in ("w1", "w2"):
+                    coord._register_heartbeat(fake_heartbeat(name))
+
+                async def never_lands(node, spec, timeout, deadline=None,
+                                      done_probe=None):
+                    return None  # deadline expired, node still alive
+
+                coord._remote_job = never_lands
+                assert await coord._run_lease(self.lease_for(coord)) is False
+                assert coord.metrics.counters["lease_steals"] == 2
+                assert coord.metrics.counters["lease_redispatch"] == 0
+
+        asyncio.run(scenario())
+
+    def test_node_death_counts_as_redispatch(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                coord._register_heartbeat(fake_heartbeat("w1"))
+
+                async def dies_mid_lease(node, spec, timeout, deadline=None,
+                                         done_probe=None):
+                    del coord.nodes[node.id]
+                    coord.ring.remove(node.id)
+                    return None
+
+                coord._remote_job = dies_mid_lease
+                assert await coord._run_lease(self.lease_for(coord)) is False
+                assert coord.metrics.counters["lease_redispatch"] == 1
+                assert coord.metrics.counters["lease_steals"] == 0
+
+        asyncio.run(scenario())
+
+    def test_out_of_band_completion_wins(self, tmp_path):
+        """A lease whose manifest lands while some node is still
+        grinding (the work-stealing race) completes via the store."""
+
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                coord._register_heartbeat(fake_heartbeat("w1"))
+                lease = self.lease_for(coord)
+
+                async def slow_node(node, spec, timeout, deadline=None,
+                                    done_probe=None):
+                    # Another worker finishes the lease behind our back.
+                    Path(lease["manifest"]).write_text(
+                        json.dumps({"spec": {}, "shards": {"0": []}})
+                    )
+                    assert done_probe is not None and done_probe()
+                    return {}
+
+                coord._remote_job = slow_node
+                assert await coord._run_lease(lease) is True
+                assert coord.metrics.counters["lease_redispatch"] == 0
+
+        asyncio.run(scenario())
+
+    def test_campaign_completes_when_leases_never_land(self, tmp_path):
+        """Nodes accept leases but their manifests never appear (the
+        worst straggler case): the local finalize pass still computes
+        the campaign, so the job finishes instead of hanging."""
+
+        async def scenario():
+            pool = StubPool()
+            async with running_coordinator(tmp_path, pool=pool) as coord:
+                async with running_node(tmp_path, "w1", coord) as _node:
+                    assert await wait_for(lambda: "w1" in coord.nodes)
+                    spec = {
+                        "kind": "inject",
+                        "spec": {"uid": UID, "count": 4, "shard_size": 2},
+                        "client": "t",
+                    }
+                    status, payload = await http(coord, "POST", "/jobs", spec)
+                    job = await wait_state(
+                        coord, payload["job"]["id"], "done", timeout=10.0
+                    )
+                    assert job.exit_code == 0
+                    assert pool.executed  # finalize ran locally
+
+        asyncio.run(scenario())
+
+
+# -- fabric metrics (locked names) -------------------------------------------
+
+
+COORDINATOR_FABRIC_KEYS = {
+    "role",
+    "nodes",
+    "live_nodes",
+    "nodes_joined",
+    "node_deaths",
+    "remote_dispatch",
+    "lease_redispatch",
+    "lease_steals",
+    "local_fallback",
+    "transport_retries",
+    "stale_endpoint_replaced",
+}
+
+NODE_ENTRY_KEYS = {
+    "id", "host", "port", "workers", "in_flight", "queue_depth",
+    "digest", "pid", "age_s", "state",
+}
+
+WORKER_FABRIC_KEYS = {"role", "node_id", "heartbeats", "heartbeat_failures"}
+
+
+class TestFabricMetrics:
+    """Dashboards and the chaos harness key on these exact names —
+    renaming any of them is a breaking change."""
+
+    def test_coordinator_metrics_shape(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                coord._register_heartbeat(fake_heartbeat("w1"))
+                status, snap = await http(coord, "GET", "/metrics")
+                assert status == 200
+                fabric = snap["fabric"]
+                assert set(fabric) == COORDINATOR_FABRIC_KEYS
+                assert fabric["role"] == "coordinator"
+                assert fabric["live_nodes"] == 1
+                assert set(fabric["nodes"]) == {"w1"}
+                assert set(fabric["nodes"]["w1"]) == NODE_ENTRY_KEYS
+                status, health = await http(coord, "GET", "/healthz")
+                assert health["role"] == "coordinator"
+
+        asyncio.run(scenario())
+
+    def test_worker_metrics_shape(self, tmp_path):
+        async def scenario():
+            async with running_coordinator(tmp_path) as coord:
+                async with running_node(tmp_path, "w1", coord) as node:
+                    status, snap = await http(node, "GET", "/metrics")
+                    fabric = snap["fabric"]
+                    assert set(fabric) == WORKER_FABRIC_KEYS
+                    assert fabric["role"] == "worker"
+                    assert fabric["node_id"] == "w1"
+                    status, health = await http(node, "GET", "/healthz")
+                    assert health["role"] == "worker"
+
+        asyncio.run(scenario())
+
+    def test_local_service_has_no_fabric_section(self, tmp_path):
+        async def scenario():
+            config = ServiceConfig(
+                journal_dir=tmp_path / "journal",
+                install_signal_handlers=False,
+                pool_factory=lambda workers: StubPool(workers),
+            )
+            service = JobService(config)
+            await service.start()
+            try:
+                status, snap = await http(service, "GET", "/metrics")
+                assert "fabric" not in snap
+                status, health = await http(service, "GET", "/healthz")
+                assert health["role"] == "local"
+            finally:
+                service.begin_drain()
+                await asyncio.wait_for(service._stopped.wait(), 5.0)
+                await service._shutdown()
+
+        asyncio.run(scenario())
+
+
+# -- stale endpoint takeover -------------------------------------------------
+
+
+class TestStaleEndpoint:
+    def _dead_pid(self):
+        proc = subprocess.Popen([sys.executable, "-c", "pass"])
+        proc.wait()
+        return proc.pid
+
+    def test_successor_replaces_stale_endpoint(self, tmp_path):
+        async def scenario():
+            root = tmp_path / "journal"
+            Journal(root).write_endpoint(
+                "127.0.0.1", 59999, pid=self._dead_pid()
+            )
+            config = ServiceConfig(
+                journal_dir=root,
+                install_signal_handlers=False,
+                pool_factory=lambda workers: StubPool(workers),
+            )
+            service = JobService(config)
+            await service.start()
+            try:
+                assert (
+                    service.metrics.counters["stale_endpoint_replaced"] == 1
+                )
+                journal = Journal(root)
+                assert journal.endpoint_status() == "live"
+                assert journal.read_endpoint() == service.address
+            finally:
+                service.begin_drain()
+                await asyncio.wait_for(service._stopped.wait(), 5.0)
+                await service._shutdown()
+
+        asyncio.run(scenario())
+
+    def test_refuses_to_usurp_live_server(self, tmp_path):
+        async def scenario():
+            root = tmp_path / "journal"
+            # A *live* foreign PID owns the endpoint (use our own parent).
+            Journal(root).write_endpoint(
+                "127.0.0.1", 59999, pid=os.getppid()
+            )
+            service = JobService(
+                ServiceConfig(
+                    journal_dir=root,
+                    install_signal_handlers=False,
+                    pool_factory=lambda workers: StubPool(workers),
+                )
+            )
+            with pytest.raises(RuntimeError, match="already served"):
+                await service.start()
+
+        asyncio.run(scenario())
+
+    def test_client_reports_stale_endpoint(self, tmp_path):
+        root = tmp_path / "journal"
+        Journal(root).write_endpoint("127.0.0.1", 59999, pid=self._dead_pid())
+        with pytest.raises(StaleEndpointError, match="stale endpoint"):
+            resolve_endpoint(journal_dir=str(root))
+
+    def test_absent_endpoint_still_plain_error(self, tmp_path):
+        with pytest.raises(ValueError, match="no service endpoint"):
+            resolve_endpoint(journal_dir=str(tmp_path / "nowhere"))

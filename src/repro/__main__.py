@@ -8,13 +8,26 @@ Commands:
   inject [uid] [--count N] [--wcdl N] [--targets a,b] [--workers N]
          [--manifest PATH] [--resume] [--export PATH]
          [--accel on|off] [--snapshot-interval N] [--shards LO:HI]
+         [--sample] [--ci-width W] [--confidence C] [--token-rate N]
                              — differential fault-injection campaign
                                across protocol variants (parallel,
                                resumable via the manifest; snapshot
                                acceleration on by default and
                                observationally invisible; --shards
                                restricts to a shard-id range — the
-                               fabric's lease primitive)
+                               fabric's lease primitive; --sample
+                               switches to stratified importance
+                               sampling over the vulnerability map,
+                               reporting AVF with a confidence interval
+                               instead of per-index records)
+  vuln [uid] [--scheme S] [--wcdl N] [--variants a,b]
+       [--format text|json] [--no-cache]
+       [--validate [--seed N] [--ci-width W]]
+                             — bit-level vulnerability analysis: the
+                               masked/vulnerable/unknown breakdown per
+                               structure, or (--validate) the
+                               sampled-vs-exhaustive cross-check on
+                               quick benchmarks
   lint <uid>|--all [--scheme S] [--sb N] [--format text|json|sarif]
        [--no-differential] [--strict] [--output PATH] [--workers N]
                              — static resilience verifier over compiled
@@ -45,8 +58,8 @@ Commands:
                                worker enrolls this server with a
                                coordinator via heartbeats
   nodes [--json]             — list a coordinator's worker nodes
-  submit run|inject|lint ... [--wait] [--priority P] [--endpoint H:P]
-                             — submit a job to a running service
+  submit run|inject|lint|vuln ... [--wait] [--priority P]
+         [--endpoint H:P]   — submit a job to a running service
   jobs [--json] [--mine]     — list service jobs
   result <job-id> [--wait]   — fetch a job's output (exits with the
                                job's own exit code)
@@ -124,6 +137,27 @@ def _cmd_inject(args) -> int:
             enabled=args.accel == "on",
             snapshot_interval=args.snapshot_interval,
         )
+    sampling = None
+    if args.sample:
+        if args.resume or args.manifest or args.shards:
+            print(
+                "inject: --sample is adaptive and incompatible with "
+                "--resume/--manifest/--shards",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.faults.sampling import SamplingOptions
+
+        try:
+            sampling = SamplingOptions(
+                enabled=True,
+                ci_width=args.ci_width,
+                confidence=args.confidence,
+                token_rate=args.token_rate,
+            )
+        except ValueError as exc:
+            print(f"invalid sampling options: {exc}", file=sys.stderr)
+            return 2
     try:
         _report, text = execute_campaign(
             spec,
@@ -136,6 +170,7 @@ def _cmd_inject(args) -> int:
                 f"  shard {done}/{total} done", file=sys.stderr
             ),
             only_shards=only_shards,
+            sampling=sampling,
         )
     except ValueError as exc:  # e.g. manifest/spec mismatch on --resume
         print(f"cannot run campaign: {exc}", file=sys.stderr)
@@ -143,6 +178,67 @@ def _cmd_inject(args) -> int:
     print(text)
     if args.export:
         print(f"aggregate written to {args.export}", file=sys.stderr)
+    return 0
+
+
+_VALIDATE_QUICK = ("SPLASH3.radix", "CPU2006.gcc", "CPU2017.exchange2")
+
+
+def _cmd_vuln(args) -> int:
+    import json as _json
+
+    if args.validate:
+        from repro.faults.sampling import validate_benchmark
+
+        uids = [args.uid] if args.uid else list(_VALIDATE_QUICK)
+        results = []
+        for uid in uids:
+            try:
+                result = validate_benchmark(
+                    uid,
+                    wcdl=args.wcdl,
+                    seed=args.seed,
+                    ci_width=args.ci_width,
+                    use_cache=not args.no_cache,
+                )
+            except (KeyError, ValueError) as exc:
+                print(f"vuln: cannot validate {uid}: {exc}", file=sys.stderr)
+                return 2
+            results.append(result)
+        if args.format == "json":
+            print(_json.dumps(
+                {"results": [r.to_dict() for r in results],
+                 "ok": all(r.ok for r in results)},
+                indent=2, sort_keys=True,
+            ))
+        else:
+            for result in results:
+                print(result.render_text())
+        return 0 if all(r.ok for r in results) else 1
+
+    if not args.uid:
+        print("vuln: need a benchmark uid (or --validate)", file=sys.stderr)
+        return 2
+    from repro.verify.vuln import vulnerability_map
+
+    variants = tuple(
+        v.strip() for v in args.variants.split(",") if v.strip()
+    )
+    try:
+        vmap = vulnerability_map(
+            args.uid,
+            scheme=args.scheme,
+            wcdl=args.wcdl,
+            variants=variants,
+            use_cache=not args.no_cache,
+        )
+    except (KeyError, ValueError) as exc:
+        print(f"vuln: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(_json.dumps(vmap.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(vmap.render_text())
     return 0
 
 
@@ -435,6 +531,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="run only shard ids [LO, HI) — a campaign lease; results "
         "checkpoint into --manifest for later merge/resume",
     )
+    inj_p.add_argument(
+        "--sample",
+        action="store_true",
+        help="stratified importance sampling over the vulnerability map: "
+        "masked strata audited at a token rate (any failure aborts "
+        "loudly), vulnerable strata sampled adaptively until the "
+        "Wilson interval is tighter than --ci-width; reports AVF "
+        "with a confidence interval instead of per-index records",
+    )
+    inj_p.add_argument(
+        "--ci-width",
+        type=float,
+        default=0.05,
+        help="--sample: target half-width of each stratum's weighted "
+        "confidence interval",
+    )
+    inj_p.add_argument(
+        "--confidence",
+        type=float,
+        default=0.95,
+        help="--sample: confidence level for the Wilson intervals",
+    )
+    inj_p.add_argument(
+        "--token-rate",
+        type=int,
+        default=8,
+        help="--sample: injections per masked stratum spent cross-checking "
+        "the static masked claim",
+    )
+
+    vuln_p = sub.add_parser(
+        "vuln", help="bit-level vulnerability analysis"
+    )
+    vuln_p.add_argument("uid", nargs="?", default=None)
+    vuln_p.add_argument(
+        "--scheme", choices=("turnpike", "turnstile"), default="turnpike"
+    )
+    vuln_p.add_argument("--wcdl", type=int, default=10)
+    vuln_p.add_argument(
+        "--variants",
+        default="turnstile,warfree,turnpike",
+        help="comma-separated protocol variants to classify under",
+    )
+    vuln_p.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+    vuln_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="rebuild the map even when a cached artifact exists",
+    )
+    vuln_p.add_argument(
+        "--validate",
+        action="store_true",
+        help="cross-check the sampled estimator against an exhaustive "
+        "audit (default: the quick benchmark trio; exit 1 on any "
+        "misclassified masked cell or uncovered interval)",
+    )
+    vuln_p.add_argument(
+        "--seed", type=int, default=1234, help="--validate: RNG seed"
+    )
+    vuln_p.add_argument(
+        "--ci-width",
+        type=float,
+        default=0.05,
+        help="--validate: target weighted interval half-width",
+    )
 
     lint_p = sub.add_parser(
         "lint", help="statically verify compiled benchmarks"
@@ -602,7 +765,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a job to a running service"
     )
     kind_sub = submit_p.add_subparsers(dest="kind", required=True)
-    for kind in ("run", "inject", "lint"):
+    for kind in ("run", "inject", "lint", "vuln"):
         kp = kind_sub.add_parser(kind, help=f"submit a {kind} job")
         _add_client_flags(kp)
         kp.add_argument(
@@ -654,7 +817,7 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
             )
             kp.add_argument("--shards", default=None, metavar="LO:HI")
-        else:  # lint
+        elif kind == "lint":
             kp.add_argument("uid", nargs="?", default=None)
             kp.add_argument("--all", action="store_true")
             kp.add_argument(
@@ -666,6 +829,16 @@ def build_parser() -> argparse.ArgumentParser:
             )
             kp.add_argument("--no-differential", action="store_true")
             kp.add_argument("--strict", action="store_true")
+        else:  # vuln
+            kp.add_argument("uid")
+            kp.add_argument("--wcdl", type=int, default=None)
+            kp.add_argument(
+                "--scheme", choices=("turnpike", "turnstile"), default=None
+            )
+            kp.add_argument("--variants", default=None)
+            kp.add_argument(
+                "--format", choices=("text", "json"), default=None
+            )
 
     jobs_p = sub.add_parser("jobs", help="list jobs on a running service")
     _add_client_flags(jobs_p)
@@ -696,6 +869,7 @@ def main(argv: list[str] | None = None) -> int:
         "list": _cmd_list,
         "run": _cmd_run,
         "inject": _cmd_inject,
+        "vuln": _cmd_vuln,
         "lint": _cmd_lint,
         "figure": _cmd_figure,
         "cache": _cmd_cache,

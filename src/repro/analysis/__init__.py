@@ -2,14 +2,14 @@
 
 from repro.analysis.cfg import ControlFlowGraph, build_cfg
 from repro.analysis.dominators import DominatorTree, compute_dominators
-from repro.analysis.liveness import LivenessInfo, compute_liveness
-from repro.analysis.loops import Loop, LoopForest, find_loops
 from repro.analysis.induction import (
     BasicIV,
     MergeCandidate,
     find_basic_ivs,
     find_merge_candidates,
 )
+from repro.analysis.liveness import LivenessInfo, compute_liveness
+from repro.analysis.loops import Loop, LoopForest, find_loops
 from repro.analysis.reachability import DefReachability, compute_def_reachability
 
 __all__ = [

@@ -7,7 +7,7 @@ blocks; it must be rebuilt after a pass changes control flow.
 
 from __future__ import annotations
 
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.isa.program import BasicBlock, Program
 

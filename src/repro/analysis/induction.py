@@ -144,7 +144,7 @@ def find_merge_candidates(ivs: list[BasicIV]) -> list[MergeCandidate]:
     # Prefer same-step pairs (scale 1): their uses rematerialise with a
     # single ADDI. Then prefer power-of-two scales (SHLI) over general
     # multiplies, and small anchor steps as the final tiebreak.
-    def cost(c: MergeCandidate) -> tuple:
+    def cost(c: MergeCandidate) -> tuple[int, int, int, int]:
         if c.scale == 1:
             remat = 0
         elif c.scale > 0 and (c.scale & (c.scale - 1)) == 0:

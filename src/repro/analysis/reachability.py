@@ -34,8 +34,11 @@ class DefReachability:
         # Registers defined per block.
         self._defs_in_block: dict[str, set[Reg]] = {}
         for block in cfg.program.blocks:
-            defs = {i.dest for i in block.instructions if i.dest is not None}
-            self._defs_in_block[block.label] = defs  # type: ignore[assignment]
+            defs: set[Reg] = set()
+            for instr in block.instructions:
+                if instr.dest is not None:
+                    defs.add(instr.dest)
+            self._defs_in_block[block.label] = defs
 
     def blocks_reachable_from(self, label: str) -> set[str]:
         """Blocks reachable from the *end* of ``label`` (may include itself)."""

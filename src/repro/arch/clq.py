@@ -108,6 +108,15 @@ class BaseCLQ:
         """
         raise NotImplementedError
 
+    def strike_targets(self) -> int:
+        """How many resident entries :meth:`corrupt` could hit right now.
+
+        Zero means a strike at this instant provably lands on empty
+        storage and cannot alter behaviour — the static vulnerability
+        analysis (``repro.verify.vuln``) classifies such cycles masked.
+        """
+        raise NotImplementedError
+
     def snapshot_state(self) -> dict:
         """Plain-data image for machine checkpointing (picklable)."""
         raise NotImplementedError
@@ -160,6 +169,9 @@ class IdealCLQ(BaseCLQ):
     def retire_region(self, instance: int) -> None:
         self._loads.pop(instance, None)
         self._parity_bad.discard(instance)
+
+    def strike_targets(self) -> int:
+        return sum(1 for v in self._loads.values() if v)
 
     def corrupt(self, bit: int) -> bool:
         populated = sorted(k for k, v in self._loads.items() if v)
@@ -296,6 +308,9 @@ class CompactCLQ(BaseCLQ):
 
     def retire_region(self, instance: int) -> None:
         self._entries.pop(instance, None)
+
+    def strike_targets(self) -> int:
+        return sum(1 for e in self._entries.values() if e.populated)
 
     def corrupt(self, bit: int) -> bool:
         populated = sorted(

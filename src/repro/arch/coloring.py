@@ -119,6 +119,14 @@ class ColorMaps:
 
     # -- fault injection ------------------------------------------------------
 
+    def strike_targets(self) -> int:
+        """How many populated UC/VC entries :meth:`corrupt` could hit.
+
+        Zero means a strike right now provably lands on empty storage —
+        the static vulnerability analysis classifies such cycles masked.
+        """
+        return sum(len(uc) for uc in self._uc.values()) + len(self._vc)
+
     def corrupt(self, bit: int) -> bool:
         """SEU strike into the AC/UC/VC arrays: flip a bit in one entry.
 

@@ -40,13 +40,15 @@ from repro.faults.injector import (
     run_campaign,
     run_with_injection,
 )
+from repro.faults.sampling import SamplingOptions, estimate_avf
 from repro.faults.snapshot import (
     DEFAULT_SNAPSHOT_INTERVAL,
     GoldenRecord,
     record_golden_run,
 )
+from repro.isa.registers import Reg
 from repro.runtime.interpreter import execute
-from repro.runtime.machine import InjectionTarget, ResilienceConfig
+from repro.runtime.machine import Injection, InjectionTarget, ResilienceConfig
 from repro.runtime.memory import Memory
 
 
@@ -362,10 +364,16 @@ def _run_shard(payload: dict) -> tuple[int, list[dict]]:
 
 @dataclass
 class CampaignReport:
-    """Differential cross-variant view over a finished campaign."""
+    """Differential cross-variant view over a finished campaign.
+
+    ``avf`` is populated only by importance-sampled runs (see
+    :mod:`repro.faults.sampling`); enumerated campaigns leave it None so
+    their aggregate JSON stays byte-identical to earlier releases.
+    """
 
     spec: CampaignSpec
     records: list[dict] = field(default_factory=list)
+    avf: dict | None = None
 
     def variant_result(self, variant: str) -> CampaignResult:
         """Reconstruct one variant's outcomes as a :class:`CampaignResult`."""
@@ -420,13 +428,18 @@ class CampaignReport:
 
     def aggregate(self) -> dict:
         """Deterministic summary (sorted, no timestamps): the object the
-        resume guarantee is stated over."""
-        return {
+        resume guarantee is stated over. The ``avf`` key appears only
+        for sampled campaigns, keeping enumerated aggregates
+        byte-identical."""
+        agg = {
             "spec": self.spec.to_dict(),
             "per_variant": self.per_variant(),
             "per_target": self.per_target(),
             "divergent_indices": [d["index"] for d in self.divergences()],
         }
+        if self.avf is not None:
+            agg["avf"] = self.avf
+        return agg
 
     def to_json(self) -> str:
         return json.dumps(self.aggregate(), indent=2, sort_keys=True)
@@ -446,10 +459,12 @@ class CampaignRunner:
         spec: CampaignSpec,
         manifest_path: str | Path | None = None,
         accel: AccelOptions | None = None,
+        sampling: SamplingOptions | None = None,
     ) -> None:
         self.spec = spec
         self.manifest_path = Path(manifest_path) if manifest_path else None
         self.accel = accel if accel is not None else AccelOptions()
+        self.sampling = sampling if sampling is not None else SamplingOptions()
 
     # -- manifest ----------------------------------------------------------
 
@@ -518,7 +533,18 @@ class CampaignRunner:
         because shard contents depend only on ``(seed, index)``. The
         returned report covers whatever the manifest then holds, which
         for a lease run is deliberately partial.
+
+        With sampling enabled the runner REPLACES index enumeration with
+        the stratified adaptive estimator: no per-index records, no
+        manifest, no resume — the report carries the AVF block instead.
         """
+        if self.sampling.enabled:
+            if resume or only_shards is not None:
+                raise ValueError(
+                    "sampled campaigns are adaptive: resume and shard "
+                    "leases only apply to enumerated index campaigns"
+                )
+            return self._run_sampled(progress)
         manifest = self._load_manifest(resume)
         shards = self.spec.shards()
         selected = (
@@ -580,6 +606,91 @@ class CampaignRunner:
         all_records.sort(key=lambda rec: rec["index"])
         return CampaignReport(spec=self.spec, records=all_records)
 
+    # -- importance-sampled execution --------------------------------------
+
+    def _run_sampled(
+        self, progress: Callable[[int, int], None] | None = None
+    ) -> CampaignReport:
+        """Stratified adaptive AVF estimation over the vulnerability map.
+
+        Strata come from the static classification in
+        :mod:`repro.verify.vuln`; masked strata get token cross-check
+        injections (a corrupting hit raises
+        :class:`~repro.faults.sampling.MaskedMisclassification`), the
+        rest are sampled until their weighted Wilson interval meets the
+        configured width. Deterministic: every draw derives from
+        ``(seed, variant, target, stratum, index)``.
+        """
+        from repro.verify.vuln import vulnerability_map
+
+        spec = self.spec
+        vmap = vulnerability_map(
+            spec.uid,
+            wcdl=spec.wcdl,
+            variants=spec.variants,
+            max_steps=spec.max_steps,
+        )
+        compiled, memory, golden, _horizon_ = _campaign_context(spec.uid)
+        per_variant: dict[str, dict] = {}
+        total_injections = 0
+        for done, variant in enumerate(spec.variants):
+            config = VARIANT_CONFIGS[variant](spec.wcdl)
+            accel_record = (
+                _golden_record(spec, variant, self.accel.snapshot_interval)
+                if self.accel.enabled
+                else None
+            )
+
+            def run_cell(
+                target: str,
+                reg: int | None,
+                bit: int,
+                time: int,
+                delay: int,
+                _config: ResilienceConfig = config,
+                _accel: GoldenRecord | None = accel_record,
+            ) -> bool:
+                injection = Injection(
+                    time=time,
+                    target=InjectionTarget(target),
+                    reg=Reg.phys(reg) if reg is not None else None,
+                    bit=bit,
+                    detection_delay=delay,
+                )
+                outcome = run_with_injection(
+                    compiled,
+                    _config,
+                    memory,
+                    injection,
+                    golden,
+                    max_steps=spec.max_steps,
+                    accel=_accel,
+                )
+                return outcome.correct
+
+            estimates = estimate_avf(
+                vmap,
+                variant,
+                spec.targets,
+                options=self.sampling,
+                seed=spec.seed,
+                wcdl=spec.wcdl,
+                run_cell=run_cell,
+            )
+            per_variant[variant] = estimates
+            total_injections += sum(
+                int(entry["injections"])  # type: ignore[call-overload]
+                for entry in estimates.values()
+            )
+            if progress is not None:
+                progress(done + 1, len(spec.variants))
+        avf = {
+            "options": self.sampling.to_dict(),
+            "per_variant": per_variant,
+            "total_injections": total_injections,
+        }
+        return CampaignReport(spec=spec, records=[], avf=avf)
+
 
 def execute_campaign(
     spec: CampaignSpec,
@@ -590,6 +701,7 @@ def execute_campaign(
     export_path: str | Path | None = None,
     progress: Callable[[int, int], None] | None = None,
     only_shards: "set[int] | None" = None,
+    sampling: SamplingOptions | None = None,
 ) -> tuple[CampaignReport, str]:
     """Run one differential campaign end-to-end; the single entry point
     shared by the ``repro inject`` CLI and the batch service.
@@ -599,7 +711,9 @@ def execute_campaign(
     crash mid-write can never leave a half aggregate for a parity
     check to trip over).
     """
-    runner = CampaignRunner(spec, manifest_path=manifest_path, accel=accel)
+    runner = CampaignRunner(
+        spec, manifest_path=manifest_path, accel=accel, sampling=sampling
+    )
     report = runner.run(
         workers=workers, resume=resume, progress=progress,
         only_shards=only_shards,
@@ -614,11 +728,50 @@ def execute_campaign(
     return report, format_differential_report(report)
 
 
+def _format_avf_section(report: CampaignReport) -> list[str]:
+    """Render the sampled-AVF block of a report (empty when absent)."""
+    if report.avf is None:
+        return []
+    options = report.avf.get("options", {})
+    lines = [
+        "  stratified AVF estimates "
+        f"(ci_width={options.get('ci_width')}, "
+        f"confidence={options.get('confidence')}):"
+    ]
+    per_variant = report.avf.get("per_variant", {})
+    for variant in report.spec.variants:
+        targets = per_variant.get(variant, {})
+        lines.append(f"  {variant}:")
+        for target in report.spec.targets:
+            entry = targets.get(target)
+            if entry is None:
+                continue
+            lines.append(
+                f"    {target:<13} AVF {entry['avf']:.4f} "
+                f"[{entry['ci_low']:.4f}, {entry['ci_high']:.4f}]  "
+                f"{entry['injections']} injection(s) over "
+                f"{entry['population']} cells"
+            )
+    lines.append(
+        f"  {report.avf.get('total_injections', 0)} sampled injection(s) "
+        "total"
+    )
+    return lines
+
+
 def format_differential_report(report: CampaignReport) -> str:
     """Human-readable cross-variant table of a campaign report."""
+    spec = report.spec
+    if report.avf is not None:
+        lines = [
+            f"sampled campaign on {spec.uid} "
+            f"(WCDL={spec.wcdl}, seed={spec.seed}, "
+            f"targets={','.join(spec.targets)}):"
+        ]
+        lines.extend(_format_avf_section(report))
+        return "\n".join(lines)
     kinds = [kind.value for kind in FaultOutcomeKind]
     lines = []
-    spec = report.spec
     lines.append(
         f"{spec.count} injections on {spec.uid} "
         f"(WCDL={spec.wcdl}, seed={spec.seed}, "

@@ -23,6 +23,10 @@ Three artifact kinds are stored:
   snapshots plus the per-tick fingerprint stream) for one (uid,
   resilience-config, snapshot-interval, max-steps) combination, used to
   accelerate fault-injection campaigns.
+* ``vuln-<key>.json`` — a serialized
+  :class:`~repro.verify.vuln.VulnerabilityMap` (bit-level
+  masked/vulnerable classification) for one (uid, scheme, sb-size,
+  wcdl, variants, max-steps) combination.
 
 Writes are atomic (temp file + ``os.replace``), so any number of
 processes — the multiprocess shards of :mod:`repro.harness.runner`
@@ -138,6 +142,23 @@ class ArtifactCache:
         """
         return _key("golden", uid, config, interval, max_steps)
 
+    @staticmethod
+    def vuln_key(
+        uid: str,
+        scheme: str,
+        sb_size: int,
+        wcdl: int,
+        variants: tuple[str, ...],
+        max_steps: int,
+    ) -> str:
+        """Key for a serialized :class:`VulnerabilityMap`.
+
+        The scheme + SB size identify the compiled program; WCDL,
+        variant set and step budget identify the analysis run (they
+        change structure occupancy and the committed horizon guard).
+        """
+        return _key("vuln", uid, scheme, sb_size, wcdl, variants, max_steps)
+
     # -- IO ----------------------------------------------------------------
 
     def _write_atomic(self, path: Path, data: bytes) -> None:
@@ -209,13 +230,29 @@ class ArtifactCache:
         data = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
         self._write_atomic(self.root / f"golden-{key}.pkl", data)
 
+    def load_vuln(self, key: str) -> dict | None:
+        """Load a serialized vulnerability map, or None on any miss."""
+        path = self.root / f"vuln-{key}.json"
+        try:
+            with open(path) as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict):
+            return None
+        return data
+
+    def store_vuln(self, key: str, data: dict) -> None:
+        text = json.dumps(data, sort_keys=True)
+        self._write_atomic(self.root / f"vuln-{key}.json", text.encode())
+
     # -- maintenance -------------------------------------------------------
 
     def artifact_paths(self) -> list[Path]:
         return sorted(
             p
             for p in self.root.iterdir()
-            if p.name.startswith(("trace-", "stats-", "golden-"))
+            if p.name.startswith(("trace-", "stats-", "golden-", "vuln-"))
         )
 
     def entries(self) -> list[tuple[str, str, int]]:
@@ -281,12 +318,14 @@ class ArtifactCache:
         paths = self.artifact_paths()
         traces = sum(1 for p in paths if p.name.startswith("trace-"))
         goldens = sum(1 for p in paths if p.name.startswith("golden-"))
+        vulns = sum(1 for p in paths if p.name.startswith("vuln-"))
         return {
             "root": str(self.root),
             "artifacts": len(paths),
             "traces": traces,
-            "stats": len(paths) - traces - goldens,
+            "stats": len(paths) - traces - goldens - vulns,
             "goldens": goldens,
+            "vulns": vulns,
             "bytes": sum(p.stat().st_size for p in paths),
             "code_digest": code_digest()[:16],
         }

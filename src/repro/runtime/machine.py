@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import enum
 import time
+from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
 from repro.arch.clq import BaseCLQ, make_clq
@@ -291,7 +292,7 @@ class ResilientMachine:
         # position consumed by the next run() call (both excluded from
         # snapshots).
         self._mem_fp: int | None = None
-        self._on_tick = None
+        self._on_tick: Callable[[str, int, int, int], None] | None = None
         self._resume: tuple[str, int, int, int] | None = None
 
         self._init_registers()

@@ -1,7 +1,7 @@
 """Typed job specs, lifecycle states, and content-addressed identity.
 
 A job is one CLI-equivalent unit of work (``run`` / ``inject`` /
-``lint``). Its :class:`JobSpec` is normalised at construction — unknown
+``lint`` / ``vuln``). Its :class:`JobSpec` is normalised at construction — unknown
 parameters rejected, defaults filled in, choices validated — so that two
 submissions meaning the same thing always produce the same canonical
 parameter dict, the same canonical argv, and therefore the same dedup
@@ -143,6 +143,13 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
         "differential": (True, _bool),
         "strict": (False, _bool),
     },
+    "vuln": {
+        "uid": (REQUIRED, _uid),
+        "scheme": ("turnpike", _str_choice("turnpike", "turnstile")),
+        "wcdl": (10, _int(1)),
+        "variants": ("turnstile,warfree,turnpike", _csv),
+        "format": ("text", _str_choice("text", "json")),
+    },
 }
 
 JOB_KINDS = tuple(_SCHEMAS)
@@ -227,6 +234,14 @@ class JobSpec:
             # fabric store vs local journal); the executed campaign is
             # identical either way.
             return argv
+        if self.kind == "vuln":
+            return [
+                "vuln", p["uid"],
+                "--scheme", p["scheme"],
+                "--wcdl", str(p["wcdl"]),
+                "--variants", p["variants"],
+                "--format", p["format"],
+            ]
         argv = ["lint"]
         argv += ["--all"] if p["all"] else [p["uid"]]
         argv += [

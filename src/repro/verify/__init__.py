@@ -28,8 +28,16 @@ from repro.verify.manager import (
     verify_compiled,
 )
 from repro.verify.sarif import render_sarif, reports_to_sarif
+from repro.verify.vuln import (
+    VulnerabilityMap,
+    build_map,
+    vulnerability_map,
+)
 
 __all__ = [
+    "VulnerabilityMap",
+    "build_map",
+    "vulnerability_map",
     "Diagnostic",
     "Location",
     "Severity",

@@ -57,17 +57,25 @@ def lint_benchmark(
     return report
 
 
-def _lint_job(job: tuple[str, str, int, bool]) -> VerificationReport:
+def _lint_job(
+    job: tuple[str, str, int, bool]
+) -> tuple[str, VerificationReport | None, str | None]:
     """Multiprocessing entry point: lint one benchmark in a worker.
 
     Must stay module-level (picklable) and take a single tuple so it can
     be mapped over a process pool; reports are plain dataclasses and
-    travel back to the parent intact.
+    travel back to the parent intact. A verifier crash is contained
+    here — returned as ``(uid, None, error)`` instead of propagating —
+    so one broken program cannot take down a whole ``--all`` run.
     """
     uid, scheme, sb_size, differential = job
-    return lint_benchmark(
-        uid, scheme=scheme, sb_size=sb_size, differential=differential
-    )
+    try:
+        report = lint_benchmark(
+            uid, scheme=scheme, sb_size=sb_size, differential=differential
+        )
+    except Exception as exc:  # containment is the point: report, don't die
+        return uid, None, f"{type(exc).__name__}: {exc}"
+    return uid, report, None
 
 
 def _lint_all(
@@ -76,7 +84,7 @@ def _lint_all(
     sb_size: int,
     differential: bool,
     workers: int,
-) -> list[VerificationReport]:
+) -> list[tuple[str, VerificationReport | None, str | None]]:
     """Lint many benchmarks, fanning out across processes when asked.
 
     Results come back in ``uids`` order regardless of worker count, so
@@ -120,13 +128,17 @@ def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
     from repro.harness.runner import resolve_workers
 
     workers = resolve_workers(getattr(args, "workers", None))
-    reports = _lint_all(
+    results = _lint_all(
         uids,
         scheme=args.scheme,
         sb_size=args.sb,
         differential=not args.no_differential,
         workers=workers,
     )
+    reports = [report for _, report, _ in results if report is not None]
+    crashed = [(uid, error) for uid, report, error in results if report is None]
+    for uid, error in crashed:
+        print(f"lint: {uid}: verifier crashed: {error}", file=sys.stderr)
     if args.format == "text":
         for report in reports:
             print(report.render_text(max_per_rule=args.max_per_rule),
@@ -158,12 +170,24 @@ def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
     errors = sum(len(r.errors) for r in reports)
     warnings = sum(len(r.warnings) for r in reports)
     if args.format == "text":
-        verdict = "FAIL" if errors or (args.strict and warnings) else "OK"
+        verdict = (
+            "CRASH" if crashed
+            else "FAIL" if errors or (args.strict and warnings)
+            else "OK"
+        )
+        crash_note = ""
+        if crashed:
+            crash_note = (
+                f", {len(crashed)} crashed "
+                f"({', '.join(uid for uid, _ in crashed)})"
+            )
         print(
             f"lint: {len(reports)} program(s), {errors} error(s), "
-            f"{warnings} warning(s) -> {verdict}",
+            f"{warnings} warning(s){crash_note} -> {verdict}",
             file=out,
         )
+    if crashed:
+        return EXIT_USAGE
     if errors:
         return EXIT_FINDINGS
     if args.strict and warnings:

@@ -26,10 +26,12 @@ from repro.analysis.loops import LoopForest
 from repro.verify.diagnostics import Diagnostic, VerificationReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.compiler.config import CompilerConfig
     from repro.compiler.pipeline import CompiledProgram
-    from repro.isa.memory import Memory
     from repro.isa.program import Program
     from repro.isa.registers import Reg
+    from repro.runtime.memory import Memory
+    from repro.verify.vuln import VulnerabilityMap
 
 
 @dataclass
@@ -237,13 +239,14 @@ class VerifierContext:
         self._loops: LoopForest | None = None
         self._region_graph: RegionGraph | None = None
         self._color_runs: dict["Reg", ColorRun] | None = None
+        self._vuln_map: "VulnerabilityMap | None" = None
 
     @property
     def program(self) -> "Program":
         return self.compiled.program
 
     @property
-    def config(self):  # -> CompilerConfig
+    def config(self) -> "CompilerConfig":
         return self.compiled.config
 
     def cfg(self) -> ControlFlowGraph:
@@ -289,6 +292,33 @@ class VerifierContext:
             if run.cyclic or run.longest_acyclic >= num_colors
         }
 
+    def vulnerability_map(self) -> "VulnerabilityMap | None":
+        """The program's bit-level vulnerability map (R7/R8), or None.
+
+        Needs differential mode (a memory factory to execute against)
+        and a resilience-compiled program whose scheme maps to a
+        campaign protocol variant; restricted to that single variant to
+        keep lint runs cheap.
+        """
+        if self._vuln_map is None:
+            from repro.verify.vuln import build_map, scheme_variant
+
+            variant = scheme_variant(self.config.name)
+            if (
+                variant is None
+                or self.memory_factory is None
+                or self.compiled.recovery is None
+            ):
+                return None
+            self._vuln_map = build_map(
+                self.compiled,
+                self.memory_factory,
+                uid=self.program.name,
+                variants=(variant,),
+                max_steps=self.max_steps,
+            )
+        return self._vuln_map
+
 
 class VerifierRule:
     """Base class: one named invariant check over a VerifierContext."""
@@ -319,12 +349,16 @@ class VerifierPassManager:
 
 
 def default_rules() -> list[VerifierRule]:
-    """The standard R1..R6 rule suite."""
+    """The standard R1..R8 rule suite."""
     from repro.verify.rules.capacity import RegionCapacityRule
     from repro.verify.rules.checkpoints import CheckpointCompletenessRule
     from repro.verify.rules.colors import ColorPoolRule
     from repro.verify.rules.recovery import RecoveryMapRule
     from repro.verify.rules.scheduling import SchedulingHazardRule
+    from repro.verify.rules.vulnerability import (
+        MaskedFractionRule,
+        UnprotectedVulnerableRule,
+    )
     from repro.verify.rules.war import WarFreedomRule
 
     return [
@@ -334,6 +368,8 @@ def default_rules() -> list[VerifierRule]:
         ColorPoolRule(),
         RecoveryMapRule(),
         SchedulingHazardRule(),
+        MaskedFractionRule(),
+        UnprotectedVulnerableRule(),
     ]
 
 

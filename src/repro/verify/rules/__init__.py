@@ -1,13 +1,15 @@
-"""The verifier's rule suite (R1..R6).
+"""The verifier's rule suite (R1..R8).
 
 Each module holds one :class:`~repro.verify.manager.VerifierRule`:
 
-* ``capacity``    — R1 region store traffic vs the gated SB budget;
-* ``checkpoints`` — R2 every boundary-crossing value is recoverable;
-* ``war``         — R3 static WAR classification (+ differential mode);
-* ``colors``      — R4 checkpoint colour-pool pressure;
-* ``recovery``    — R5 recovery-map structural consistency;
-* ``scheduling``  — R6 checkpoint scheduling hazards.
+* ``capacity``      — R1 region store traffic vs the gated SB budget;
+* ``checkpoints``   — R2 every boundary-crossing value is recoverable;
+* ``war``           — R3 static WAR classification (+ differential mode);
+* ``colors``        — R4 checkpoint colour-pool pressure;
+* ``recovery``      — R5 recovery-map structural consistency;
+* ``scheduling``    — R6 checkpoint scheduling hazards;
+* ``vulnerability`` — R7 masked-fraction floor and R8 unprotected
+  vulnerable bits, both over the bit-level vulnerability map.
 """
 
 from repro.verify.rules.capacity import RegionCapacityRule
@@ -15,6 +17,10 @@ from repro.verify.rules.checkpoints import CheckpointCompletenessRule
 from repro.verify.rules.colors import ColorPoolRule
 from repro.verify.rules.recovery import RecoveryMapRule
 from repro.verify.rules.scheduling import SchedulingHazardRule
+from repro.verify.rules.vulnerability import (
+    MaskedFractionRule,
+    UnprotectedVulnerableRule,
+)
 from repro.verify.rules.war import WarFreedomRule
 
 __all__ = [
@@ -24,4 +30,6 @@ __all__ = [
     "ColorPoolRule",
     "RecoveryMapRule",
     "SchedulingHazardRule",
+    "MaskedFractionRule",
+    "UnprotectedVulnerableRule",
 ]

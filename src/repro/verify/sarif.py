@@ -20,6 +20,10 @@ SARIF_SCHEMA = (
 
 _LEVEL = {"error": "error", "warning": "warning", "info": "note"}
 
+#: Base of each rule's ``helpUri``; anchors address the rule-doc headings
+#: in the repository README.
+RULE_HELP_BASE = "https://example.invalid/repro/docs/rules"
+
 RULE_CATALOGUE: dict[str, tuple[str, str]] = {
     "R1": (
         "region-capacity",
@@ -51,7 +55,23 @@ RULE_CATALOGUE: dict[str, tuple[str, str]] = {
         "checkpoints issue at least producer-latency instructions after "
         "their definition",
     ),
+    "R7": (
+        "masked-fraction-floor",
+        "per-structure masked/vulnerable bit breakdown, warning when a "
+        "protected structure is almost entirely masked (over-protection)",
+    ),
+    "R8": (
+        "unprotected-vulnerable",
+        "no structure instantiated by the protocol variant holds "
+        "statically vulnerable bits outside the protection set",
+    ),
 }
+
+
+def rule_help_uri(rule_id: str) -> str:
+    """Stable documentation link for one rule id."""
+    name = RULE_CATALOGUE[rule_id][0]
+    return f"{RULE_HELP_BASE}/{rule_id.lower()}-{name}"
 
 
 def _result(diag: Diagnostic) -> dict[str, object]:
@@ -81,6 +101,7 @@ def reports_to_sarif(reports: list[VerificationReport]) -> dict[str, object]:
             "id": rule_id,
             "name": name,
             "shortDescription": {"text": desc},
+            "helpUri": rule_help_uri(rule_id),
         }
         for rule_id, (name, desc) in RULE_CATALOGUE.items()
     ]

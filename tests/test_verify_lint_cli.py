@@ -42,7 +42,9 @@ class TestFormats:
         assert payload["ok"] is True
         (report,) = payload["reports"]
         assert report["program"] == "SPLASH3.radix"
-        assert report["rules_run"] == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert report["rules_run"] == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+        ]
 
     def test_output_file(self, tmp_path, capsys):
         path = tmp_path / "report.json"

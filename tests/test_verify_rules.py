@@ -1,4 +1,4 @@
-"""Unit tests for the verifier framework and the R1..R6 rule suite."""
+"""Unit tests for the verifier framework and the R1..R8 rule suite."""
 
 from __future__ import annotations
 
@@ -44,7 +44,9 @@ class TestFramework:
     def test_clean_program_has_no_errors(self):
         report = verify_compiled(_clean_compiled())
         assert report.ok
-        assert report.rules_run == ["R1", "R2", "R3", "R4", "R5", "R6"]
+        assert report.rules_run == [
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+        ]
 
     def test_manager_runs_selected_rules_only(self):
         rules = [r for r in default_rules() if r.rule_id in ("R1", "R5")]

@@ -18,7 +18,7 @@ from collections import deque
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class RegionInstance:
     """One dynamic execution of a static region."""
 
@@ -33,7 +33,7 @@ class RegionInstance:
         return self.end_time + wcdl
 
 
-@dataclass
+@dataclass(slots=True)
 class RBBStats:
     instances_opened: int = 0
     instances_verified: int = 0

@@ -64,7 +64,6 @@ missed match merely means the run simulates to completion.
 
 from __future__ import annotations
 
-import hashlib
 from bisect import bisect_left
 from dataclasses import dataclass, field
 
@@ -81,15 +80,21 @@ from repro.runtime.memory import Memory
 
 DEFAULT_SNAPSHOT_INTERVAL = 256
 
+_M64 = (1 << 64) - 1
 
-def _stable_hash(obj: object) -> int:
-    """Process-independent 64-bit hash of a canonical (repr-stable) value.
 
-    Python's builtin ``hash`` is salted per process (PYTHONHASHSEED), so
-    golden records written by one worker must not be matched with it.
+def _mix64(x: int) -> int:
+    """splitmix64 finalizer: full-avalanche 64-bit mix, pure arithmetic.
+
+    Process-independent by construction (Python's builtin ``hash`` is
+    salted per process, so golden records written by one worker must not
+    be matched with it), and an order of magnitude cheaper than hashing
+    a ``repr`` — the golden recording computes a fingerprint every tick.
     """
-    digest = hashlib.blake2b(repr(obj).encode(), digest_size=8).digest()
-    return int.from_bytes(digest, "big")
+    x &= _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
 
 
 class ConvergedExit(Exception):
@@ -158,7 +163,12 @@ class _FingerprintEngine:
         return live_in
 
     def _live_list(self, label: str) -> list[tuple]:
-        """Live registers *before* each instruction index (plus live-out)."""
+        """Live register *indices* before each instruction (plus live-out).
+
+        Stored as sorted index tuples so :meth:`fingerprint` can read the
+        machine's flat register list directly; the canon's value order is
+        unchanged (ascending register index, exactly as before).
+        """
         cached = self._live.get(label)
         if cached is not None:
             return cached
@@ -167,14 +177,14 @@ class _FingerprintEngine:
         for succ in self._succs[label]:
             live |= self._block_live_in[succ]
         out: list[tuple] = [()] * (len(instrs) + 1)
-        out[len(instrs)] = tuple(sorted(live, key=lambda r: r.index))
+        out[len(instrs)] = tuple(sorted(r.index for r in live))
         for i in range(len(instrs) - 1, -1, -1):
             instr = instrs[i]
             if instr.dest is not None:
                 live = live - {instr.dest}
             if instr.srcs:
                 live = live | set(instr.srcs)
-            out[i] = tuple(sorted(live, key=lambda r: r.index))
+            out[i] = tuple(sorted(r.index for r in live))
         self._live[label] = out
         return out
 
@@ -194,7 +204,7 @@ class _FingerprintEngine:
         m = self.machine
         live = self._live_list(label)
         live_regs = live[pc] if pc < len(live) else live[-1]
-        regs_get = m.regs.get
+        vals = m.regs.vals
         eff = m._mem_fp
         entries = m.sb.entries
         if entries:
@@ -207,13 +217,13 @@ class _FingerprintEngine:
                 for addr, value in pending.items():
                     eff ^= _cell_hash(addr, cells_get(addr, 0))
                     eff ^= _cell_hash(addr, value)
-        canon = (
-            self._block_index[label],
-            pc,
-            tuple(regs_get(r, 0) for r in live_regs),
-            eff,
-        )
-        return _stable_hash(canon)
+        # Iterated splitmix64 over (block, pc, live values..., eff): each
+        # step is order-sensitive, so this is a stable 64-bit digest of
+        # the same canonical tuple the old repr-based hash encoded.
+        h = _mix64(self._block_index[label] * 0x9E3779B97F4A7C15 + pc + 1)
+        for i in live_regs:
+            h = _mix64(h ^ (vals[i] & _M64))
+        return _mix64(h ^ (eff & _M64))
 
 
 def _canon_expr(expr) -> tuple:
@@ -324,13 +334,16 @@ class _ConvergenceChecker:
             self._gap = 1
             self._skip = 0
         if (
-            m._detection_due is not None
+            m._tainted_cells
+            or m._tainted_regs
+            or m._detection_due is not None
             or m._slot_flips
             or m._mem_flips
-            or m._tainted_regs
-            or m._tainted_cells
         ):
-            return  # outstanding fault state: cannot have converged yet
+            # Outstanding fault state: cannot have converged yet. Checked
+            # cells-first — silent corruptions keep tainted cells for the
+            # whole remaining run, so that read short-circuits the most.
+            return
         if self._skip:
             self._skip -= 1
             return

@@ -27,6 +27,11 @@ Three artifact kinds are stored:
   :class:`~repro.verify.vuln.VulnerabilityMap` (bit-level
   masked/vulnerable classification) for one (uid, scheme, sb-size,
   wcdl, variants, max-steps) combination.
+* ``codegen-<key>.py`` — a generated superblock module (see
+  :mod:`repro.runtime.codegen`) for one (uid, compiler-config) pair,
+  stored as source text with a self-describing header that pins the
+  program's structural digest and a canonical source digest
+  (``repro cache verify`` recompiles one and compares digests).
 
 Writes are atomic (temp file + ``os.replace``), so any number of
 processes — the multiprocess shards of :mod:`repro.harness.runner`
@@ -143,6 +148,17 @@ class ArtifactCache:
         return _key("golden", uid, config, interval, max_steps)
 
     @staticmethod
+    def codegen_key(uid: str, compiler: CompilerConfig) -> str:
+        """Key for a generated codegen module.
+
+        Same identity as a trace — (uid, compiler-config) plus the
+        source digest baked into :func:`_key` — because the module is a
+        pure function of the compiled program and its (deterministic)
+        warmup profile.
+        """
+        return _key("codegen", uid, compiler)
+
+    @staticmethod
     def vuln_key(
         uid: str,
         scheme: str,
@@ -246,13 +262,31 @@ class ArtifactCache:
         text = json.dumps(data, sort_keys=True)
         self._write_atomic(self.root / f"vuln-{key}.json", text.encode())
 
+    def load_codegen(self, key: str) -> str | None:
+        """Load a generated module's source text, or None on any miss.
+
+        Header/digest validation is the caller's job
+        (:func:`repro.runtime.codegen.parse_header`); this layer only
+        deals in bytes.
+        """
+        path = self.root / f"codegen-{key}.py"
+        try:
+            return path.read_text()
+        except (OSError, UnicodeDecodeError):
+            return None
+
+    def store_codegen(self, key: str, source: str) -> None:
+        self._write_atomic(self.root / f"codegen-{key}.py", source.encode())
+
     # -- maintenance -------------------------------------------------------
 
     def artifact_paths(self) -> list[Path]:
         return sorted(
             p
             for p in self.root.iterdir()
-            if p.name.startswith(("trace-", "stats-", "golden-", "vuln-"))
+            if p.name.startswith(
+                ("trace-", "stats-", "golden-", "vuln-", "codegen-")
+            )
         )
 
     def entries(self) -> list[tuple[str, str, int]]:
@@ -319,13 +353,15 @@ class ArtifactCache:
         traces = sum(1 for p in paths if p.name.startswith("trace-"))
         goldens = sum(1 for p in paths if p.name.startswith("golden-"))
         vulns = sum(1 for p in paths if p.name.startswith("vuln-"))
+        codegens = sum(1 for p in paths if p.name.startswith("codegen-"))
         return {
             "root": str(self.root),
             "artifacts": len(paths),
             "traces": traces,
-            "stats": len(paths) - traces - goldens - vulns,
+            "stats": len(paths) - traces - goldens - vulns - codegens,
             "goldens": goldens,
             "vulns": vulns,
+            "codegens": codegens,
             "bytes": sum(p.stat().st_size for p in paths),
             "code_digest": code_digest()[:16],
         }

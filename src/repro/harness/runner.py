@@ -50,18 +50,36 @@ from repro.workloads.suites import all_profiles, profile as lookup_profile
 
 
 def functional_backend() -> str:
-    """``"fast"`` (default) or ``"reference"``, from REPRO_SIM_BACKEND."""
+    """``"fast"`` (default), ``"codegen"`` or ``"reference"``.
+
+    From REPRO_SIM_BACKEND. ``codegen`` runs the gen-2 superblock
+    backend (:mod:`repro.runtime.codegen`); all three are bit-identical.
+    """
     backend = os.environ.get("REPRO_SIM_BACKEND", "fast").strip().lower()
-    if backend not in ("fast", "reference"):
+    if backend not in ("fast", "reference", "codegen"):
         raise ValueError(
-            f"REPRO_SIM_BACKEND={backend!r}: expected 'fast' or 'reference'"
+            f"REPRO_SIM_BACKEND={backend!r}: "
+            "expected 'fast', 'codegen' or 'reference'"
         )
     return backend
 
 
-def _run_functional(program, memory):
-    if functional_backend() == "reference":
+def _run_functional(program, memory, uid=None, config=None):
+    """Functional execution via the selected backend.
+
+    ``uid``/``config`` (known for harness benchmarks, None for ad-hoc
+    programs) let the codegen backend address its generated module in
+    the persistent artifact cache.
+    """
+    backend = functional_backend()
+    if backend == "reference":
         return execute(program, memory, collect_trace=True)
+    if backend == "codegen":
+        from repro.runtime.codegen import execute_codegen
+
+        return execute_codegen(
+            program, memory, collect_trace=True, uid=uid, config=config
+        )
     return execute_fast(program, memory, collect_trace=True)
 
 
@@ -178,7 +196,9 @@ class RunCache:
                 compiled = compile_baseline(workload.program)
             else:
                 compiled = compile_program(workload.program, config)
-            result = _run_functional(compiled.program, workload.fresh_memory())
+            result = _run_functional(
+                compiled.program, workload.fresh_memory(), uid=uid, config=config
+            )
             assert result.trace is not None
             run = PreparedRun(
                 uid, config, result.trace, workload=workload, compiled=compiled
@@ -318,7 +338,18 @@ def run_report_text(
     from repro.compiler.config import turnpike_config, turnstile_config
     from repro.workloads.suites import load_workload
 
-    run_functional = execute_fast if backend == "fast" else execute
+    if backend == "codegen":
+        from repro.runtime.codegen import execute_codegen
+
+        def run_functional(program, memory, collect_trace=True, *, _config=None):
+            return execute_codegen(
+                program, memory, collect_trace=collect_trace,
+                uid=uid, config=_config,
+            )
+    elif backend == "fast":
+        run_functional = execute_fast
+    else:
+        run_functional = execute
     workload = load_workload(uid)
     if scheme == "baseline":
         compiled = compile_baseline(workload.program)
@@ -330,14 +361,16 @@ def run_report_text(
         compiled = compile_program(workload.program, turnpike_config(sb_size=sb_size))
         hw = ResilienceHardwareConfig.turnpike(wcdl=wcdl, sb_size=sb_size)
 
+    kwargs = {"_config": compiled.config} if backend == "codegen" else {}
     result = run_functional(
-        compiled.program, workload.fresh_memory(), collect_trace=True
+        compiled.program, workload.fresh_memory(), collect_trace=True, **kwargs
     )
     stats = InOrderCore(CoreConfig(), hw).run(result.trace)
 
     base = compile_baseline(workload.program)
+    kwargs = {"_config": base.config} if backend == "codegen" else {}
     base_run = run_functional(
-        base.program, workload.fresh_memory(), collect_trace=True
+        base.program, workload.fresh_memory(), collect_trace=True, **kwargs
     )
     base_stats = InOrderCore(
         CoreConfig(), ResilienceHardwareConfig.baseline()

@@ -1,4 +1,4 @@
-"""Fast-path functional backend: basic-block micro-trace compilation.
+"""Fast-path functional backend: exit-table basic-block compilation.
 
 The reference interpreter (:mod:`repro.runtime.interpreter`) decodes and
 dispatches opcode-by-opcode for every *dynamic* instruction. This module
@@ -9,6 +9,22 @@ bits are all folded into the generated source at compile time. Executing
 the program then replays those closed-over step functions — one call per
 dynamic basic block instead of one dispatch per dynamic instruction.
 
+Generation 2 replaces the "return the next block index" convention with
+an **exit table**: every step function returns a program-global *exit
+id* ``e`` naming the static CFG edge it left through, and the driver
+advances with three flat-table lookups::
+
+    e = funcs[idx](R, M, T)
+    steps += ESTEPS[e]        # instructions retired on that path
+    counts[e] += 1            # free per-edge execution profile
+    idx = ETARGET[e]          # statically known successor (-1 on RET)
+
+Because every exit is one static CFG edge, the per-exit counter the
+driver maintains anyway doubles as a complete edge profile at zero
+marginal cost — :mod:`repro.runtime.superblock` consumes it directly to
+form hot superblock chains, and :mod:`repro.runtime.codegen` uses those
+chains to emit fused per-program modules.
+
 The backend is held to a *bit-identical* contract with the reference
 interpreter (enforced by ``tests/test_fastsim_parity.py``):
 
@@ -18,16 +34,17 @@ interpreter (enforced by ``tests/test_fastsim_parity.py``):
   same cycle counts, store-buffer stalls and CLQ/coloring statistics no
   matter which backend generated the trace.
 
-The only tolerated divergence is *where* inside an over-budget block an
+The only tolerated divergence is *where* inside an over-budget run an
 :class:`ExecutionLimitExceeded` is raised: the fast backend checks the
-dynamic-instruction budget at block granularity (before running a block
-that would cross it) rather than per instruction, so the partial memory
-state at the point of the raise may differ. Successful runs are
+dynamic-instruction budget at exit granularity (after the block that
+crossed it) rather than per instruction, so the partial memory state at
+the point of the raise may differ. Whether a run raises at all — and
+the message it raises with — is identical, and successful runs are
 unaffected.
 
 Generated code for one block looks like::
 
-    def _b3(R, M, T):
+    def _b3_t(R, M, T):
         A = T.append
         g5 = R[5]
         g3 = R[3]
@@ -39,7 +56,7 @@ Generated code for one block looks like::
         _tk = g5 < g3
         A((6, -1, 5, 3, 41, 2, 3) if _tk else (6, -1, 5, 3, 41, 2, 2))
         R[5] = g5
-        return 3 if _tk else 4
+        return 7 if _tk else 8
 
 Trace tuples whose fields are all static (every ALU/CKPT/BOUNDARY entry,
 and both arms of every branch) become constant tuples, which CPython
@@ -48,6 +65,8 @@ folds into code-object constants: appending one is a single
 """
 
 from __future__ import annotations
+
+from collections.abc import Callable
 
 from repro.isa.instructions import Instruction, Opcode
 from repro.isa.program import Program
@@ -60,7 +79,7 @@ from repro.runtime.interpreter import (
 )
 from repro.runtime.memory import Memory, STACK_BASE
 
-__all__ = ["FastProgram", "compile_fast", "execute_fast"]
+__all__ = ["ExitTable", "FastProgram", "compile_fast", "execute_fast"]
 
 
 # Signed 32-bit wrap as a branch-free expression (identical results to
@@ -77,7 +96,7 @@ _BRANCH_CMP = {
 }
 
 
-def _alu_expr(instr: Instruction, use) -> str:
+def _alu_expr(instr: Instruction, use: Callable[[Reg], str]) -> str:
     """The exact expression :func:`interpreter._eval_alu` computes."""
     op = instr.op
     if op is Opcode.LI:
@@ -129,54 +148,185 @@ def _alu_expr(instr: Instruction, use) -> str:
     raise ValueError(f"unhandled opcode {op}")
 
 
-class _BlockCode:
-    """Codegen result for one basic block."""
+def _region_of(instr: Instruction) -> int:
+    return -1 if instr.region_id is None else instr.region_id
 
-    __slots__ = ("length", "writes", "trace_lines", "plain_lines")
+
+class ExitTable:
+    """Static metadata for every exit of a compiled program.
+
+    One row per exit, all columns parallel flat lists:
+
+    * ``steps[e]`` — dynamic instructions retired when leaving via ``e``
+      (for a superblock bail, only the executed prefix);
+    * ``target[e]`` — static successor block index, -1 for RET;
+    * ``bail[e]`` — 1 if the exit is a superblock mispredict bail;
+    * ``writes[e]`` — sorted tuple of register slots written on that
+      path (drives final-register reconstruction);
+    * ``block[e]`` — index of the block whose terminator (or guard)
+      owns the exit; superblock formation groups edges by this.
+    """
+
+    __slots__ = ("steps", "target", "bail", "writes", "block")
 
     def __init__(self) -> None:
+        self.steps: list[int] = []
+        self.target: list[int] = []
+        self.bail: list[int] = []
+        self.writes: list[tuple[int, ...]] = []
+        self.block: list[int] = []
+
+    def add(
+        self,
+        steps: int,
+        target: int,
+        bail: int,
+        writes: tuple[int, ...],
+        block: int,
+    ) -> int:
+        """Register one exit; returns its id."""
+        eid = len(self.steps)
+        self.steps.append(steps)
+        self.target.append(target)
+        self.bail.append(bail)
+        self.writes.append(writes)
+        self.block.append(block)
+        return eid
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+class _FnState:
+    """Mutable emission state for one generated step function.
+
+    Shared across a whole fused superblock chain, so that a register
+    defined by an earlier block in the chain is read from its local
+    (``g<slot>``) rather than re-loaded from ``R`` — the writeback the
+    block-level path would have done is elided until an exit.
+    """
+
+    __slots__ = ("body", "defined", "loaded", "load_order", "writes", "length")
+
+    def __init__(self) -> None:
+        self.body: list[tuple[str, bool]] = []  # (line, trace_only)
+        self.defined: set[str] = set()
+        self.loaded: set[str] = set()
+        self.load_order: list[tuple[str, int]] = []
+        self.writes: set[int] = set()
         self.length = 0
-        self.writes: set[Reg] = set()
-        self.trace_lines: list[str] = []
-        self.plain_lines: list[str] = []
 
-
-def _gen_block(
-    block_instrs: list[Instruction],
-    label: str,
-    here_order: int,
-    label_index: dict[str, int],
-    block_order: dict[str, int],
-) -> _BlockCode:
-    out = _BlockCode()
-    body: list[tuple[str, bool]] = []  # (line, trace_only)
-    defined: set[str] = set()
-    load_order: list[tuple[str, int]] = []
-    loaded: set[str] = set()
-
-    def use(reg: Reg) -> str:
+    def use(self, reg: Reg) -> str:
         slot = _reg_index(reg)
         name = f"g{slot}"
-        if name not in defined and name not in loaded:
-            loaded.add(name)
-            load_order.append((name, slot))
+        if name not in self.defined and name not in self.loaded:
+            self.loaded.add(name)
+            self.load_order.append((name, slot))
         return name
 
-    def define(reg: Reg) -> str:
-        name = f"g{_reg_index(reg)}"
-        defined.add(name)
-        out.writes.add(reg)
+    def define(self, reg: Reg) -> str:
+        slot = _reg_index(reg)
+        name = f"g{slot}"
+        self.defined.add(name)
+        self.writes.add(slot)
         return name
+
+    def emit(self, line: str, trace_only: bool = False) -> None:
+        self.body.append((line, trace_only))
+
+    def writes_tuple(self) -> tuple[int, ...]:
+        return tuple(sorted(self.writes))
+
+    def writeback_lines(self) -> list[str]:
+        return sorted(f"R[{slot}] = g{slot}" for slot in self.writes)
+
+    def prologue_lines(self) -> list[str]:
+        return [f"{name} = R[{slot}]" for name, slot in self.load_order]
+
+    def assemble(self, tail: list[str]) -> tuple[list[str], list[str]]:
+        """(trace_lines, plain_lines) for the function body + ``tail``.
+
+        The traced variant batches runs of *constant* trace appends
+        (every ALU/CKPT/BOUNDARY tuple — no ``_a``, no branch
+        conditional) into a single ``T.extend`` of a constant tuple of
+        tuples, which CPython folds into one code-object constant: a
+        run of N appends costs one ``LOAD_CONST`` + one call instead of
+        N. Order, and therefore the trace, is unchanged.
+        """
+        traced_body = self.prologue_lines() + [
+            line for line, _ in self.body
+        ]
+        traced_body = _batch_const_appends(traced_body)
+        plain_body = self.prologue_lines() + [
+            line for line, trace_only in self.body if not trace_only
+        ]
+        prologue = ["A = T.append"]
+        if any(line.startswith("E((") for line in traced_body):
+            prologue.append("E = T.extend")
+        return prologue + traced_body + tail, plain_body + tail
+
+
+def _is_const_append(line: str) -> bool:
+    """True for ``A((<literals>))`` — a constant trace-tuple append."""
+    return (
+        line.startswith("A((")
+        and line.endswith("))")
+        and "_a" not in line
+        and " if " not in line
+    )
+
+
+def _batch_const_appends(lines: list[str]) -> list[str]:
+    """Merge consecutive constant appends into one ``E((t1, t2, ...))``."""
+    out: list[str] = []
+    run: list[str] = []
+
+    def flush() -> None:
+        if len(run) == 1:
+            out.append(run[0])
+        elif run:
+            tuples = ", ".join(line[2:-1] for line in run)
+            out.append(f"E(({tuples}))")
+        run.clear()
+
+    for line in lines:
+        if _is_const_append(line):
+            run.append(line)
+        else:
+            flush()
+            out.append(line)
+    flush()
+    return out
+
+
+def _lower_block_body(
+    block_instrs: list[Instruction],
+    st: _FnState,
+    here_order: int,
+    block_order: dict[str, int],
+    indent: str = "",
+    uid_base: int = 0,
+) -> Instruction | None:
+    """Lower one block's instructions into ``st``; return the terminator.
+
+    Straight-line instructions (including a branch's comparison and every
+    trace append) are emitted in place; the caller decides what control
+    transfer to generate for the returned terminator — a ``return`` for
+    the block-level path, a guard-and-bail for a superblock interior.
+    Returns None when the block falls off its end without a terminator.
+
+    ``uid_base`` is subtracted from every branch id folded into a trace
+    tuple. Execution always uses 0 (raw, process-global ids, so traces
+    are bit-identical across backends within one process); the codegen
+    cache hashes a second render rebased to the program's minimum uid,
+    which makes the content digest process-invariant.
+    """
 
     def emit(line: str, trace_only: bool = False) -> None:
-        body.append((line, trace_only))
+        st.emit(indent + line, trace_only)
 
-    def region_of(instr: Instruction) -> int:
-        return -1 if instr.region_id is None else instr.region_id
-
-    terminated = False
     for instr in block_instrs:
-        out.length += 1
+        st.length += 1
         op = instr.op
         srcs = instr.srcs
 
@@ -188,27 +338,28 @@ def _gen_block(
             continue
 
         if op is Opcode.LD:
-            base = use(srcs[0])
+            base = st.use(srcs[0])
             emit(f"_a = {base} + ({instr.imm})" if instr.imm else f"_a = {base}")
             s1 = _reg_index(srcs[0])
-            dest = define(instr.dest)
+            assert instr.dest is not None
+            dest = st.define(instr.dest)
             emit(f"{dest} = M.get(_a, 0)")
             emit(
                 f"A((3, {_reg_index(instr.dest)}, {s1}, -1, _a,"
-                f" {region_of(instr)}, 0))",
+                f" {_region_of(instr)}, 0))",
                 trace_only=True,
             )
             continue
 
         if op is Opcode.ST:
-            value = use(srcs[0])
-            base = use(srcs[1])
+            value = st.use(srcs[0])
+            base = st.use(srcs[1])
             emit(f"_a = {base} + ({instr.imm})" if instr.imm else f"_a = {base}")
             emit(f"M[_a] = {_wrap(value)}")
             kind_ord = tr.STORE_KIND_ORDINAL.get(instr.store_kind, 0)
             emit(
                 f"A((4, -1, {_reg_index(srcs[0])}, {_reg_index(srcs[1])},"
-                f" _a, {region_of(instr)}, {kind_ord}))",
+                f" _a, {_region_of(instr)}, {kind_ord}))",
                 trace_only=True,
             )
             continue
@@ -216,74 +367,105 @@ def _gen_block(
         if op is Opcode.CKPT:
             emit(
                 f"A((5, -1, {_reg_index(srcs[0])}, -1, -1,"
-                f" {region_of(instr)}, 0))",
+                f" {_region_of(instr)}, 0))",
                 trace_only=True,
             )
             continue
 
         if op in _BRANCH_CMP:
-            lhs = use(srcs[0])
-            rhs = use(srcs[1])
+            lhs = st.use(srcs[0])
+            rhs = st.use(srcs[1])
             backward = 2 if block_order[instr.targets[0]] <= here_order else 0
             s1, s2 = _reg_index(srcs[0]), _reg_index(srcs[1])
-            taken_tup = f"(6, -1, {s1}, {s2}, {instr.uid}, {region_of(instr)}, {1 | backward})"
-            fall_tup = f"(6, -1, {s1}, {s2}, {instr.uid}, {region_of(instr)}, {backward})"
+            taken_tup = (
+                f"(6, -1, {s1}, {s2}, {instr.uid - uid_base}, {_region_of(instr)},"
+                f" {1 | backward})"
+            )
+            fall_tup = (
+                f"(6, -1, {s1}, {s2}, {instr.uid - uid_base}, {_region_of(instr)},"
+                f" {backward})"
+            )
             emit(f"_tk = {lhs} {_BRANCH_CMP[op]} {rhs}")
             emit(f"A({taken_tup} if _tk else {fall_tup})", trace_only=True)
-            ret = (
-                f"return {label_index[instr.targets[0]]} if _tk"
-                f" else {label_index[instr.targets[1]]}"
-            )
-            terminated = True
-            break
+            return instr
 
         if op is Opcode.JMP:
             backward = 2 if block_order[instr.targets[0]] <= here_order else 0
             emit(
-                f"A((6, -1, -1, -1, {instr.uid}, {region_of(instr)},"
+                f"A((6, -1, -1, -1, {instr.uid - uid_base}, {_region_of(instr)},"
                 f" {1 | backward | 4}))",
                 trace_only=True,
             )
-            ret = f"return {label_index[instr.targets[0]]}"
-            terminated = True
-            break
+            return instr
 
         if op is Opcode.RET:
             emit("A((8, -1, -1, -1, -1, -1, 0))", trace_only=True)
-            ret = "return -1"
-            terminated = True
-            break
+            return instr
 
         # ALU family.
-        expr = _alu_expr(instr, use)
+        expr = _alu_expr(instr, st.use)
         dest_slot = -1
         if instr.dest is not None:
             dest_slot = _reg_index(instr.dest)
-            emit(f"{define(instr.dest)} = {expr}")
+            emit(f"{st.define(instr.dest)} = {expr}")
         src1 = _reg_index(srcs[0]) if len(srcs) > 0 else -1
         src2 = _reg_index(srcs[1]) if len(srcs) > 1 else -1
         emit(
             f"A(({tr.kind_of_opcode(op)}, {dest_slot}, {src1}, {src2}, -1,"
-            f" {region_of(instr)}, 0))",
+            f" {_region_of(instr)}, 0))",
             trace_only=True,
         )
+    return None
 
-    if not terminated:
+
+class _BlockCode:
+    """Codegen result for one step function (block or superblock)."""
+
+    __slots__ = ("length", "trace_lines", "plain_lines")
+
+    def __init__(self, length: int, trace_lines: list[str], plain_lines: list[str]):
+        self.length = length
+        self.trace_lines = trace_lines
+        self.plain_lines = plain_lines
+
+
+def _gen_block(
+    block_instrs: list[Instruction],
+    label: str,
+    block_idx: int,
+    label_index: dict[str, int],
+    block_order: dict[str, int],
+    exits: ExitTable,
+    uid_base: int = 0,
+) -> _BlockCode:
+    """Lower one basic block to a step function, registering its exits."""
+    st = _FnState()
+    term = _lower_block_body(
+        block_instrs, st, block_order[label], block_order, uid_base=uid_base
+    )
+    writes = st.writes_tuple()
+    if term is None:
         # Mirror the interpreter's error for non-terminated blocks.
         ret = f"raise RuntimeError({f'fell off the end of block {label!r}'!r})"
+    elif term.op is Opcode.RET:
+        ret = f"return {exits.add(st.length, -1, 0, writes, block_idx)}"
+    elif term.op is Opcode.JMP:
+        target = label_index[term.targets[0]]
+        ret = f"return {exits.add(st.length, target, 0, writes, block_idx)}"
+    else:
+        e_taken = exits.add(
+            st.length, label_index[term.targets[0]], 0, writes, block_idx
+        )
+        e_fall = exits.add(
+            st.length, label_index[term.targets[1]], 0, writes, block_idx
+        )
+        ret = f"return {e_taken} if _tk else {e_fall}"
+    tail = st.writeback_lines() + [ret]
+    trace_lines, plain_lines = st.assemble(tail)
+    return _BlockCode(st.length, trace_lines, plain_lines)
 
-    prologue = [f"{name} = R[{slot}]" for name, slot in load_order]
-    writeback = sorted(f"R[{_reg_index(r)}] = g{_reg_index(r)}" for r in out.writes)
-    for traced in (True, False):
-        lines = prologue + [
-            line for line, trace_only in body if traced or not trace_only
-        ]
-        lines = (["A = T.append"] if traced else []) + lines
-        lines += writeback
-        lines.append(ret)
-        target = out.trace_lines if traced else out.plain_lines
-        target.extend(lines)
-    return out
+
+StepFn = Callable[..., int]
 
 
 class FastProgram:
@@ -298,27 +480,26 @@ class FastProgram:
         self.name = program.name
         self._sp = program.register_file.stack_pointer
         self._sp_slot = _reg_index(self._sp)
+        self.exits = ExitTable()
 
         label_index = {b.label: i for i, b in enumerate(program.blocks)}
         block_order = {b.label: i for i, b in enumerate(program.blocks)}
         if not program.blocks:
             # Match Program.entry's complaint lazily at execute time.
             self._lens: list[int] = []
-            self._writes: list[set[Reg]] = []
-            self._tfuncs: list = []
-            self._pfuncs: list = []
+            self._tfuncs: list[StepFn] = []
+            self._pfuncs: list[StepFn] = []
+            self.slot_registers: dict[int, Reg] = {}
             self.num_slots = 32
             return
 
         codes = [
             _gen_block(
-                b.instructions, b.label, block_order[b.label], label_index,
-                block_order,
+                b.instructions, b.label, i, label_index, block_order, self.exits
             )
-            for b in program.blocks
+            for i, b in enumerate(program.blocks)
         ]
         self._lens = [c.length for c in codes]
-        self._writes = [c.writes for c in codes]
 
         src_lines: list[str] = []
         for i, code in enumerate(codes):
@@ -326,12 +507,18 @@ class FastProgram:
             src_lines.extend(f"    {line}" for line in code.trace_lines)
             src_lines.append(f"def _b{i}_p(R, M):")
             src_lines.extend(f"    {line}" for line in code.plain_lines)
-        namespace: dict[str, object] = {}
-        exec(compile("\n".join(src_lines), f"<fastsim:{self.name}>", "exec"), namespace)
+        namespace: dict[str, StepFn] = {}
+        exec(  # noqa: S102 - the source is generated above, not user input
+            compile("\n".join(src_lines), f"<fastsim:{self.name}>", "exec"),
+            namespace,
+        )
         self._tfuncs = [namespace[f"_b{i}_t"] for i in range(len(codes))]
         self._pfuncs = [namespace[f"_b{i}_p"] for i in range(len(codes))]
 
-        slots = [self._sp_slot] + [_reg_index(r) for r in program.all_registers()]
+        self.slot_registers = {self._sp_slot: self._sp}
+        for reg in program.all_registers():
+            self.slot_registers[_reg_index(reg)] = reg
+        slots = [self._sp_slot, *self.slot_registers]
         self.num_slots = max(32, max(slots) + 1)
 
     def execute(
@@ -340,8 +527,15 @@ class FastProgram:
         initial_registers: dict[Reg, int] | None = None,
         max_steps: int = 2_000_000,
         collect_trace: bool = False,
+        exit_counts: list[int] | None = None,
     ) -> ExecutionResult:
-        """Run to RET; same contract as :func:`interpreter.execute`."""
+        """Run to RET; same contract as :func:`interpreter.execute`.
+
+        When ``exit_counts`` is given, the per-exit execution counts of
+        this run are accumulated into it (extending it to the number of
+        exits if needed) — a complete static-edge profile for
+        :func:`repro.runtime.superblock.form_chains`.
+        """
         if not self._lens:
             from repro.isa.program import ProgramError
 
@@ -358,42 +552,51 @@ class FastProgram:
             R[_reg_index(reg)] = value
 
         M = mem.cells
-        lens = self._lens
-        executed = [False] * len(lens)
+        esteps = self.exits.steps
+        etarget = self.exits.target
+        counts = [0] * len(esteps)
         trace: list[tuple] | None = None
         steps = 0
         idx = 0
+        limit_msg = f"{self.name}: exceeded {max_steps} dynamic instructions"
         if collect_trace:
             trace = []
-            funcs = self._tfuncs
+            tfuncs = self._tfuncs
             while idx >= 0:
-                steps += lens[idx]
+                e = tfuncs[idx](R, M, trace)
+                steps += esteps[e]
                 if steps > max_steps:
-                    raise ExecutionLimitExceeded(
-                        f"{self.name}: exceeded {max_steps} dynamic instructions"
-                    )
-                executed[idx] = True
-                idx = funcs[idx](R, M, trace)
+                    raise ExecutionLimitExceeded(limit_msg)
+                counts[e] += 1
+                idx = etarget[e]
         else:
-            funcs = self._pfuncs
+            pfuncs = self._pfuncs
             while idx >= 0:
-                steps += lens[idx]
+                e = pfuncs[idx](R, M)
+                steps += esteps[e]
                 if steps > max_steps:
-                    raise ExecutionLimitExceeded(
-                        f"{self.name}: exceeded {max_steps} dynamic instructions"
-                    )
-                executed[idx] = True
-                idx = funcs[idx](R, M)
+                    raise ExecutionLimitExceeded(limit_msg)
+                counts[e] += 1
+                idx = etarget[e]
+
+        if exit_counts is not None:
+            if len(exit_counts) < len(counts):
+                exit_counts.extend([0] * (len(counts) - len(exit_counts)))
+            for e, c in enumerate(counts):
+                if c:
+                    exit_counts[e] += c
 
         regs: dict[Reg, int] = {self._sp: R[self._sp_slot]}
         for reg, _ in init_items:
             regs[reg] = R[_reg_index(reg)]
-        written: set[Reg] = set()
-        for i, flag in enumerate(executed):
-            if flag:
-                written.update(self._writes[i])
-        for reg in written:
-            regs[reg] = R[_reg_index(reg)]
+        written: set[int] = set()
+        ewrites = self.exits.writes
+        for e, c in enumerate(counts):
+            if c:
+                written.update(ewrites[e])
+        slot_registers = self.slot_registers
+        for slot in written:
+            regs[slot_registers[slot]] = R[slot]
         return ExecutionResult(mem, regs, steps, trace)
 
 

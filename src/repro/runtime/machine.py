@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import enum
 import time
+import weakref
 from collections.abc import Callable
 from dataclasses import dataclass, field, replace
 
@@ -43,8 +44,9 @@ from repro.arch.store_buffer import FunctionalStoreBuffer, SBEntry
 from repro.compiler.pipeline import CompiledProgram
 from repro.compiler.pruning import PRUNED_ANNOTATION, RecoveryExpr
 from repro.isa.instructions import Opcode
+from repro.isa.program import Program
 from repro.isa.registers import Reg
-from repro.runtime.interpreter import _BRANCH_EVAL, _eval_alu
+from repro.runtime.interpreter import _BRANCH_EVAL
 from repro.runtime.memory import DATA_BASE, DATA_LIMIT, Memory, STACK_BASE, wrap32
 
 
@@ -208,7 +210,7 @@ class ResilienceConfig:
     unsafe_checkpoint_release: bool = False
 
 
-@dataclass
+@dataclass(slots=True)
 class MachineStats:
     committed: int = 0
     regions: int = 0
@@ -234,6 +236,239 @@ class MachineStats:
 Binding = tuple
 
 
+class RegFile:
+    """Flat machine register state: a dense list indexed by register number.
+
+    Replaces the ``dict[Reg, int]`` register map on the hot path — the run
+    loop reads ``vals[i]`` with precomputed operand indices instead of
+    hashing :class:`Reg` objects. Absent-means-zero semantics are preserved
+    by keeping every slot materialised (initialised to 0), which is
+    observationally identical to ``regs.get(reg, 0)`` on a sparse dict.
+
+    The ``vals`` list's identity is stable for the machine's lifetime:
+    the run loop binds it locally, so every mutation here is in place.
+    """
+
+    __slots__ = ("vals",)
+
+    def __init__(self, num_registers: int):
+        self.vals: list[int] = [0] * num_registers
+
+    def get(self, reg: Reg, default: int = 0) -> int:
+        del default  # slots are dense; absent == 0 by construction
+        return self.vals[reg.index]
+
+    def __getitem__(self, reg: Reg) -> int:
+        return self.vals[reg.index]
+
+    def __setitem__(self, reg: Reg, value: int) -> None:
+        self.vals[reg.index] = value
+
+    def __len__(self) -> int:
+        return len(self.vals)
+
+    def clear(self) -> None:
+        vals = self.vals
+        for i in range(len(vals)):
+            vals[i] = 0
+
+    def items(self) -> list[tuple[Reg, int]]:
+        phys = Reg.phys
+        return [(phys(i), v) for i, v in enumerate(self.vals)]
+
+    def as_index_dict(self) -> dict[int, int]:
+        return dict(enumerate(self.vals))
+
+    def load_index_dict(self, data: dict[int, int]) -> None:
+        """Replace the contents in place (accepts sparse index dicts)."""
+        self.clear()
+        vals = self.vals
+        for idx, value in data.items():
+            vals[idx] = value
+
+
+# -- pre-decoded dispatch ----------------------------------------------------
+#
+# run() executes pre-decoded instruction tuples instead of re-inspecting
+# Instruction objects every iteration. Each tuple starts with a small int
+# kind tag; ALU and branch instructions carry a closure specialised over
+# the flat register list with operand indices and immediates bound at
+# decode time. Decoding is memoised per Program (weakly, so programs are
+# collectable) — a fault campaign re-running one program thousands of
+# times decodes it once.
+
+_K_BOUNDARY = 0
+_K_LD = 1
+_K_ST = 2
+_K_CKPT = 3
+_K_BR = 4
+_K_JMP = 5
+_K_RET = 6
+_K_ALU = 7
+_K_NOP = 8
+_K_FELL = 9
+
+_INF = float("inf")
+
+# Inline wrap-to-signed-32: ((x + 2**31) & 0xFFFFFFFF) - 2**31 is
+# algebraically identical to memory.wrap32 for every int x.
+
+
+def _compile_alu(instr) -> Callable[[list[int]], int]:
+    """One closure per ALU instruction, semantics of interpreter._eval_alu."""
+    op = instr.op
+    imm = instr.imm
+    srcs = instr.srcs
+    if op is Opcode.LI:
+        v = wrap32(imm)
+        return lambda R, v=v: v
+    if op is Opcode.NOP:
+        return lambda R: 0
+    a = srcs[0].index
+    if op is Opcode.MOV:
+        return lambda R, a=a: R[a]
+    if op is Opcode.ADDI:
+        return (
+            lambda R, a=a, i=imm: ((R[a] + i + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.MULI:
+        return (
+            lambda R, a=a, i=imm: ((R[a] * i + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.ANDI:
+        return lambda R, a=a, i=imm: R[a] & i
+    if op is Opcode.SHLI:
+        s = imm & 31
+        return (
+            lambda R, a=a, s=s: (((R[a] << s) + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.SHRI:
+        s = imm & 31
+        return lambda R, a=a, s=s: (R[a] & 0xFFFF_FFFF) >> s
+    b = srcs[1].index
+    if op is Opcode.ADD:
+        return (
+            lambda R, a=a, b=b: ((R[a] + R[b] + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.SUB:
+        return (
+            lambda R, a=a, b=b: ((R[a] - R[b] + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.MUL:
+        return (
+            lambda R, a=a, b=b: ((R[a] * R[b] + 0x8000_0000) & 0xFFFF_FFFF)
+            - 0x8000_0000
+        )
+    if op is Opcode.DIV:
+        return lambda R, a=a, b=b: 0 if R[b] == 0 else wrap32(int(R[a] / R[b]))
+    if op is Opcode.REM:
+        return (
+            lambda R, a=a, b=b: 0
+            if R[b] == 0
+            else wrap32(R[a] - int(R[a] / R[b]) * R[b])
+        )
+    if op is Opcode.AND:
+        return lambda R, a=a, b=b: R[a] & R[b]
+    if op is Opcode.OR:
+        return lambda R, a=a, b=b: R[a] | R[b]
+    if op is Opcode.XOR:
+        return lambda R, a=a, b=b: R[a] ^ R[b]
+    if op is Opcode.SHL:
+        return (
+            lambda R, a=a, b=b: (
+                ((R[a] << (R[b] & 31)) + 0x8000_0000) & 0xFFFF_FFFF
+            )
+            - 0x8000_0000
+        )
+    if op is Opcode.SHR:
+        return lambda R, a=a, b=b: (R[a] & 0xFFFF_FFFF) >> (R[b] & 31)
+    if op is Opcode.SLT:
+        return lambda R, a=a, b=b: 1 if R[a] < R[b] else 0
+    if op is Opcode.SEQ:
+        return lambda R, a=a, b=b: 1 if R[a] == R[b] else 0
+    raise ProtocolError(f"unhandled ALU opcode {op}")
+
+
+def _compile_branch(op: Opcode, a: int, b: int) -> Callable[[list[int]], bool]:
+    if op is Opcode.BEQ:
+        return lambda R, a=a, b=b: R[a] == R[b]
+    if op is Opcode.BNE:
+        return lambda R, a=a, b=b: R[a] != R[b]
+    if op is Opcode.BLT:
+        return lambda R, a=a, b=b: R[a] < R[b]
+    if op is Opcode.BGE:
+        return lambda R, a=a, b=b: R[a] >= R[b]
+    raise ProtocolError(f"unhandled branch opcode {op}")
+
+
+def _decode_block(label: str, instructions, num_registers: int) -> list[tuple]:
+    out: list[tuple] = []
+    for instr in instructions:
+        for reg in (instr.dest, *instr.srcs):
+            if reg is None:
+                continue
+            if reg.is_virtual or not 0 <= reg.index < num_registers:
+                raise ProtocolError(
+                    f"register {reg} outside the physical register file "
+                    f"in block {label!r}"
+                )
+        op = instr.op
+        if op is Opcode.BOUNDARY:
+            out.append((_K_BOUNDARY, instr.region_id))
+        elif op is Opcode.LD:
+            base = instr.srcs[0]
+            dest = instr.dest
+            out.append((_K_LD, dest.index, base.index, instr.imm, dest, base))
+        elif op is Opcode.ST:
+            value_reg, base = instr.srcs
+            out.append(
+                (_K_ST, value_reg.index, base.index, instr.imm, value_reg, base)
+            )
+        elif op is Opcode.CKPT:
+            reg = instr.srcs[0]
+            out.append((_K_CKPT, reg.index, reg))
+        elif op in _BRANCH_EVAL:
+            fn = _compile_branch(op, instr.srcs[0].index, instr.srcs[1].index)
+            out.append((_K_BR, fn, instr.targets[0], instr.targets[1]))
+        elif op is Opcode.JMP:
+            out.append((_K_JMP, instr.targets[0]))
+        elif op is Opcode.RET:
+            out.append((_K_RET,))
+        elif instr.dest is None:
+            out.append((_K_NOP,))
+        else:
+            pruned = instr.annotations.get(PRUNED_ANNOTATION)
+            out.append(
+                (_K_ALU, instr.dest.index, _compile_alu(instr), instr, pruned)
+            )
+    # Sentinel so pc == len dispatches to the fell-off error without a
+    # bounds check every iteration.
+    out.append((_K_FELL, label))
+    return out
+
+
+_DECODE_CACHE: "weakref.WeakKeyDictionary[Program, dict[str, list[tuple]]]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _decode_program(program: Program) -> dict[str, list[tuple]]:
+    decoded = _DECODE_CACHE.get(program)
+    if decoded is None:
+        num = program.register_file.num_registers
+        decoded = {
+            b.label: _decode_block(b.label, b.instructions, num)
+            for b in program.blocks
+        }
+        _DECODE_CACHE[program] = decoded
+    return decoded
+
+
 class ResilientMachine:
     """Executes a compiled resilient program under the Turnpike protocol."""
 
@@ -255,7 +490,7 @@ class ResilientMachine:
         self.wall_clock_budget = wall_clock_budget
 
         self.mem = memory if memory is not None else Memory()
-        self.regs: dict[Reg, int] = {}
+        self.regs = RegFile(self.program.register_file.num_registers)
         self.sb = FunctionalStoreBuffer()
         self.rbb = RegionBoundaryBuffer(wcdl=float(config.wcdl))
         self.clq: BaseCLQ | None = (
@@ -280,6 +515,11 @@ class ResilientMachine:
         # Fault state.
         self.injection: Injection | None = None
         self._detection_due: int | None = None
+        # Earliest tick at which _process_events can have any effect: the
+        # head RBB verification deadline or a pending detection. Derived
+        # state (recomputed by _update_next_due at every mutation point)
+        # so the run loop can skip the per-tick event scan entirely.
+        self._next_due: float = _INF
         self._tainted_regs: set[Reg] = set()
         self._tainted_cells: set[int] = set()
         # Outstanding ECC syndromes: struck-but-not-yet-read words.
@@ -301,14 +541,14 @@ class ResilientMachine:
 
     def _init_registers(self) -> None:
         sp = self.program.register_file.stack_pointer
-        self.regs = {sp: STACK_BASE}
+        self.regs.vals[sp.index] = STACK_BASE
         # Pre-verified initial bindings: the "caller" checkpointed every
         # register before entry, so region 0 itself is recoverable.
         for idx in range(self.program.register_file.num_registers):
             value = STACK_BASE if idx == sp.index else 0
             self.vc_bindings[idx] = ("value", value)
         for reg in self.program.live_in:
-            self.vc_bindings[reg.index] = ("value", self.regs.get(reg, 0))
+            self.vc_bindings[reg.index] = ("value", self.regs.vals[reg.index])
 
     def set_initial_register(self, reg: Reg, value: int) -> None:
         self.regs[reg] = value
@@ -354,7 +594,9 @@ class ResilientMachine:
     )
     # Static configuration and harness plumbing: identical across the
     # runs a snapshot may move between, so capturing it would be wasted
-    # bytes (and _on_tick/_resume are per-run, not machine state).
+    # bytes (and _on_tick/_resume are per-run, not machine state;
+    # _next_due is derived from rbb + _detection_due and recomputed on
+    # restore).
     _SNAPSHOT_EXCLUDED = frozenset(
         {
             "compiled",
@@ -365,6 +607,7 @@ class ResilientMachine:
             "wall_clock_budget",
             "_on_tick",
             "_resume",
+            "_next_due",
         }
     )
 
@@ -413,7 +656,7 @@ class ResilientMachine:
             mem_delta=mem_delta,
             mem_full=mem_full,
             mem_fp=self._mem_fp,
-            regs={r.index: v for r, v in self.regs.items()},
+            regs=self.regs.as_index_dict(),
             sb=self.sb.snapshot_state(),
             rbb=self.rbb.snapshot_state(),
             clq=self.clq.snapshot_state() if self.clq is not None else None,
@@ -451,7 +694,7 @@ class ResilientMachine:
                 )
             self.mem.cells = dict(cells)
         self._mem_fp = snap.mem_fp
-        self.regs = {Reg.phys(i): v for i, v in snap.regs.items()}
+        self.regs.load_index_dict(snap.regs)
         self.sb.restore_state(snap.sb)
         self.rbb.restore_state(snap.rbb)
         if (self.clq is None) != (snap.clq is None):
@@ -476,12 +719,13 @@ class ResilientMachine:
         self._mem_flips = dict(snap.mem_flips)
         self._now = snap.now
         self._resume = (snap.label, snap.pc, snap.t, snap.steps)
+        self._update_next_due()
 
     # -- main loop -----------------------------------------------------------
 
     def run(self) -> MachineStats:
         program = self.program
-        blocks = {b.label: b.instructions for b in program.blocks}
+        decoded = _decode_program(program)
         if self._resume is not None:
             # Continue from a restored snapshot (see restore()).
             label, pc, t, steps = self._resume
@@ -491,14 +735,26 @@ class ResilientMachine:
             pc = 0
             t = 0
             steps = 0
-        instrs = blocks[label]
-        get = self.regs.get
+        instrs = decoded[label]
+        # Hot-path locals. All of these objects are mutated strictly in
+        # place during a run (restore() between runs may rebind the
+        # underlying attributes, but run() re-binds these on entry).
+        R = self.regs.vals
+        stats = self.stats
+        sb = self.sb
+        rbb = self.rbb
+        clq = self.clq
+        mem_load = self.mem.load
+        mem_flips = self._mem_flips
+        tainted_regs = self._tainted_regs
+        tainted_cells = self._tainted_cells
+        max_steps = self.max_steps
         budget = self.wall_clock_budget
         start = time.monotonic() if budget is not None else 0.0
 
         while True:
             steps += 1
-            if steps > self.max_steps:
+            if steps > max_steps:
                 raise WatchdogTimeout(
                     f"{program.name}: exceeded {self.max_steps} steps "
                     "(possible recovery livelock)"
@@ -512,83 +768,85 @@ class ResilientMachine:
                     f"{program.name}: exceeded wall-clock budget "
                     f"{budget:.1f}s after {steps} steps"
                 )
-            self._process_events(t)
-            if self._recovery_requested:
-                label, pc = self._do_recovery()
-                instrs = blocks[label]
-                t = max(t, int(self._now))
-                continue
+            # _now must track t every iteration: snapshots, region start
+            # times and recovery all read it.
+            self._now = t
+            if t >= self._next_due:
+                self._process_events(t)
+                det = self._detection_due
+                if det is not None and det <= t:
+                    label, pc = self._do_recovery()
+                    instrs = decoded[label]
+                    t = max(t, int(self._now))
+                    continue
 
-            if pc >= len(instrs):
-                raise ProtocolError(f"fell off block {label!r}")
-            instr = instrs[pc]
-            op = instr.op
+            d = instrs[pc]
+            kind = d[0]
 
-            if op is Opcode.BOUNDARY:
-                self._on_boundary(instr.region_id, t)
+            if kind == _K_BOUNDARY:
+                self._on_boundary(d[1], t)
                 pc += 1
                 continue
 
             t += 1
-            self.stats.committed += 1
+            stats.committed += 1
 
-            if op is Opcode.LD:
-                base = instr.srcs[0]
-                addr = get(base, 0) + instr.imm
-                forwarded = self.sb.forward(addr)
+            if kind == _K_ALU:
+                R[d[1]] = d[2](R)
+                if tainted_regs:
+                    self._taint_alu(d[3])
+                if d[4] is not None:
+                    self._bind_pending(d[1], ("expr", d[4]))
+                    stats.pruned_bindings += 1
+                pc += 1
+            elif kind == _K_BR:
+                label = d[2] if d[1](R) else d[3]
+                instrs = decoded[label]
+                pc = 0
+            elif kind == _K_CKPT:
+                self._commit_checkpoint(d[2], R[d[1]], t)
+                pc += 1
+            elif kind == _K_LD:
+                addr = R[d[2]] + d[3]
+                forwarded = sb.forward(addr) if sb.entries else None
                 if forwarded is not None:
                     value = forwarded
-                elif self._mem_flips and addr in self._mem_flips:
+                elif mem_flips and addr in mem_flips:
                     value = self._ecc_load(addr)
                 else:
-                    value = self.mem.load(addr)
-                self.regs[instr.dest] = value
-                self._taint_dest(instr.dest, addr_tainted=base in self._tainted_regs, loaded_addr=addr)
-                if self.clq is not None and self.rbb.current is not None:
-                    self.clq.record_load(self.rbb.current.instance, addr)
+                    value = mem_load(addr)
+                R[d[1]] = value
+                if tainted_regs or tainted_cells:
+                    self._taint_dest(
+                        d[4], addr_tainted=d[5] in tainted_regs, loaded_addr=addr
+                    )
+                if clq is not None and rbb.current is not None:
+                    clq.record_load(rbb.current.instance, addr)
                 pc += 1
-            elif op is Opcode.ST:
-                value_reg, base = instr.srcs
-                addr = get(base, 0) + instr.imm
-                self._commit_store(addr, get(value_reg, 0), base, value_reg, t)
+            elif kind == _K_ST:
+                addr = R[d[2]] + d[3]
+                self._commit_store(addr, R[d[1]], d[5], d[4], t)
                 pc += 1
-            elif op is Opcode.CKPT:
-                reg = instr.srcs[0]
-                self._commit_checkpoint(reg, get(reg, 0), t)
-                pc += 1
-            elif op in _BRANCH_EVAL:
-                lhs, rhs = get(instr.srcs[0], 0), get(instr.srcs[1], 0)
-                taken = _BRANCH_EVAL[op](lhs, rhs)
-                label = instr.targets[0] if taken else instr.targets[1]
-                instrs = blocks[label]
+            elif kind == _K_JMP:
+                label = d[1]
+                instrs = decoded[label]
                 pc = 0
-            elif op is Opcode.JMP:
-                label = instr.targets[0]
-                instrs = blocks[label]
-                pc = 0
-            elif op is Opcode.RET:
+            elif kind == _K_NOP:
+                pc += 1
+            elif kind == _K_RET:
                 finished = self._drain(t)
                 if finished:
                     return self.stats
                 # A detection fired during the drain: recover and resume.
                 label, pc = self._do_recovery()
-                instrs = blocks[label]
+                instrs = decoded[label]
                 t = max(t, int(self._now))
                 continue
             else:
-                value = _eval_alu(op, instr, get)
-                if instr.dest is not None:
-                    self.regs[instr.dest] = value
-                    self._taint_alu(instr)
-                    expr = instr.annotations.get(PRUNED_ANNOTATION)
-                    if expr is not None:
-                        self._bind_pending(
-                            instr.dest.index, ("expr", expr)
-                        )
-                        self.stats.pruned_bindings += 1
-                pc += 1
+                raise ProtocolError(f"fell off block {d[1]!r}")
 
-            self._maybe_inject(t)
+            if self.injection is not None:
+                self._maybe_inject(t)
             if self._on_tick is not None:
                 self._on_tick(label, pc, t, steps)
 
@@ -600,6 +858,21 @@ class ResilientMachine:
 
     _now: int = 0
 
+    def _update_next_due(self) -> None:
+        """Recompute the earliest tick _process_events could act at.
+
+        Called at every point that queues or retires an RBB instance or
+        arms/clears a detection; the run loop skips the event scan until
+        this tick arrives. The RBB queue verifies strictly in order, so
+        its head holds the earliest verification deadline.
+        """
+        unverified = self.rbb.unverified
+        due = unverified[0].verify_time(self.rbb.wcdl) if unverified else _INF
+        det = self._detection_due
+        if det is not None and det < due:
+            due = float(det)
+        self._next_due = due
+
     def _process_events(self, t: int) -> None:
         self._now = t
         before = (
@@ -608,10 +881,13 @@ class ResilientMachine:
             else float("inf")
         )
         due = self.rbb.due_verifications(float(t), before=before)
+        sb = self.sb
         for i, inst in enumerate(due):
-            if any(
+            # Note: _verify_instance reassigns sb.entries, so read it
+            # fresh for every due instance.
+            if sb.entries and any(
                 not e.parity_ok
-                for e in self.sb.entries
+                for e in sb.entries
                 if e.instance == inst.instance
             ):
                 # GSB parity is checked at drain: a struck entry vetoes
@@ -623,6 +899,7 @@ class ResilientMachine:
                 self._structure_parity_trip(t)
                 return
             self._verify_instance(inst)
+        self._update_next_due()
 
     def _verify_instance(self, inst: RegionInstance) -> None:
         # Merge quarantined stores to cache/memory.
@@ -656,7 +933,8 @@ class ResilientMachine:
             reg = inj.reg
             if reg is None:
                 raise ValueError("register injection needs a target register")
-            self.regs[reg] = wrap32(self.regs.get(reg, 0) ^ mask)
+            vals = self.regs.vals
+            vals[reg.index] = wrap32(vals[reg.index] ^ mask)
             self._tainted_regs.add(reg)
         elif target is InjectionTarget.STORE_BUFFER:
             if self.sb.entries:
@@ -686,6 +964,7 @@ class ResilientMachine:
             # instruction can commit, and recovery restarts the region.
             self.stats.pc_parity_detections += 1
             self._detection_due = t
+            self._update_next_due()
             return
         elif target is InjectionTarget.MEMORY:
             addr = inj.addr
@@ -701,6 +980,7 @@ class ResilientMachine:
         else:  # pragma: no cover - enum is exhaustive
             raise ValueError(f"unhandled injection target {target}")
         self._detection_due = t + inj.detection_delay
+        self._update_next_due()
 
     # -- taint tracking (parity model) ---------------------------------------
 
@@ -729,6 +1009,7 @@ class ResilientMachine:
         per-register parity bit (Section 5) detects it immediately."""
         self.stats.parity_detections += 1
         self._detection_due = t
+        self._update_next_due()
 
     def _structure_parity_trip(self, t: int) -> None:
         """SRAM parity over a protocol structure (CLQ / color maps) failed:
@@ -736,6 +1017,7 @@ class ResilientMachine:
         self.stats.structure_parity_trips += 1
         if self._detection_due is None or self._detection_due > t:
             self._detection_due = t
+        self._update_next_due()
 
     # -- ECC over checkpoint storage and the memory hierarchy -----------------
 
@@ -886,6 +1168,11 @@ class ResilientMachine:
             self.clq.begin_region(
                 inst.instance, prior_verified=self.rbb.all_prior_verified()
             )
+        # A boundary only changes the head verification deadline when the
+        # just-closed instance became the sole queued one; a deeper queue
+        # keeps its (earlier) head, and _detection_due is untouched here.
+        if len(self.rbb.unverified) == 1:
+            self._update_next_due()
 
     def _drain(self, t: int) -> bool:
         """Program RET: wait WCDL for remaining verifications.
@@ -945,11 +1232,12 @@ class ResilientMachine:
         #    checkpoint state (the recovery block of Section 2.2 / 4.1.3).
         entry = self.recovery_map.entry(target.region_id)
         sp = self.program.register_file.stack_pointer
-        # Mutate in place: the run loop holds a bound ``regs.get``.
+        # Mutate in place: the run loop holds the flat ``vals`` list.
+        vals = self.regs.vals
         self.regs.clear()
-        self.regs[sp] = STACK_BASE
+        vals[sp.index] = STACK_BASE
         for reg in entry.live_in:
-            self.regs[reg] = self._resolve_binding(reg.index, resolving=set())
+            vals[reg.index] = self._resolve_binding(reg.index, resolving=set())
 
         # 5. Reopen the region and resume at the recovery PC.
         self._on_boundary(target.region_id, int(self._now))

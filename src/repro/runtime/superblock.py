@@ -1,0 +1,290 @@
+"""Trace-driven superblock formation and fused step-function emission.
+
+A *superblock* here is a hot chain of basic blocks fused into one
+generated Python function: the interior branch of every non-final block
+becomes a **guard** that either falls through into the next block's code
+(the direction the profile predicted) or **bails** — writes back the
+registers defined so far and returns a dedicated bail exit whose static
+target is the mispredicted block. Control then resumes on the ordinary
+dispatch path, so a bail costs one early return, never a re-execution:
+the instructions already retired inside the chain are accounted to the
+bail exit's ``steps`` and their architectural effects are identical to
+the block-at-a-time path (same trace tuples, same memory writes, same
+register writebacks).
+
+Formation consumes the free edge profile the exit-table driver of
+:mod:`repro.runtime.fastsim` maintains (one counter per static CFG
+edge): seeds are hot blocks in descending execution count, and a chain
+follows a block's hottest outgoing edge while that edge is itself hot,
+sufficiently biased, and does not close a cycle within the chain —
+self-branches and irreducible loop shapes simply stop growth, and cold
+targets never get fused. A block heads at most one chain but may be
+duplicated into the tail of others (classic superblock tail
+duplication, done here implicitly by re-lowering the block's body).
+
+:func:`emit_module` renders a whole program — every block-level
+function, every superblock function, and the flat exit/dispatch tables —
+as one self-contained Python module with no imports, which
+:mod:`repro.runtime.codegen` content-addresses in the artifact cache.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.isa.instructions import Opcode
+from repro.isa.program import Program
+from repro.runtime.fastsim import (
+    ExitTable,
+    _BlockCode,
+    _FnState,
+    _gen_block,
+    _lower_block_body,
+)
+from repro.runtime.interpreter import _reg_index
+
+__all__ = ["form_chains", "emit_module"]
+
+# Formation defaults: a block is hot once it has executed MIN_COUNT
+# times, and a chain extends through an edge only if that edge carries
+# at least RATIO of its block's outgoing flow. CAP bounds chain length.
+MIN_COUNT = 16
+RATIO = 0.8
+MAX_LENGTH = 16
+
+
+def form_chains(
+    exits: ExitTable,
+    counts: Sequence[int],
+    num_blocks: int,
+    min_count: int = MIN_COUNT,
+    ratio: float = RATIO,
+    max_length: int = MAX_LENGTH,
+) -> list[list[int]]:
+    """Greedy hottest-successor chain formation from an edge profile.
+
+    ``counts[e]`` is the execution count of exit ``e`` (as accumulated
+    by ``FastProgram.execute(..., exit_counts=...)``). Returns chains of
+    block indices, each of length >= 2, sorted by head block; every head
+    appears in exactly one chain.
+    """
+    if len(counts) < len(exits):
+        raise ValueError(
+            f"profile covers {len(counts)} exits, table has {len(exits)}"
+        )
+    block_count = [0] * num_blocks
+    out_edges: list[list[int]] = [[] for _ in range(num_blocks)]
+    for e in range(len(exits)):
+        block_count[exits.block[e]] += counts[e]
+        out_edges[exits.block[e]].append(e)
+
+    seeds = sorted(range(num_blocks), key=lambda b: (-block_count[b], b))
+    heads: set[int] = set()
+    chains: list[list[int]] = []
+    for seed in seeds:
+        if block_count[seed] < min_count or seed in heads:
+            continue
+        chain = [seed]
+        members = {seed}
+        cur = seed
+        while len(chain) < max_length:
+            edges = out_edges[cur]
+            total = sum(counts[e] for e in edges)
+            if total == 0:
+                break
+            best = max(edges, key=lambda e: (counts[e], -e))
+            target = exits.target[best]
+            if (
+                target < 0  # RET: nothing to fuse past
+                or counts[best] < min_count  # cold edge
+                or counts[best] < ratio * total  # not biased enough
+            ):
+                break
+            if target in members:
+                if target == chain[0]:
+                    # The hot path closes a cycle back to the chain head:
+                    # unroll the whole cycle by its observed trip count
+                    # (self-loops are the 1-block case). Entries into the
+                    # head ~ executions not fed by the back edge.
+                    entries = max(1, block_count[chain[0]] - counts[best])
+                    trips = counts[best] // entries
+                    repeat = min(max_length // len(chain), trips)
+                    if repeat >= 2:
+                        chain = chain * repeat
+                break  # interior cycle (irreducible shape): stop growth
+            chain.append(target)
+            members.add(target)
+            cur = target
+        if len(chain) >= 2:
+            chains.append(chain)
+            heads.add(seed)
+    chains.sort(key=lambda c: c[0])
+    return chains
+
+
+def _gen_superblock(
+    program: Program,
+    chain: list[int],
+    label_index: dict[str, int],
+    block_order: dict[str, int],
+    exits: ExitTable,
+    uid_base: int = 0,
+) -> _BlockCode:
+    """Fuse one chain of blocks into a guard-and-bail step function.
+
+    Register locals (``g<slot>``) are shared across the whole chain:
+    a value defined by an earlier block is read directly instead of
+    being written back to ``R`` and re-loaded, which is where the fused
+    path's speedup comes from. Each interior guard's bail exit writes
+    back exactly the registers defined so far, so the architectural
+    state a bail leaves behind is identical to the block-level path.
+    """
+    st = _FnState()
+    blocks = program.blocks
+    last = len(chain) - 1
+    ret = ""
+    for pos, bidx in enumerate(chain):
+        block = blocks[bidx]
+        term = _lower_block_body(
+            block.instructions, st, bidx, block_order, uid_base=uid_base
+        )
+        if pos < last:
+            next_label = blocks[chain[pos + 1]].label
+            if term is None or term.op is Opcode.RET:
+                raise ValueError(
+                    f"block {block.label!r} cannot be a superblock interior"
+                )
+            if term.op is Opcode.JMP:
+                if term.targets[0] != next_label:
+                    raise ValueError(
+                        f"chain does not follow {block.label!r}'s jump"
+                    )
+                continue
+            taken, fall = term.targets[0], term.targets[1]
+            if taken == next_label and fall == next_label:
+                continue  # both arms rejoin the chain: no guard needed
+            if taken == next_label:
+                guard, bail_label = "if not _tk:", fall
+            elif fall == next_label:
+                guard, bail_label = "if _tk:", taken
+            else:
+                raise ValueError(
+                    f"chain does not follow either arm of {block.label!r}"
+                )
+            e_bail = exits.add(
+                st.length, label_index[bail_label], 1, st.writes_tuple(), bidx
+            )
+            st.emit(guard)
+            for line in st.writeback_lines():
+                st.emit("    " + line)
+            st.emit(f"    return {e_bail}")
+        else:
+            writes = st.writes_tuple()
+            if term is None:
+                msg = f"fell off the end of block {block.label!r}"
+                ret = f"raise RuntimeError({msg!r})"
+            elif term.op is Opcode.RET:
+                ret = f"return {exits.add(st.length, -1, 0, writes, bidx)}"
+            elif term.op is Opcode.JMP:
+                target = label_index[term.targets[0]]
+                ret = f"return {exits.add(st.length, target, 0, writes, bidx)}"
+            else:
+                e_taken = exits.add(
+                    st.length, label_index[term.targets[0]], 0, writes, bidx
+                )
+                e_fall = exits.add(
+                    st.length, label_index[term.targets[1]], 0, writes, bidx
+                )
+                ret = f"return {e_taken} if _tk else {e_fall}"
+    tail = st.writeback_lines() + [ret]
+    trace_lines, plain_lines = st.assemble(tail)
+    return _BlockCode(st.length, trace_lines, plain_lines)
+
+
+def emit_module(
+    program: Program,
+    chains: list[list[int]],
+    uid_base: int = 0,
+) -> str:
+    """Render a whole program as one self-contained Python module.
+
+    The module holds only generated step functions and flat literal
+    tables — no imports, no names beyond what is defined inside it:
+
+    * ``_b<i>_t`` / ``_b<i>_p`` — traced / plain function per block;
+    * ``_s<k>_t`` / ``_s<k>_p`` — per superblock chain;
+    * ``ESTEPS`` / ``ETARGET`` / ``EBAIL`` / ``EBLOCK`` / ``EWRITES`` —
+      the exit table (block exits first, then superblock exits from
+      ``FIRST_SB_EXIT`` on);
+    * ``DISPATCH_T`` / ``DISPATCH_P`` — per-block entry functions with
+      chain heads routed to their superblock;
+    * ``BLOCKS_T`` / ``BLOCKS_P`` — block-only dispatch, the
+      deoptimization path when bail rates blow up;
+    * ``LENS``, ``CHAINS``, ``NUM_SLOTS``, ``SP_SLOT``,
+      ``FIRST_SB_EXIT`` — structural metadata pinned by golden tests.
+
+    ``uid_base`` rebases the branch ids folded into trace tuples; the
+    executable render uses 0, the content-digest render uses the
+    program's minimum instruction uid (see :mod:`repro.runtime.codegen`).
+    """
+    label_index = {b.label: i for i, b in enumerate(program.blocks)}
+    block_order = dict(label_index)
+    exits = ExitTable()
+    block_codes = [
+        _gen_block(
+            b.instructions, b.label, i, label_index, block_order, exits,
+            uid_base=uid_base,
+        )
+        for i, b in enumerate(program.blocks)
+    ]
+    first_sb_exit = len(exits)
+    sb_codes = [
+        _gen_superblock(
+            program, chain, label_index, block_order, exits, uid_base=uid_base
+        )
+        for chain in chains
+    ]
+    head_of = {chain[0]: k for k, chain in enumerate(chains)}
+
+    sp_slot = _reg_index(program.register_file.stack_pointer)
+    slots = [sp_slot] + [_reg_index(r) for r in program.all_registers()]
+    num_slots = max(32, max(slots) + 1) if slots else 32
+
+    lines: list[str] = []
+    for i, code in enumerate(block_codes):
+        lines.append(f"def _b{i}_t(R, M, T):")
+        lines.extend(f"    {line}" for line in code.trace_lines)
+        lines.append(f"def _b{i}_p(R, M):")
+        lines.extend(f"    {line}" for line in code.plain_lines)
+    for k, code in enumerate(sb_codes):
+        lines.append(f"def _s{k}_t(R, M, T):")
+        lines.extend(f"    {line}" for line in code.trace_lines)
+        lines.append(f"def _s{k}_p(R, M):")
+        lines.extend(f"    {line}" for line in code.plain_lines)
+
+    n = len(block_codes)
+    lines.append(f"NUM_SLOTS = {num_slots}")
+    lines.append(f"SP_SLOT = {sp_slot}")
+    lines.append(f"FIRST_SB_EXIT = {first_sb_exit}")
+    lines.append(f"LENS = {[c.length for c in block_codes]!r}")
+    lines.append(f"ESTEPS = {exits.steps!r}")
+    lines.append(f"ETARGET = {exits.target!r}")
+    lines.append(f"EBAIL = {exits.bail!r}")
+    lines.append(f"EBLOCK = {exits.block!r}")
+    lines.append(f"EWRITES = {exits.writes!r}")
+    lines.append(f"CHAINS = {[list(c) for c in chains]!r}")
+    disp_t = [
+        f"_s{head_of[i]}_t" if i in head_of else f"_b{i}_t" for i in range(n)
+    ]
+    disp_p = [
+        f"_s{head_of[i]}_p" if i in head_of else f"_b{i}_p" for i in range(n)
+    ]
+    lines.append("DISPATCH_T = [" + ", ".join(disp_t) + "]")
+    lines.append("DISPATCH_P = [" + ", ".join(disp_p) + "]")
+    lines.append(
+        "BLOCKS_T = [" + ", ".join(f"_b{i}_t" for i in range(n)) + "]"
+    )
+    lines.append(
+        "BLOCKS_P = [" + ", ".join(f"_b{i}_p" for i in range(n)) + "]"
+    )
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,254 @@
+"""Flat machine state: the dense register file vs the dict-state model.
+
+The gen-2 machine keeps registers in a flat list (``RegFile.vals``)
+indexed by register number instead of a ``dict[Reg, int]``. This suite
+pins the equivalence that rewrite relies on:
+
+* property tests drive a :class:`RegFile` and a plain sparse dict model
+  through the same operation sequences — reads with absent-means-zero,
+  writes, clears, and the fault-injection corrupt hook (wrap32 of an
+  XOR mask) — and require field-for-field agreement throughout;
+* the snapshot field audit still covers every machine attribute, and a
+  snapshot taken mid-run *with outstanding fault state* restores to
+  full-state canonical equality and an identical continuation;
+* a forced mid-region register upset must detect, recover (rebuilding
+  the flat register file in place from checkpoint bindings), and
+  re-execute to a final memory image bit-identical to the fault-free
+  interpreter reference.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from helpers import build_sum_loop
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.campaign import VARIANT_CONFIGS
+from repro.faults.injector import golden_memory
+from repro.faults.snapshot import full_state_canonical
+from repro.isa.registers import Reg
+from repro.runtime.machine import (
+    Injection,
+    InjectionTarget,
+    RegFile,
+    ResilientMachine,
+)
+from repro.runtime.memory import Memory, wrap32
+
+NUM_REGS = 32
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    compiled = compile_program(build_sum_loop(), turnpike_config())
+    memory = Memory()
+    golden = golden_memory(compiled, memory)
+    return compiled, memory, golden
+
+
+def _turnpike(wcdl: int = 10):
+    return VARIANT_CONFIGS["turnpike"](wcdl)
+
+
+# ---------------------------------------------------------------------------
+# RegFile vs sparse-dict model
+# ---------------------------------------------------------------------------
+
+_value = st.integers(-(2**31), 2**31 - 1)
+_index = st.integers(0, NUM_REGS - 1)
+
+_op = st.one_of(
+    st.tuples(st.just("set"), _index, _value),
+    st.tuples(st.just("get"), _index, st.just(0)),
+    st.tuples(st.just("corrupt"), _index, st.integers(0, 2**32 - 1)),
+    st.tuples(st.just("clear"), st.just(0), st.just(0)),
+)
+
+_SETTINGS = settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestRegFileModel:
+    @given(st.lists(_op, max_size=40))
+    @_SETTINGS
+    def test_operation_sequence_matches_dict_model(self, ops):
+        rf = RegFile(NUM_REGS)
+        model: dict[int, int] = {}
+        for kind, idx, arg in ops:
+            reg = Reg.phys(idx)
+            if kind == "set":
+                rf[reg] = arg
+                model[idx] = arg
+            elif kind == "get":
+                assert rf.get(reg, 0) == model.get(idx, 0)
+                assert rf[reg] == model.get(idx, 0)
+            elif kind == "corrupt":
+                # The REGISTER fault hook: wrap32 of an XOR with the
+                # event's bit mask, exactly as _maybe_inject applies it.
+                rf.vals[idx] = wrap32(rf.vals[idx] ^ arg)
+                model[idx] = wrap32(model.get(idx, 0) ^ arg)
+            else:
+                rf.clear()
+                model.clear()
+            # Field-for-field agreement after every step.
+            assert rf.as_index_dict() == {
+                i: model.get(i, 0) for i in range(NUM_REGS)
+            }
+        assert dict(rf.items()) == {
+            Reg.phys(i): model.get(i, 0) for i in range(NUM_REGS)
+        }
+
+    @given(st.dictionaries(_index, _value, max_size=NUM_REGS))
+    @_SETTINGS
+    def test_index_dict_roundtrip(self, sparse):
+        """load_index_dict accepts sparse dicts (old snapshot format) and
+        as_index_dict gives back the dense equivalent."""
+        rf = RegFile(NUM_REGS)
+        rf.vals[3] = 77  # stale state that load must clear
+        rf.load_index_dict(sparse)
+        assert rf.as_index_dict() == {
+            i: sparse.get(i, 0) for i in range(NUM_REGS)
+        }
+        other = RegFile(NUM_REGS)
+        other.load_index_dict(rf.as_index_dict())
+        assert other.as_index_dict() == rf.as_index_dict()
+        assert other.vals == rf.vals
+
+    def test_vals_identity_is_stable(self):
+        """The run loop binds ``vals`` once; every mutator must keep the
+        list object itself alive."""
+        rf = RegFile(NUM_REGS)
+        vals = rf.vals
+        rf[Reg.phys(4)] = 9
+        rf.clear()
+        rf.load_index_dict({1: 2})
+        assert rf.vals is vals
+        assert vals[1] == 2
+
+
+# ---------------------------------------------------------------------------
+# Machine-level: corrupt hook, field audit, snapshot with fault state
+# ---------------------------------------------------------------------------
+
+
+class TestCorruptHookEquivalence:
+    @given(
+        idx=st.integers(1, NUM_REGS - 1),
+        bits=st.sets(st.integers(0, 31), min_size=1, max_size=3),
+        values=st.lists(_value, min_size=NUM_REGS, max_size=NUM_REGS),
+    )
+    @_SETTINGS
+    def test_register_strike_matches_dict_model(self, idx, bits, values, ctx):
+        compiled, memory, _ = ctx
+        machine = ResilientMachine(compiled, _turnpike(), memory.copy())
+        model: dict[int, int] = {}
+        for i, v in enumerate(values):
+            machine.regs[Reg.phys(i)] = v
+            model[i] = v
+        inj = Injection(
+            time=5,
+            target=InjectionTarget.REGISTER,
+            reg=Reg.phys(idx),
+            bits=tuple(sorted(bits)),
+        )
+        machine.arm_injection(inj)
+        machine._maybe_inject(5)
+        mask = 0
+        for b in bits:
+            mask |= 1 << b
+        model[idx] = wrap32(model[idx] ^ mask)
+        assert machine.regs.as_index_dict() == model
+        assert machine._detection_due == 5
+        assert Reg.phys(idx) in machine._tainted_regs
+
+
+class TestFieldAudit:
+    def test_every_field_is_classified(self, ctx):
+        """Both directions: no machine attribute escapes classification,
+        and every declared snapshot field actually exists post-run."""
+        compiled, memory, _ = ctx
+        machine = ResilientMachine(compiled, _turnpike(), memory.copy())
+        machine.run()
+        fields = ResilientMachine._SNAPSHOT_FIELDS
+        excluded = ResilientMachine._SNAPSHOT_EXCLUDED
+        assert not (fields & excluded)
+        attrs = set(vars(machine))
+        assert attrs <= (fields | excluded)
+        assert fields <= attrs
+        # _next_due is derived state and must be excluded, not captured.
+        assert "_next_due" in excluded
+
+
+class TestSnapshotWithFaultState:
+    def test_mid_fault_snapshot_restores_exactly(self, ctx):
+        """Snapshot taken between strike and detection: the restored
+        machine is canonically identical and continues to the same end."""
+        compiled, memory, golden = ctx
+        config = _turnpike()
+        strike_t = 40
+        snap_t = strike_t + 3
+        captured = []
+
+        # Run once, snapshotting mid-fault-window from the live machine.
+        m = ResilientMachine(compiled, config, memory.copy())
+        m.arm_injection(
+            Injection(
+                time=strike_t,
+                target=InjectionTarget.REGISTER,
+                reg=Reg.phys(3),
+                bit=7,
+                detection_delay=8,
+            )
+        )
+
+        def live_hook(label, pc, t, steps):
+            if t == snap_t and not captured:
+                captured.append(m.snapshot(label, pc, t, steps))
+
+        m._on_tick = live_hook
+        stats = m.run()
+        m._on_tick = None
+        assert captured, "snapshot hook never fired"
+        snap = captured[0]
+        # Fault state must be present in the capture window.
+        assert snap.detection_due is not None or snap.tainted_regs
+
+        restored = ResilientMachine(compiled, config, memory.copy())
+        restored.restore(snap)
+        probe = ResilientMachine(compiled, config, memory.copy())
+        probe.restore(snap)
+        assert full_state_canonical(restored, snap.t) == \
+            full_state_canonical(probe, snap.t)
+        r_stats = restored.run()
+        assert restored.mem.data_image() == m.mem.data_image()
+        assert r_stats.committed == stats.committed
+        assert r_stats.recoveries == stats.recoveries
+
+
+class TestMidRegionRecovery:
+    @pytest.mark.parametrize("strike_t", [17, 41, 73])
+    def test_forced_mid_region_strike_reexecutes_bit_identically(
+        self, strike_t, ctx
+    ):
+        """The paper's core guarantee, through the flat register file:
+        a detected upset rolls back (rebuilding ``vals`` in place from
+        checkpoint bindings) and re-executes to the golden image."""
+        compiled, memory, golden = ctx
+        machine = ResilientMachine(compiled, _turnpike(), memory.copy())
+        machine.arm_injection(
+            Injection(
+                time=strike_t,
+                target=InjectionTarget.REGISTER,
+                reg=Reg.phys(2),
+                bit=13,
+                detection_delay=4,
+            )
+        )
+        stats = machine.run()
+        assert stats.recoveries >= 1
+        assert machine.mem.data_image() == golden

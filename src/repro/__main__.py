@@ -317,6 +317,121 @@ def _cmd_figure(args) -> int:
     return 0
 
 
+_SWEEP_ALIASES = {
+    "fig4": "fig04", "fig14": "fig14_15", "fig15": "fig14_15",
+}
+
+
+def _sweep_json(name: str, result) -> object:
+    """Plain-data projection of one figure result for --json output."""
+    from repro.harness.experiments import Series
+
+    def plain(value):
+        if isinstance(value, Series):
+            return {
+                "name": value.name,
+                "per_benchmark": value.per_benchmark,
+                "geomean": value.geomean,
+            }
+        if isinstance(value, dict):
+            return {str(k): plain(v) for k, v in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [plain(v) for v in value]
+        if hasattr(value, "__dict__") and not isinstance(value, (int, float, str)):
+            return {k: plain(v) for k, v in vars(value).items()}
+        return value
+
+    return plain(result)
+
+
+def _cmd_sweep(args) -> int:
+    import json as _json
+    import time
+
+    from repro.harness import experiments as exp
+    from repro.harness import reporting as rep
+    from repro.harness.runner import resolve_workers
+
+    wanted = None
+    if args.figures:
+        wanted = tuple(
+            dict.fromkeys(
+                _SWEEP_ALIASES.get(fid.lower(), fid.lower())
+                for fid in args.figures
+            )
+        )
+    benchmarks = args.benchmarks.split(",") if args.benchmarks else None
+    workers = resolve_workers(args.workers)
+    started = time.perf_counter()
+    try:
+        results = exp.figure_suite(
+            benchmarks, figures=wanted, workers=workers
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    if args.json:
+        payload = {
+            name: _sweep_json(name, result)
+            for name, result in results.items()
+        }
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        print(_json.dumps(payload, indent=2, sort_keys=True, default=str))
+        return 0
+    renderers = {
+        "fig04": lambda r: rep.format_series_table(
+            [r[40], r[4]], value_format="{:.3f}", aggregate="mean",
+            title="Figure 4 - checkpoint ratio vs SB size"),
+        "fig14_15": lambda r: "\n".join((
+            rep.format_series_table(
+                [r["overhead"]["ideal"], r["overhead"]["compact"]],
+                value_format="{:.3f}",
+                title="Figure 14 - ideal vs compact CLQ overhead"),
+            rep.format_series_table(
+                [r["warfree_ratio"]["ideal"], r["warfree_ratio"]["compact"]],
+                value_format="{:.3f}",
+                title="Figure 15 - WAR-free release ratio"),
+        )),
+        "fig18": lambda r: "\n".join(
+            f"{clock} GHz: " + "  ".join(
+                f"{n}->{lat:.1f}cy" for n, lat in points)
+            for clock, points in r.items()),
+        "fig19": lambda r: rep.format_series_table(
+            [r[w] for w in sorted(r)],
+            title="Figure 19 - Turnpike overhead vs WCDL"),
+        "fig20": lambda r: rep.format_series_table(
+            [r[w] for w in sorted(r)],
+            title="Figure 20 - Turnstile overhead vs WCDL"),
+        "fig21": lambda r: rep.format_series_table(
+            r, title="Figure 21 - optimization ablation"),
+        "fig22": lambda r: rep.format_series_table(
+            [r["turnstile"][s] for s in sorted(r["turnstile"])]
+            + [r["turnpike"][s] for s in sorted(r["turnpike"])],
+            title="Figure 22 - SB sensitivity"),
+        "fig23": lambda r: rep.format_breakdown_table(r),
+        "fig24": lambda r: rep.format_mapping_table(
+            r, headers=("average", "maximum"),
+            title="Figure 24 - CLQ occupancy"),
+        "fig25": lambda r: rep.format_series_table(
+            [r[s] for s in sorted(r)], value_format="{:.3f}",
+            title="Figure 25 - CLQ size sensitivity"),
+        "fig26": lambda r: rep.format_mapping_table(
+            {k: (v[0], 100 * v[1]) for k, v in r.items()},
+            headers=("region size", "growth %"),
+            title="Figure 26 - region size / code growth"),
+        "table1": rep.format_table1,
+    }
+    for name, result in results.items():
+        print(renderers[name](result))
+        print()
+    print(
+        f"swept {len(results)} figure(s) in {elapsed:.1f}s "
+        f"with {workers} worker(s)"
+    )
+    return 0
+
+
 def _cache_verify(cache) -> int:
     """Recompile one cached codegen module and compare its digests.
 
@@ -413,17 +528,25 @@ def _cmd_cache(args) -> int:
                 info["entries"] = entries
             print(_json.dumps(info, indent=2, sort_keys=True))
             return 0
+        from repro.harness.artifacts import human_size
+
+        by_kind = info["bytes_by_kind"]
         print(f"location:  {info['root']}")
         print(
             f"artifacts: {info['artifacts']} "
             f"({info['traces']} traces, {info['stats']} stats, "
             f"{info['goldens']} goldens, {info['codegens']} codegens)"
         )
-        print(f"size:      {info['bytes'] / 1024:.1f} KiB")
+        for kind, size in by_kind.items():
+            print(f"  {kind + ':':<9} {human_size(size)}")
         print(f"code hash: {info['code_digest']}")
+        print(
+            f"footprint: {human_size(info['bytes'])} total in "
+            f"{info['artifacts']} artifact(s) at {info['root']}"
+        )
         if args.list:
             for kind, key, size in cache.entries():
-                line = f"{kind:<8} {key}  {size}"
+                line = f"{kind:<8} {key}  {human_size(size)}"
                 if kind == "codegen":
                     digest = _source_digest(key)
                     line += f"  source={digest or 'CORRUPT'}"
@@ -730,6 +853,34 @@ def build_parser() -> argparse.ArgumentParser:
     fig_p = sub.add_parser("figure", help="regenerate a figure/table")
     fig_p.add_argument("id")
 
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="evaluate figure lattices through the multi-lane sweep engine",
+    )
+    sweep_p.add_argument(
+        "figures",
+        nargs="*",
+        help="figure ids to sweep (default: the whole suite); shared "
+        "design points are evaluated once",
+    )
+    sweep_p.add_argument(
+        "--benchmarks",
+        default=None,
+        help="comma-separated benchmark uids (default: all 36)",
+    )
+    sweep_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for lane batches (default: REPRO_WORKERS "
+        "or 1; 0 means one per CPU)",
+    )
+    sweep_p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of tables",
+    )
+
     cache_p = sub.add_parser(
         "cache", help="manage the persistent simulation artifact cache"
     )
@@ -854,7 +1005,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a job to a running service"
     )
     kind_sub = submit_p.add_subparsers(dest="kind", required=True)
-    for kind in ("run", "inject", "lint", "vuln"):
+    for kind in ("run", "inject", "lint", "vuln", "sweep"):
         kp = kind_sub.add_parser(kind, help=f"submit a {kind} job")
         _add_client_flags(kp)
         kp.add_argument(
@@ -920,13 +1071,27 @@ def build_parser() -> argparse.ArgumentParser:
             )
             kp.add_argument("--no-differential", action="store_true")
             kp.add_argument("--strict", action="store_true")
-        else:  # vuln
+        elif kind == "vuln":
             kp.add_argument("uid")
             kp.add_argument("--wcdl", type=int, default=None)
             kp.add_argument(
                 "--scheme", choices=("turnpike", "turnstile"), default=None
             )
             kp.add_argument("--variants", default=None)
+            kp.add_argument(
+                "--format", choices=("text", "json"), default=None
+            )
+        else:  # sweep
+            kp.add_argument(
+                "--figures",
+                default=None,
+                help="comma-separated figure ids (default: whole suite)",
+            )
+            kp.add_argument(
+                "--benchmarks",
+                default=None,
+                help="comma-separated benchmark uids (default: all 36)",
+            )
             kp.add_argument(
                 "--format", choices=("text", "json"), default=None
             )
@@ -963,6 +1128,7 @@ def main(argv: list[str] | None = None) -> int:
         "vuln": _cmd_vuln,
         "lint": _cmd_lint,
         "figure": _cmd_figure,
+        "sweep": _cmd_sweep,
         "cache": _cmd_cache,
         "sensors": _cmd_sensors,
         "serve": _cmd_serve,

@@ -93,6 +93,16 @@ def _key(*parts: object) -> str:
     return hashlib.sha256(text.encode()).hexdigest()[:40]
 
 
+def human_size(n: int) -> str:
+    """Human-readable byte count (``1023 B``, ``4.2 KiB``, ``1.3 MiB``)."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{int(size)} {unit}" if unit == "B" else f"{size:.1f} {unit}"
+        size /= 1024
+    raise AssertionError("unreachable")
+
+
 class ArtifactCache:
     """File-per-artifact cache under one root directory."""
 
@@ -130,6 +140,23 @@ class ArtifactCache:
         core: CoreConfig,
     ) -> str:
         return _key("stats", uid, compiler, hardware, core)
+
+    @staticmethod
+    def sweep_key(
+        uid: str,
+        digest: str,
+        hardware: ResilienceHardwareConfig,
+        core: CoreConfig,
+    ) -> str:
+        """Content-addressed key of one sweep design point.
+
+        Identified by the *structural program digest* rather than the
+        compiler config, so two configs that compile to the same program
+        share one stats artifact across figures (``load_stats`` /
+        ``store_stats`` work with this key — a sweep point is stored as
+        an ordinary ``stats-<key>.json``).
+        """
+        return _key("sweep", uid, digest, hardware, core)
 
     @staticmethod
     def golden_key(
@@ -354,6 +381,16 @@ class ArtifactCache:
         goldens = sum(1 for p in paths if p.name.startswith("golden-"))
         vulns = sum(1 for p in paths if p.name.startswith("vuln-"))
         codegens = sum(1 for p in paths if p.name.startswith("codegen-"))
+        bytes_by_kind: dict[str, int] = {}
+        total = 0
+        for path in paths:
+            kind = path.name.partition("-")[0]
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            bytes_by_kind[kind] = bytes_by_kind.get(kind, 0) + size
+            total += size
         return {
             "root": str(self.root),
             "artifacts": len(paths),
@@ -362,6 +399,7 @@ class ArtifactCache:
             "goldens": goldens,
             "vulns": vulns,
             "codegens": codegens,
-            "bytes": sum(p.stat().st_size for p in paths),
+            "bytes": total,
+            "bytes_by_kind": dict(sorted(bytes_by_kind.items())),
             "code_digest": code_digest()[:16],
         }

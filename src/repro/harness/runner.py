@@ -168,6 +168,15 @@ class RunCache:
             tuple[str, CompilerConfig, ResilienceHardwareConfig, CoreConfig],
             SimStats,
         ] = {}
+        # Compile-only products (no functional run): the sweep planner
+        # compiles every lattice config to group design points by
+        # structural program digest before paying for any trace.
+        self._compiled: dict[tuple[str, CompilerConfig], CompiledProgram] = {}
+        self._digests: dict[tuple[str, CompilerConfig], str] = {}
+        # Trace sharing across digest-equal compiler configs: configs
+        # that compile to an identical program produce an identical
+        # committed stream, so one functional run serves them all.
+        self._digest_runs: dict[tuple[str, str], PreparedRun] = {}
 
     def workload(self, uid: str) -> Workload:
         with self._lock:
@@ -192,10 +201,7 @@ class RunCache:
                     self._prepared[key] = run
                     return run
             workload = self.workload(uid)
-            if config.name == "baseline":
-                compiled = compile_baseline(workload.program)
-            else:
-                compiled = compile_program(workload.program, config)
+            compiled = self.compiled_program(uid, config)
             result = _run_functional(
                 compiled.program, workload.fresh_memory(), uid=uid, config=config
             )
@@ -212,6 +218,98 @@ class RunCache:
 
     def baseline(self, uid: str, core: CoreConfig | None = None) -> PreparedRun:
         return self.prepared(uid, _baseline_config())
+
+    def compiled_program(
+        self, uid: str, config: CompilerConfig
+    ) -> CompiledProgram:
+        """Compile one (benchmark, config) pair — no functional run."""
+        key = (uid, config)
+        with self._lock:
+            compiled = self._compiled.get(key)
+            if compiled is None:
+                workload = self.workload(uid)
+                if config.name == "baseline":
+                    compiled = compile_baseline(workload.program)
+                else:
+                    compiled = compile_program(workload.program, config)
+                self._compiled[key] = compiled
+            return compiled
+
+    def program_digest(self, uid: str, config: CompilerConfig) -> str:
+        """Structural digest of the compiled program (uid-free).
+
+        Two configs with the same digest compile to the same program and
+        therefore produce the same committed stream — the sweep planner
+        uses this to share one functional execution across them.
+        """
+        from repro.runtime.codegen import program_digest
+
+        key = (uid, config)
+        with self._lock:
+            digest = self._digests.get(key)
+            if digest is None:
+                digest = program_digest(self.compiled_program(uid, config).program)
+                self._digests[key] = digest
+            return digest
+
+    def prepared_by_digest(
+        self, uid: str, config: CompilerConfig, digest: str
+    ) -> PreparedRun:
+        """Like :meth:`prepared`, memoised by program digest.
+
+        The returned run belongs to the first config seen with this
+        digest; its trace (and summary) are valid for every digest-equal
+        config.
+        """
+        key = (uid, digest)
+        with self._lock:
+            run = self._digest_runs.get(key)
+            if run is None:
+                run = self.prepared(uid, config)
+                self._digest_runs[key] = run
+            return run
+
+    def peek_stats(
+        self,
+        uid: str,
+        compiler: CompilerConfig,
+        hardware: ResilienceHardwareConfig,
+        core: CoreConfig | None = None,
+    ) -> SimStats | None:
+        """Memoised/persisted stats if present — never computes."""
+        core = core or CoreConfig()
+        key = (uid, compiler, hardware, core)
+        with self._lock:
+            stats = self._stats.get(key)
+            if stats is None and self.persistent is not None:
+                stats = self.persistent.load_stats(
+                    self.persistent.stats_key(uid, compiler, hardware, core)
+                )
+                if stats is not None:
+                    self._stats[key] = stats
+            if stats is None:
+                return None
+            return replace(stats, cache=dict(stats.cache))
+
+    def put_stats(
+        self,
+        uid: str,
+        compiler: CompilerConfig,
+        hardware: ResilienceHardwareConfig,
+        core: CoreConfig | None,
+        stats: SimStats,
+    ) -> None:
+        """Insert externally-computed stats (the sweep engine's lanes)
+        into both memoisation layers, so later solo lookups hit."""
+        core = core or CoreConfig()
+        key = (uid, compiler, hardware, core)
+        with self._lock:
+            self._stats[key] = stats
+            if self.persistent is not None:
+                self.persistent.store_stats(
+                    self.persistent.stats_key(uid, compiler, hardware, core),
+                    stats,
+                )
 
     def stats(
         self,
@@ -261,6 +359,9 @@ class RunCache:
             self._workloads.clear()
             self._prepared.clear()
             self._stats.clear()
+            self._compiled.clear()
+            self._digests.clear()
+            self._digest_runs.clear()
 
 
 GLOBAL_CACHE = RunCache()

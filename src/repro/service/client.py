@@ -238,6 +238,7 @@ def _spec_from_args(args: Any) -> dict[str, Any]:
         "count", "seed", "targets", "variants", "shard_size",
         "accel", "snapshot_interval", "shards",  # inject
         "format", "strict",  # lint
+        "figures", "benchmarks",  # sweep
     ):
         value = getattr(args, name, None)
         if value is not None and value is not False:

@@ -101,6 +101,32 @@ def parse_shard_range(value: str) -> tuple[int, int]:
     return int(lo), int(hi)
 
 
+def _opt_figures(value: Any) -> str | None:
+    """Comma-separated figure ids, canonicalised to suite order."""
+    if value is None:
+        return None
+    from repro.harness.experiments import FIGURE_SUITE
+
+    names = set(_csv(value).split(","))
+    unknown = sorted(names - set(FIGURE_SUITE))
+    if unknown:
+        raise ValueError(
+            f"unknown figure id(s): {', '.join(unknown)} "
+            f"(expected from {', '.join(FIGURE_SUITE)})"
+        )
+    return ",".join(name for name in FIGURE_SUITE if name in names)
+
+
+def _opt_uids(value: Any) -> str | None:
+    """Comma-separated benchmark uids, canonicalised to sorted order."""
+    if value is None:
+        return None
+    names = sorted(set(_csv(value).split(",")))
+    for name in names:
+        _uid(name)
+    return ",".join(names)
+
+
 def _opt_dir(value: Any) -> str | None:
     if value is None:
         return None
@@ -148,6 +174,11 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
         "scheme": ("turnpike", _str_choice("turnpike", "turnstile")),
         "wcdl": (10, _int(1)),
         "variants": ("turnstile,warfree,turnpike", _csv),
+        "format": ("text", _str_choice("text", "json")),
+    },
+    "sweep": {
+        "figures": (None, _opt_figures),
+        "benchmarks": (None, _opt_uids),
         "format": ("text", _str_choice("text", "json")),
     },
 }
@@ -242,6 +273,16 @@ class JobSpec:
                 "--variants", p["variants"],
                 "--format", p["format"],
             ]
+        if self.kind == "sweep":
+            argv = ["sweep"]
+            if p["figures"] is not None:
+                argv += p["figures"].split(",")
+            if p["benchmarks"] is not None:
+                argv += ["--benchmarks", p["benchmarks"]]
+            argv += ["--workers", "1"]
+            if p["format"] == "json":
+                argv.append("--json")
+            return argv
         argv = ["lint"]
         argv += ["--all"] if p["all"] else [p["uid"]]
         argv += [

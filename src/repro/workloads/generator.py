@@ -58,17 +58,27 @@ class Workload:
     profile: BenchmarkProfile
     program: Program
     arena: Arena
+    _pristine: Memory | None = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def name(self) -> str:
         return self.profile.uid
 
     def fresh_memory(self) -> Memory:
-        """A new memory image with every array initialised."""
-        mem = Memory()
-        for spec in self.arena.arrays:
-            mem.write_words(spec.base, spec.initial_words())
-        return mem
+        """A new memory image with every array initialised.
+
+        The pristine image is materialised once (array regeneration is
+        seeded PRNG work that dominates repeated functional runs) and
+        every caller gets an independent copy of it.
+        """
+        if self._pristine is None:
+            mem = Memory()
+            for spec in self.arena.arrays:
+                mem.write_words(spec.base, spec.initial_words())
+            self._pristine = mem
+        return self._pristine.copy()
 
 
 def build_workload(profile: BenchmarkProfile) -> Workload:

@@ -1,0 +1,95 @@
+"""Edge-case coverage for :mod:`repro.harness.reporting`."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.harness.experiments import Series
+from repro.harness.reporting import (
+    format_breakdown_table,
+    format_mapping_table,
+    format_series_table,
+)
+
+
+class TestSeries:
+    def test_geomean_of_single_element_is_identity(self):
+        s = Series(name="one", per_benchmark={"CPU2006.bzip2": 1.37})
+        assert s.geomean == pytest.approx(1.37)
+        assert s.mean == pytest.approx(1.37)
+
+    def test_geomean_and_mean_disagree_on_skewed_data(self):
+        s = Series(name="skew", per_benchmark={"a": 1.0, "b": 4.0})
+        assert s.geomean == pytest.approx(2.0)
+        assert s.mean == pytest.approx(2.5)
+
+    def test_geomean_matches_log_definition(self):
+        values = {"a": 1.1, "b": 0.9, "c": 2.5}
+        s = Series(name="log", per_benchmark=values)
+        expect = math.exp(
+            sum(math.log(v) for v in values.values()) / len(values)
+        )
+        assert s.geomean == pytest.approx(expect)
+
+
+class TestFormatSeriesTable:
+    def test_empty_series_list(self):
+        assert format_series_table([]) == "(no data)"
+
+    def test_single_benchmark_single_series(self):
+        s = Series(name="DL10", per_benchmark={"SPLASH3.fft": 1.042})
+        text = format_series_table([s])
+        lines = text.splitlines()
+        assert lines[0].split() == ["benchmark", "DL10"]
+        assert "SPLASH3.fft" in text
+        assert "1.04" in text
+        # aggregate row of a one-element series repeats the value
+        assert lines[-1].split() == ["geomean", "1.04"]
+
+    def test_mean_aggregate_row(self):
+        s = Series(name="x", per_benchmark={"a": 1.0, "b": 3.0})
+        text = format_series_table([s], aggregate="mean")
+        assert text.splitlines()[-1].split() == ["mean", "2.00"]
+
+    def test_title_and_underline(self):
+        s = Series(name="x", per_benchmark={"a": 1.0})
+        text = format_series_table([s], title="Figure N")
+        lines = text.splitlines()
+        assert lines[0] == "Figure N"
+        assert lines[1] == "=" * len("Figure N")
+
+    def test_value_format_is_honoured(self):
+        s = Series(name="x", per_benchmark={"a": 0.123456})
+        assert "0.123" in format_series_table([s], value_format="{:.3f}")
+
+    def test_multiple_series_column_order(self):
+        a = Series(name="left", per_benchmark={"u": 1.0})
+        b = Series(name="right", per_benchmark={"u": 2.0})
+        header = format_series_table([a, b]).splitlines()[0]
+        assert header.index("left") < header.index("right")
+
+    def test_rows_follow_first_series_key_order(self):
+        s = Series(name="x", per_benchmark={"zeta": 1.0, "alpha": 2.0})
+        text = format_series_table([s])
+        assert text.index("zeta") < text.index("alpha")
+
+
+class TestMappingAndBreakdownTables:
+    def test_mapping_table_single_row(self):
+        text = format_mapping_table(
+            {"CPU2017.lbm": (3.5, 12.0)}, headers=("avg", "max")
+        )
+        lines = text.splitlines()
+        assert lines[0].split() == ["benchmark", "avg", "max"]
+        assert lines[-1].split() == ["CPU2017.lbm", "3.50", "12.00"]
+
+    def test_breakdown_rows_sum_to_one(self):
+        from repro.harness.experiments import BREAKDOWN_CATEGORIES
+
+        row = {cat: 1.0 / len(BREAKDOWN_CATEGORIES)
+               for cat in BREAKDOWN_CATEGORIES}
+        text = format_breakdown_table({"u": row})
+        assert "u" in text
+        assert text.count("14.3%") == len(BREAKDOWN_CATEGORIES)

@@ -115,6 +115,8 @@ def _cmd_inject(args) -> int:
             targets=targets,
             variants=variants,
             shard_size=args.shard_size,
+            ecc=args.ecc,
+            upset=args.upset,
         )
     except ValueError as exc:
         print(f"invalid campaign: {exc}", file=sys.stderr)
@@ -344,6 +346,77 @@ def _sweep_json(name: str, result) -> object:
     return plain(result)
 
 
+def _sweep_ecc_fan(args) -> int:
+    import json as _json
+    import time
+
+    from repro.faults.campaign import CampaignSpec
+    from repro.harness.runner import resolve_workers
+    from repro.harness.sweep import run_campaign_fan
+
+    if args.figures:
+        print(
+            "sweep: --ecc-codes fans a fault campaign across codes; "
+            "figure ids do not apply",
+            file=sys.stderr,
+        )
+        return 2
+    codes = tuple(c.strip() for c in args.ecc_codes.split(",") if c.strip())
+    try:
+        spec = CampaignSpec(
+            uid=args.ecc_uid,
+            wcdl=args.ecc_wcdl,
+            count=args.ecc_count,
+            seed=args.ecc_seed,
+            targets=tuple(
+                t.strip() for t in args.ecc_targets.split(",") if t.strip()
+            ),
+            variants=tuple(
+                v.strip() for v in args.ecc_variants.split(",") if v.strip()
+            ),
+            upset=args.ecc_upset,
+        )
+    except ValueError as exc:
+        print(f"sweep: invalid campaign: {exc}", file=sys.stderr)
+        return 2
+    workers = resolve_workers(args.workers)
+    started = time.perf_counter()
+    try:
+        results = run_campaign_fan(
+            spec,
+            codes,
+            workers=workers,
+            progress=lambda label, done, total: print(
+                f"  [{label}] shard {done}/{total} done", file=sys.stderr
+            ),
+        )
+    except ValueError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+    if args.json:
+        payload: dict = {
+            label: {
+                "spec": report.spec.to_dict(),
+                "per_variant": report.per_variant(),
+                "per_target": report.per_target(),
+            }
+            for label, (report, _text) in results.items()
+        }
+        payload["elapsed_seconds"] = round(elapsed, 3)
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+    for label, (_report, text) in results.items():
+        print(f"=== code axis: {label} ===")
+        print(text)
+        print()
+    print(
+        f"fanned {len(results)} code point(s) in {elapsed:.1f}s "
+        f"with {workers} worker(s)"
+    )
+    return 0
+
+
 def _cmd_sweep(args) -> int:
     import json as _json
     import time
@@ -352,6 +425,8 @@ def _cmd_sweep(args) -> int:
     from repro.harness import reporting as rep
     from repro.harness.runner import resolve_workers
 
+    if args.ecc_codes:
+        return _sweep_ecc_fan(args)
     wanted = None
     if args.figures:
         wanted = tuple(
@@ -429,6 +504,49 @@ def _cmd_sweep(args) -> int:
         f"swept {len(results)} figure(s) in {elapsed:.1f}s "
         f"with {workers} worker(s)"
     )
+    return 0
+
+
+def _cmd_ecc(args) -> int:
+    from repro.ecc.explorer import (
+        default_codes,
+        default_structures,
+        explore,
+        format_points,
+        pareto_frontier,
+        points_to_json,
+    )
+    from repro.ecc.faultmodel import parse_patterns
+
+    codes = (
+        tuple(c.strip() for c in args.codes.split(",") if c.strip())
+        if args.codes
+        else default_codes()
+    )
+    structures = (
+        tuple(s.strip() for s in args.structure.split(",") if s.strip())
+        if args.structure
+        else default_structures()
+    )
+    try:
+        patterns = parse_patterns(args.patterns)
+        interleave = (False, True) if args.interleave else (False,)
+        points = explore(
+            codes,
+            structures,
+            patterns,
+            seed=args.seed,
+            trials=args.trials,
+            interleave_options=interleave,
+        )
+    except ValueError as exc:
+        print(f"ecc: {exc}", file=sys.stderr)
+        return 2
+    frontier = pareto_frontier(points) if args.pareto else None
+    if args.format == "json":
+        print(points_to_json(points, frontier))
+    else:
+        print(format_points(points, frontier))
     return 0
 
 
@@ -770,6 +888,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="--sample: injections per masked stratum spent cross-checking "
         "the static masked claim",
     )
+    inj_p.add_argument(
+        "--ecc",
+        default=None,
+        metavar="CODE",
+        help="decode struck words through a real ECC (parity, sec, secded, "
+        "secdaec, bch) instead of the abstract parity fail-safe; "
+        "miscorrections substitute the wrong value and surface as the "
+        "'miscorrected' outcome",
+    )
+    inj_p.add_argument(
+        "--upset",
+        default=None,
+        metavar="PATTERN",
+        help="multi-bit upset shape per strike (single, adjacent-double, "
+        "burst<k>, random<k>, column<k>; default: the historical "
+        "single/double draw)",
+    )
 
     vuln_p = sub.add_parser(
         "vuln", help="bit-level vulnerability analysis"
@@ -849,6 +984,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --all (default: REPRO_WORKERS or 1; "
         "0 means one per CPU)",
     )
+    lint_p.add_argument(
+        "--upset-model",
+        default="single",
+        metavar="PATTERN",
+        help="fault model R9 checks the declared protection codes "
+        "against (single, adjacent-double, burst<k>, random<k>, "
+        "column<k>; default single)",
+    )
 
     fig_p = sub.add_parser("figure", help="regenerate a figure/table")
     fig_p.add_argument("id")
@@ -879,6 +1022,96 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="emit machine-readable JSON instead of tables",
+    )
+    sweep_p.add_argument(
+        "--ecc-codes",
+        default=None,
+        metavar="CODES",
+        help="fan one fault campaign across a comma-separated code axis "
+        "(parity, sec, secded, secdaec, bch; 'off' = abstract fail-safe) "
+        "instead of sweeping figures; duplicate codes dedup in order",
+    )
+    sweep_p.add_argument(
+        "--ecc-uid",
+        default="SPLASH3.radix",
+        help="--ecc-codes: benchmark to strike",
+    )
+    sweep_p.add_argument(
+        "--ecc-count", type=int, default=24,
+        help="--ecc-codes: injections per code point",
+    )
+    sweep_p.add_argument(
+        "--ecc-seed", type=int, default=2024,
+        help="--ecc-codes: campaign seed (shared across the axis)",
+    )
+    sweep_p.add_argument(
+        "--ecc-wcdl", type=int, default=10,
+        help="--ecc-codes: worst-case detection latency",
+    )
+    sweep_p.add_argument(
+        "--ecc-targets",
+        default="register,store_buffer,clq,coloring",
+        help="--ecc-codes: comma-separated structures to strike",
+    )
+    sweep_p.add_argument(
+        "--ecc-variants",
+        default="turnstile,warfree,turnpike,unsafe",
+        help="--ecc-codes: comma-separated protocol variants to diff",
+    )
+    sweep_p.add_argument(
+        "--ecc-upset",
+        default=None,
+        metavar="PATTERN",
+        help="--ecc-codes: multi-bit upset shape per strike (default: "
+        "the historical single/double draw)",
+    )
+
+    ecc_p = sub.add_parser(
+        "ecc",
+        help="explore the ECC design space (codes x structures x upsets)",
+    )
+    ecc_p.add_argument(
+        "--codes",
+        default=None,
+        metavar="CODES",
+        help="comma-separated codes to evaluate (parity, sec, secded, "
+        "secdaec, bch; default: all)",
+    )
+    ecc_p.add_argument(
+        "--structure",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated protected structures (sb, clq, checkpoint; "
+        "default: all)",
+    )
+    ecc_p.add_argument(
+        "--patterns",
+        default="single,adjacent-double,burst3",
+        metavar="PATTERNS",
+        help="comma-separated upset shapes (single, adjacent-double, "
+        "burst<k>, random<k>, column<k>)",
+    )
+    ecc_p.add_argument(
+        "--pareto",
+        action="store_true",
+        help="mark the per-structure Pareto frontier (coverage up, "
+        "area/energy down)",
+    )
+    ecc_p.add_argument(
+        "--interleave",
+        action="store_true",
+        help="also evaluate bit-interleaved codeword layouts",
+    )
+    ecc_p.add_argument(
+        "--trials",
+        type=int,
+        default=2000,
+        help="Monte-Carlo trials per (layout, pattern) when the instance "
+        "set is too large to enumerate",
+    )
+    ecc_p.add_argument("--seed", type=int, default=0)
+    ecc_p.add_argument(
+        "--format", choices=("text", "json"), default="text"
     )
 
     cache_p = sub.add_parser(
@@ -1005,7 +1238,7 @@ def build_parser() -> argparse.ArgumentParser:
         "submit", help="submit a job to a running service"
     )
     kind_sub = submit_p.add_subparsers(dest="kind", required=True)
-    for kind in ("run", "inject", "lint", "vuln", "sweep"):
+    for kind in ("run", "inject", "lint", "vuln", "sweep", "ecc"):
         kp = kind_sub.add_parser(kind, help=f"submit a {kind} job")
         _add_client_flags(kp)
         kp.add_argument(
@@ -1059,6 +1292,8 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
             )
             kp.add_argument("--shards", default=None, metavar="LO:HI")
+            kp.add_argument("--ecc", default=None, metavar="CODE")
+            kp.add_argument("--upset", default=None, metavar="PATTERN")
         elif kind == "lint":
             kp.add_argument("uid", nargs="?", default=None)
             kp.add_argument("--all", action="store_true")
@@ -1071,6 +1306,12 @@ def build_parser() -> argparse.ArgumentParser:
             )
             kp.add_argument("--no-differential", action="store_true")
             kp.add_argument("--strict", action="store_true")
+            kp.add_argument(
+                "--upset-model",
+                dest="upset_model",
+                default=None,
+                metavar="PATTERN",
+            )
         elif kind == "vuln":
             kp.add_argument("uid")
             kp.add_argument("--wcdl", type=int, default=None)
@@ -1081,7 +1322,7 @@ def build_parser() -> argparse.ArgumentParser:
             kp.add_argument(
                 "--format", choices=("text", "json"), default=None
             )
-        else:  # sweep
+        elif kind == "sweep":
             kp.add_argument(
                 "--figures",
                 default=None,
@@ -1092,6 +1333,22 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="comma-separated benchmark uids (default: all 36)",
             )
+            kp.add_argument(
+                "--format", choices=("text", "json"), default=None
+            )
+        else:  # ecc
+            kp.add_argument("--codes", default=None, metavar="CODES")
+            kp.add_argument(
+                "--structure",
+                dest="structures",
+                default=None,
+                metavar="NAMES",
+            )
+            kp.add_argument("--patterns", default=None, metavar="PATTERNS")
+            kp.add_argument("--pareto", action="store_true")
+            kp.add_argument("--interleave", action="store_true")
+            kp.add_argument("--trials", type=int, default=None)
+            kp.add_argument("--seed", type=int, default=None)
             kp.add_argument(
                 "--format", choices=("text", "json"), default=None
             )
@@ -1129,6 +1386,7 @@ def main(argv: list[str] | None = None) -> int:
         "lint": _cmd_lint,
         "figure": _cmd_figure,
         "sweep": _cmd_sweep,
+        "ecc": _cmd_ecc,
         "cache": _cmd_cache,
         "sensors": _cmd_sensors,
         "serve": _cmd_serve,

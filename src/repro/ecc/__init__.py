@@ -1,0 +1,41 @@
+"""Bit-level ECC design-space exploration (codes, layouts, explorer).
+
+``repro.ecc`` replaces the injector's abstract "parity detected" fail-
+safe with real linear block codes: honest encode/syndrome/decode for
+even parity, plain Hamming SEC, extended Hamming SEC-DED, SEC-DAEC and
+a DEC-TED BCH construction, multi-bit upset shapes, codeword layouts
+over the protected structures, and a Pareto explorer costing coverage
+against area and energy through :mod:`repro.hwcost`.
+"""
+
+from repro.ecc.codes import (
+    CODE_NAMES,
+    Code,
+    DecodeResult,
+    Verdict,
+    make_code,
+    secded_72_64,
+)
+from repro.ecc.faultmodel import (
+    PATTERN_NAMES,
+    UpsetPattern,
+    parse_patterns,
+    pattern,
+)
+from repro.ecc.layout import STRUCTURES, Layout, layout
+
+__all__ = [
+    "CODE_NAMES",
+    "Code",
+    "DecodeResult",
+    "Verdict",
+    "make_code",
+    "secded_72_64",
+    "PATTERN_NAMES",
+    "UpsetPattern",
+    "parse_patterns",
+    "pattern",
+    "STRUCTURES",
+    "Layout",
+    "layout",
+]

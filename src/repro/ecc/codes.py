@@ -1,0 +1,530 @@
+"""Real linear block codes at the bit level.
+
+Four constructions back the design-space explorer and the injector's
+``--ecc`` mode:
+
+* even parity — detects every odd-weight error, silent on even weight;
+* Hamming SEC (``sec``) — the *plain* single-error-correcting code.
+  Kept deliberately: a double-bit error aliases to some single-bit
+  syndrome and the decoder confidently flips a third bit, which is the
+  classic miscorrection failure the DED parity bit exists to prevent;
+* extended Hamming SEC-DED (``secded``) — (72,64) and a parameterized
+  (n,k) constructor: corrects all singles, detects all doubles;
+* SEC-DAEC (``secdaec``) — greedy Dutta/Touba-style parity-check
+  construction whose adjacent-column sums are distinct from every
+  single column and from each other, so adjacent doubles correct;
+* DEC-TED BCH (``bch``) — syndromes over GF(2^m) at alpha and alpha^3
+  plus an overall parity bit: corrects any double, detects any triple.
+
+Every decode is honest syndrome decoding: the verdict for an arbitrary
+error vector is *computed*, never assumed. A miscorrection is whatever
+falls out of the syndrome table — the decoder applied a correction and
+the recovered data still differs from what was stored.
+
+All codes here are linear, so the verdict of an error vector does not
+depend on the data word it lands on; ``tests/test_ecc_codes.py`` checks
+that property rather than relying on it silently.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Callable
+from dataclasses import dataclass
+from functools import lru_cache
+
+
+class Verdict(enum.Enum):
+    """Typed decode verdict for one (codeword, error vector) pair."""
+
+    CLEAN = "clean"  # zero error, decoder untouched
+    CORRECTED = "corrected"  # decoder acted, data recovered exactly
+    DETECTED = "detected"  # decoder flagged an uncorrectable error
+    MISCORRECTED = "miscorrected"  # decoder "fixed" the wrong bits
+    SILENT = "silent"  # error aliased to a valid codeword
+
+
+#: Severity order for aggregating per-codeword verdicts into one word
+#: verdict: a detected codeword halts the machine (contained) even if a
+#: sibling codeword miscorrected, and any undetected corruption beats a
+#: successful correction.
+SEVERITY = (
+    Verdict.CLEAN,
+    Verdict.CORRECTED,
+    Verdict.DETECTED,
+    Verdict.SILENT,
+    Verdict.MISCORRECTED,
+)
+
+#: Verdicts after which the stored word is still trustworthy.
+GOOD_VERDICTS = frozenset({Verdict.CLEAN, Verdict.CORRECTED})
+#: Verdicts the machine can act on (halt / recover) — contained.
+CONTAINED_VERDICTS = frozenset(
+    {Verdict.CLEAN, Verdict.CORRECTED, Verdict.DETECTED}
+)
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """What the decoder did to one received word."""
+
+    data: int  # recovered data bits (k wide)
+    corrected_mask: int  # codeword bits the decoder flipped
+    detected: bool  # uncorrectable-error flag raised
+
+
+class Code:
+    """A systematic linear block code over GF(2).
+
+    ``columns[i]`` is the r-bit parity-check column of codeword bit i.
+    ``check_positions`` index r linearly independent columns; the
+    remaining positions carry data bits in order.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: tuple[int, ...],
+        r: int,
+    ) -> None:
+        self.name = name
+        self.columns = columns
+        self.r = r
+        self.n = len(columns)
+        self.k = self.n - r
+        self.check_positions = _pick_check_positions(columns, r)
+        in_check = set(self.check_positions)
+        self.data_positions = tuple(
+            i for i in range(self.n) if i not in in_check
+        )
+        # Columns of the inverse of the check submatrix: _solve[j] is
+        # the check-bit combination whose syndrome is the unit vector
+        # 2**j, so encode() can cancel any data syndrome.
+        self._solve = _invert_columns(
+            tuple(columns[i] for i in self.check_positions), r
+        )
+
+    # -- encode / syndrome ------------------------------------------------
+
+    def encode(self, data: int) -> int:
+        """Map k data bits to the n-bit codeword (syndrome zero)."""
+        if data < 0 or data >> self.k:
+            raise ValueError(f"data out of range for k={self.k}")
+        word = 0
+        syndrome = 0
+        for j, pos in enumerate(self.data_positions):
+            if (data >> j) & 1:
+                word |= 1 << pos
+                syndrome ^= self.columns[pos]
+        check = 0
+        for j in range(self.r):
+            if (syndrome >> j) & 1:
+                check ^= self._solve[j]
+        for j, pos in enumerate(self.check_positions):
+            if (check >> j) & 1:
+                word |= 1 << pos
+        return word
+
+    def syndrome(self, word: int) -> int:
+        s = 0
+        w = word
+        while w:
+            low = w & -w
+            s ^= self.columns[low.bit_length() - 1]
+            w ^= low
+        return s
+
+    def extract(self, word: int) -> int:
+        """Data bits of a codeword, no decoding."""
+        data = 0
+        for j, pos in enumerate(self.data_positions):
+            if (word >> pos) & 1:
+                data |= 1 << j
+        return data
+
+    # -- decode -----------------------------------------------------------
+
+    def correction_for(self, syndrome: int) -> int | None:
+        """Codeword flip mask for a syndrome, or None if uncorrectable.
+
+        Subclasses implement the code-specific syndrome table / algebra.
+        A zero syndrome never reaches this method.
+        """
+        raise NotImplementedError
+
+    def decode(self, word: int) -> DecodeResult:
+        s = self.syndrome(word)
+        if s == 0:
+            return DecodeResult(self.extract(word), 0, False)
+        mask = self.correction_for(s)
+        if mask is None:
+            return DecodeResult(self.extract(word), 0, True)
+        return DecodeResult(self.extract(word ^ mask), mask, False)
+
+    # -- evaluation -------------------------------------------------------
+
+    def verdict(self, data: int, error: int) -> Verdict:
+        """Honest outcome of decoding ``encode(data) ^ error``."""
+        result = self.decode(self.encode(data) ^ error)
+        if result.detected:
+            return Verdict.DETECTED
+        if result.data == data:
+            if error == 0:
+                return Verdict.CLEAN
+            return Verdict.CORRECTED
+        if result.corrected_mask:
+            return Verdict.MISCORRECTED
+        return Verdict.SILENT
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name} ({self.n},{self.k})>"
+
+
+def _pick_check_positions(
+    columns: tuple[int, ...], r: int
+) -> tuple[int, ...]:
+    """Choose r positions with linearly independent columns.
+
+    Scans from the high end so conventional layouts keep their data
+    bits in the low positions.
+    """
+    basis: list[int] = []  # row-echelon accumulators
+    picked: list[int] = []
+    for i in reversed(range(len(columns))):
+        vec = columns[i]
+        for b in basis:
+            vec = min(vec, vec ^ b)
+        if vec:
+            basis.append(vec)
+            picked.append(i)
+            if len(picked) == r:
+                return tuple(sorted(picked))
+    raise ValueError(f"parity-check matrix has rank < {r}")
+
+
+def _invert_columns(cols: tuple[int, ...], r: int) -> tuple[int, ...]:
+    """Invert an r x r GF(2) matrix given as column bitmasks.
+
+    Returns columns of the inverse: result[j] solves M*x = 2**j.
+    """
+    # Augment each column with its identity tag and run Gauss-Jordan.
+    rows = [0] * r  # rows[i] = bits of row i across [M | I]
+    for j, col in enumerate(cols):
+        for i in range(r):
+            if (col >> i) & 1:
+                rows[i] |= 1 << j
+    for j in range(r):
+        rows[j] |= 1 << (r + j)  # identity augmentation
+    for col in range(r):
+        pivot = next(
+            (i for i in range(col, r) if (rows[i] >> col) & 1), None
+        )
+        if pivot is None:
+            raise ValueError("check submatrix is singular")
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        for i in range(r):
+            if i != col and (rows[i] >> col) & 1:
+                rows[i] ^= rows[col]
+    # Column j of the inverse = bits i where inverse[i][j] == 1.
+    out = [0] * r
+    for i in range(r):
+        inv_row = rows[i] >> r
+        for j in range(r):
+            if (inv_row >> j) & 1:
+                out[j] |= 1 << i
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
+# Even parity
+# ---------------------------------------------------------------------------
+
+
+class EvenParity(Code):
+    """One check bit; detects odd-weight errors, never corrects."""
+
+    def __init__(self, k: int) -> None:
+        super().__init__("parity", tuple([1] * (k + 1)), 1)
+
+    def correction_for(self, syndrome: int) -> int | None:
+        return None  # detect-only
+
+
+# ---------------------------------------------------------------------------
+# Hamming SEC and extended Hamming SEC-DED
+# ---------------------------------------------------------------------------
+
+
+def _hamming_columns(k: int) -> tuple[tuple[int, ...], int]:
+    """Distinct nonzero r-bit columns for k data + r check bits."""
+    r = 2
+    while (1 << r) - 1 < k + r:
+        r += 1
+    n = k + r
+    cols: list[int] = []
+    unit = {1 << j for j in range(r)}
+    value = 1
+    # Data columns: non-unit values in increasing order; check columns
+    # (the unit vectors) appended at the top so check bits sit above
+    # the data bits, matching the systematic layout convention.
+    while len(cols) < n - r:
+        if value not in unit:
+            cols.append(value)
+        value += 1
+        if value >= (1 << r):  # pragma: no cover - r chosen large enough
+            raise ValueError("hamming construction overflow")
+    cols.extend(sorted(unit))
+    return tuple(cols), r
+
+
+class HammingSEC(Code):
+    """Plain Hamming: corrects singles, *miscorrects* most doubles."""
+
+    def __init__(self, k: int) -> None:
+        columns, r = _hamming_columns(k)
+        super().__init__("sec", columns, r)
+        self._by_syndrome = {
+            col: 1 << i for i, col in enumerate(self.columns)
+        }
+
+    def correction_for(self, syndrome: int) -> int | None:
+        # Shortened codes leave syndrome gaps; those detect by luck.
+        return self._by_syndrome.get(syndrome)
+
+
+class HammingSECDED(Code):
+    """Extended Hamming: overall parity row distinguishes doubles.
+
+    The parity-check matrix is the plain Hamming matrix plus an
+    all-ones row and one extra parity bit. Decode convention:
+    odd-weight syndrome pattern -> correct; even-weight nonzero ->
+    detected double.
+    """
+
+    def __init__(self, k: int) -> None:
+        base, r = _hamming_columns(k)
+        parity_bit = 1 << r
+        columns = tuple(col | parity_bit for col in base) + (parity_bit,)
+        super().__init__("secded", columns, r + 1)
+        self._by_syndrome = {
+            col: 1 << i for i, col in enumerate(self.columns)
+        }
+        self._parity_bit = parity_bit
+
+    def correction_for(self, syndrome: int) -> int | None:
+        if not syndrome & self._parity_bit:
+            return None  # even error weight: guaranteed double detect
+        return self._by_syndrome.get(syndrome)
+
+
+# ---------------------------------------------------------------------------
+# SEC-DAEC
+# ---------------------------------------------------------------------------
+
+
+def _daec_columns(k: int, r: int) -> tuple[int, ...] | None:
+    """Greedy column selection for SEC-DAEC at a given r.
+
+    Invariants maintained while scanning positions left to right: all
+    columns distinct and nonzero; every adjacent-pair sum distinct from
+    every column and every other adjacent sum. Those two sets never
+    colliding is exactly the SEC-DAEC condition.
+    """
+    n = k + r
+    cols: list[int] = []
+    used: set[int] = set()
+    adj: set[int] = set()
+    limit = 1 << r
+    for _ in range(n):
+        prev = cols[-1] if cols else None
+        for cand in range(1, limit):
+            if cand in used or cand in adj:
+                continue
+            if prev is not None:
+                s = prev ^ cand
+                if s in used or s in adj or s == cand:
+                    continue
+            cols.append(cand)
+            used.add(cand)
+            if prev is not None:
+                adj.add(prev ^ cand)
+            break
+        else:
+            return None
+    return tuple(cols)
+
+
+class SECDAEC(Code):
+    """Single-error plus double-adjacent-error correcting code."""
+
+    def __init__(self, k: int) -> None:
+        base_r = _hamming_columns(k)[1]
+        columns: tuple[int, ...] | None = None
+        r = base_r
+        while True:
+            r += 1
+            if r > base_r + 8:  # pragma: no cover - greedy always lands
+                raise ValueError(f"no SEC-DAEC construction for k={k}")
+            columns = _daec_columns(k, r)
+            if columns is None:
+                continue
+            try:
+                _pick_check_positions(columns, r)
+            except ValueError:  # pragma: no cover - rank-deficient greedy
+                continue
+            break
+        super().__init__("secdaec", columns, r)
+        table = {col: 1 << i for i, col in enumerate(self.columns)}
+        for i in range(self.n - 1):
+            pair = self.columns[i] ^ self.columns[i + 1]
+            table[pair] = 0b11 << i
+        self._table = table
+
+    def correction_for(self, syndrome: int) -> int | None:
+        return self._table.get(syndrome)
+
+
+# ---------------------------------------------------------------------------
+# DEC-TED BCH
+# ---------------------------------------------------------------------------
+
+_PRIMITIVE_POLY = {
+    4: 0b10011,  # x^4 + x + 1
+    5: 0b100101,  # x^5 + x^2 + 1
+    6: 0b1000011,  # x^6 + x + 1
+    7: 0b10001001,  # x^7 + x^3 + 1
+    8: 0b100011101,  # x^8 + x^4 + x^3 + x^2 + 1
+}
+
+
+class _GF:
+    """GF(2^m) arithmetic via exp/log tables."""
+
+    def __init__(self, m: int) -> None:
+        self.m = m
+        self.size = 1 << m
+        poly = _PRIMITIVE_POLY[m]
+        self.exp = [0] * (2 * self.size)
+        self.log = [0] * self.size
+        x = 1
+        for i in range(self.size - 1):
+            self.exp[i] = x
+            self.log[x] = i
+            x <<= 1
+            if x & self.size:
+                x ^= poly
+        for i in range(self.size - 1, 2 * self.size):
+            self.exp[i] = self.exp[i - (self.size - 1)]
+
+    def mul(self, a: int, b: int) -> int:
+        if a == 0 or b == 0:
+            return 0
+        return self.exp[self.log[a] + self.log[b]]
+
+    def div(self, a: int, b: int) -> int:
+        if b == 0:
+            raise ZeroDivisionError
+        if a == 0:
+            return 0
+        return self.exp[self.log[a] - self.log[b] + self.size - 1]
+
+    def cube(self, a: int) -> int:
+        return self.mul(a, self.mul(a, a))
+
+
+class BCHDECTED(Code):
+    """Double-error-correcting, triple-error-detecting BCH code.
+
+    Syndromes S1 and S3 over GF(2^m) plus an overall parity bit.
+    Double errors solve the locator quadratic z^2 + S1 z + (S1^2 +
+    S3/S1) by Chien search; anything inconsistent detects. Four or
+    more errors can alias to a solvable signature — that is the honest
+    miscorrection path.
+    """
+
+    def __init__(self, k: int) -> None:
+        m = 4
+        while (1 << m) - 1 < k + 2 * m:
+            m += 1
+        if m not in _PRIMITIVE_POLY:
+            raise ValueError(f"k={k} too wide for the BCH table")
+        gf = _GF(m)
+        bch_n = k + 2 * m  # BCH positions (shortened); +1 parity below
+        parity_row = 1 << (2 * m)
+        columns = tuple(
+            gf.exp[i % (gf.size - 1)]
+            | (gf.cube(gf.exp[i % (gf.size - 1)]) << m)
+            | parity_row
+            for i in range(bch_n)
+        ) + (parity_row,)
+        super().__init__("bch", columns, 2 * m + 1)
+        self._gf = gf
+        self._m = m
+        self._bch_n = bch_n
+
+    def correction_for(self, syndrome: int) -> int | None:
+        gf = self._gf
+        m = self._m
+        s1 = syndrome & (gf.size - 1)
+        s3 = (syndrome >> m) & (gf.size - 1)
+        odd = bool(syndrome >> (2 * m))
+        if s1 == 0 and s3 == 0:
+            # Only the overall parity bit disagrees.
+            return (1 << self._bch_n) if odd else None
+        if odd:
+            if s1 != 0 and gf.cube(s1) == s3:
+                pos = gf.log[s1]
+                if pos < self._bch_n:
+                    return 1 << pos
+            return None  # three or more errors
+        if s1 == 0:
+            return None  # even weight >= 4 with degenerate locator
+        # z^2 + s1*z + c, c = s1^2 + s3/s1 (product of the two roots).
+        c = gf.mul(s1, s1) ^ gf.div(s3, s1)
+        if c == 0:
+            # One root is z = 0: a single BCH error paired with the
+            # overall parity bit.
+            pos = gf.log[s1]
+            if pos < self._bch_n:
+                return (1 << pos) | (1 << self._bch_n)
+            return None
+        roots = [
+            i
+            for i in range(self._bch_n)
+            if gf.mul(gf.exp[i], gf.exp[i] ^ s1) == c
+        ]
+        if len(roots) == 2:
+            return (1 << roots[0]) | (1 << roots[1])
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+#: CLI-facing code identifiers, weakest to strongest.
+CODE_NAMES = ("parity", "sec", "secded", "secdaec", "bch")
+
+_CONSTRUCTORS: dict[str, Callable[[int], Code]] = {
+    "parity": EvenParity,
+    "sec": HammingSEC,
+    "secded": HammingSECDED,
+    "secdaec": SECDAEC,
+    "bch": BCHDECTED,
+}
+
+
+@lru_cache(maxsize=None)
+def make_code(name: str, k: int) -> Code:
+    """Construct (and memoise) the named code for a k-bit data word."""
+    ctor = _CONSTRUCTORS.get(name)
+    if ctor is None:
+        raise ValueError(
+            f"unknown code {name!r}; choose from {', '.join(CODE_NAMES)}"
+        )
+    return ctor(k)
+
+
+def secded_72_64() -> Code:
+    """The canonical DRAM-style (72,64) extended Hamming code."""
+    return make_code("secded", 64)

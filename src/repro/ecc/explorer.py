@@ -1,0 +1,249 @@
+"""Design-space exploration: codes x structures x upset patterns.
+
+For every (code, structure, interleave) layout the explorer decodes
+real error vectors — exhaustively when the pattern's instance set is
+small enough, seeded Monte-Carlo otherwise — and aggregates the typed
+verdicts into an outcome distribution per upset pattern. Each point is
+then costed through :mod:`repro.hwcost.ecc` and the per-structure
+Pareto frontier (coverage up, area and energy down) is extracted by
+dominated-point pruning.
+
+Coverage here means *containment*: the fraction of strikes whose worst
+per-word verdict is clean, corrected or detected. Miscorrections and
+silent passes are the uncovered residue, reported separately because
+they are the honest bad news a table of guarantees hides.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass
+
+from repro.ecc.codes import CODE_NAMES, Verdict
+from repro.ecc.faultmodel import MAX_EXHAUSTIVE, UpsetPattern
+from repro.ecc.layout import STRUCTURES, Layout, layout
+from repro.hwcost.ecc import EccCost, layout_cost
+
+DEFAULT_TRIALS = 2000
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Verdict histogram of one (layout, pattern) evaluation."""
+
+    counts: tuple[tuple[str, int], ...]  # verdict value -> count, sorted
+    trials: int
+    exhaustive: bool
+
+    def rate(self, verdict: Verdict) -> float:
+        table = dict(self.counts)
+        return table.get(verdict.value, 0) / self.trials
+
+    @property
+    def contained(self) -> float:
+        return (
+            self.rate(Verdict.CLEAN)
+            + self.rate(Verdict.CORRECTED)
+            + self.rate(Verdict.DETECTED)
+        )
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "counts": dict(self.counts),
+            "trials": self.trials,
+            "exhaustive": self.exhaustive,
+        }
+
+
+def evaluate_pattern(
+    lay: Layout, upset: UpsetPattern, seed: int, trials: int
+) -> Distribution:
+    """Outcome distribution of one upset shape over one layout."""
+    rng = random.Random(f"{seed}:{lay.code_name}:{lay.structure.name}:"
+                        f"{int(lay.interleave)}:{upset.name}")
+    width = lay.total_bits
+    instances = upset.instances(width)
+    counts: dict[str, int] = {}
+    if instances is not None and 0 < len(instances) <= MAX_EXHAUSTIVE:
+        errors = instances
+        exhaustive = True
+    else:
+        errors = [upset.sample(rng, width) for _ in range(trials)]
+        exhaustive = False
+    for error in errors:
+        verdict = lay.word_verdict(rng, error)
+        counts[verdict.value] = counts.get(verdict.value, 0) + 1
+    return Distribution(
+        counts=tuple(sorted(counts.items())),
+        trials=len(errors),
+        exhaustive=exhaustive,
+    )
+
+
+@dataclass(frozen=True)
+class EccPoint:
+    """One evaluated + costed design point."""
+
+    code: str
+    structure: str
+    interleave: bool
+    distributions: tuple[tuple[str, Distribution], ...]
+    cost: EccCost
+
+    @property
+    def name(self) -> str:
+        suffix = "/interleaved" if self.interleave else ""
+        return f"{self.structure}/{self.code}{suffix}"
+
+    @property
+    def coverage(self) -> float:
+        """Mean containment across the evaluated patterns."""
+        dists = [d for _, d in self.distributions]
+        return sum(d.contained for d in dists) / len(dists)
+
+    @property
+    def miscorrection_rate(self) -> float:
+        dists = [d for _, d in self.distributions]
+        return sum(d.rate(Verdict.MISCORRECTED) for d in dists) / len(dists)
+
+    @property
+    def silent_rate(self) -> float:
+        dists = [d for _, d in self.distributions]
+        return sum(d.rate(Verdict.SILENT) for d in dists) / len(dists)
+
+    def dominates(self, other: "EccPoint") -> bool:
+        """Pareto dominance: coverage up, area and energy down."""
+        no_worse = (
+            self.coverage >= other.coverage
+            and self.cost.area_um2 <= other.cost.area_um2
+            and self.cost.energy_pj <= other.cost.energy_pj
+        )
+        strictly = (
+            self.coverage > other.coverage
+            or self.cost.area_um2 < other.cost.area_um2
+            or self.cost.energy_pj < other.cost.energy_pj
+        )
+        return no_worse and strictly
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "point": self.name,
+            "code": self.code,
+            "structure": self.structure,
+            "interleave": self.interleave,
+            "coverage": round(self.coverage, 6),
+            "miscorrection_rate": round(self.miscorrection_rate, 6),
+            "silent_rate": round(self.silent_rate, 6),
+            "area_um2": round(self.cost.area_um2, 3),
+            "energy_pj": round(self.cost.energy_pj, 5),
+            "area_overhead": round(self.cost.area_overhead, 4),
+            "energy_overhead": round(self.cost.energy_overhead, 4),
+            "check_bits": self.cost.check_bits,
+            "patterns": {
+                name: dist.to_dict() for name, dist in self.distributions
+            },
+        }
+
+
+def explore(
+    codes: tuple[str, ...],
+    structures: tuple[str, ...],
+    patterns: tuple[UpsetPattern, ...],
+    seed: int = 0,
+    trials: int = DEFAULT_TRIALS,
+    interleave_options: tuple[bool, ...] = (False,),
+) -> list[EccPoint]:
+    """Evaluate the full lattice, deterministically ordered."""
+    for structure in structures:
+        if structure not in STRUCTURES:
+            raise ValueError(f"unknown structure {structure!r}")
+    points: list[EccPoint] = []
+    for structure in structures:
+        for code in codes:
+            for inter in interleave_options:
+                lay = layout(code, structure, inter)
+                dists = tuple(
+                    (p.name, evaluate_pattern(lay, p, seed, trials))
+                    for p in patterns
+                )
+                points.append(
+                    EccPoint(
+                        code=code,
+                        structure=structure,
+                        interleave=inter,
+                        distributions=dists,
+                        cost=layout_cost(lay),
+                    )
+                )
+    return points
+
+
+def prune_dominated(points: list[EccPoint]) -> list[EccPoint]:
+    """Non-dominated subset of one comparable group, input order kept."""
+    return [
+        p
+        for i, p in enumerate(points)
+        if not any(
+            q.dominates(p) for j, q in enumerate(points) if j != i
+        )
+    ]
+
+
+def pareto_frontier(points: list[EccPoint]) -> list[EccPoint]:
+    """Per-structure frontiers (costs only compare within a structure)."""
+    frontier: list[EccPoint] = []
+    for structure in dict.fromkeys(p.structure for p in points):
+        group = [p for p in points if p.structure == structure]
+        frontier.extend(prune_dominated(group))
+    return frontier
+
+
+# ---------------------------------------------------------------------------
+# Rendering (shared by the CLI and the service job)
+# ---------------------------------------------------------------------------
+
+
+def points_to_json(
+    points: list[EccPoint], frontier: list[EccPoint] | None
+) -> str:
+    payload: dict[str, object] = {
+        "points": [p.to_dict() for p in points],
+    }
+    if frontier is not None:
+        payload["pareto"] = [p.name for p in frontier]
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def format_points(
+    points: list[EccPoint], frontier: list[EccPoint] | None
+) -> str:
+    """Human-readable table, one row per design point."""
+    on_frontier = {p.name for p in (frontier or [])}
+    lines = [
+        f"{'point':<28} {'cover':>7} {'miscorr':>8} {'silent':>7} "
+        f"{'area um^2':>10} {'pJ':>8} {'chk':>4}"
+    ]
+    for p in points:
+        star = "*" if p.name in on_frontier else " "
+        lines.append(
+            f"{star}{p.name:<27} {p.coverage:>7.4f} "
+            f"{p.miscorrection_rate:>8.4f} {p.silent_rate:>7.4f} "
+            f"{p.cost.area_um2:>10.2f} {p.cost.energy_pj:>8.4f} "
+            f"{p.cost.check_bits:>4}"
+        )
+    if frontier is not None:
+        lines.append("")
+        lines.append(
+            f"pareto frontier ({len(on_frontier)} points, * above): "
+            "coverage up, area/energy down, per structure"
+        )
+    return "\n".join(lines)
+
+
+def default_codes() -> tuple[str, ...]:
+    return CODE_NAMES
+
+
+def default_structures() -> tuple[str, ...]:
+    return tuple(STRUCTURES)

@@ -1,0 +1,125 @@
+"""Multi-bit upset pattern generators.
+
+Each pattern describes the *shape* of one particle strike over a
+physical word of ``width`` bits. Patterns enumerate their full instance
+set when that is feasible (the explorer then evaluates exhaustively)
+and otherwise draw seeded Monte-Carlo samples; both paths are
+deterministic for a fixed seed.
+
+Shapes, following the soft-error literature:
+
+* ``single`` — one flipped cell;
+* ``adjacent-double`` — two physically neighbouring cells (charge
+  sharing between adjacent nodes);
+* ``burst<k>`` — a burst spanning exactly k adjacent cells, both ends
+  flipped, interior cells flipped or not (secondary-particle tracks);
+* ``random<k>`` — k independent cells anywhere in the word (multiple
+  strikes within one scrub interval);
+* ``column<s>`` — two cells one array column apart (stride s), the
+  well-shared column failure mode of folded arrays.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+
+#: Above this many enumerable instances the explorer samples instead.
+MAX_EXHAUSTIVE = 20_000
+
+
+@dataclass(frozen=True)
+class UpsetPattern:
+    """One strike shape, parameterized by the pattern registry."""
+
+    name: str
+    kind: str
+    span: int  # cells covered by the shape (window or count)
+
+    def instances(self, width: int) -> list[int] | None:
+        """Every error vector of this shape, or None when unbounded."""
+        if self.kind == "single":
+            return [1 << i for i in range(width)]
+        if self.kind == "adjacent":
+            return [0b11 << i for i in range(width - 1)]
+        if self.kind == "column":
+            stride = self.span
+            if width <= stride:
+                return []
+            return [(1 | (1 << stride)) << i for i in range(width - stride)]
+        if self.kind == "burst":
+            k = self.span
+            if width < k:
+                return []
+            ends = 1 | (1 << (k - 1))
+            masks: list[int] = []
+            for interior in range(1 << max(0, k - 2)):
+                body = ends | (interior << 1)
+                masks.extend(body << i for i in range(width - k + 1))
+            if len(masks) > MAX_EXHAUSTIVE:
+                return None  # pragma: no cover - bursts stay small
+            return masks
+        return None  # random-k: C(width, k) explodes; sample instead
+
+    def sample(self, rng: random.Random, width: int) -> int:
+        """One seeded error vector of this shape."""
+        if self.kind == "random":
+            bits = rng.sample(range(width), min(self.span, width))
+            mask = 0
+            for b in bits:
+                mask |= 1 << b
+            return mask
+        pool = self.instances(width)
+        if not pool:
+            raise ValueError(
+                f"pattern {self.name} does not fit a {width}-bit word"
+            )
+        return pool[rng.randrange(len(pool))]
+
+
+#: Baseline registry; ``burst<k>``/``random<k>``/``column<s>`` parse too.
+PATTERN_NAMES = (
+    "single",
+    "adjacent-double",
+    "burst3",
+    "burst4",
+    "random2",
+    "random3",
+    "column8",
+)
+
+_PARAMETRIC = re.compile(r"^(burst|random|column)(\d+)$")
+
+
+def pattern(name: str) -> UpsetPattern:
+    """Resolve a pattern name, accepting parameterized spellings."""
+    if name == "single":
+        return UpsetPattern("single", "single", 1)
+    if name == "adjacent-double":
+        return UpsetPattern("adjacent-double", "adjacent", 2)
+    match = _PARAMETRIC.match(name)
+    if match:
+        kind, raw = match.group(1), int(match.group(2))
+        if kind == "burst" and 2 <= raw <= 8:
+            return UpsetPattern(name, "burst", raw)
+        if kind == "random" and 1 <= raw <= 8:
+            return UpsetPattern(name, "random", raw)
+        if kind == "column" and 1 <= raw <= 64:
+            return UpsetPattern(name, "column", raw)
+    raise ValueError(
+        f"unknown upset pattern {name!r}; known: {', '.join(PATTERN_NAMES)}"
+        " (burst<k>, random<k>, column<s> parameterize)"
+    )
+
+
+def parse_patterns(spec: str) -> tuple[UpsetPattern, ...]:
+    """Comma-separated pattern list -> tuple, order-preserving dedup."""
+    names = [part.strip() for part in spec.split(",") if part.strip()]
+    seen: dict[str, UpsetPattern] = {}
+    for name in names:
+        if name not in seen:
+            seen[name] = pattern(name)
+    if not seen:
+        raise ValueError("empty pattern list")
+    return tuple(seen.values())

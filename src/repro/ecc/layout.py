@@ -1,0 +1,164 @@
+"""Codeword layouts over the protected structures.
+
+A layout maps one of the machine's protected storage structures — SB
+entries (120 bits, :data:`repro.hwcost.cacti.SB_ENTRY_BITS`), CLQ
+entries (64 bits) or rotating-checkpoint words (32-bit machine words) —
+onto one or more codewords of a chosen code, and translates a physical
+error vector over the stored cells into per-codeword error vectors.
+
+Wide structures split into 64-bit-data chunks, so the SB entry uses
+the canonical (72,64) geometry for its first chunk and a shortened
+code for the 56-bit remainder. With ``interleave=True`` the codewords'
+cells are round-robin interleaved, the standard trick that turns one
+physically-adjacent double strike into two single-bit errors in
+different codewords.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.ecc.codes import SEVERITY, Code, Verdict, make_code
+from repro.hwcost.cacti import SB_ENTRY_BITS
+
+#: Data bits of one CLQ entry (16 B across 2 entries, Table 1).
+CLQ_ENTRY_BITS = 64
+#: Rotating checkpoint storage holds 32-bit register/memory words.
+CHECKPOINT_WORD_BITS = 32
+
+#: Largest data chunk one codeword covers (the DRAM-style 64-bit word).
+MAX_CHUNK_BITS = 64
+
+
+@dataclass(frozen=True)
+class Structure:
+    """Geometry of one protected structure for layout and costing."""
+
+    name: str
+    word_bits: int
+    entries: int
+    array_kind: str  # "cam" | "ram" for the cost model
+
+
+#: The three ECC targets: 4-entry SB (CAM), 2-entry CLQ, and the
+#: rotating checkpoint file (2 generations x 32 registers).
+STRUCTURES: dict[str, Structure] = {
+    "sb": Structure("sb", SB_ENTRY_BITS, 4, "cam"),
+    "clq": Structure("clq", CLQ_ENTRY_BITS, 2, "ram"),
+    "checkpoint": Structure("checkpoint", CHECKPOINT_WORD_BITS, 64, "ram"),
+}
+
+
+def chunk_widths(word_bits: int) -> tuple[int, ...]:
+    """Split a structure word into per-codeword data widths."""
+    widths: list[int] = []
+    remaining = word_bits
+    while remaining > 0:
+        take = min(MAX_CHUNK_BITS, remaining)
+        widths.append(take)
+        remaining -= take
+    return tuple(widths)
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A code mapped onto one structure word, optionally interleaved."""
+
+    code_name: str
+    structure: Structure
+    interleave: bool
+
+    @property
+    def codes(self) -> tuple[Code, ...]:
+        return tuple(
+            make_code(self.code_name, k)
+            for k in chunk_widths(self.structure.word_bits)
+        )
+
+    @property
+    def total_bits(self) -> int:
+        """Physical cells per stored word, data plus check bits."""
+        return sum(code.n for code in self.codes)
+
+    @property
+    def check_bits(self) -> int:
+        return sum(code.r for code in self.codes)
+
+    @property
+    def cell_order(self) -> tuple[tuple[int, int], ...]:
+        """Physical cell i -> (codeword index, bit within codeword)."""
+        return _cell_order(
+            tuple(code.n for code in self.codes), self.interleave
+        )
+
+    def split(self, physical_error: int) -> tuple[int, ...]:
+        """Demultiplex a physical error vector into per-codeword ones."""
+        per_code = [0] * len(self.codes)
+        order = self.cell_order
+        err = physical_error
+        while err:
+            low = err & -err
+            cell = low.bit_length() - 1
+            if cell >= len(order):
+                raise ValueError("error vector wider than the layout")
+            ci, bit = order[cell]
+            per_code[ci] |= 1 << bit
+            err ^= low
+        return tuple(per_code)
+
+    def word_verdict(
+        self, rng: random.Random, physical_error: int
+    ) -> Verdict:
+        """Decode one strike against seeded data, worst verdict wins.
+
+        Detection anywhere halts the machine, so it contains a sibling
+        codeword's miscorrection; any undetected corruption outranks a
+        successful correction.
+        """
+        verdicts = [
+            code.verdict(rng.getrandbits(code.k), error)
+            for code, error in zip(self.codes, self.split(physical_error))
+        ]
+        if Verdict.DETECTED in verdicts:
+            # Containment: an uncorrectable flag anywhere stops the
+            # word from being consumed, whatever the siblings did.
+            return Verdict.DETECTED
+        for verdict in reversed(SEVERITY):
+            if verdict in verdicts:
+                return verdict
+        return Verdict.CLEAN
+
+
+def _cell_order(
+    lengths: tuple[int, ...], interleave: bool
+) -> tuple[tuple[int, int], ...]:
+    order: list[tuple[int, int]] = []
+    if interleave:
+        cursors = [0] * len(lengths)
+        while len(order) < sum(lengths):
+            for ci, n in enumerate(lengths):
+                if cursors[ci] < n:
+                    order.append((ci, cursors[ci]))
+                    cursors[ci] += 1
+    else:
+        for ci, n in enumerate(lengths):
+            order.extend((ci, bit) for bit in range(n))
+    return tuple(order)
+
+
+@lru_cache(maxsize=None)
+def layout(
+    code_name: str, structure: str, interleave: bool = False
+) -> Layout:
+    """Resolve and memoise a (code, structure, interleave) layout."""
+    try:
+        geom = STRUCTURES[structure]
+    except KeyError:
+        raise ValueError(
+            f"unknown structure {structure!r}; "
+            f"choose from {', '.join(STRUCTURES)}"
+        ) from None
+    make_code(code_name, chunk_widths(geom.word_bits)[0])  # validate name
+    return Layout(code_name, geom, interleave)

@@ -30,6 +30,7 @@ from typing import Callable
 
 from repro.compiler.pipeline import CompiledProgram
 from repro.faults.injector import (
+    LEGACY_KINDS,
     CampaignResult,
     FaultOutcomeKind,
     injection_for_index,
@@ -109,6 +110,14 @@ VARIANT_CONFIGS: dict[str, Callable[[int], ResilienceConfig]] = {
 DEFAULT_VARIANTS = tuple(VARIANT_CONFIGS)
 
 
+def _variant_config(spec: "CampaignSpec", variant: str) -> ResilienceConfig:
+    """Variant hardware config with the spec's ECC mode applied."""
+    config = VARIANT_CONFIGS[variant](spec.wcdl)
+    if spec.ecc is not None:
+        config.ecc_code = spec.ecc
+    return config
+
+
 def run_protocol_campaigns(
     compiled: CompiledProgram,
     memory: Memory,
@@ -155,6 +164,13 @@ class CampaignSpec:
     variants: tuple[str, ...] = DEFAULT_VARIANTS
     shard_size: int = 8
     max_steps: int = 4_000_000
+    # Real-code ECC decode (repro.ecc code name) and upset-pattern
+    # shape for the injections. Both default to None — the abstract
+    # fail-safe and the classic single/double generator — and are
+    # omitted from to_dict() so pre-ECC campaign aggregates and
+    # manifests stay byte-identical.
+    ecc: str | None = None
+    upset: str | None = None
 
     def __post_init__(self) -> None:
         if not self.targets:
@@ -170,6 +186,14 @@ class CampaignSpec:
             raise ValueError("campaign needs at least one injection")
         if self.shard_size < 1:
             raise ValueError("shard size must be >= 1")
+        if self.ecc is not None:
+            from repro.ecc.codes import make_code
+
+            make_code(self.ecc, 32)  # raises ValueError on unknown codes
+        if self.upset is not None:
+            from repro.ecc.faultmodel import pattern
+
+            pattern(self.upset)  # raises ValueError on unknown patterns
 
     @property
     def target_kinds(self) -> tuple[InjectionTarget, ...]:
@@ -184,7 +208,7 @@ class CampaignSpec:
         ]
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "uid": self.uid,
             "wcdl": self.wcdl,
             "count": self.count,
@@ -194,6 +218,14 @@ class CampaignSpec:
             "shard_size": self.shard_size,
             "max_steps": self.max_steps,
         }
+        # Only ECC-mode campaigns carry the extra keys: the spec dict is
+        # embedded in aggregates and manifests, whose byte-identity for
+        # ECC-off campaigns is a compatibility guarantee.
+        if self.ecc is not None:
+            data["ecc"] = self.ecc
+        if self.upset is not None:
+            data["upset"] = self.upset
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "CampaignSpec":
@@ -206,6 +238,8 @@ class CampaignSpec:
             variants=tuple(data["variants"]),
             shard_size=data["shard_size"],
             max_steps=data["max_steps"],
+            ecc=data.get("ecc"),
+            upset=data.get("upset"),
         )
 
 
@@ -283,7 +317,9 @@ def _golden_record(
     the fault-free run to finish: acceleration silently degrades to the
     from-scratch path (whose injected runs will time out identically).
     """
-    memo_key = (spec.uid, variant, spec.wcdl, interval, spec.max_steps)
+    memo_key = (
+        spec.uid, variant, spec.wcdl, interval, spec.max_steps, spec.ecc
+    )
     if memo_key in _GOLDEN_CACHE:
         return _GOLDEN_CACHE[memo_key]
 
@@ -291,7 +327,7 @@ def _golden_record(
     from repro.runtime.machine import WatchdogTimeout
 
     compiled, memory, golden, _horizon_ = _campaign_context(spec.uid)
-    config = VARIANT_CONFIGS[variant](spec.wcdl)
+    config = _variant_config(spec, variant)
     cache = ArtifactCache.default()
     disk_key = (
         ArtifactCache.golden_key(spec.uid, config, interval, spec.max_steps)
@@ -333,11 +369,12 @@ def _run_shard(payload: dict) -> tuple[int, list[dict]]:
     records = []
     for index in payload["indices"]:
         injection = injection_for_index(
-            compiled, spec.wcdl, spec.seed, index, horizon, targets
+            compiled, spec.wcdl, spec.seed, index, horizon, targets,
+            upset=spec.upset,
         )
         outcomes = {}
         for variant in spec.variants:
-            config = VARIANT_CONFIGS[variant](spec.wcdl)
+            config = _variant_config(spec, variant)
             outcome = run_with_injection(
                 compiled,
                 config,
@@ -382,10 +419,19 @@ class CampaignReport:
             result.outcomes.append(outcome_from_dict(record["outcomes"][variant]))
         return result
 
+    def _kinds(self) -> tuple[FaultOutcomeKind, ...]:
+        """Zero-filled taxonomy keys: legacy only unless ECC mode ran.
+
+        Pre-ECC aggregates must stay byte-identical, so the
+        ``miscorrected`` key appears only when the spec could have
+        produced it.
+        """
+        return tuple(FaultOutcomeKind) if self.spec.ecc else LEGACY_KINDS
+
     def per_variant(self) -> dict[str, dict[str, int]]:
         """variant -> outcome-kind histogram."""
         return {
-            variant: self.variant_result(variant).by_kind()
+            variant: self.variant_result(variant).by_kind(self._kinds())
             for variant in self.spec.variants
         }
 
@@ -397,7 +443,7 @@ class CampaignReport:
             per_variant = table.setdefault(
                 target,
                 {
-                    variant: {kind.value: 0 for kind in FaultOutcomeKind}
+                    variant: {kind.value: 0 for kind in self._kinds()}
                     for variant in self.spec.variants
                 },
             )
@@ -634,7 +680,7 @@ class CampaignRunner:
         per_variant: dict[str, dict] = {}
         total_injections = 0
         for done, variant in enumerate(spec.variants):
-            config = VARIANT_CONFIGS[variant](spec.wcdl)
+            config = _variant_config(spec, variant)
             accel_record = (
                 _golden_record(spec, variant, self.accel.snapshot_interval)
                 if self.accel.enabled
@@ -770,7 +816,10 @@ def format_differential_report(report: CampaignReport) -> str:
         ]
         lines.extend(_format_avf_section(report))
         return "\n".join(lines)
-    kinds = [kind.value for kind in FaultOutcomeKind]
+    kinds = [
+        kind.value
+        for kind in (tuple(FaultOutcomeKind) if spec.ecc else LEGACY_KINDS)
+    ]
     lines = []
     lines.append(
         f"{spec.count} injections on {spec.uid} "

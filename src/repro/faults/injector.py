@@ -56,6 +56,10 @@ class FaultOutcomeKind(enum.Enum):
     * DETECTED_HALT — hardware detected an uncorrectable error (multi-bit
       ECC, missing binding) and failed-stop instead of corrupting state.
     * SDC — silent data corruption: the run finished with wrong output.
+    * MISCORRECTED — real-code ECC mode only: the decoder applied a
+      *wrong* correction to a struck word and that substituted value
+      corrupted the final output. A distinct bucket from SDC because
+      the fail-safe itself manufactured the bad value.
     * PROTOCOL_BUG — the protocol model reached an impossible state or
       the simulator raised an unexpected exception.
     * TIMEOUT — the watchdog killed a livelocked injected run.
@@ -65,6 +69,7 @@ class FaultOutcomeKind(enum.Enum):
     RECOVERED = "recovered"
     DETECTED_HALT = "detected_halt"
     SDC = "sdc"
+    MISCORRECTED = "miscorrected"
     PROTOCOL_BUG = "protocol_bug"
     TIMEOUT = "timeout"
 
@@ -76,6 +81,18 @@ CONTAINED_KINDS = frozenset(
         FaultOutcomeKind.RECOVERED,
         FaultOutcomeKind.DETECTED_HALT,
     }
+)
+
+#: The taxonomy before real-code ECC mode existed. Campaign aggregates
+#: run with ECC off zero-fill only these, keeping their JSON
+#: byte-identical to pre-ECC campaigns.
+LEGACY_KINDS: tuple[FaultOutcomeKind, ...] = (
+    FaultOutcomeKind.MASKED,
+    FaultOutcomeKind.RECOVERED,
+    FaultOutcomeKind.DETECTED_HALT,
+    FaultOutcomeKind.SDC,
+    FaultOutcomeKind.PROTOCOL_BUG,
+    FaultOutcomeKind.TIMEOUT,
 )
 
 
@@ -138,22 +155,32 @@ class CampaignResult:
             1 for o in self.outcomes if o.kind is FaultOutcomeKind.PROTOCOL_BUG
         )
 
-    def by_kind(self) -> dict[str, int]:
-        """Histogram over the outcome taxonomy."""
-        hist = {kind.value: 0 for kind in FaultOutcomeKind}
+    def by_kind(
+        self, kinds: tuple[FaultOutcomeKind, ...] | None = None
+    ) -> dict[str, int]:
+        """Histogram over the outcome taxonomy.
+
+        ``kinds`` selects the zero-filled key set (``LEGACY_KINDS`` for
+        pre-ECC byte-identity); kinds that actually occurred are always
+        counted regardless.
+        """
+        hist = {kind.value: 0 for kind in (kinds or tuple(FaultOutcomeKind))}
         for o in self.outcomes:
-            hist[o.kind.value] += 1
+            hist[o.kind.value] = hist.get(o.kind.value, 0) + 1
         return hist
 
-    def by_target(self) -> dict[str, dict[str, int]]:
+    def by_target(
+        self, kinds: tuple[FaultOutcomeKind, ...] | None = None
+    ) -> dict[str, dict[str, int]]:
         """Per-structure vulnerability report: target -> kind histogram."""
+        template = kinds or tuple(FaultOutcomeKind)
         table: dict[str, dict[str, int]] = {}
         for o in self.outcomes:
             hist = table.setdefault(
                 o.injection.target.value,
-                {kind.value: 0 for kind in FaultOutcomeKind},
+                {kind.value: 0 for kind in template},
             )
-            hist[o.kind.value] += 1
+            hist[o.kind.value] = hist.get(o.kind.value, 0) + 1
         return table
 
     def summary(self) -> dict[str, int]:
@@ -329,7 +356,14 @@ def run_with_injection(
     correct = image == golden
     recovered = stats.recoveries > 0
     if not correct:
-        kind = FaultOutcomeKind.SDC
+        # Wrong output manufactured by the ECC decoder itself (a wrong
+        # "correction" substituted into the run) is its own bucket;
+        # plain SDC means the corruption slipped past everything.
+        kind = (
+            FaultOutcomeKind.MISCORRECTED
+            if stats.ecc_miscorrections > 0
+            else FaultOutcomeKind.SDC
+        )
     elif recovered:
         kind = FaultOutcomeKind.RECOVERED
     else:
@@ -367,6 +401,7 @@ def injection_for_index(
     index: int,
     horizon: int,
     targets: tuple[InjectionTarget, ...] = DEFAULT_TARGET_MIX,
+    upset: str | None = None,
 ) -> Injection:
     """Deterministically derive injection ``index`` of a campaign.
 
@@ -374,18 +409,32 @@ def injection_for_index(
     campaign parameters — never on how many injections were generated
     before it — so a resumed campaign reproduces exactly the same faults
     regardless of which shards already ran.
+
+    ``upset`` names a :mod:`repro.ecc.faultmodel` pattern that shapes
+    the flipped bit set (e.g. ``adjacent-double``, ``burst3``); None
+    keeps the classic single/occasional-double generator and its exact
+    historical rng draw order.
     """
     rng = random.Random(f"{seed}:{index}")
     target = targets[index % len(targets)]
     time = rng.randrange(1, max(2, horizon))
     delay = rng.randrange(0, wcdl + 1)
-    bit = rng.randrange(32)
-    bits: tuple[int, ...] = ()
-    if rng.random() < DOUBLE_FLIP_RATE:
-        second = rng.randrange(31)
-        if second >= bit:
-            second += 1
-        bits = (bit, second)
+    bits: tuple[int, ...]
+    if upset is not None:
+        from repro.ecc.faultmodel import pattern
+
+        mask = pattern(upset).sample(rng, 32)
+        positions = tuple(b for b in range(32) if (mask >> b) & 1)
+        bit = positions[0]
+        bits = positions if len(positions) > 1 else ()
+    else:
+        bit = rng.randrange(32)
+        bits = ()
+        if rng.random() < DOUBLE_FLIP_RATE:
+            second = rng.randrange(31)
+            if second >= bit:
+                second += 1
+            bits = (bit, second)
     reg = None
     if target is InjectionTarget.REGISTER:
         num_regs = compiled.program.register_file.num_registers

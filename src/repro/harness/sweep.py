@@ -32,8 +32,16 @@ the engine's results without recomputing.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.faults.campaign import (
+        AccelOptions,
+        CampaignReport,
+        CampaignSpec,
+    )
 
 from repro.arch.config import CoreConfig, ResilienceHardwareConfig
 from repro.arch.stats import SimStats
@@ -257,3 +265,75 @@ def run_sweep(
         point: replace(computed[key], cache=dict(computed[key].cache))
         for point, key in plan.keys.items()
     }
+
+
+# ---------------------------------------------------------------------------
+# Code-choice axis: fan one fault campaign across ECC codes
+# ---------------------------------------------------------------------------
+
+#: Spellings of the control point on the code axis — the abstract
+#: parity fail-safe, i.e. ``CampaignSpec.ecc = None``.
+ECC_OFF_LABELS = ("off", "none")
+
+
+def fan_campaign_codes(
+    spec: CampaignSpec, codes: Iterable[str]
+) -> list[tuple[str, CampaignSpec]]:
+    """Grow the sweep lattice's code-choice axis over one campaign.
+
+    Returns ``(label, spec)`` pairs, one per *distinct* code in input
+    order — the same dedup discipline as the design-point lattice:
+    duplicate axis values collapse and order is preserved. ``"off"`` /
+    ``"none"`` denote the unprotected abstract fail-safe (``ecc=None``)
+    so a fan always can carry the control point; both spellings dedup
+    to one ``"off"`` entry. Unknown code names raise ``ValueError``
+    through :class:`~repro.faults.campaign.CampaignSpec` validation.
+    """
+    fanned: list[tuple[str, CampaignSpec]] = []
+    seen: set[str] = set()
+    for name in codes:
+        label = name.strip().lower()
+        if not label:
+            continue
+        ecc = None if label in ECC_OFF_LABELS else label
+        key = ecc if ecc is not None else "off"
+        if key in seen:
+            continue
+        seen.add(key)
+        point = spec if ecc == spec.ecc else replace(spec, ecc=ecc)
+        fanned.append((key, point))
+    if not fanned:
+        raise ValueError("code axis is empty")
+    return fanned
+
+
+def run_campaign_fan(
+    spec: CampaignSpec,
+    codes: Iterable[str],
+    accel: AccelOptions | None = None,
+    workers: int = 1,
+    progress: Callable[[str, int, int], None] | None = None,
+) -> dict[str, tuple[CampaignReport, str]]:
+    """Execute one campaign per distinct code-axis value.
+
+    Every point is the *same* campaign — uid, seed, strike plan — with
+    only the decode semantics swapped, so the per-code reports are
+    directly differential. Within each point the usual campaign
+    machinery (golden-run memoization, shard accel) applies unchanged.
+    Returns ``label -> (report, rendered text)`` in axis order.
+    """
+    from repro.faults.campaign import execute_campaign
+
+    results: dict[str, tuple[CampaignReport, str]] = {}
+    for label, point in fan_campaign_codes(spec, codes):
+        wrapped = (
+            None
+            if progress is None
+            else lambda done, total, _label=label: progress(
+                _label, done, total
+            )
+        )
+        results[label] = execute_campaign(
+            point, accel=accel, workers=workers, progress=wrapped
+        )
+    return results

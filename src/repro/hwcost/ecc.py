@@ -1,0 +1,104 @@
+"""ECC overhead on top of the CACTI-style array model.
+
+Extends :mod:`repro.hwcost.cacti` with the two costs an error code
+adds to a protected array:
+
+1. **Check-bit storage** — the array is rebuilt with
+   ``bits_per_entry`` inflated by the layout's check bits, through the
+   same calibrated ``ram_array`` / ``cam_array`` constructors, so the
+   Table 1 anchor rows stay the zero-check baseline.
+2. **Encoder/decoder logic** — first-order XOR-tree estimate: the
+   syndrome/check network needs one 2-input XOR per excess term of the
+   parity-check matrix (``ones(H) - r``), counted twice for the write
+   (encode) and read (syndrome) sides, plus a correction stage of one
+   gate-equivalent per codeword bit for the column-match/flip network.
+
+Gate constants are 22 nm standard-cell ballparks, deliberately on the
+same first-order footing as the array constants they extend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ecc.layout import Layout
+from repro.hwcost.cacti import ArrayCost, cam_array, ram_array
+
+#: 2-input XOR standard cell at 22 nm: area and per-toggle energy.
+XOR2_AREA_UM2 = 0.65
+XOR2_ENERGY_PJ = 0.0002
+#: Gate-equivalent for the correction stage (column match + flip mux).
+CORRECTOR_GATE_AREA_UM2 = 0.45
+CORRECTOR_GATE_ENERGY_PJ = 0.0001
+
+
+@dataclass(frozen=True)
+class EccCost:
+    """Full cost of one protected structure under one layout."""
+
+    layout_name: str
+    base: ArrayCost  # unprotected array (Table 1 geometry)
+    protected: ArrayCost  # array with check-bit columns added
+    logic_area_um2: float
+    logic_energy_pj: float
+    check_bits: int
+    xor_terms: int
+
+    @property
+    def area_um2(self) -> float:
+        return self.protected.area_um2 + self.logic_area_um2
+
+    @property
+    def energy_pj(self) -> float:
+        return self.protected.dynamic_energy_pj + self.logic_energy_pj
+
+    @property
+    def area_overhead(self) -> float:
+        """Fractional area cost over the unprotected array."""
+        return self.area_um2 / self.base.area_um2 - 1.0
+
+    @property
+    def energy_overhead(self) -> float:
+        return self.energy_pj / self.base.dynamic_energy_pj - 1.0
+
+
+def _array(kind: str, name: str, entries: int, bits: int) -> ArrayCost:
+    if kind == "cam":
+        return cam_array(name, entries, bits)
+    return ram_array(name, entries, bits)
+
+
+def layout_cost(layout: Layout) -> EccCost:
+    """Cost one (code, structure) layout through the array model."""
+    geom = layout.structure
+    base = _array(geom.array_kind, geom.name, geom.entries, geom.word_bits)
+    protected = _array(
+        geom.array_kind,
+        f"{geom.name}+{layout.code_name}",
+        geom.entries,
+        layout.total_bits,
+    )
+    xor_terms = 0
+    corrector_bits = 0
+    for code in layout.codes:
+        ones = sum(col.bit_count() for col in code.columns)
+        xor_terms += 2 * max(0, ones - code.r)  # encode + syndrome trees
+        corrector_bits += code.n
+    logic_area = (
+        xor_terms * XOR2_AREA_UM2
+        + corrector_bits * CORRECTOR_GATE_AREA_UM2
+    )
+    logic_energy = (
+        xor_terms * XOR2_ENERGY_PJ
+        + corrector_bits * CORRECTOR_GATE_ENERGY_PJ
+    )
+    return EccCost(
+        layout_name=f"{geom.name}/{layout.code_name}"
+        + ("/interleaved" if layout.interleave else ""),
+        base=base,
+        protected=protected,
+        logic_area_um2=logic_area,
+        logic_energy_pj=logic_energy,
+        check_bits=layout.check_bits,
+        xor_terms=xor_terms,
+    )

@@ -208,6 +208,10 @@ class ResilienceConfig:
     # Figure 16 negative-control: release checkpoints to their single
     # storage slot without verification or coloring. UNSAFE by design.
     unsafe_checkpoint_release: bool = False
+    # Real ECC decode (repro.ecc code name) for checkpoint storage and
+    # memory words instead of the abstract single-correct/double-halt
+    # model. None keeps the abstract fail-safe byte-identical.
+    ecc_code: str | None = None
 
 
 @dataclass(slots=True)
@@ -225,6 +229,10 @@ class MachineStats:
     ecc_corrections: int = 0
     structure_parity_trips: int = 0
     pc_parity_detections: int = 0
+    # Real-code decode outcomes (--ecc mode only): the decoder applied
+    # a wrong correction, or an error aliased to a valid codeword.
+    ecc_miscorrections: int = 0
+    ecc_silent: int = 0
 
 
 # A checkpoint binding: how to obtain a register's recovery value.
@@ -1041,9 +1049,53 @@ class ResilientMachine:
         if self._mem_flips:
             self._mem_flips.pop(addr, None)
 
+    def _real_ecc_decode(
+        self, stored: int, flips: frozenset[int], what: str
+    ) -> int:
+        """Decode a struck 32-bit word through the configured real code.
+
+        The stored cells hold the post-strike data bits; the check bits
+        (not separately modelled in machine state) are those of the
+        pre-strike word, so the codeword error vector is exactly the
+        strike mask mapped onto the code's data positions. Whatever the
+        syndrome table says, happens: a wrong correction substitutes a
+        wrong value into the run, a zero syndrome passes corruption
+        through silently.
+        """
+        from repro.ecc.codes import make_code
+
+        assert self.config.ecc_code is not None
+        code = make_code(self.config.ecc_code, 32)
+        mask = 0
+        error = 0
+        for b in flips:
+            mask |= 1 << b
+            error |= 1 << code.data_positions[b]
+        # Machine words are signed 32-bit; the codeword view is the raw
+        # unsigned cell contents.
+        original = (stored ^ mask) & 0xFFFFFFFF
+        result = code.decode(code.encode(original) ^ error)
+        if result.detected:
+            raise DetectedHalt(
+                f"{code.name} uncorrectable {len(flips)}-bit error in {what}"
+            )
+        if result.data == original:
+            self.stats.ecc_corrections += 1
+        elif result.corrected_mask:
+            self.stats.ecc_miscorrections += 1
+        else:
+            self.stats.ecc_silent += 1
+        return wrap32(result.data)
+
     def _ecc_load(self, addr: int) -> int:
         """Read a struck memory word: correct single-bit, halt on multi-bit."""
         flips = self._mem_flips.pop(addr)
+        if self.config.ecc_code is not None:
+            value = self._real_ecc_decode(
+                self.mem.load(addr), flips, f"memory word {addr:#x}"
+            )
+            self._mem_write(addr, value)
+            return value
         if len(flips) > 1:
             raise DetectedHalt(
                 f"uncorrectable {len(flips)}-bit error in memory word {addr:#x}"
@@ -1067,6 +1119,13 @@ class ResilientMachine:
         value = self.ckpt_storage[key]
         flips = self._slot_flips.get(key)
         if flips:
+            if self.config.ecc_code is not None:
+                value = self._real_ecc_decode(
+                    value, flips, f"checkpoint slot {key}"
+                )
+                self.ckpt_storage[key] = value
+                del self._slot_flips[key]
+                return value
             if len(flips) > 1:
                 raise DetectedHalt(
                     f"uncorrectable {len(flips)}-bit error in checkpoint "
@@ -1191,6 +1250,16 @@ class ResilientMachine:
         # Memory-scrubber pass: resolve outstanding ECC syndromes so the
         # final image never silently carries a struck word.
         for addr, flips in sorted(self._mem_flips.items()):
+            if self.config.ecc_code is not None:
+                self._mem_write(
+                    addr,
+                    self._real_ecc_decode(
+                        self.mem.load(addr),
+                        flips,
+                        f"memory word {addr:#x} found by scrub",
+                    ),
+                )
+                continue
             if len(flips) > 1:
                 raise DetectedHalt(
                     f"uncorrectable {len(flips)}-bit error in memory "

@@ -236,9 +236,11 @@ def _spec_from_args(args: Any) -> dict[str, Any]:
     for name in (
         "uid", "wcdl", "sb", "scheme", "backend",  # run / lint
         "count", "seed", "targets", "variants", "shard_size",
-        "accel", "snapshot_interval", "shards",  # inject
-        "format", "strict",  # lint
+        "accel", "snapshot_interval", "shards", "ecc", "upset",  # inject
+        "format", "strict", "upset_model",  # lint
         "figures", "benchmarks",  # sweep
+        "codes", "structures", "patterns", "trials",  # ecc
+        "pareto", "interleave",
     ):
         value = getattr(args, name, None)
         if value is not None and value is not False:

@@ -1,7 +1,8 @@
 """Typed job specs, lifecycle states, and content-addressed identity.
 
 A job is one CLI-equivalent unit of work (``run`` / ``inject`` /
-``lint`` / ``vuln``). Its :class:`JobSpec` is normalised at construction — unknown
+``lint`` / ``vuln`` / ``sweep`` / ``ecc``). Its :class:`JobSpec` is
+normalised at construction — unknown
 parameters rejected, defaults filled in, choices validated — so that two
 submissions meaning the same thing always produce the same canonical
 parameter dict, the same canonical argv, and therefore the same dedup
@@ -135,6 +136,68 @@ def _opt_dir(value: Any) -> str | None:
     return value
 
 
+def _opt_ecc_code(value: Any) -> str | None:
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value.strip():
+        raise ValueError(f"expected an ECC code name, got {value!r}")
+    from repro.ecc.codes import make_code
+
+    make_code(value.strip(), 32)  # raises ValueError on unknown names
+    return value.strip()
+
+
+def _opt_upset(value: Any) -> str | None:
+    if value is None:
+        return None
+    if not isinstance(value, str) or not value.strip():
+        raise ValueError(f"expected an upset pattern name, got {value!r}")
+    from repro.ecc.faultmodel import pattern
+
+    pattern(value.strip())  # raises ValueError on unknown names
+    return value.strip()
+
+
+def _upset(value: Any) -> str:
+    out = _opt_upset(value)
+    if out is None:
+        raise ValueError("expected an upset pattern name")
+    return out
+
+
+def _opt_ecc_codes(value: Any) -> str | None:
+    """Comma-separated code names, validated and order-preserved."""
+    if value is None:
+        return None
+    names = _csv(value).split(",")
+    for name in names:
+        _opt_ecc_code(name)
+    return ",".join(dict.fromkeys(names))
+
+
+def _opt_structures(value: Any) -> str | None:
+    if value is None:
+        return None
+    from repro.ecc.layout import STRUCTURES
+
+    names = _csv(value).split(",")
+    unknown = sorted(set(names) - set(STRUCTURES))
+    if unknown:
+        raise ValueError(
+            f"unknown structure(s): {', '.join(unknown)} "
+            f"(expected from {', '.join(STRUCTURES)})"
+        )
+    return ",".join(dict.fromkeys(names))
+
+
+def _patterns(value: Any) -> str:
+    from repro.ecc.faultmodel import parse_patterns
+
+    if not isinstance(value, str):
+        raise ValueError(f"expected a pattern list, got {value!r}")
+    return ",".join(p.name for p in parse_patterns(value))
+
+
 _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
     "run": {
         "uid": (REQUIRED, _uid),
@@ -153,6 +216,8 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
         "shard_size": (8, _int(1)),
         "accel": ("on", _str_choice("on", "off")),
         "snapshot_interval": (None, _opt_int),
+        "ecc": (None, _opt_ecc_code),
+        "upset": (None, _opt_upset),
         # Fabric plumbing: a coordinator decomposes a campaign into
         # shard *leases* — the same spec restricted to a shard-id range
         # — and points them all at one shared manifest store so any
@@ -168,6 +233,7 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
         "format": ("text", _str_choice("text", "json", "sarif")),
         "differential": (True, _bool),
         "strict": (False, _bool),
+        "upset_model": ("single", _upset),
     },
     "vuln": {
         "uid": (REQUIRED, _uid),
@@ -179,6 +245,16 @@ _SCHEMAS: dict[str, dict[str, tuple[Any, Any]]] = {
     "sweep": {
         "figures": (None, _opt_figures),
         "benchmarks": (None, _opt_uids),
+        "format": ("text", _str_choice("text", "json")),
+    },
+    "ecc": {
+        "codes": (None, _opt_ecc_codes),
+        "structures": (None, _opt_structures),
+        "patterns": ("single,adjacent-double,burst3", _patterns),
+        "trials": (2000, _int(1)),
+        "seed": (0, _int()),
+        "pareto": (False, _bool),
+        "interleave": (False, _bool),
         "format": ("text", _str_choice("text", "json")),
     },
 }
@@ -258,6 +334,10 @@ class JobSpec:
             ]
             if p["snapshot_interval"] is not None:
                 argv += ["--snapshot-interval", str(p["snapshot_interval"])]
+            if p["ecc"] is not None:
+                argv += ["--ecc", p["ecc"]]
+            if p["upset"] is not None:
+                argv += ["--upset", p["upset"]]
             if p["shards"] is not None:
                 argv += ["--shards", p["shards"]]
             # store_dir is deliberately NOT part of the argv: it only
@@ -273,6 +353,23 @@ class JobSpec:
                 "--variants", p["variants"],
                 "--format", p["format"],
             ]
+        if self.kind == "ecc":
+            argv = ["ecc"]
+            if p["codes"] is not None:
+                argv += ["--codes", p["codes"]]
+            if p["structures"] is not None:
+                argv += ["--structure", p["structures"]]
+            argv += [
+                "--patterns", p["patterns"],
+                "--trials", str(p["trials"]),
+                "--seed", str(p["seed"]),
+            ]
+            if p["pareto"]:
+                argv.append("--pareto")
+            if p["interleave"]:
+                argv.append("--interleave")
+            argv += ["--format", p["format"]]
+            return argv
         if self.kind == "sweep":
             argv = ["sweep"]
             if p["figures"] is not None:
@@ -290,6 +387,7 @@ class JobSpec:
             "--sb", str(p["sb"]),
             "--format", p["format"],
             "--workers", "1",
+            "--upset-model", p["upset_model"],
         ]
         if not p["differential"]:
             argv.append("--no-differential")

@@ -31,6 +31,7 @@ def lint_benchmark(
     sb_size: int = 4,
     differential: bool = True,
     max_steps: int = 2_000_000,
+    upset_model: str = "single",
 ) -> VerificationReport:
     """Compile one benchmark and verify it."""
     from repro.compiler.config import turnpike_config, turnstile_config
@@ -49,7 +50,7 @@ def lint_benchmark(
         memory_factory=workload.fresh_memory,
         max_steps=max_steps,
     )
-    report = default_manager().run(ctx)
+    report = default_manager(upset_model=upset_model).run(ctx)
     # Report under the benchmark uid rather than the internal program
     # name, so CLI findings are attributable; diagnostic locations keep
     # the program name.
@@ -58,7 +59,7 @@ def lint_benchmark(
 
 
 def _lint_job(
-    job: tuple[str, str, int, bool]
+    job: tuple[str, str, int, bool, str]
 ) -> tuple[str, VerificationReport | None, str | None]:
     """Multiprocessing entry point: lint one benchmark in a worker.
 
@@ -68,10 +69,14 @@ def _lint_job(
     here — returned as ``(uid, None, error)`` instead of propagating —
     so one broken program cannot take down a whole ``--all`` run.
     """
-    uid, scheme, sb_size, differential = job
+    uid, scheme, sb_size, differential, upset_model = job
     try:
         report = lint_benchmark(
-            uid, scheme=scheme, sb_size=sb_size, differential=differential
+            uid,
+            scheme=scheme,
+            sb_size=sb_size,
+            differential=differential,
+            upset_model=upset_model,
         )
     except Exception as exc:  # containment is the point: report, don't die
         return uid, None, f"{type(exc).__name__}: {exc}"
@@ -84,13 +89,16 @@ def _lint_all(
     sb_size: int,
     differential: bool,
     workers: int,
+    upset_model: str = "single",
 ) -> list[tuple[str, VerificationReport | None, str | None]]:
     """Lint many benchmarks, fanning out across processes when asked.
 
     Results come back in ``uids`` order regardless of worker count, so
     text/JSON/SARIF output is deterministic either way.
     """
-    jobs = [(uid, scheme, sb_size, differential) for uid in uids]
+    jobs = [
+        (uid, scheme, sb_size, differential, upset_model) for uid in uids
+    ]
     if workers <= 1 or len(jobs) <= 1:
         return [_lint_job(job) for job in jobs]
     import multiprocessing as mp
@@ -127,6 +135,15 @@ def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
 
     from repro.harness.runner import resolve_workers
 
+    upset_model = getattr(args, "upset_model", None) or "single"
+    try:
+        from repro.ecc.faultmodel import pattern
+
+        pattern(upset_model)
+    except ValueError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
     workers = resolve_workers(getattr(args, "workers", None))
     results = _lint_all(
         uids,
@@ -134,6 +151,7 @@ def run_lint(args: argparse.Namespace, out: TextIO | None = None) -> int:
         sb_size=args.sb,
         differential=not args.no_differential,
         workers=workers,
+        upset_model=upset_model,
     )
     reports = [report for _, report, _ in results if report is not None]
     crashed = [(uid, error) for uid, report, error in results if report is None]

@@ -348,10 +348,16 @@ class VerifierPassManager:
         return report
 
 
-def default_rules() -> list[VerifierRule]:
-    """The standard R1..R8 rule suite."""
+def default_rules(upset_model: str = "single") -> list[VerifierRule]:
+    """The standard R1..R9 rule suite.
+
+    ``upset_model`` configures R9's assumed fault model; the default
+    ``single`` keeps stock lint runs clean (every shipped protection
+    declaration contains single-bit strikes).
+    """
     from repro.verify.rules.capacity import RegionCapacityRule
     from repro.verify.rules.checkpoints import CheckpointCompletenessRule
+    from repro.verify.rules.codes import ProtectionStrengthRule
     from repro.verify.rules.colors import ColorPoolRule
     from repro.verify.rules.recovery import RecoveryMapRule
     from repro.verify.rules.scheduling import SchedulingHazardRule
@@ -370,11 +376,12 @@ def default_rules() -> list[VerifierRule]:
         SchedulingHazardRule(),
         MaskedFractionRule(),
         UnprotectedVulnerableRule(),
+        ProtectionStrengthRule(upset_model=upset_model),
     ]
 
 
-def default_manager() -> VerifierPassManager:
-    return VerifierPassManager(default_rules())
+def default_manager(upset_model: str = "single") -> VerifierPassManager:
+    return VerifierPassManager(default_rules(upset_model=upset_model))
 
 
 def verify_compiled(

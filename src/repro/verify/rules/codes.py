@@ -1,0 +1,128 @@
+"""R9: protection-code strength versus the configured upset model.
+
+Each protocol variant's hardened structures declare an ECC (the stock
+hardware guards its arrays with even parity — the abstract fail-safe the
+injector models by default). The declaration is only as good as the
+fault model it faces: parity contains every single-bit strike but passes
+adjacent doubles silently, and a plain SEC Hamming *miscorrects* them.
+R9 replays the configured upset shapes through the real decoder of each
+declared code (:mod:`repro.ecc.codes`) and errors when the worst-case
+verdict escapes containment — i.e. the declared protection is weaker
+than the fault model the study assumes.
+
+The default upset model is ``single``, under which every shipped
+declaration is contained, so stock lint runs stay clean; studies that
+assume multi-bit upsets opt in with ``--upset-model``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.verify.diagnostics import Diagnostic, Location, Severity
+from repro.verify.manager import VerifierContext, VerifierRule
+from repro.verify.rules.vulnerability import DEFAULT_PROTECTION
+from repro.verify.vuln import scheme_variant
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.ecc.codes import Verdict
+
+#: The ECC each protected machine structure declares. The stock hardware
+#: model guards every array with the parity fail-safe; campaign studies
+#: that model stronger per-structure codes pass a custom table.
+DEFAULT_PROTECTION_CODES: dict[str, str] = {
+    "register": "parity",
+    "store_buffer": "parity",
+    "clq": "parity",
+    "coloring": "parity",
+}
+
+#: Monte-Carlo draws for upset shapes without an enumerable instance set.
+_SAMPLED_TRIALS = 256
+
+#: Machine word width the declared codes protect.
+_WORD_BITS = 32
+
+
+def worst_case_verdict(code_name: str, upset_name: str) -> Verdict:
+    """Worst decode verdict of one code under one upset shape.
+
+    Enumerates the shape's full instance set over the codeword width
+    when it is enumerable, otherwise draws a seeded sample. The verdict
+    of a linear code depends only on the error vector, never the stored
+    data, so decoding the all-zero codeword is exhaustive over data.
+    """
+    from repro.ecc.codes import SEVERITY, Verdict, make_code
+    from repro.ecc.faultmodel import pattern
+
+    code = make_code(code_name, _WORD_BITS)
+    upset = pattern(upset_name)
+    errors = upset.instances(code.n)
+    if errors is None:
+        rng = random.Random(f"r9:{code_name}:{upset_name}")
+        errors = [upset.sample(rng, code.n) for _ in range(_SAMPLED_TRIALS)]
+    worst = Verdict.CLEAN
+    for error in errors:
+        verdict = code.verdict(0, error)
+        if SEVERITY.index(verdict) > SEVERITY.index(worst):
+            worst = verdict
+    return worst
+
+
+class ProtectionStrengthRule(VerifierRule):
+    """R9: declared ECC must contain the configured upset model."""
+
+    rule_id = "R9"
+    title = "Protection-code strength"
+    description = (
+        "Errors when a structure in the protocol variant's protection "
+        "set declares an ECC whose worst-case decode verdict under the "
+        "configured upset model escapes containment (silent corruption "
+        "or miscorrection), i.e. the declared protection is weaker than "
+        "the assumed fault model."
+    )
+
+    def __init__(
+        self,
+        upset_model: str = "single",
+        codes: dict[str, str] | None = None,
+    ) -> None:
+        self.upset_model = upset_model
+        self.codes = DEFAULT_PROTECTION_CODES if codes is None else codes
+
+    def run(self, ctx: VerifierContext) -> list[Diagnostic]:
+        from repro.ecc.codes import CONTAINED_VERDICTS
+
+        variant = scheme_variant(ctx.config.name)
+        if variant is None:
+            return []
+        protected = DEFAULT_PROTECTION.get(variant, frozenset())
+        loc = Location(program=ctx.program.name)
+        diags: list[Diagnostic] = []
+        for name in sorted(protected):
+            code_name = self.codes.get(name)
+            if code_name is None:
+                continue
+            worst = worst_case_verdict(code_name, self.upset_model)
+            if worst in CONTAINED_VERDICTS:
+                continue
+            diags.append(
+                Diagnostic(
+                    rule=self.rule_id,
+                    severity=Severity.ERROR,
+                    location=loc,
+                    message=(
+                        f"{name} declares {code_name} but a "
+                        f"{self.upset_model} upset can end "
+                        f"{worst.value}: the declared protection is "
+                        "weaker than the configured fault model"
+                    ),
+                    hint=(
+                        "declare a stronger code for this structure "
+                        "(secded, secdaec, bch) or lint under the upset "
+                        "model the hardware is actually specified for"
+                    ),
+                )
+            )
+        return diags

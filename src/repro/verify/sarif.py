@@ -65,6 +65,12 @@ RULE_CATALOGUE: dict[str, tuple[str, str]] = {
         "no structure instantiated by the protocol variant holds "
         "statically vulnerable bits outside the protection set",
     ),
+    "R9": (
+        "protection-code-strength",
+        "every protected structure's declared ECC contains the "
+        "configured upset model's worst-case strike (no silent pass or "
+        "miscorrection)",
+    ),
 }
 
 

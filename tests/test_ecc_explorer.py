@@ -1,0 +1,252 @@
+"""Upset patterns, codeword layouts, Pareto explorer, and the ecc CLI."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.__main__ import main
+from repro.ecc.explorer import (
+    EccPoint,
+    evaluate_pattern,
+    explore,
+    format_points,
+    pareto_frontier,
+    points_to_json,
+    prune_dominated,
+)
+from repro.ecc.faultmodel import pattern, parse_patterns
+from repro.ecc.layout import (
+    STRUCTURES,
+    chunk_widths,
+    layout,
+)
+from repro.ecc.codes import Verdict
+from repro.hwcost.ecc import layout_cost
+
+
+class TestPatterns:
+    def test_single_enumerates_every_cell(self):
+        assert pattern("single").instances(8) == [1 << i for i in range(8)]
+
+    def test_adjacent_double_spans_neighbours(self):
+        masks = pattern("adjacent-double").instances(8)
+        assert masks == [0b11 << i for i in range(7)]
+
+    def test_burst3_flips_both_ends(self):
+        masks = pattern("burst3").instances(8)
+        # 3-cell window, 2 interior choices, 6 positions over 8 cells.
+        assert len(masks) == 12
+        for mask in masks:
+            bits = [i for i in range(8) if (mask >> i) & 1]
+            assert bits[-1] - bits[0] == 2  # both ends of the window
+
+    def test_column8_is_stride_8_pair(self):
+        masks = pattern("column8").instances(16)
+        assert masks == [(1 | (1 << 8)) << i for i in range(8)]
+
+    def test_random_patterns_sample_only(self):
+        upset = pattern("random3")
+        assert upset.instances(32) is None
+        rng_a, rng_b = random.Random(5), random.Random(5)
+        draws_a = [upset.sample(rng_a, 32) for _ in range(20)]
+        draws_b = [upset.sample(rng_b, 32) for _ in range(20)]
+        assert draws_a == draws_b
+        assert all(bin(m).count("1") == 3 for m in draws_a)
+
+    def test_parse_patterns_dedups_in_order(self):
+        parsed = parse_patterns("single,burst3,single,adjacent-double")
+        assert [p.name for p in parsed] == [
+            "single", "burst3", "adjacent-double"
+        ]
+
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown upset pattern"):
+            pattern("burst99")
+        with pytest.raises(ValueError, match="empty pattern list"):
+            parse_patterns(" , ")
+
+
+class TestLayouts:
+    def test_sb_entry_splits_into_64_plus_56(self):
+        assert chunk_widths(120) == (64, 56)
+        lay = layout("secded", "sb")
+        assert tuple(code.k for code in lay.codes) == (64, 56)
+        assert lay.total_bits == sum(code.n for code in lay.codes)
+
+    def test_checkpoint_is_single_chunk(self):
+        lay = layout("secded", "checkpoint")
+        assert len(lay.codes) == 1
+        assert lay.codes[0].k == 32
+
+    def test_split_round_trips_every_cell(self):
+        lay = layout("secded", "sb")
+        for cell in range(lay.total_bits):
+            per_code = lay.split(1 << cell)
+            assert sum(bin(e).count("1") for e in per_code) == 1
+
+    def test_split_rejects_out_of_range_cells(self):
+        lay = layout("parity", "clq")
+        with pytest.raises(ValueError, match="wider than the layout"):
+            lay.split(1 << lay.total_bits)
+
+    def test_interleave_splits_adjacent_doubles(self):
+        """Round-robin interleaving turns one adjacent double into two
+        single-bit errors in different codewords — so even plain SEC
+        survives the strike."""
+        plain = layout("sec", "sb", False)
+        inter = layout("sec", "sb", True)
+        rng = random.Random(0)
+        double = 0b11  # cells 0 and 1
+        split = inter.split(double)
+        assert sum(e != 0 for e in split) == 2
+        assert inter.word_verdict(rng, double) is Verdict.CORRECTED
+        # The non-interleaved layout sees a true double in one codeword.
+        assert sum(e != 0 for e in plain.split(double)) == 1
+
+    def test_word_verdict_detection_contains_siblings(self):
+        lay = layout("secded", "sb")
+        rng = random.Random(1)
+        # A double inside one codeword: detected, whatever the other
+        # codeword decodes.
+        assert lay.word_verdict(rng, 0b11) is Verdict.DETECTED
+
+    def test_unknown_structure_rejected(self):
+        with pytest.raises(ValueError, match="unknown structure"):
+            layout("parity", "rob")
+
+
+class TestCosting:
+    def test_protected_array_costs_more_than_base(self):
+        for structure in STRUCTURES:
+            for code in ("parity", "secded", "bch"):
+                cost = layout_cost(layout(code, structure))
+                assert cost.area_um2 > cost.base.area_um2
+                assert cost.energy_pj > cost.base.dynamic_energy_pj
+                assert cost.area_overhead > 0
+                assert cost.energy_overhead > 0
+
+    def test_stronger_codes_cost_more(self):
+        parity = layout_cost(layout("parity", "sb"))
+        secded = layout_cost(layout("secded", "sb"))
+        bch = layout_cost(layout("bch", "sb"))
+        assert parity.area_um2 < secded.area_um2 < bch.area_um2
+        assert parity.check_bits < secded.check_bits < bch.check_bits
+
+    def test_interleave_is_cost_neutral(self):
+        assert (
+            layout_cost(layout("secded", "sb", False)).area_um2
+            == layout_cost(layout("secded", "sb", True)).area_um2
+        )
+
+
+class TestExplorer:
+    def test_exhaustive_when_enumerable(self):
+        lay = layout("secded", "checkpoint")
+        dist = evaluate_pattern(lay, pattern("single"), seed=0, trials=50)
+        assert dist.exhaustive
+        assert dist.trials == lay.total_bits
+        assert dist.rate(Verdict.CORRECTED) == 1.0
+
+    def test_sampling_is_deterministic(self):
+        lay = layout("secded", "sb")
+        a = evaluate_pattern(lay, pattern("random3"), seed=3, trials=100)
+        b = evaluate_pattern(lay, pattern("random3"), seed=3, trials=100)
+        assert a == b
+        assert not a.exhaustive
+
+    def test_explore_orders_points_deterministically(self):
+        patterns = parse_patterns("single,adjacent-double")
+        points = explore(
+            ("parity", "secded"), ("clq", "checkpoint"), patterns,
+            trials=100,
+        )
+        assert [p.name for p in points] == [
+            "clq/parity", "clq/secded", "checkpoint/parity",
+            "checkpoint/secded",
+        ]
+
+    def test_pareto_frontier_spans_structures(self):
+        """Acceptance anchor: >= 3 non-dominated points over >= 2
+        structures from the stock lattice."""
+        patterns = parse_patterns("single,adjacent-double,burst3")
+        points = explore(
+            ("parity", "sec", "secded", "secdaec"),
+            ("sb", "clq", "checkpoint"),
+            patterns,
+            trials=300,
+        )
+        frontier = pareto_frontier(points)
+        assert len(frontier) >= 3
+        assert len({p.structure for p in frontier}) >= 2
+        # The honest negative: plain SEC is dominated everywhere (lower
+        # coverage than secded at comparable cost, higher cost than
+        # parity at comparable coverage).
+        assert all(p.code != "sec" for p in frontier)
+
+    def test_prune_dominated_keeps_input_order(self):
+        patterns = parse_patterns("single")
+        points = explore(
+            ("parity", "sec", "secded"), ("clq",), patterns, trials=50
+        )
+        pruned = prune_dominated(points)
+        names = [p.name for p in points if p in pruned]
+        assert [p.name for p in pruned] == names
+
+    def test_dominates_requires_strict_improvement(self):
+        patterns = parse_patterns("single")
+        (point,) = explore(("secded",), ("clq",), patterns, trials=50)
+        assert not point.dominates(point)
+
+    def test_json_payload_shape(self):
+        patterns = parse_patterns("single")
+        points = explore(("parity",), ("clq",), patterns, trials=50)
+        payload = json.loads(points_to_json(points, pareto_frontier(points)))
+        assert payload["pareto"] == ["clq/parity"]
+        (entry,) = payload["points"]
+        assert entry["point"] == "clq/parity"
+        assert 0.0 <= entry["coverage"] <= 1.0
+        assert entry["patterns"]["single"]["exhaustive"] is True
+
+    def test_format_points_marks_frontier(self):
+        patterns = parse_patterns("single")
+        points = explore(("parity", "sec"), ("clq",), patterns, trials=50)
+        text = format_points(points, pareto_frontier(points))
+        assert "*clq/parity" in text
+        assert "pareto frontier" in text
+
+
+class TestEccCli:
+    def test_text_with_pareto(self, capsys):
+        code = main(
+            [
+                "ecc", "--codes", "parity,secded", "--structure", "clq",
+                "--patterns", "single", "--trials", "100", "--pareto",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "clq/parity" in out
+        assert "pareto frontier" in out
+
+    def test_json_output_parses(self, capsys):
+        code = main(
+            [
+                "ecc", "--codes", "secded", "--structure", "checkpoint",
+                "--patterns", "single,adjacent-double", "--trials", "100",
+                "--pareto", "--format", "json",
+            ]
+        )
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["pareto"] == ["checkpoint/secded"]
+
+    def test_unknown_code_is_usage_error(self, capsys):
+        assert main(["ecc", "--codes", "golay"]) == 2
+        assert "unknown code" in capsys.readouterr().err
+
+    def test_unknown_structure_is_usage_error(self, capsys):
+        assert main(["ecc", "--structure", "rob"]) == 2
+        assert "unknown structure" in capsys.readouterr().err

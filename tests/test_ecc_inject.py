@@ -1,0 +1,177 @@
+"""End-to-end ECC decode semantics in the fault injector.
+
+Three contracts:
+
+* **Reachability** — with a plain SEC code and adjacent-double upsets,
+  miscorrections substitute the wrong value and the new
+  ``miscorrected`` outcome is actually produced by real campaigns.
+* **Equivalence** — SEC-DED over the default single/double generator
+  classifies byte-for-byte like the abstract parity fail-safe it
+  replaces (single -> corrected, double -> detected halt).
+* **Byte-identity** — ECC-off campaigns serialize exactly as before:
+  no ``ecc``/``upset`` keys in the spec dict, no ``miscorrected`` key
+  in the zero-filled histograms, identical rng draw order.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.compiler.config import turnpike_config
+from repro.compiler.pipeline import compile_program
+from repro.faults.campaign import CampaignRunner, CampaignSpec
+from repro.faults.injector import (
+    LEGACY_KINDS,
+    FaultOutcomeKind,
+    injection_for_index,
+)
+from repro.harness.sweep import fan_campaign_codes
+from repro.workloads.suites import load_workload
+
+UID = "SPLASH3.radix"
+
+
+def _spec(**overrides) -> CampaignSpec:
+    base = dict(
+        uid=UID,
+        wcdl=10,
+        count=12,
+        seed=99,
+        targets=("store_buffer", "checkpoint"),
+        variants=("turnpike",),
+        shard_size=6,
+    )
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+@pytest.fixture(scope="module")
+def compiled():
+    return compile_program(load_workload(UID).program, turnpike_config())
+
+
+class TestSpecValidation:
+    def test_unknown_ecc_rejected(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            _spec(ecc="golay")
+
+    def test_unknown_upset_rejected(self):
+        with pytest.raises(ValueError, match="unknown upset pattern"):
+            _spec(upset="burst99")
+
+    def test_ecc_off_dict_has_no_new_keys(self):
+        data = _spec().to_dict()
+        assert "ecc" not in data
+        assert "upset" not in data
+
+    def test_ecc_spec_round_trips(self):
+        spec = _spec(ecc="sec", upset="adjacent-double")
+        data = spec.to_dict()
+        assert data["ecc"] == "sec"
+        assert data["upset"] == "adjacent-double"
+        assert CampaignSpec.from_dict(data) == spec
+
+    def test_miscorrected_sits_outside_legacy_kinds(self):
+        assert FaultOutcomeKind.MISCORRECTED.value == "miscorrected"
+        assert FaultOutcomeKind.MISCORRECTED not in LEGACY_KINDS
+        assert set(LEGACY_KINDS) < set(FaultOutcomeKind)
+
+
+class TestInjectionShapes:
+    def test_upset_pattern_shapes_the_flip_set(self, compiled):
+        for index in range(16):
+            injection = injection_for_index(
+                compiled, 10, 42, index, horizon=500,
+                upset="adjacent-double",
+            )
+            # ``bits`` carries the whole flip set (bit included) exactly
+            # like the classic double-flip encoding.
+            positions = sorted(injection.bits)
+            assert len(positions) == 2
+            assert injection.bit == positions[0]
+            assert positions[1] - positions[0] == 1
+
+    def test_no_upset_keeps_historical_draws(self, compiled):
+        for index in range(16):
+            classic = injection_for_index(compiled, 10, 42, index, 500)
+            explicit = injection_for_index(
+                compiled, 10, 42, index, 500, upset=None
+            )
+            assert classic == explicit
+
+
+@pytest.fixture(scope="module")
+def baseline_report():
+    return CampaignRunner(_spec()).run()
+
+
+@pytest.fixture(scope="module")
+def sec_report():
+    return CampaignRunner(
+        _spec(ecc="sec", upset="adjacent-double")
+    ).run()
+
+
+class TestRealDecodeCampaigns:
+    def test_sec_under_adjacent_double_miscorrects(self, sec_report):
+        histogram = sec_report.per_variant()["turnpike"]
+        assert histogram["miscorrected"] > 0
+        assert histogram["protocol_bug"] == 0
+        assert histogram["timeout"] == 0
+
+    def test_secded_matches_abstract_baseline(self, baseline_report):
+        """The default generator strikes singles and occasional doubles;
+        SEC-DED corrects the former and detects the latter — exactly the
+        abstract fail-safe's taxonomy."""
+        report = CampaignRunner(_spec(ecc="secded")).run()
+        protected = report.per_variant()["turnpike"]
+        assert protected.pop("miscorrected") == 0
+        assert protected == baseline_report.per_variant()["turnpike"]
+
+    def test_ecc_off_histograms_have_no_miscorrected_key(
+        self, baseline_report
+    ):
+        histogram = baseline_report.per_variant()["turnpike"]
+        assert "miscorrected" not in histogram
+        assert set(histogram) == {k.value for k in LEGACY_KINDS}
+        per_target = baseline_report.per_target()
+        for variants in per_target.values():
+            for kinds in variants.values():
+                assert "miscorrected" not in kinds
+
+    def test_ecc_aggregate_json_carries_the_mode(self, sec_report):
+        payload = json.loads(sec_report.to_json())
+        assert payload["spec"]["ecc"] == "sec"
+        assert payload["spec"]["upset"] == "adjacent-double"
+
+    def test_ecc_off_json_is_free_of_ecc_keys(self, baseline_report):
+        payload = json.loads(baseline_report.to_json())
+        assert "ecc" not in payload["spec"]
+        assert "upset" not in payload["spec"]
+        assert "miscorrected" not in json.dumps(payload)
+
+
+class TestCodeAxisFan:
+    def test_fan_dedups_in_order(self):
+        spec = _spec()
+        fanned = fan_campaign_codes(
+            spec, ("off", "parity", "none", "sec", "parity")
+        )
+        assert [label for label, _ in fanned] == ["off", "parity", "sec"]
+        assert fanned[0][1] is spec  # the control point is the input spec
+        assert fanned[1][1].ecc == "parity"
+
+    def test_fan_rejects_unknown_codes(self):
+        with pytest.raises(ValueError, match="unknown code"):
+            fan_campaign_codes(_spec(), ("golay",))
+        with pytest.raises(ValueError, match="code axis is empty"):
+            fan_campaign_codes(_spec(), ())
+
+    def test_fanned_specs_share_the_strike_plan(self):
+        spec = _spec()
+        fanned = dict(fan_campaign_codes(spec, ("off", "secded")))
+        assert fanned["secded"].seed == spec.seed
+        assert fanned["secded"].count == spec.count
+        assert fanned["secded"].upset == spec.upset

@@ -147,3 +147,35 @@ class TestHardwareCost:
     def test_area_monotone_in_entries(self):
         areas = [store_buffer_cost(n).area_um2 for n in (2, 4, 8, 16, 40)]
         assert all(a < b for a, b in zip(areas, areas[1:]))
+
+
+class TestTable1ExactAnchors:
+    """Regression pins: the calibrated model's Table 1 numbers, exact to
+    the printed precision.  The ECC cost extension layers *on top of*
+    these arrays — any drift here silently recalibrates every Pareto
+    frontier, so these are equality pins, not tolerances."""
+
+    def test_sb4_exact(self):
+        cost = store_buffer_cost(4)
+        assert round(cost.area_um2, 2) == 621.28
+        assert round(cost.dynamic_energy_pj, 5) == 0.43099
+
+    def test_sb40_exact(self):
+        cost = store_buffer_cost(40)
+        assert round(cost.area_um2, 2) == 3132.50
+        assert round(cost.dynamic_energy_pj, 5) == 2.11525
+
+    def test_sb40_vs_sb4_ratio_exact(self):
+        area_ratio, energy_ratio = build_table1().sb40_vs_sb4
+        assert round(area_ratio, 3) == 5.042
+        assert round(energy_ratio, 4) == 4.9079
+
+    def test_color_maps_exact(self):
+        cost = color_maps_cost()
+        assert round(cost.area_um2, 3) == 36.651
+        assert round(cost.dynamic_energy_pj, 5) == 0.02517
+
+    def test_clq_exact(self):
+        cost = clq_cost(2)
+        assert round(cost.area_um2, 3) == 24.434
+        assert round(cost.dynamic_energy_pj, 5) == 0.01679

@@ -43,7 +43,7 @@ class TestFormats:
         (report,) = payload["reports"]
         assert report["program"] == "SPLASH3.radix"
         assert report["rules_run"] == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
         ]
 
     def test_output_file(self, tmp_path, capsys):
@@ -65,6 +65,44 @@ class TestFormats:
     def test_differential_runs_by_default(self, capsys):
         assert main(["lint", "SPLASH3.radix"]) == 0
         assert "differential:" in capsys.readouterr().out
+
+
+class TestUpsetModel:
+    """R9: declared protection codes vs the configured fault model."""
+
+    def test_adjacent_double_fails_parity_declarations(self, capsys):
+        code = main(
+            [
+                "lint",
+                "SPLASH3.radix",
+                "--no-differential",
+                "--upset-model",
+                "adjacent-double",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "error[R9]" in out
+        assert "store_buffer declares parity" in out
+        assert "weaker than the configured fault model" in out
+
+    def test_unknown_upset_model_is_usage_error(self, capsys):
+        code = main(
+            [
+                "lint",
+                "SPLASH3.radix",
+                "--no-differential",
+                "--upset-model",
+                "burstXL",
+            ]
+        )
+        assert code == 2
+
+    def test_r9_help_uri_is_stable(self):
+        from repro.verify.sarif import rule_help_uri
+
+        assert rule_help_uri("R9").endswith("/r9-protection-code-strength")
+        assert "R9" in RULE_CATALOGUE
 
 
 class TestSarif:

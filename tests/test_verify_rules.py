@@ -1,4 +1,4 @@
-"""Unit tests for the verifier framework and the R1..R8 rule suite."""
+"""Unit tests for the verifier framework and the R1..R9 rule suite."""
 
 from __future__ import annotations
 
@@ -45,7 +45,7 @@ class TestFramework:
         report = verify_compiled(_clean_compiled())
         assert report.ok
         assert report.rules_run == [
-            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"
+            "R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9"
         ]
 
     def test_manager_runs_selected_rules_only(self):

@@ -40,7 +40,7 @@ from repro.verify.vuln import (
 
 from helpers import build_sum_loop
 
-ALL_RULE_IDS = [f"R{i}" for i in range(1, 9)]
+ALL_RULE_IDS = [f"R{i}" for i in range(1, 10)]
 
 
 @functools.lru_cache(maxsize=1)
@@ -205,7 +205,7 @@ class TestVulnerabilityRules:
         assert any("register" in d.message for d in diags)
         assert all("protection set" in d.message for d in diags)
 
-    def test_default_rules_cover_r1_to_r8(self):
+    def test_default_rules_cover_r1_to_r9(self):
         assert [r.rule_id for r in default_rules()] == ALL_RULE_IDS
 
 
@@ -280,7 +280,13 @@ class TestLintCrashContainment:
             "_lint_all",
             lambda uids, **kw: [
                 lint_mod._lint_job(
-                    (u, kw["scheme"], kw["sb_size"], kw["differential"])
+                    (
+                        u,
+                        kw["scheme"],
+                        kw["sb_size"],
+                        kw["differential"],
+                        kw.get("upset_model", "single"),
+                    )
                 )
                 for u in ["CPU2006.gcc", "SPLASH3.radix"]
             ],
